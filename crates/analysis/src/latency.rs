@@ -1,0 +1,286 @@
+//! Latency budgets (§III, §VI.B, Fig. 9 context).
+//!
+//! Three budgets from the paper, reproduced as checkable arithmetic:
+//!
+//! * the **fabric budget**: < 500 ns in the switch fabric including
+//!   machine-room cabling, split evenly between switch elements and
+//!   cables (250 ns of fiber = a 50 m machine-room diameter);
+//! * the **application budget**: ≈1 µs application-to-application,
+//!   composed of driver/HCA + fabric + flight;
+//! * the **demonstrator budget**: ≈1200 ns in FPGAs, dropping to "a few
+//!   hundred nanoseconds" after a straightforward ASIC mapping (≥4×
+//!   speedup, §VII) plus shorter scheduler-to-SOA control runs.
+
+use osmosis_sim::TimeDelta;
+
+/// The §III machine-level latency budget.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricBudget {
+    /// Total fabric target (switches + cables).
+    pub fabric_target: TimeDelta,
+    /// Machine-room diameter in meters.
+    pub machine_diameter_m: f64,
+    /// Number of switch stages traversed.
+    pub stages: u32,
+}
+
+impl FabricBudget {
+    /// The paper's targets: 500 ns fabric, 50 m machine room, 3 stages.
+    pub fn osmosis_default() -> Self {
+        FabricBudget {
+            fabric_target: TimeDelta::from_ns(500),
+            machine_diameter_m: 50.0,
+            stages: 3,
+        }
+    }
+
+    /// Total cable flight across the machine room.
+    pub fn cable_flight(&self) -> TimeDelta {
+        TimeDelta::fiber_flight(self.machine_diameter_m)
+    }
+
+    /// What remains for all switch elements together.
+    pub fn switch_budget(&self) -> TimeDelta {
+        self.fabric_target - self.cable_flight()
+    }
+
+    /// Per-stage switch latency allowance.
+    pub fn per_stage_budget(&self) -> TimeDelta {
+        self.switch_budget() / self.stages as u64
+    }
+
+    /// Whether a per-stage switch latency fits the budget.
+    pub fn fits(&self, per_stage: TimeDelta) -> bool {
+        per_stage * self.stages as u64 + self.cable_flight() <= self.fabric_target
+    }
+}
+
+/// One line item in an itemized latency budget.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetItem {
+    /// Name of the contribution.
+    pub name: &'static str,
+    /// Contribution.
+    pub latency: TimeDelta,
+    /// Whether an FPGA→ASIC mapping scales this item down (logic paths
+    /// do; fiber flight does not).
+    pub scales_with_logic: bool,
+}
+
+/// The demonstrator's itemized latency (§VI.B: "the demonstrator prototype
+/// has only around 1200 ns latency", dominated by FPGA pipelining, the
+/// multi-FPGA scheduler's chip crossings, and multi-meter control fibers).
+pub fn demonstrator_budget() -> Vec<BudgetItem> {
+    vec![
+        BudgetItem {
+            name: "ingress adapter datapath (FEC encode, VOQ, 40G pipeline)",
+            latency: TimeDelta::from_ns(280),
+            scales_with_logic: true,
+        },
+        BudgetItem {
+            name: "request/grant control path (adapter ↔ scheduler)",
+            latency: TimeDelta::from_ns(180),
+            scales_with_logic: true,
+        },
+        BudgetItem {
+            name: "FLPPR scheduler (40 FPGAs, chip crossings)",
+            latency: TimeDelta::from_ns(360),
+            scales_with_logic: true,
+        },
+        BudgetItem {
+            name: "scheduler → SOA control fibers (multi-meter)",
+            latency: TimeDelta::from_ns(60),
+            scales_with_logic: false,
+        },
+        BudgetItem {
+            name: "optical crossbar traversal + guard",
+            latency: TimeDelta::from_ns(60),
+            scales_with_logic: false,
+        },
+        BudgetItem {
+            name: "egress adapter datapath (burst RX, FEC decode)",
+            latency: TimeDelta::from_ns(260),
+            scales_with_logic: true,
+        },
+    ]
+}
+
+/// Sum of an itemized budget.
+pub fn total(items: &[BudgetItem]) -> TimeDelta {
+    items
+        .iter()
+        .fold(TimeDelta::ZERO, |acc, i| acc + i.latency)
+}
+
+/// Apply an FPGA→ASIC mapping: logic items speed up by `factor`, physical
+/// items (fiber flight, guard time) do not. Tighter integration shortens
+/// the control fibers; `control_fiber_scale` models that separately.
+pub fn asic_mapping(
+    items: &[BudgetItem],
+    factor: f64,
+    control_fiber_scale: f64,
+) -> Vec<BudgetItem> {
+    assert!(factor >= 1.0);
+    items
+        .iter()
+        .map(|i| {
+            let latency = if i.scales_with_logic {
+                TimeDelta::from_ns_f64(i.latency.as_ns_f64() / factor)
+            } else if i.name.contains("control fibers") {
+                TimeDelta::from_ns_f64(i.latency.as_ns_f64() * control_fiber_scale)
+            } else {
+                i.latency
+            };
+            BudgetItem { latency, ..*i }
+        })
+        .collect()
+}
+
+/// The ≈1 µs application-to-application budget (§III): source software +
+/// HCA, the fabric, and time-of-flight.
+#[derive(Debug, Clone, Copy)]
+pub struct ApplicationBudget {
+    /// Driver stack + HCA at source and destination combined.
+    pub host_overhead: TimeDelta,
+    /// The switch-fabric share (switch elements only).
+    pub fabric: TimeDelta,
+    /// Cable time-of-flight.
+    pub flight: TimeDelta,
+}
+
+impl ApplicationBudget {
+    /// Paper's contemporary 1 µs target with the 500 ns fabric share.
+    pub fn osmosis_default() -> Self {
+        ApplicationBudget {
+            host_overhead: TimeDelta::from_ns(500),
+            fabric: TimeDelta::from_ns(250),
+            flight: TimeDelta::from_ns(250),
+        }
+    }
+
+    /// End-to-end total.
+    pub fn total(&self) -> TimeDelta {
+        self.host_overhead + self.fabric + self.flight
+    }
+}
+
+/// The scheduler-partitioning size analysis of §VI.B: the prototype uses
+/// 40 FPGAs; "the scheduler can be built with no more than four identical
+/// ASICs". Chip crossings add latency; this models that relation.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerPartition {
+    /// Number of chips the scheduler logic is spread over.
+    pub chips: u32,
+    /// Latency per chip crossing (SerDes + board trace).
+    pub crossing_latency: TimeDelta,
+    /// Crossings on the critical request→grant path; grows with the
+    /// partition count (bisected arbitration tree).
+    pub critical_crossings: u32,
+}
+
+impl SchedulerPartition {
+    /// The 40-FPGA prototype: a request/grant traverses ≈6 chip hops.
+    pub fn fpga_prototype() -> Self {
+        SchedulerPartition {
+            chips: 40,
+            crossing_latency: TimeDelta::from_ns(25),
+            critical_crossings: 6,
+        }
+    }
+
+    /// The ≤4-ASIC production mapping: ≈2 hops.
+    pub fn asic_production() -> Self {
+        SchedulerPartition {
+            chips: 4,
+            crossing_latency: TimeDelta::from_ns(15),
+            critical_crossings: 2,
+        }
+    }
+
+    /// Chip-crossing latency on the critical path.
+    pub fn crossing_total(&self) -> TimeDelta {
+        self.crossing_latency * self.critical_crossings as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_budget_splits_evenly() {
+        // §III: "we split the 500 ns switch fabric delay equally between
+        // the switch elements and the total cable delay".
+        let b = FabricBudget::osmosis_default();
+        assert_eq!(b.cable_flight(), TimeDelta::from_ns(250));
+        assert_eq!(b.switch_budget(), TimeDelta::from_ns(250));
+        // Table 1: per-switch latency 100–250 ns; with 3 stages each gets
+        // ≈83 ns.
+        assert_eq!(b.per_stage_budget(), TimeDelta::from_ns_f64(250.0 / 3.0));
+    }
+
+    #[test]
+    fn fits_checks_the_whole_path() {
+        let b = FabricBudget::osmosis_default();
+        assert!(b.fits(TimeDelta::from_ns(83)));
+        assert!(!b.fits(TimeDelta::from_ns(100)), "3 × 100 + 250 > 500");
+    }
+
+    #[test]
+    fn single_stage_cannot_fit_2rtt() {
+        // The Fig. 1 argument in budget form: a central single-stage
+        // fabric pays 2 RTT = 4 × 250 ns half-flights = 1000 ns > 500 ns
+        // before any scheduling happens.
+        let b = FabricBudget::osmosis_default();
+        let two_rtt = TimeDelta::from_ns(1000);
+        assert!(two_rtt > b.fabric_target);
+    }
+
+    #[test]
+    fn demonstrator_totals_about_1200ns() {
+        let items = demonstrator_budget();
+        let t = total(&items);
+        assert_eq!(t, TimeDelta::from_ns(1200), "§VI.B: ≈1200 ns");
+    }
+
+    #[test]
+    fn asic_mapping_reaches_a_few_hundred_ns() {
+        // §VI.B/§VII: a straightforward ASIC mapping (≥4× on logic) plus
+        // tight optics integration (control fibers →10%) lands at "a few
+        // hundred nanoseconds".
+        let asic = asic_mapping(&demonstrator_budget(), 4.0, 0.1);
+        let t = total(&asic);
+        assert!(
+            t <= TimeDelta::from_ns(400) && t >= TimeDelta::from_ns(200),
+            "ASIC total {t}"
+        );
+    }
+
+    #[test]
+    fn asic_mapping_leaves_physics_untouched() {
+        let before = demonstrator_budget();
+        let after = asic_mapping(&before, 4.0, 1.0);
+        for (b, a) in before.iter().zip(&after) {
+            if !b.scales_with_logic {
+                assert_eq!(b.latency, a.latency, "{}", b.name);
+            } else {
+                assert!(a.latency < b.latency, "{}", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn application_budget_is_one_microsecond() {
+        let b = ApplicationBudget::osmosis_default();
+        assert_eq!(b.total(), TimeDelta::from_us(1));
+    }
+
+    #[test]
+    fn asic_partition_cuts_crossing_latency() {
+        let fpga = SchedulerPartition::fpga_prototype();
+        let asic = SchedulerPartition::asic_production();
+        assert_eq!(fpga.chips, 40, "§VI.B: 40 high-end FPGAs");
+        assert!(asic.chips <= 4, "§VI.B: no more than four identical ASICs");
+        assert!(asic.crossing_total() < fpga.crossing_total() / 3);
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion benches of the arbiter primitives at switch (64) and fabric
+//! (2048) port counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use osmosis_sched::arbiter::{BitSet, RoundRobinArbiter};
+
+fn bench_bitset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arbiter");
+    for n in [64usize, 2048] {
+        let mut req = BitSet::new(n);
+        for i in (0..n).step_by(7) {
+            req.set(i);
+        }
+        g.bench_with_input(BenchmarkId::new("next_set_wrapping", n), &n, |b, &n| {
+            let mut from = 0usize;
+            b.iter(|| {
+                from = (from + 13) % n;
+                black_box(req.next_set_wrapping(from))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rr_arbitrate", n), &n, |b, &n| {
+            let mut arb = RoundRobinArbiter::new(n);
+            b.iter(|| {
+                let gr = arb.arbitrate(black_box(&req));
+                if let Some(i) = gr {
+                    arb.advance_past(i);
+                }
+                gr
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bitset);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benches for the FEC hot path: GF(2^8) multiply, block
+//! encode/decode, and full 256-byte-cell encode+decode - the per-cell
+//! work an OSMOSIS adapter does every 51.2 ns.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use osmosis_fec::code::{decode_payload, encode_payload, OsmosisCode, DATA_SYMBOLS};
+use osmosis_fec::gf256;
+
+fn bench_gf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf256");
+    g.bench_function("mul_table", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for x in 1..=255u8 {
+                acc ^= gf256::mul(black_box(x), black_box(0x53));
+            }
+            acc
+        })
+    });
+    g.bench_function("inv", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for x in 1..=255u8 {
+                acc ^= gf256::inv(black_box(x));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_block(c: &mut Criterion) {
+    let code = OsmosisCode::new();
+    let data = [0x5Au8; DATA_SYMBOLS];
+    let clean = code.encode(&data);
+    let mut g = c.benchmark_group("fec_block");
+    g.throughput(Throughput::Bytes(DATA_SYMBOLS as u64));
+    g.bench_function("encode", |b| b.iter(|| code.encode(black_box(&data))));
+    g.bench_function("decode_clean", |b| {
+        b.iter(|| {
+            let mut blk = clean;
+            code.decode(black_box(&mut blk))
+        })
+    });
+    g.bench_function("decode_single_error", |b| {
+        b.iter(|| {
+            let mut blk = clean;
+            blk[7] ^= 0x10;
+            code.decode(black_box(&mut blk))
+        })
+    });
+    g.finish();
+}
+
+fn bench_cell(c: &mut Criterion) {
+    let code = OsmosisCode::new();
+    let payload: Vec<u8> = (0..256).map(|i| i as u8).collect();
+    let coded = encode_payload(&code, &payload);
+    let mut g = c.benchmark_group("fec_cell_256B");
+    g.throughput(Throughput::Bytes(256));
+    g.bench_function("encode_cell", |b| {
+        b.iter(|| encode_payload(&code, black_box(&payload)))
+    });
+    g.bench_function("decode_cell", |b| {
+        b.iter(|| decode_payload(&code, black_box(&coded)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gf, bench_block, bench_cell);
+criterion_main!(benches);

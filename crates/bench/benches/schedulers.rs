@@ -1,0 +1,76 @@
+//! Criterion benches for the crossbar schedulers: one tick under
+//! saturation - the work a hardware arbiter must finish inside one
+//! 51.2 ns cell cycle.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use osmosis_sched::{CellScheduler, Flppr, Islip, Pim, PipelinedArbiter};
+
+fn saturate(s: &mut dyn CellScheduler) {
+    let n = s.inputs();
+    for i in 0..n {
+        for o in 0..n {
+            for _ in 0..4 {
+                s.note_arrival(i, o);
+            }
+        }
+    }
+}
+
+fn bench_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_tick_saturated");
+    for n in [16usize, 64] {
+        g.bench_with_input(BenchmarkId::new("islip_log2n", n), &n, |b, &n| {
+            let mut s = Islip::log2n(n, 1);
+            saturate(&mut s);
+            let mut t = 0u64;
+            b.iter(|| {
+                // Top the queues up so the instance stays saturated.
+                for i in 0..n {
+                    s.note_arrival(i, (t as usize + i) % n);
+                }
+                t += 1;
+                black_box(s.tick(t))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("pim_1", n), &n, |b, &n| {
+            let mut s = Pim::new(n, 1, 1, 7);
+            saturate(&mut s);
+            let mut t = 0u64;
+            b.iter(|| {
+                for i in 0..n {
+                    s.note_arrival(i, (t as usize + i) % n);
+                }
+                t += 1;
+                black_box(s.tick(t))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("flppr_log2n", n), &n, |b, &n| {
+            let mut s = Flppr::osmosis(n, 1);
+            saturate(&mut s);
+            let mut t = 0u64;
+            b.iter(|| {
+                for i in 0..n {
+                    s.note_arrival(i, (t as usize + i) % n);
+                }
+                t += 1;
+                black_box(s.tick(t))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("pipelined_log2n", n), &n, |b, &n| {
+            let mut s = PipelinedArbiter::log2n(n, 1);
+            saturate(&mut s);
+            let mut t = 0u64;
+            b.iter(|| {
+                for i in 0..n {
+                    s.note_arrival(i, (t as usize + i) % n);
+                }
+                t += 1;
+                black_box(s.tick(t))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tick);
+criterion_main!(benches);

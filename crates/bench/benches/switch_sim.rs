@@ -1,0 +1,37 @@
+//! Criterion bench of the slotted switch simulator itself: simulated cell
+//! slots per second at the demonstrator's 64 ports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use osmosis_sched::Flppr;
+use osmosis_switch::{run_uniform, RunConfig};
+
+fn bench_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("switch_sim");
+    let slots = 2_000u64;
+    g.throughput(Throughput::Elements(slots));
+    for load in [0.5f64, 0.9] {
+        g.bench_with_input(
+            BenchmarkId::new("voq_flppr_64p", format!("load{load}")),
+            &load,
+            |b, &load| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_uniform(
+                        || Box::new(Flppr::osmosis(64, 2)),
+                        load,
+                        seed,
+                        RunConfig {
+                            warmup_slots: 0,
+                            measure_slots: slots,
+                        },
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_switch);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates Fig. 2's comparison: buffer placement options around the
+//! optical crossbar.
+
+use osmosis_bench::{print_table, scale_from_args};
+use osmosis_core::experiments::fig2;
+
+fn main() {
+    let scale = scale_from_args();
+    let rows = fig2::run(scale, 0xF16_2);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:?}", r.placement),
+                r.oeo_per_stage.to_string(),
+                format!("{:.2}", r.light_load_latency),
+                format!("{:.2}", r.moderate_load_latency),
+                format!("{:.3}", r.moderate_throughput),
+                r.buffer_cells_needed.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 2: buffer placement options (two-level fat tree)",
+        &["placement", "OEO/stage", "latency @5% (cycles)", "latency @60%", "thr @60%", "buffer cells"],
+        &table,
+    );
+    println!("\nOption 3 (input-only) minimizes OEO conversions AND request/grant latency;");
+    println!("its cost is the RTT-sized input buffer - the paper's choice.");
+}

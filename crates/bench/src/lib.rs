@@ -1,0 +1,51 @@
+//! # osmosis-bench
+//!
+//! The harness that regenerates every table and figure of the paper (see
+//! `DESIGN.md` §4 for the experiment index). Each `src/bin/` binary
+//! prints one table/figure; `benches/` holds Criterion micro-benchmarks
+//! of the hot kernels (FEC, arbiters, schedulers, switch/fabric
+//! simulation slots).
+//!
+//! Run a figure with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p osmosis-bench --bin fig7_delay_throughput
+//! ```
+//!
+//! Every binary accepts `--quick` to run at test scale.
+
+#![warn(missing_docs)]
+
+/// Print a fixed-width table: a header row then data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Parse the common `--quick` flag.
+pub fn scale_from_args() -> osmosis_core::Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        osmosis_core::Scale::Quick
+    } else {
+        osmosis_core::Scale::Full
+    }
+}

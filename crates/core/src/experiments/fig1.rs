@@ -1,0 +1,98 @@
+//! Fig. 1 — control and data latency of a hypothetical bufferless
+//! single-stage fabric with a central scheduler.
+//!
+//! One RTT for the request/grant cycle, one RTT for the data: the
+//! unloaded latency is 2 RTT plus scheduling, which blows the 500 ns
+//! fabric budget for machine-room-scale cable runs — the paper's argument
+//! for multistage topologies.
+
+use osmosis_sched::Flppr;
+use osmosis_sim::{SeedSequence, TimeDelta};
+use osmosis_switch::{remote_sched::RemoteSchedulerSwitch, RunConfig};
+use osmosis_traffic::BernoulliUniform;
+
+/// One point of the latency-vs-machine-diameter curve.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Point {
+    /// Machine-room diameter in meters.
+    pub diameter_m: f64,
+    /// One-way host↔crossbar flight (½ RTT) in nanoseconds.
+    pub half_rtt_ns: f64,
+    /// The analytic floor: 2 RTT in nanoseconds.
+    pub two_rtt_ns: f64,
+    /// Simulated unloaded latency in nanoseconds.
+    pub simulated_ns: f64,
+    /// Whether this fits the paper's 500 ns fabric budget.
+    pub fits_budget: bool,
+}
+
+/// Cell cycle used to discretize flight times (the demonstrator's
+/// 51.2 ns).
+pub const CELL_NS: f64 = 51.2;
+
+/// Run the sweep over machine-room diameters.
+pub fn run(diameters_m: &[f64], ports: usize, seed: u64) -> Vec<Fig1Point> {
+    diameters_m
+        .iter()
+        .map(|&diameter_m| {
+            let half_rtt_ns = 5.0 * diameter_m; // 5 ns/m of fiber
+            let half_rtt_slots = TimeDelta::from_ns_f64(half_rtt_ns)
+                .div_ceil_slots(TimeDelta::from_ns_f64(CELL_NS));
+            let mut sw = RemoteSchedulerSwitch::new(
+                Box::new(Flppr::osmosis(ports, 1)),
+                half_rtt_slots,
+            );
+            let mut tr =
+                BernoulliUniform::new(ports, 0.05, &SeedSequence::new(seed));
+            let r = sw.run(
+                &mut tr,
+                RunConfig {
+                    warmup_slots: 500,
+                    measure_slots: 4_000,
+                },
+            );
+            let simulated_ns = r.mean_delay * CELL_NS;
+            Fig1Point {
+                diameter_m,
+                half_rtt_ns,
+                two_rtt_ns: 4.0 * half_rtt_ns,
+                simulated_ns,
+                fits_budget: simulated_ns <= 500.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_room_scale_blows_the_budget() {
+        let pts = run(&[5.0, 25.0, 50.0], 16, 7);
+        // Simulated latency is bounded below by 2 RTT everywhere the
+        // flight is at least a cell.
+        for p in &pts {
+            assert!(
+                p.simulated_ns >= p.two_rtt_ns * 0.99,
+                "{} < 2 RTT {}",
+                p.simulated_ns,
+                p.two_rtt_ns
+            );
+        }
+        // At the paper's 50 m machine room the single-stage design fails
+        // its 500 ns budget (2 RTT alone is 1000 ns).
+        let at50 = pts.last().unwrap();
+        assert!(!at50.fits_budget, "simulated {} ns", at50.simulated_ns);
+        assert!(at50.simulated_ns > 1_000.0);
+        // A tiny 5 m machine would fit — the problem is the scale.
+        assert!(pts[0].fits_budget, "simulated {} ns", pts[0].simulated_ns);
+    }
+
+    #[test]
+    fn latency_grows_with_diameter() {
+        let pts = run(&[10.0, 30.0, 60.0], 16, 9);
+        assert!(pts[1].simulated_ns > pts[0].simulated_ns);
+        assert!(pts[2].simulated_ns > pts[1].simulated_ns);
+    }
+}

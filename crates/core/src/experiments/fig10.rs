@@ -1,0 +1,87 @@
+//! Fig. 10 — OSNR penalty vs. SOA input power for DPSK and NRZ modulation
+//! at BER 10⁻⁶ and 10⁻¹⁰, plus the quoted 14 dB loading improvement and
+//! the 3 dB OSNR advantage.
+
+use osmosis_phy::soa::{
+    dpsk_loading_improvement_db, figure10_curve, input_power_at_penalty,
+    required_osnr_db, Modulation,
+};
+
+/// One curve of Fig. 10.
+#[derive(Debug, Clone)]
+pub struct Fig10Curve {
+    /// Modulation format.
+    pub modulation: Modulation,
+    /// Target BER.
+    pub ber: f64,
+    /// (input power dBm, OSNR penalty dB) samples.
+    pub points: Vec<(f64, f64)>,
+    /// Input power at 1 dB penalty.
+    pub power_at_1db: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    /// The four curves (NRZ/DPSK × 10⁻⁶/10⁻¹⁰).
+    pub curves: Vec<Fig10Curve>,
+    /// DPSK loading improvement at 1 dB penalty, BER 10⁻¹⁰ (paper: 14 dB).
+    pub improvement_db: f64,
+    /// DPSK OSNR advantage at any BER (paper: 3 dB).
+    pub osnr_advantage_db: f64,
+}
+
+/// Run the figure: powers swept 0–20 dBm as in the paper's axes.
+pub fn run() -> Fig10Result {
+    let powers: Vec<f64> = (0..=40).map(|i| i as f64 * 0.5).collect();
+    let mut curves = Vec::new();
+    for modulation in [Modulation::Nrz, Modulation::Dpsk] {
+        for ber in [1e-6, 1e-10] {
+            curves.push(Fig10Curve {
+                modulation,
+                ber,
+                points: figure10_curve(modulation, ber, &powers),
+                power_at_1db: input_power_at_penalty(modulation, ber, 1.0),
+            });
+        }
+    }
+    Fig10Result {
+        curves,
+        improvement_db: dpsk_loading_improvement_db(1e-10, 1.0),
+        osnr_advantage_db: required_osnr_db(Modulation::Nrz, 1e-10)
+            - required_osnr_db(Modulation::Dpsk, 1e-10),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        let r = run();
+        assert!((r.improvement_db - 14.0).abs() < 0.01, "{}", r.improvement_db);
+        assert!((r.osnr_advantage_db - 3.0).abs() < 1e-9);
+        assert_eq!(r.curves.len(), 4);
+    }
+
+    #[test]
+    fn curve_shapes() {
+        let r = run();
+        for c in &r.curves {
+            // Monotone rising penalty.
+            for w in c.points.windows(2) {
+                assert!(w[1].1 > w[0].1);
+            }
+            // DPSK knees sit far right of NRZ knees.
+            match c.modulation {
+                Modulation::Nrz => assert!(c.power_at_1db < 4.0),
+                Modulation::Dpsk => assert!(c.power_at_1db > 15.0),
+            }
+        }
+        // Stricter BER → lower knee within each format.
+        let nrz6 = &r.curves[0];
+        let nrz10 = &r.curves[1];
+        assert!(nrz10.power_at_1db < nrz6.power_at_1db);
+    }
+}

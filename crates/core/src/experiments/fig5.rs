@@ -1,0 +1,99 @@
+//! Fig. 5 — the demonstrator datapath: power-budget closure through the
+//! broadcast-and-select chain, guard time, and structural checks
+//! (8 broadcast modules, 128 switching modules, exactly-one-path
+//! selection).
+
+use crate::demonstrator::Demonstrator;
+use osmosis_phy::components::BudgetLine;
+use osmosis_sim::TimeDelta;
+
+/// The datapath report.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Per-element power-budget breakdown.
+    pub budget_lines: Vec<BudgetLine>,
+    /// Launch power (dBm).
+    pub launch_dbm: f64,
+    /// Received power (dBm).
+    pub received_dbm: f64,
+    /// Receiver sensitivity (dBm).
+    pub sensitivity_dbm: f64,
+    /// Margin (dB).
+    pub margin_db: f64,
+    /// Crossbar reconfiguration guard time.
+    pub guard: TimeDelta,
+    /// Number of broadcast modules (fibers).
+    pub broadcast_modules: usize,
+    /// Number of optical switching modules.
+    pub switching_modules: usize,
+}
+
+/// Run the datapath checks.
+pub fn run() -> Fig5Result {
+    let d = Demonstrator::new();
+    let budget = d.crossbar.path_budget();
+    let cfg = d.crossbar.config();
+    Fig5Result {
+        budget_lines: budget.lines(),
+        launch_dbm: budget.launch.0,
+        received_dbm: budget.received_power().0,
+        sensitivity_dbm: budget.sensitivity.0,
+        margin_db: budget.margin().0,
+        guard: d.crossbar.reconfiguration_guard_time(),
+        broadcast_modules: cfg.fibers,
+        switching_modules: cfg.switching_modules(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osmosis_phy::datapath::{BroadcastSelectCrossbar, CrossbarConfig};
+    use osmosis_phy::units::Db;
+
+    #[test]
+    fn structure_matches_figure5() {
+        let r = run();
+        assert_eq!(r.broadcast_modules, 8, "8 broadcast modules");
+        assert_eq!(r.switching_modules, 128, "128 optical switching modules");
+        assert_eq!(r.budget_lines.len(), 6, "mux, amp, star, SOA, demux, SOA");
+    }
+
+    #[test]
+    fn budget_closes_with_margin() {
+        let r = run();
+        assert!(r.margin_db >= 3.0, "margin {} dB", r.margin_db);
+        assert!(r.received_dbm > r.sensitivity_dbm);
+    }
+
+    #[test]
+    fn guard_time_is_the_soa_switching_time() {
+        let r = run();
+        assert_eq!(r.guard, TimeDelta::from_ns(5));
+    }
+
+    #[test]
+    fn every_input_output_pair_is_reachable() {
+        // Exhaustive single-connection check over all 64×64 pairs and
+        // both receivers.
+        let mut x = BroadcastSelectCrossbar::new(CrossbarConfig::osmosis_64());
+        for input in 0..64 {
+            for output in 0..64 {
+                for rx in 0..2 {
+                    x.connect(input, output, rx).unwrap();
+                    assert_eq!(x.input_at(output, rx), Some(input));
+                    x.disconnect(output, rx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn margin_lost_without_amplifier() {
+        let d = Db(0.0);
+        let mut cfg = CrossbarConfig::osmosis_64();
+        cfg.amp_gain_db = 0.0;
+        let x = BroadcastSelectCrossbar::new(cfg);
+        assert!(!x.budget_closes(d), "split loss must require the amplifier");
+    }
+}

@@ -1,0 +1,99 @@
+//! Fig. 7 — delay versus throughput for the OSMOSIS switch: FLPPR with a
+//! single receiver vs. the dual-receiver datapath.
+//!
+//! The paper's qualitative claims: both sustain high throughput; the
+//! dual-receiver curve is "more or less constant for a large range of
+//! loading, and only increases significantly for high loads", sitting
+//! below the single-receiver curve in the mid-load region.
+
+use super::Scale;
+use osmosis_sched::Flppr;
+use osmosis_sim::parallel_sweep;
+use osmosis_switch::{run_uniform, RunConfig};
+
+/// One point of the Fig. 7 curves.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Point {
+    /// Offered load.
+    pub load: f64,
+    /// Carried throughput, single receiver.
+    pub throughput_single: f64,
+    /// Mean delay in cell cycles, single receiver.
+    pub delay_single: f64,
+    /// Carried throughput, dual receiver.
+    pub throughput_dual: f64,
+    /// Mean delay in cell cycles, dual receiver.
+    pub delay_dual: f64,
+}
+
+/// Run the sweep.
+pub fn run(scale: Scale, seed: u64) -> Vec<Fig7Point> {
+    let ports = scale.ports();
+    let cfg = RunConfig {
+        warmup_slots: scale.warmup(),
+        measure_slots: scale.measure(),
+    };
+    parallel_sweep(scale.loads(), move |load| {
+        let single = run_uniform(|| Box::new(Flppr::osmosis(ports, 1)), load, seed, cfg);
+        let dual = run_uniform(|| Box::new(Flppr::osmosis(ports, 2)), load, seed, cfg);
+        Fig7Point {
+            load,
+            throughput_single: single.throughput,
+            delay_single: single.mean_delay,
+            throughput_dual: dual.throughput,
+            delay_dual: dual.mean_delay,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_have_paper_shape() {
+        let pts = run(Scale::Quick, 42);
+        // Throughput tracks offered load at every point (no saturation
+        // below 0.9 for either arm).
+        for p in &pts {
+            assert!(
+                (p.throughput_single - p.load).abs() < 0.03,
+                "single thr {} at load {}",
+                p.throughput_single,
+                p.load
+            );
+            assert!((p.throughput_dual - p.load).abs() < 0.03);
+        }
+        // Delay increases with load for the single receiver.
+        let first = pts.first().unwrap();
+        let last = pts.last().unwrap();
+        assert!(last.delay_single > first.delay_single);
+        // The dual receiver sits at or below the single receiver
+        // everywhere, and clearly below at mid-to-high load.
+        for p in &pts {
+            assert!(
+                p.delay_dual <= p.delay_single + 0.1,
+                "dual {} vs single {} at load {}",
+                p.delay_dual,
+                p.delay_single,
+                p.load
+            );
+        }
+        let mid = &pts[pts.len() / 2 + 1];
+        assert!(
+            mid.delay_dual < mid.delay_single,
+            "mid-load advantage: {} vs {}",
+            mid.delay_dual,
+            mid.delay_single
+        );
+        // "more or less constant for a large range of loading": the dual
+        // curve at 70% load is within 2 cycles of its unloaded value.
+        let at_07 = pts.iter().find(|p| (p.load - 0.7).abs() < 0.01).unwrap();
+        assert!(
+            at_07.delay_dual - first.delay_dual < 2.0,
+            "dual flatness: {} vs {}",
+            at_07.delay_dual,
+            first.delay_dual
+        );
+    }
+}

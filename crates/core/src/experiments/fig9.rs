@@ -1,0 +1,67 @@
+//! Fig. 9 context and §VI.B — the scheduler/latency budget: the ≈1200 ns
+//! FPGA prototype, its FPGA→ASIC mapping to "a few hundred nanoseconds",
+//! and the 40-FPGA → ≤4-ASIC partition.
+
+use osmosis_analysis::latency::{
+    asic_mapping, demonstrator_budget, total, BudgetItem, SchedulerPartition,
+};
+use osmosis_sim::TimeDelta;
+
+/// The budget report.
+#[derive(Debug, Clone)]
+pub struct Fig9Result {
+    /// Itemized FPGA-prototype budget.
+    pub fpga_items: Vec<BudgetItem>,
+    /// FPGA total.
+    pub fpga_total: TimeDelta,
+    /// Itemized budget after the ASIC mapping (4× logic, 10× shorter
+    /// control fibers).
+    pub asic_items: Vec<BudgetItem>,
+    /// ASIC total.
+    pub asic_total: TimeDelta,
+    /// The prototype partition (40 FPGAs).
+    pub fpga_partition: SchedulerPartition,
+    /// The production partition (≤4 ASICs).
+    pub asic_partition: SchedulerPartition,
+}
+
+/// Run the budget analysis.
+pub fn run() -> Fig9Result {
+    let fpga_items = demonstrator_budget();
+    let asic_items = asic_mapping(&fpga_items, 4.0, 0.1);
+    Fig9Result {
+        fpga_total: total(&fpga_items),
+        asic_total: total(&asic_items),
+        fpga_items,
+        asic_items,
+        fpga_partition: SchedulerPartition::fpga_prototype(),
+        asic_partition: SchedulerPartition::asic_production(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_section_6b() {
+        let r = run();
+        assert_eq!(r.fpga_total, TimeDelta::from_ns(1200), "≈1200 ns prototype");
+        assert!(
+            r.asic_total < TimeDelta::from_ns(400),
+            "ASIC mapping reaches a few hundred ns: {}",
+            r.asic_total
+        );
+        assert_eq!(r.fpga_partition.chips, 40);
+        assert!(r.asic_partition.chips <= 4);
+    }
+
+    #[test]
+    fn asic_total_fits_the_per_switch_budget_band() {
+        // Table 1 asks for 100–250 ns switch latency; the mapped budget
+        // must land in (or near) that band.
+        let r = run();
+        let ns = r.asic_total.as_ns_f64();
+        assert!(ns <= 400.0 && ns >= 100.0, "{ns} ns");
+    }
+}

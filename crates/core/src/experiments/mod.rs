@@ -1,0 +1,72 @@
+//! Experiment runners — one per table/figure of the paper (see
+//! `DESIGN.md` §4 for the index). Bench binaries print these; tests run
+//! them at [`Scale::Quick`] and assert the paper's qualitative claims.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig10;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig9;
+pub mod sec4c;
+pub mod sec6c;
+pub mod sec6d;
+pub mod sec7;
+pub mod table1;
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small ports / short windows — seconds, for tests.
+    Quick,
+    /// Paper-size ports / long windows — for the bench harness.
+    Full,
+}
+
+impl Scale {
+    /// Switch port count for single-stage experiments.
+    pub fn ports(self) -> usize {
+        match self {
+            Scale::Quick => 16,
+            Scale::Full => 64,
+        }
+    }
+
+    /// Warm-up slots.
+    pub fn warmup(self) -> u64 {
+        match self {
+            Scale::Quick => 500,
+            Scale::Full => 5_000,
+        }
+    }
+
+    /// Measured slots.
+    pub fn measure(self) -> u64 {
+        match self {
+            Scale::Quick => 5_000,
+            Scale::Full => 60_000,
+        }
+    }
+
+    /// Fabric radix for multistage experiments.
+    pub fn fabric_radix(self) -> usize {
+        match self {
+            Scale::Quick => 8,
+            Scale::Full => 16,
+        }
+    }
+
+    /// Load sweep for delay-vs-throughput curves.
+    pub fn loads(self) -> Vec<f64> {
+        match self {
+            Scale::Quick => vec![0.1, 0.3, 0.5, 0.7, 0.9],
+            Scale::Full => osmosis_sim::linspace(0.05, 0.95, 19)
+                .into_iter()
+                .chain([0.975, 0.99])
+                .collect(),
+        }
+    }
+}

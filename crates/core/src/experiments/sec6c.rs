@@ -1,0 +1,64 @@
+//! §VI.C — bandwidth/stage comparison: OSMOSIS vs. high-end electronic
+//! vs. commodity switches for the 2048-port fabric, and the OEO savings.
+
+use osmosis_analysis::power::{fabric_power_w, PowerModel};
+use osmosis_fabric::baselines::{section_6c_table, FabricComparison};
+
+/// One §VI.C row extended with the power model.
+#[derive(Debug, Clone)]
+pub struct Sec6cRow {
+    /// The structural comparison (stages, switches, OEO, latency).
+    pub comparison: FabricComparison,
+    /// Fabric power from the §I model (W), using hybrid per-port power
+    /// for the optical alternative and CMOS power for the electronic
+    /// ones, times stage count.
+    pub model_power_w: f64,
+}
+
+/// Run the comparison at the paper's port rate (12 GByte/s = 96 Gb/s).
+pub fn run() -> Vec<Sec6cRow> {
+    let pm = PowerModel::circa_2005();
+    let port_gbps = 96.0;
+    section_6c_table()
+        .into_iter()
+        .map(|comparison| {
+            let per_port = match comparison.alt.tech {
+                osmosis_fabric::baselines::SwitchTech::OsmosisOptical => {
+                    pm.hybrid_port_power_w(port_gbps, 256.0)
+                }
+                _ => pm.cmos_port_power_w(port_gbps),
+            };
+            let model_power_w =
+                fabric_power_w(per_port, 2048, comparison.stages);
+            Sec6cRow {
+                comparison,
+                model_power_w,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_and_oeo_claims() {
+        let rows = run();
+        assert_eq!(rows[0].comparison.stages, 3);
+        assert_eq!(rows[1].comparison.stages, 5);
+        assert_eq!(rows[2].comparison.stages, 9);
+        assert_eq!(
+            rows[1].comparison.oeo_layers - rows[0].comparison.oeo_layers,
+            2,
+            "OSMOSIS saves two OEO layers vs the high-end electronic fabric"
+        );
+    }
+
+    #[test]
+    fn power_ordering_favors_osmosis() {
+        let rows = run();
+        assert!(rows[0].model_power_w < rows[1].model_power_w);
+        assert!(rows[1].model_power_w < rows[2].model_power_w);
+    }
+}

@@ -1,0 +1,159 @@
+//! §VII — scaling outlook and the technology trade space.
+
+use osmosis_analysis::scaling::{
+    asic_tradeoff_fits, cell_time_ns, flppr_depth_for, OpticalEnvelope, StageConfig,
+    ELECTRONIC_SINGLE_STAGE_TBPS,
+};
+use osmosis_phy::guard::{CellEfficiency, GuardBudget};
+use osmosis_sched::Flppr;
+use osmosis_switch::{run_uniform, RunConfig, SwitchReport};
+
+/// One scaling configuration row.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Name.
+    pub name: &'static str,
+    /// Configuration.
+    pub config: StageConfig,
+    /// Aggregate bandwidth (Tb/s).
+    pub aggregate_tbps: f64,
+    /// Fits the optical envelope?
+    pub feasible: bool,
+    /// FLPPR sub-schedulers needed.
+    pub flppr_depth: u32,
+    /// Cell time at 256-byte cells (ns).
+    pub cell_time_ns: f64,
+}
+
+/// The section's results.
+#[derive(Debug, Clone)]
+pub struct Sec7Result {
+    /// Scaling rows.
+    pub rows: Vec<ScalingRow>,
+    /// The electronic single-stage ceiling (Tb/s).
+    pub electronic_ceiling_tbps: f64,
+    /// 64-byte-cell user bandwidth with today's 10.4 ns guard (must be
+    /// poor) and with the sub-ns outlook guard (must recover).
+    pub small_cell_user_fraction_today: f64,
+    /// Same with the §VII fast guard budget.
+    pub small_cell_user_fraction_outlook: f64,
+    /// The ASIC-speedup trade examples (description, fits?).
+    pub asic_trades: Vec<(&'static str, bool)>,
+}
+
+/// Run the outlook analysis.
+pub fn run() -> Sec7Result {
+    let env = OpticalEnvelope::circa_2005();
+    let configs = [
+        ("demonstrator 64×40G", StageConfig::demonstrator()),
+        ("outlook 256×200G", StageConfig::outlook_256x200()),
+        (
+            "wide WDM 512×100G",
+            StageConfig {
+                wavelengths: 32,
+                fibers: 16,
+                port_gbps: 100.0,
+            },
+        ),
+    ];
+    let rows = configs
+        .into_iter()
+        .map(|(name, config)| ScalingRow {
+            name,
+            config,
+            aggregate_tbps: config.aggregate_tbps(),
+            feasible: env.admits(config),
+            flppr_depth: flppr_depth_for(config.ports()),
+            cell_time_ns: cell_time_ns(256, config.port_gbps),
+        })
+        .collect();
+
+    let today = CellEfficiency {
+        cell_bytes: 64,
+        port_gbps: 40.0,
+        guard: GuardBudget::osmosis_default().total(),
+        fec_overhead: 0.0625,
+    };
+    let outlook = CellEfficiency {
+        guard: GuardBudget::fast_outlook().total(),
+        ..today
+    };
+
+    Sec7Result {
+        rows,
+        electronic_ceiling_tbps: ELECTRONIC_SINGLE_STAGE_TBPS,
+        small_cell_user_fraction_today: today.user_fraction(),
+        small_cell_user_fraction_outlook: outlook.user_fraction(),
+        asic_trades: vec![
+            ("4× → 64 B cells @ 40G", asic_tradeoff_fits(256, 40.0, 64, 40.0, 4.0)),
+            ("4× → 256 B cells @ 160G", asic_tradeoff_fits(256, 40.0, 256, 160.0, 4.0)),
+            ("4× → 128 B cells @ 80G", asic_tradeoff_fits(256, 40.0, 128, 80.0, 4.0)),
+            ("4× → 64 B cells @ 160G", asic_tradeoff_fits(256, 40.0, 64, 160.0, 4.0)),
+        ],
+    }
+}
+
+/// Simulate the §VII outlook switch itself: 256 ports with the depth-8
+/// FLPPR the outlook calls for. The claim under test: "The FLPPR
+/// scheduler can exploit higher parallelism to perform the required
+/// additional iterations in the same time" — i.e. the architecture still
+/// delivers single-cycle grants at low load and >95% sustained
+/// throughput at 4× the demonstrator's port count.
+pub fn outlook_switch_sim(load: f64, seed: u64, measure_slots: u64) -> SwitchReport {
+    run_uniform(
+        || Box::new(Flppr::osmosis(256, 2)),
+        load,
+        seed,
+        RunConfig {
+            warmup_slots: measure_slots / 10,
+            measure_slots,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outlook_claims() {
+        let r = run();
+        // 50 Tb/s per stage, feasible.
+        let outlook = &r.rows[1];
+        assert!(outlook.feasible);
+        assert!(outlook.aggregate_tbps >= 50.0);
+        assert!(outlook.aggregate_tbps > r.electronic_ceiling_tbps * 5.0);
+        // FLPPR needs just two more sub-schedulers for 4× the ports.
+        assert_eq!(r.rows[0].flppr_depth, 6);
+        assert_eq!(r.rows[1].flppr_depth, 8);
+    }
+
+    #[test]
+    fn sub_ns_guard_rescues_small_cells() {
+        let r = run();
+        assert!(r.small_cell_user_fraction_today < 0.25);
+        assert!(r.small_cell_user_fraction_outlook > 0.70);
+    }
+
+    #[test]
+    fn outlook_switch_works_at_256_ports() {
+        let r = outlook_switch_sim(0.9, 7, 3_000);
+        assert!((r.throughput - 0.9).abs() < 0.03, "thr {}", r.throughput);
+        assert_eq!(r.reordered, 0);
+        let low = outlook_switch_sim(0.05, 7, 1_500);
+        assert!(
+            (low.mean_request_grant - 1.0).abs() < 0.1,
+            "single-cycle grants at 256 ports: {}",
+            low.mean_request_grant
+        );
+    }
+
+    #[test]
+    fn trade_space() {
+        let r = run();
+        assert_eq!(
+            r.asic_trades.iter().map(|t| t.1).collect::<Vec<_>>(),
+            vec![true, true, true, false]
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! The scheduler-relayed remote flow-control loop of Figs. 3–4 (§IV.B),
+//! modeled explicitly on one inter-switch link.
+//!
+//! With input buffers only (placement option 3), the receiving ingress
+//! buffer I(2,2) cannot signal its state back on the link it receives on —
+//! there is no output buffer to piggyback from. The paper's scheme:
+//!
+//! 1. I(2,2) forwards its flow-control events to its *local* scheduler
+//!    over the existing adapter↔scheduler control channel;
+//! 2. the scheduler pairs the FC information with a transmission grant for
+//!    the reverse-direction link, so the granted cell carries it back;
+//! 3. when no data cell flows in the reverse direction, an idle cell
+//!    carries it (the control channels are made reliable per ref. [19]);
+//! 4. the ingress adapter on the far side hands the FC information to its
+//!    scheduler, closing the loop.
+//!
+//! The loop therefore has a **deterministic RTT** — local relay hops plus
+//! one cable flight — "which allows straightforward buffer sizing". This
+//! module simulates exactly that loop as a credit protocol and measures
+//! the RTT, losslessness, and the throughput-vs-buffer-size law.
+
+use std::collections::VecDeque;
+
+/// Configuration of the relay-loop experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct RelayConfig {
+    /// Cable flight time between the two switches, in cell slots.
+    pub link_delay: u64,
+    /// Capacity of the receiving ingress buffer, in cells.
+    pub buffer_cells: usize,
+    /// Rate at which the receiving switch drains the ingress buffer
+    /// (grants per slot from its local scheduler; 1.0 = line rate).
+    pub drain_rate: f64,
+    /// Probability per slot that a *data* cell flows in the reverse
+    /// direction (FC piggybacks on it at zero cost). When no data flows
+    /// and FC is pending, an idle cell is inserted.
+    pub reverse_data_rate: f64,
+}
+
+/// Result of a relay-loop run.
+#[derive(Debug, Clone)]
+pub struct RelayReport {
+    /// Cells the sender pushed across the link.
+    pub cells_sent: u64,
+    /// Cells the receiver drained.
+    pub cells_drained: u64,
+    /// Highest ingress-buffer occupancy observed — must never exceed the
+    /// configured capacity.
+    pub max_occupancy: usize,
+    /// Measured forward throughput (cells per slot).
+    pub throughput: f64,
+    /// Minimum and maximum observed credit-loop RTT in slots: equal when
+    /// the loop is deterministic.
+    pub fc_rtt_min: u64,
+    /// Maximum observed credit-loop RTT.
+    pub fc_rtt_max: u64,
+    /// Idle cells inserted to carry FC when no reverse data flowed.
+    pub idle_cells: u64,
+}
+
+/// Run the relay loop for `slots` slots with a saturated sender.
+pub fn run_relay_loop(cfg: &RelayConfig, slots: u64, seed: u64) -> RelayReport {
+    use osmosis_sim::SimRng;
+    assert!(cfg.link_delay >= 1);
+    assert!(cfg.buffer_cells >= 1);
+    let mut rng = SimRng::seed_from_u64(seed);
+
+    let d = cfg.link_delay;
+    // Sender side: available credits; each credit is stamped with the slot
+    // the corresponding buffer slot was freed (for RTT measurement).
+    let mut credits: usize = cfg.buffer_cells;
+    // Forward cells in flight: arrival slot.
+    let mut fwd: VecDeque<u64> = VecDeque::new();
+    // Receiver ingress buffer occupancy.
+    let mut occupancy: usize = 0;
+    let mut max_occupancy = 0usize;
+    // FC events waiting at the receiver's scheduler for a reverse-channel
+    // carrier, stamped with the slot the buffer slot was freed.
+    let mut pending_fc: VecDeque<u64> = VecDeque::new();
+    // Credits in flight back to the sender: (arrival slot, freed slot).
+    let mut rev: VecDeque<(u64, u64)> = VecDeque::new();
+
+    let mut cells_sent = 0u64;
+    let mut cells_drained = 0u64;
+    let mut idle_cells = 0u64;
+    let mut rtt_min = u64::MAX;
+    let mut rtt_max = 0u64;
+
+    for t in 0..slots {
+        // Forward cells arriving at the ingress buffer.
+        while fwd.front().is_some_and(|&at| at == t) {
+            fwd.pop_front();
+            occupancy += 1;
+            assert!(
+                occupancy <= cfg.buffer_cells,
+                "ingress buffer overflow: flow control failed"
+            );
+            max_occupancy = max_occupancy.max(occupancy);
+        }
+
+        // Credits arriving back at the sender.
+        while rev.front().is_some_and(|&(at, _)| at == t) {
+            let (_, freed_at) = rev.pop_front().unwrap();
+            credits += 1;
+            let rtt = t - freed_at;
+            rtt_min = rtt_min.min(rtt);
+            rtt_max = rtt_max.max(rtt);
+        }
+
+        // Receiver: local scheduler grants drain the ingress buffer; each
+        // freed slot generates an FC event handed to the scheduler.
+        if occupancy > 0 && rng.coin(cfg.drain_rate) {
+            occupancy -= 1;
+            cells_drained += 1;
+            pending_fc.push_back(t);
+        }
+
+        // Reverse channel: one cell per slot flows back; it exists either
+        // as a data cell (probability reverse_data_rate) or, when FC is
+        // pending, as an inserted idle cell. Each carrier cell piggybacks
+        // all pending FC events (the field is a few bits wide in
+        // hardware; one event per cell here is the conservative model).
+        let have_data = rng.coin(cfg.reverse_data_rate);
+        if let Some(freed_at) = pending_fc.front().copied() {
+            if !have_data {
+                idle_cells += 1;
+            }
+            pending_fc.pop_front();
+            rev.push_back((t + d, freed_at));
+        }
+
+        // Sender: saturated — transmits whenever it holds a credit.
+        if credits > 0 {
+            credits -= 1;
+            cells_sent += 1;
+            fwd.push_back(t + d);
+        }
+    }
+
+    RelayReport {
+        cells_sent,
+        cells_drained,
+        max_occupancy,
+        throughput: cells_drained as f64 / slots as f64,
+        fc_rtt_min: if rtt_min == u64::MAX { 0 } else { rtt_min },
+        fc_rtt_max: rtt_max,
+        idle_cells,
+    }
+}
+
+/// The buffer size needed for full-rate lossless operation: the credit
+/// loop RTT (flight out + flight back + the relay hop at the receiver),
+/// in cells. This is the "straightforward buffer sizing" of §IV.B.
+pub fn required_buffer_cells(link_delay: u64) -> usize {
+    (2 * link_delay + 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(delay: u64, buffer: usize) -> RelayConfig {
+        RelayConfig {
+            link_delay: delay,
+            buffer_cells: buffer,
+            drain_rate: 1.0,
+            reverse_data_rate: 0.5,
+        }
+    }
+
+    #[test]
+    fn fc_rtt_is_deterministic_with_idle_cells() {
+        // §IV.B: "the FC loop has a deterministic RTT". With an idle-cell
+        // carrier always available, every credit takes exactly the same
+        // time around the loop.
+        let cfg = base(5, required_buffer_cells(5));
+        let r = run_relay_loop(&cfg, 20_000, 1);
+        assert_eq!(
+            r.fc_rtt_min, r.fc_rtt_max,
+            "loop RTT must be constant: {} vs {}",
+            r.fc_rtt_min, r.fc_rtt_max
+        );
+        assert_eq!(r.fc_rtt_min, 5, "credit flight = link delay");
+    }
+
+    #[test]
+    fn rtt_sized_buffer_sustains_line_rate() {
+        for d in [1u64, 3, 8] {
+            let cfg = base(d, required_buffer_cells(d));
+            let r = run_relay_loop(&cfg, 30_000, 2);
+            assert!(
+                r.throughput > 0.99,
+                "d={d}: throughput {}",
+                r.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn undersized_buffer_throttles_to_b_over_rtt() {
+        // Classic credit-loop law: throughput = B / RTT when B < RTT.
+        // The sender-side turnaround is 2·d (flight out + credit back;
+        // the relay hop is absorbed in the same slot as the drain).
+        let d = 10u64;
+        let rtt = (2 * d) as f64;
+        for b in [3usize, 7, 14] {
+            let cfg = base(d, b);
+            let r = run_relay_loop(&cfg, 40_000, 3);
+            let expect = (b as f64 / rtt).min(1.0);
+            assert!(
+                (r.throughput - expect).abs() < 0.03,
+                "B={b}: {} vs {expect}",
+                r.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn never_overflows_even_with_stalled_receiver() {
+        // A receiver that drains slowly (e.g. its egress is the hotspot):
+        // the sender must stop on credits; the assertion inside the sim
+        // catches any overflow.
+        let mut cfg = base(4, 6);
+        cfg.drain_rate = 0.1;
+        let r = run_relay_loop(&cfg, 30_000, 4);
+        assert!(r.max_occupancy <= cfg.buffer_cells);
+        assert!((r.throughput - 0.1).abs() < 0.01, "{}", r.throughput);
+    }
+
+    #[test]
+    fn idle_cells_only_when_no_reverse_data() {
+        let mut cfg = base(3, required_buffer_cells(3));
+        cfg.reverse_data_rate = 1.0;
+        let r = run_relay_loop(&cfg, 10_000, 5);
+        assert_eq!(r.idle_cells, 0, "data cells carry all FC");
+        cfg.reverse_data_rate = 0.0;
+        let r = run_relay_loop(&cfg, 10_000, 6);
+        assert!(r.idle_cells > 0, "idle cells must be inserted");
+        assert!(r.throughput > 0.99, "FC must not interfere with data");
+    }
+
+    #[test]
+    fn conservation() {
+        let cfg = base(4, 9);
+        let r = run_relay_loop(&cfg, 5_000, 7);
+        assert!(r.cells_sent >= r.cells_drained);
+        assert!(r.cells_sent - r.cells_drained <= (cfg.buffer_cells + 2 * 4) as u64);
+    }
+}

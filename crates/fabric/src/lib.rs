@@ -1,0 +1,47 @@
+//! # osmosis-fabric
+//!
+//! Multistage fat-tree fabrics for the OSMOSIS reproduction:
+//!
+//! * [`topology`] — folded-Clos arithmetic and the two-level leaf–spine
+//!   instance (64-port switches → the 2048-port §V fabric);
+//! * [`multistage`] — slotted simulation of input-buffered switch stages
+//!   with credit flow control, covering the Fig. 2 buffer-placement
+//!   options and the losslessness/ordering requirements of Table 1;
+//! * [`flow_control`] — the scheduler-relayed remote FC loop of
+//!   Figs. 3–4, with its deterministic RTT and buffer-sizing law;
+//! * [`baselines`] — the §VI.C comparison: 3 OSMOSIS stages vs. 5
+//!   high-end electronic vs. 9 commodity stages at 2048 ports.
+
+//! ```
+//! use osmosis_fabric::{stages_for_ports, uniform_load_map, MultiLevelClos};
+//!
+//! // §VI.C: 2048 ports need 3 / 5 / 9 stages by switch radix.
+//! assert_eq!(stages_for_ports(64, 2048), 3);
+//! assert_eq!(stages_for_ports(32, 2048), 5);
+//! assert_eq!(stages_for_ports(8, 2048), 9);
+//!
+//! // Static link-load analysis predicts a fabric's saturation ceiling.
+//! let topo = MultiLevelClos::new(8, 2);
+//! let map = uniform_load_map(&topo, 1.0);
+//! assert!(map.saturation_load(1.0) > 0.7);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod flow_control;
+pub mod loadmap;
+pub mod multilevel;
+pub mod multistage;
+pub mod topology;
+
+pub use baselines::{compare, section_6c_table, FabricAlternative, FabricComparison};
+pub use flow_control::{required_buffer_cells, run_relay_loop, RelayConfig, RelayReport};
+pub use loadmap::{load_map, uniform_load_map, LoadMap};
+pub use multilevel::{
+    MultiLevelClos, MultiLevelConfig, MultiLevelFabric, MultiLevelReport,
+};
+pub use multistage::{FabricConfig, FabricReport, FatTreeFabric, Placement};
+pub use topology::{
+    levels_for_ports, max_ports, stages_for_levels, stages_for_ports, TwoLevelFatTree,
+};

@@ -1,0 +1,606 @@
+//! Generalized L-level folded-Clos simulation — the §VI.C comparison in
+//! motion.
+//!
+//! §VI.C argues by stage count: 2048 ports need 3 OSMOSIS stages but 5
+//! high-end or 9 commodity electronic stages, and "each stage contributes
+//! to latency and power consumption". The two-level simulator in
+//! [`crate::multistage`] covers the OSMOSIS case; this module builds a
+//! folded Clos of **any** depth from radix-k switches so fabrics of
+//! different radix can be simulated at the *same* host count and their
+//! latencies compared hop for hop.
+//!
+//! Construction (m = k/2): hosts = m^L, every level has m^(L−1) switches
+//! of m down + m up ports (the top level uses only its down half).
+//! Switch indices are (L−1)-digit base-m numbers; the up-edge from a
+//! level-l switch X via up-port p leads to the level-(l+1) switch with
+//! digit l of X replaced by p, whose down-port q = old digit l. A packet
+//! ascends to the lowest common ancestor level (up-ports chosen by flow
+//! hash, so per-flow order holds) and descends following the destination
+//! digits. Links carry credits exactly as in the two-level model; the
+//! losslessness assertion is the same.
+
+use osmosis_sched::arbiter::{BitSet, RoundRobinArbiter};
+use osmosis_sim::stats::Histogram;
+use osmosis_switch::Cell;
+use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use std::collections::VecDeque;
+
+/// Topology descriptor for an L-level folded Clos of radix-k switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiLevelClos {
+    /// Switch radix (even, ≥ 4).
+    pub radix: usize,
+    /// Levels of switches.
+    pub levels: u32,
+}
+
+impl MultiLevelClos {
+    /// Build a descriptor. `radix` must be even ≥ 4, `levels ≥ 1`.
+    pub fn new(radix: usize, levels: u32) -> Self {
+        assert!(radix >= 4 && radix % 2 == 0);
+        assert!(levels >= 1);
+        MultiLevelClos { radix, levels }
+    }
+
+    /// Down/up ports per switch (m = k/2).
+    pub fn m(&self) -> usize {
+        self.radix / 2
+    }
+
+    /// Host count: m^L.
+    pub fn hosts(&self) -> usize {
+        self.m().pow(self.levels)
+    }
+
+    /// Switches per level: m^(L−1).
+    pub fn switches_per_level(&self) -> usize {
+        self.m().pow(self.levels - 1)
+    }
+
+    /// Stages a packet traverses end to end: 2L−1.
+    pub fn stages(&self) -> u32 {
+        2 * self.levels - 1
+    }
+
+    /// Digit `pos` (base m) of a switch/leaf index.
+    fn digit(&self, index: usize, pos: u32) -> usize {
+        (index / self.m().pow(pos)) % self.m()
+    }
+
+    /// Replace digit `pos` of `index` with `value`.
+    fn with_digit(&self, index: usize, pos: u32, value: usize) -> usize {
+        let p = self.m().pow(pos);
+        index - self.digit(index, pos) * p + value * p
+    }
+
+    /// Leaf switch of a host.
+    pub fn leaf_of(&self, host: usize) -> usize {
+        host / self.m()
+    }
+
+    /// Ascent height for a src→dst route: the number of up-hops needed
+    /// (0 when both hosts share a leaf).
+    pub fn ascent(&self, src: usize, dst: usize) -> u32 {
+        let (ls, ld) = (self.leaf_of(src), self.leaf_of(dst));
+        if ls == ld {
+            return 0;
+        }
+        let mut a = 0;
+        for pos in 0..self.levels - 1 {
+            if self.digit(ls, pos) != self.digit(ld, pos) {
+                a = pos + 1;
+            }
+        }
+        a
+    }
+
+    /// The full switch path a src→dst flow takes, as (level, switch
+    /// index) pairs — pure topology, used by property tests and by
+    /// anyone who wants to reason about link loads without running the
+    /// simulator.
+    pub fn path(&self, src: usize, dst: usize) -> Vec<(u32, usize)> {
+        assert!(src < self.hosts() && dst < self.hosts());
+        let a = self.ascent(src, dst);
+        let mut sw = self.leaf_of(src);
+        let mut out = vec![(0u32, sw)];
+        for level in 0..a {
+            let p = self.up_choice(src, dst, level);
+            sw = self.with_digit(sw, level, p);
+            out.push((level + 1, sw));
+        }
+        for level in (1..=a).rev() {
+            let q = self.digit(self.leaf_of(dst), level - 1);
+            sw = self.with_digit(sw, level - 1, q);
+            out.push((level - 1, sw));
+        }
+        out
+    }
+
+    /// Deterministic per-flow up-port choice at ascent step `level`.
+    pub fn up_choice(&self, src: usize, dst: usize, level: u32) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in [src as u64, dst as u64, level as u64] {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        ((mix(h) >> 32) % self.m() as u64) as usize
+    }
+}
+
+/// Finalize a raw FNV accumulation: FNV's low bits are poorly mixed for
+/// tiny moduli (with m = 2 the raw low bit concentrates 4× the average
+/// load on some links); one SplitMix64 round fixes the distribution.
+fn mix(mut h: u64) -> u64 {
+    h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+
+/// Configuration for a multilevel fabric run.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiLevelConfig {
+    /// Topology.
+    pub topo: MultiLevelClos,
+    /// Link flight time in slots.
+    pub link_delay: u64,
+    /// Input-buffer capacity per switch input port.
+    pub buffer_cells: usize,
+    /// Matching iterations per switch per slot.
+    pub iterations: usize,
+}
+
+impl MultiLevelConfig {
+    /// RTT-sized buffers, 3 iterations.
+    pub fn standard(topo: MultiLevelClos, link_delay: u64) -> Self {
+        MultiLevelConfig {
+            topo,
+            link_delay,
+            buffer_cells: (2 * link_delay + 2) as usize,
+            iterations: 3,
+        }
+    }
+}
+
+/// Results (same semantics as the two-level fabric report).
+#[derive(Debug, Clone)]
+pub struct MultiLevelReport {
+    /// Offered load per host.
+    pub offered_load: f64,
+    /// Carried throughput per host.
+    pub throughput: f64,
+    /// Mean end-to-end latency in slots.
+    pub mean_latency: f64,
+    /// Out-of-order deliveries (must be 0).
+    pub reordered: u64,
+    /// Peak input-buffer occupancy.
+    pub max_buffer_occupancy: usize,
+    /// Cells delivered in the window.
+    pub delivered: u64,
+    /// Stages of the topology (2L−1), for reporting.
+    pub stages: u32,
+}
+
+/// Per-switch state: ports 0..m−1 down, m..2m−1 up.
+struct Node {
+    voq: Vec<VecDeque<Cell>>,
+    input_occupancy: Vec<usize>,
+    credits: Vec<usize>,
+    grant_arb: Vec<RoundRobinArbiter>,
+    accept_arb: Vec<RoundRobinArbiter>,
+}
+
+/// Destination of a sent cell.
+#[derive(Debug, Clone, Copy)]
+enum Hop {
+    Host(usize),
+    /// (level, switch, input port)
+    Switch(u32, usize, usize),
+}
+
+/// The multilevel fabric simulator.
+pub struct MultiLevelFabric {
+    cfg: MultiLevelConfig,
+    /// `nodes[level][switch]`.
+    nodes: Vec<Vec<Node>>,
+    host_queues: Vec<VecDeque<Cell>>,
+    host_credits: Vec<usize>,
+    cell_flights: VecDeque<(u64, Hop, Cell)>,
+    credit_flights: VecDeque<(u64, CreditTo)>,
+    stamper: SequenceStamper,
+    next_id: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CreditTo {
+    Host(usize),
+    /// (level, switch, output port)
+    Switch(u32, usize, usize),
+}
+
+impl MultiLevelFabric {
+    /// Build the fabric.
+    pub fn new(cfg: MultiLevelConfig) -> Self {
+        assert!(cfg.link_delay >= 1);
+        let t = cfg.topo;
+        let ports = 2 * t.m();
+        let nodes = (0..t.levels)
+            .map(|_| {
+                (0..t.switches_per_level())
+                    .map(|_| Node {
+                        voq: (0..ports * ports).map(|_| VecDeque::new()).collect(),
+                        input_occupancy: vec![0; ports],
+                        credits: vec![cfg.buffer_cells; ports],
+                        grant_arb: (0..ports)
+                            .map(|_| RoundRobinArbiter::new(ports))
+                            .collect(),
+                        accept_arb: (0..ports)
+                            .map(|_| RoundRobinArbiter::new(ports))
+                            .collect(),
+                    })
+                    .collect()
+            })
+            .collect();
+        MultiLevelFabric {
+            cfg,
+            nodes,
+            host_queues: (0..t.hosts()).map(|_| VecDeque::new()).collect(),
+            host_credits: vec![cfg.buffer_cells; t.hosts()],
+            cell_flights: VecDeque::new(),
+            credit_flights: VecDeque::new(),
+            stamper: SequenceStamper::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Topology.
+    pub fn topology(&self) -> MultiLevelClos {
+        self.cfg.topo
+    }
+
+    /// Output port a cell takes at (level, switch), given the input side
+    /// it arrived on: cells arriving on an up-side input (≥ m) are
+    /// descending and always continue down; cells arriving from a host or
+    /// from below ascend until the lowest common ancestor level, then
+    /// turn.
+    fn route(&self, level: u32, switch: usize, in_port: usize, cell: &Cell) -> usize {
+        let t = self.cfg.topo;
+        let m = t.m();
+        let descending = in_port >= m;
+        if !descending && level < t.ascent(cell.src, cell.dst) {
+            // Still ascending: up port by flow hash.
+            return m + t.up_choice(cell.src, cell.dst, level);
+        }
+        if level == 0 {
+            // At the destination leaf.
+            debug_assert_eq!(switch, t.leaf_of(cell.dst));
+            cell.dst % m
+        } else {
+            // Descending (or turning): down port = destination digit
+            // (level−1).
+            t.digit(t.leaf_of(cell.dst), level - 1)
+        }
+    }
+
+    /// Where an output port of (level, switch) leads, and where credits
+    /// for an input port return to.
+    fn downstream(&self, level: u32, switch: usize, port: usize) -> Hop {
+        let t = self.cfg.topo;
+        let m = t.m();
+        if port < m {
+            if level == 0 {
+                Hop::Host(switch * m + port)
+            } else {
+                // Down edge: level-l switch Y down-port q → level l−1
+                // switch X = Y[digit l−1 := q]... inverse of the up rule:
+                // Y was reached from X via up-port p where Y = X[digit
+                // l−1 := p]; conversely X = Y[digit l−1 := q] where q is
+                // X's old digit — the down port *selects* that digit.
+                let below = t.with_digit(switch, level - 1, port);
+                // The receiving input port on X is the up port it used,
+                // which is Y's digit (level−1).
+                let in_port = m + t.digit(switch, level - 1);
+                Hop::Switch(level - 1, below, in_port)
+            }
+        } else {
+            // Up edge: to level+1, switch with digit `level` := p.
+            let p = port - m;
+            let above = t.with_digit(switch, level, p);
+            let in_port = t.digit(switch, level); // our old digit
+            Hop::Switch(level + 1, above, in_port)
+        }
+    }
+
+    fn upstream(&self, level: u32, switch: usize, in_port: usize) -> CreditTo {
+        let t = self.cfg.topo;
+        let m = t.m();
+        if in_port < m {
+            if level == 0 {
+                CreditTo::Host(switch * m + in_port)
+            } else {
+                // Cells arriving on a down-side input of a level-l switch
+                // came *up* from level l−1: input port q < m corresponds
+                // to the lower switch X = self[digit l−1 := q]'s up port
+                // (m + our digit l−1)... but by construction cells from
+                // below arrive on input ports ≥ m? No: the up edge from X
+                // (up port m+p) lands on the level-(l+1) switch's input
+                // port equal to X's old digit — a *down-side* index.
+                let below = t.with_digit(switch, level - 1, in_port);
+                let out_port = m + t.digit(switch, level - 1);
+                CreditTo::Switch(level - 1, below, out_port)
+            }
+        } else {
+            // Inputs ≥ m receive from the level-(l+1) switch our up port
+            // (in_port − m) leads to; it sent via its down port equal to
+            // our digit at position `level`.
+            let above = t.with_digit(switch, level, in_port - m);
+            CreditTo::Switch(level + 1, above, t.digit(switch, level))
+        }
+    }
+
+    /// Run traffic.
+    pub fn run(
+        &mut self,
+        traffic: &mut dyn TrafficGen,
+        warmup: u64,
+        measure: u64,
+    ) -> MultiLevelReport {
+        let t = self.cfg.topo;
+        assert_eq!(traffic.ports(), t.hosts());
+        let hosts = t.hosts();
+        let m = t.m();
+        let ports = 2 * m;
+        let d = self.cfg.link_delay;
+        let buffer_cells = self.cfg.buffer_cells;
+        let total = warmup + measure;
+
+        let mut latency_hist = Histogram::new(1.0, 65_536);
+        let mut checker = SequenceChecker::new();
+        let (mut injected, mut delivered) = (0u64, 0u64);
+        let mut max_occ = 0usize;
+        let mut arrivals = Vec::with_capacity(hosts);
+        let mut requesters = BitSet::new(ports);
+        let mut grants_to_input: Vec<BitSet> =
+            (0..ports).map(|_| BitSet::new(ports)).collect();
+
+        for slot in 0..total {
+            let measuring = slot >= warmup;
+
+            // Cell arrivals.
+            while self.cell_flights.front().is_some_and(|&(at, _, _)| at == slot) {
+                let (_, hop, cell) = self.cell_flights.pop_front().unwrap();
+                match hop {
+                    Hop::Host(h) => {
+                        debug_assert_eq!(cell.dst, h);
+                        checker.record(cell.src, cell.dst, cell.seq);
+                        if measuring {
+                            delivered += 1;
+                            if cell.inject_slot >= warmup {
+                                latency_hist.record((slot - cell.inject_slot) as f64);
+                            }
+                        }
+                    }
+                    Hop::Switch(level, sw, in_port) => {
+                        let out = self.route(level, sw, in_port, &cell);
+                        let node = &mut self.nodes[level as usize][sw];
+                        node.input_occupancy[in_port] += 1;
+                        assert!(
+                            node.input_occupancy[in_port] <= buffer_cells,
+                            "buffer overflow at level {level} switch {sw} \
+                             port {in_port}"
+                        );
+                        max_occ = max_occ.max(node.input_occupancy[in_port]);
+                        node.voq[in_port * ports + out].push_back(cell);
+                    }
+                }
+            }
+
+            // Credit returns.
+            while self
+                .credit_flights
+                .front()
+                .is_some_and(|&(at, _)| at == slot)
+            {
+                match self.credit_flights.pop_front().unwrap().1 {
+                    CreditTo::Host(h) => self.host_credits[h] += 1,
+                    CreditTo::Switch(level, sw, port) => {
+                        self.nodes[level as usize][sw].credits[port] += 1;
+                    }
+                }
+            }
+
+            // Matchings, level by level.
+            for level in 0..t.levels {
+                for sw in 0..t.switches_per_level() {
+                    let mut matched: Vec<(usize, usize)> = Vec::new();
+                    {
+                        let node = &mut self.nodes[level as usize][sw];
+                        let mut in_matched = vec![false; ports];
+                        let mut out_matched = vec![false; ports];
+                        for _ in 0..self.cfg.iterations {
+                            for g in grants_to_input.iter_mut() {
+                                g.clear_all();
+                            }
+                            let mut any = false;
+                            for o in 0..ports {
+                                if out_matched[o] || node.credits[o] == 0 {
+                                    continue;
+                                }
+                                requesters.clear_all();
+                                let mut have = false;
+                                for i in 0..ports {
+                                    if !in_matched[i]
+                                        && !node.voq[i * ports + o].is_empty()
+                                    {
+                                        requesters.set(i);
+                                        have = true;
+                                    }
+                                }
+                                if !have {
+                                    continue;
+                                }
+                                if let Some(i) =
+                                    node.grant_arb[o].arbitrate(&requesters)
+                                {
+                                    grants_to_input[i].set(o);
+                                    any = true;
+                                }
+                            }
+                            if !any {
+                                break;
+                            }
+                            for i in 0..ports {
+                                if in_matched[i] || grants_to_input[i].is_empty() {
+                                    continue;
+                                }
+                                if let Some(o) =
+                                    node.accept_arb[i].arbitrate(&grants_to_input[i])
+                                {
+                                    in_matched[i] = true;
+                                    out_matched[o] = true;
+                                    node.grant_arb[o].advance_past(i);
+                                    node.accept_arb[i].advance_past(o);
+                                    matched.push((i, o));
+                                }
+                            }
+                        }
+                    }
+                    for (i, o) in matched {
+                        let cell = {
+                            let node = &mut self.nodes[level as usize][sw];
+                            let mut cell =
+                                node.voq[i * ports + o].pop_front().unwrap();
+                            cell.grant_slot = slot;
+                            node.input_occupancy[i] -= 1;
+                            node.credits[o] -= 1;
+                            cell
+                        };
+                        // Credit for hosts feeding leaf down-ports: a host
+                        // sink never consumes switch credits, so restore
+                        // the decrement for host-bound ports.
+                        let hop = self.downstream(level, sw, o);
+                        if matches!(hop, Hop::Host(_)) {
+                            self.nodes[level as usize][sw].credits[o] += 1;
+                        }
+                        let credit_to = self.upstream(level, sw, i);
+                        self.credit_flights.push_back((slot + d, credit_to));
+                        self.cell_flights.push_back((slot + d, hop, cell));
+                    }
+                }
+            }
+
+            // Host injection.
+            for h in 0..hosts {
+                if self.host_credits[h] > 0 {
+                    if let Some(cell) = self.host_queues[h].pop_front() {
+                        self.host_credits[h] -= 1;
+                        let leaf = t.leaf_of(h);
+                        self.cell_flights.push_back((
+                            slot + d,
+                            Hop::Switch(0, leaf, h % m),
+                            cell,
+                        ));
+                    }
+                }
+            }
+
+            // Traffic.
+            arrivals.clear();
+            traffic.arrivals(slot, &mut arrivals);
+            for a in &arrivals {
+                let seq = self.stamper.stamp(a.src, a.dst);
+                let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, slot);
+                self.next_id += 1;
+                if measuring {
+                    injected += 1;
+                }
+                self.host_queues[a.src].push_back(cell);
+            }
+        }
+
+        let denom = measure as f64 * hosts as f64;
+        MultiLevelReport {
+            offered_load: injected as f64 / denom,
+            throughput: delivered as f64 / denom,
+            mean_latency: latency_hist.mean(),
+            reordered: checker.reordered(),
+            max_buffer_occupancy: max_occ,
+            delivered,
+            stages: t.stages(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osmosis_sim::SeedSequence;
+    use osmosis_traffic::BernoulliUniform;
+
+    fn run_clos(radix: usize, levels: u32, load: f64, seed: u64) -> MultiLevelReport {
+        let topo = MultiLevelClos::new(radix, levels);
+        let mut fab = MultiLevelFabric::new(MultiLevelConfig::standard(topo, 2));
+        let mut tr =
+            BernoulliUniform::new(topo.hosts(), load, &SeedSequence::new(seed));
+        fab.run(&mut tr, 1_000, 8_000)
+    }
+
+    #[test]
+    fn topology_arithmetic() {
+        let t = MultiLevelClos::new(8, 2);
+        assert_eq!(t.hosts(), 16);
+        assert_eq!(t.switches_per_level(), 4);
+        assert_eq!(t.stages(), 3);
+        let deep = MultiLevelClos::new(4, 4);
+        assert_eq!(deep.hosts(), 16, "same host count, deeper tree");
+        assert_eq!(deep.stages(), 7);
+    }
+
+    #[test]
+    fn ascent_heights() {
+        let t = MultiLevelClos::new(4, 3); // m=2, 8 hosts, leaves 0..3
+        assert_eq!(t.ascent(0, 1), 0, "same leaf");
+        assert_eq!(t.ascent(0, 2), 1, "adjacent leaves share level-1");
+        assert_eq!(t.ascent(0, 7), 2, "opposite halves need the top");
+    }
+
+    #[test]
+    fn single_level_is_one_switch() {
+        let r = run_clos(8, 1, 0.5, 1);
+        assert_eq!(r.stages, 1);
+        assert!((r.throughput - 0.5).abs() < 0.03);
+        assert_eq!(r.reordered, 0);
+    }
+
+    #[test]
+    fn two_level_carries_load_lossless_in_order() {
+        let r = run_clos(8, 2, 0.5, 2);
+        assert!((r.throughput - 0.5).abs() < 0.04, "thr {}", r.throughput);
+        assert_eq!(r.reordered, 0);
+    }
+
+    #[test]
+    fn four_level_radix4_works_too() {
+        // 16 hosts through a 7-stage fabric of radix-4 switches.
+        let r = run_clos(4, 4, 0.3, 3);
+        assert_eq!(r.stages, 7);
+        assert!((r.throughput - 0.3).abs() < 0.04, "thr {}", r.throughput);
+        assert_eq!(r.reordered, 0);
+    }
+
+    #[test]
+    fn section_6c_in_motion_fewer_stages_less_latency() {
+        // Same 16 hosts, same load, same links: the 3-stage radix-8
+        // fabric beats the 7-stage radix-4 fabric on latency — §VI.C's
+        // "each stage contributes to latency", simulated.
+        let big_radix = run_clos(8, 2, 0.2, 4);
+        let small_radix = run_clos(4, 4, 0.2, 4);
+        assert!(
+            small_radix.mean_latency > big_radix.mean_latency + 4.0,
+            "7-stage {} vs 3-stage {}",
+            small_radix.mean_latency,
+            big_radix.mean_latency
+        );
+    }
+}

@@ -1,0 +1,714 @@
+//! Slotted simulation of a two-level fat-tree fabric built from
+//! input-buffered switches with credit flow control — the architecture of
+//! §IV with buffer-placement option 3 (and option 1 for the Fig. 2
+//! comparison).
+//!
+//! Every switch is an input-buffered crossbar with its own independent
+//! round-robin iterative scheduler (the multistage-scalability argument of
+//! §IV: per-stage buffers let the schedulers run independently). The
+//! inter-switch links carry fixed-size cells with a configurable flight
+//! time; the downstream input buffers are finite and protected by a
+//! credit loop with a deterministic RTT — the paper's scheduler-relayed
+//! remote flow control (Fig. 4) travels on existing channels, so its
+//! timing is exactly this credit loop. Losslessness is asserted, not just
+//! measured: a cell arriving at a full buffer panics the simulation.
+
+use crate::topology::TwoLevelFatTree;
+use osmosis_sched::arbiter::{BitSet, RoundRobinArbiter};
+use osmosis_sim::stats::Histogram;
+use osmosis_switch::Cell;
+use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use std::collections::VecDeque;
+
+/// Buffer placement per stage (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Option 1: buffers at inputs *and* outputs of every stage. Simple
+    /// flow control, but twice the OEO conversions.
+    InputAndOutput,
+    /// Option 2: output buffers only — the request/grant protocol crosses
+    /// the long upstream cable, adding a round trip to every scheduling
+    /// decision.
+    OutputOnly,
+    /// Option 3 (the paper's choice): input buffers only; request/grant
+    /// stays inside the switch, the buffers absorb the upstream RTT.
+    InputOnly,
+}
+
+impl Placement {
+    /// OEO conversion points per stage (the §IV.A cost argument).
+    pub fn oeo_per_stage(self) -> u32 {
+        match self {
+            Placement::InputAndOutput => 2,
+            Placement::OutputOnly | Placement::InputOnly => 1,
+        }
+    }
+}
+
+/// Fabric configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricConfig {
+    /// Switch radix (two-level fat tree: k²/2 hosts).
+    pub radix: usize,
+    /// One-way link flight time in cell slots (host↔leaf and leaf↔spine).
+    pub link_delay: u64,
+    /// Input-buffer capacity per switch input port, in cells. The credit
+    /// loop RTT is 2·link_delay(+1); smaller buffers throttle, but can
+    /// never lose a cell.
+    pub buffer_cells: usize,
+    /// Matching iterations per switch per slot.
+    pub iterations: usize,
+    /// Buffer placement (Fig. 2 option).
+    pub placement: Placement,
+}
+
+impl FabricConfig {
+    /// A small OSMOSIS-style fabric: radix-8 (32 hosts), 2-slot links,
+    /// buffers sized for the credit RTT, option 3.
+    pub fn small(radix: usize, link_delay: u64) -> Self {
+        FabricConfig {
+            radix,
+            link_delay,
+            buffer_cells: (2 * link_delay + 2) as usize,
+            iterations: 3,
+            placement: Placement::InputOnly,
+        }
+    }
+}
+
+/// Fabric run results.
+#[derive(Debug, Clone)]
+pub struct FabricReport {
+    /// Offered load per host.
+    pub offered_load: f64,
+    /// Carried throughput per host.
+    pub throughput: f64,
+    /// Mean end-to-end latency in slots (host NIC → host NIC).
+    pub mean_latency: f64,
+    /// 99th percentile latency, when resolvable.
+    pub p99_latency: Option<f64>,
+    /// Cells injected/delivered in the measurement window.
+    pub injected: u64,
+    /// Cells delivered in the measurement window.
+    pub delivered: u64,
+    /// Out-of-order deliveries (must be 0).
+    pub reordered: u64,
+    /// Peak input-buffer occupancy seen at any switch input.
+    pub max_buffer_occupancy: usize,
+    /// Latency histogram (slots).
+    pub latency_hist: Histogram,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeId {
+    Leaf(usize),
+    Spine(usize),
+}
+
+/// Where a switch output port leads.
+#[derive(Debug, Clone, Copy)]
+enum Downstream {
+    /// A host NIC (sink; drains one cell per slot by construction).
+    Host(usize),
+    /// Another switch's input port (credit-controlled).
+    Switch(NodeId, usize),
+}
+
+/// Where a switch input port receives from (for credit returns).
+#[derive(Debug, Clone, Copy)]
+enum Upstream {
+    Host(usize),
+    Switch(NodeId, usize),
+}
+
+struct SwitchNode {
+    /// Per (input, output) VOQ; each entry carries the slot at which the
+    /// cell becomes schedulable (later than its arrival only under
+    /// placement option 2, where requests cross the long cable to reach
+    /// the scheduler).
+    voq: Vec<VecDeque<(u64, Cell)>>,
+    /// Total occupancy per input port (for the losslessness assertion).
+    input_occupancy: Vec<usize>,
+    /// Option-1 egress buffers.
+    egress: Vec<VecDeque<Cell>>,
+    /// Send credits per output port (usize::MAX for host sinks).
+    credits: Vec<usize>,
+    grant_arb: Vec<RoundRobinArbiter>,
+    accept_arb: Vec<RoundRobinArbiter>,
+    downstream: Vec<Downstream>,
+    upstream: Vec<Upstream>,
+}
+
+impl SwitchNode {
+    fn new(ports: usize, downstream: Vec<Downstream>, upstream: Vec<Upstream>, buffer: usize) -> Self {
+        let credits = downstream
+            .iter()
+            .map(|d| match d {
+                Downstream::Host(_) => usize::MAX,
+                Downstream::Switch(..) => buffer,
+            })
+            .collect();
+        SwitchNode {
+            voq: (0..ports * ports).map(|_| VecDeque::new()).collect(),
+            input_occupancy: vec![0; ports],
+            egress: (0..ports).map(|_| VecDeque::new()).collect(),
+            credits,
+            grant_arb: (0..ports).map(|_| RoundRobinArbiter::new(ports)).collect(),
+            accept_arb: (0..ports).map(|_| RoundRobinArbiter::new(ports)).collect(),
+            downstream,
+            upstream,
+        }
+    }
+}
+
+/// The fabric simulator.
+pub struct FatTreeFabric {
+    cfg: FabricConfig,
+    topo: TwoLevelFatTree,
+    leaves: Vec<SwitchNode>,
+    spines: Vec<SwitchNode>,
+    /// Host injection queues (the source VOQs; unbounded).
+    host_queues: Vec<VecDeque<Cell>>,
+    /// Credits a host holds toward its leaf input buffer.
+    host_credits: Vec<usize>,
+    /// Cells in flight: (arrival slot, destination node+port or host).
+    cell_flights: VecDeque<(u64, CellDest, Cell)>,
+    /// Credits in flight back to (node, output port) or host.
+    credit_flights: VecDeque<(u64, CreditDest)>,
+    stamper: SequenceStamper,
+    next_id: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CellDest {
+    SwitchIn(NodeId, usize),
+    Host(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CreditDest {
+    SwitchOut(NodeId, usize),
+    Host(usize),
+}
+
+impl FatTreeFabric {
+    /// Build the fabric.
+    pub fn new(cfg: FabricConfig) -> Self {
+        assert!(cfg.link_delay >= 1, "links need at least one slot of flight");
+        assert!(cfg.buffer_cells >= 1);
+        let topo = TwoLevelFatTree::new(cfg.radix);
+        let k = cfg.radix;
+        let half = k / 2;
+
+        let leaves = (0..topo.leaves())
+            .map(|l| {
+                let downstream = (0..k)
+                    .map(|p| {
+                        if p < half {
+                            Downstream::Host(l * half + p)
+                        } else {
+                            // Up port toward spine p−half; our input there
+                            // is port l.
+                            Downstream::Switch(NodeId::Spine(p - half), l)
+                        }
+                    })
+                    .collect();
+                let upstream = (0..k)
+                    .map(|p| {
+                        if p < half {
+                            Upstream::Host(l * half + p)
+                        } else {
+                            // Spine p−half sends to us from its output l.
+                            Upstream::Switch(NodeId::Spine(p - half), l)
+                        }
+                    })
+                    .collect();
+                SwitchNode::new(k, downstream, upstream, cfg.buffer_cells)
+            })
+            .collect();
+
+        let spines = (0..topo.spines())
+            .map(|s| {
+                // Spine port l ↔ leaf l (leaf's up port half+s).
+                let downstream = (0..k)
+                    .map(|l| Downstream::Switch(NodeId::Leaf(l), half + s))
+                    .collect();
+                let upstream = (0..k)
+                    .map(|l| Upstream::Switch(NodeId::Leaf(l), half + s))
+                    .collect();
+                SwitchNode::new(k, downstream, upstream, cfg.buffer_cells)
+            })
+            .collect();
+
+        FatTreeFabric {
+            cfg,
+            topo,
+            leaves,
+            spines,
+            host_queues: (0..topo.hosts()).map(|_| VecDeque::new()).collect(),
+            host_credits: vec![cfg.buffer_cells; topo.hosts()],
+            cell_flights: VecDeque::new(),
+            credit_flights: VecDeque::new(),
+            stamper: SequenceStamper::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Topology descriptor.
+    pub fn topology(&self) -> TwoLevelFatTree {
+        self.topo
+    }
+
+    fn node(&mut self, id: NodeId) -> &mut SwitchNode {
+        match id {
+            NodeId::Leaf(l) => &mut self.leaves[l],
+            NodeId::Spine(s) => &mut self.spines[s],
+        }
+    }
+
+    /// Output port a cell takes at the given switch.
+    fn route(&self, id: NodeId, cell: &Cell) -> usize {
+        match id {
+            NodeId::Leaf(l) => {
+                let dest_leaf = self.topo.leaf_of(cell.dst);
+                if dest_leaf == l {
+                    self.topo.down_port_of(cell.dst)
+                } else {
+                    self.topo.up_port(self.topo.spine_of_flow(cell.src, cell.dst))
+                }
+            }
+            NodeId::Spine(_) => self.topo.leaf_of(cell.dst),
+        }
+    }
+
+    /// Run traffic through the fabric.
+    pub fn run(
+        &mut self,
+        traffic: &mut dyn TrafficGen,
+        warmup_slots: u64,
+        measure_slots: u64,
+    ) -> FabricReport {
+        assert_eq!(traffic.ports(), self.topo.hosts());
+        let total = warmup_slots + measure_slots;
+        let d = self.cfg.link_delay;
+        let hosts = self.topo.hosts();
+        let option2_extra = if self.cfg.placement == Placement::OutputOnly {
+            2 * d
+        } else {
+            0
+        };
+
+        let buffer_cells = self.cfg.buffer_cells;
+        let mut latency_hist = Histogram::new(1.0, 65_536);
+        let mut checker = SequenceChecker::new();
+        let (mut injected, mut delivered) = (0u64, 0u64);
+        let mut max_occ = 0usize;
+        let mut arrivals = Vec::with_capacity(hosts);
+        let node_ids: Vec<NodeId> = (0..self.topo.leaves())
+            .map(NodeId::Leaf)
+            .chain((0..self.topo.spines()).map(NodeId::Spine))
+            .collect();
+        let ports = self.cfg.radix;
+        let mut requesters = BitSet::new(ports);
+        let mut grants_to_input: Vec<BitSet> =
+            (0..ports).map(|_| BitSet::new(ports)).collect();
+
+        for t in 0..total {
+            let measuring = t >= warmup_slots;
+
+            // --- Cell arrivals from links.
+            while self.cell_flights.front().is_some_and(|&(at, _, _)| at == t) {
+                let (_, dest, cell) = self.cell_flights.pop_front().unwrap();
+                match dest {
+                    CellDest::Host(h) => {
+                        debug_assert_eq!(cell.dst, h);
+                        checker.record(cell.src, cell.dst, cell.seq);
+                        if measuring {
+                            delivered += 1;
+                            if cell.inject_slot >= warmup_slots {
+                                latency_hist.record((t - cell.inject_slot) as f64);
+                            }
+                        }
+                    }
+                    CellDest::SwitchIn(id, port) => {
+                        let out = self.route(id, &cell);
+                        let node = self.node(id);
+                        node.input_occupancy[port] += 1;
+                        assert!(
+                            node.input_occupancy[port] <= buffer_cells,
+                            "input buffer overflow at {id:?} port {port}: \
+                             credit flow control violated"
+                        );
+                        max_occ = max_occ.max(node.input_occupancy[port]);
+                        // A cell arriving in slot t is schedulable at t+1
+                        // (the local request/grant cycle); option 2 adds a
+                        // control RTT on top.
+                        node.voq[port * ports + out]
+                            .push_back((t + 1 + option2_extra, cell));
+                    }
+                }
+            }
+
+            // --- Credit returns.
+            while self
+                .credit_flights
+                .front()
+                .is_some_and(|&(at, _)| at == t)
+            {
+                let (_, dest) = self.credit_flights.pop_front().unwrap();
+                match dest {
+                    CreditDest::Host(h) => self.host_credits[h] += 1,
+                    CreditDest::SwitchOut(id, port) => {
+                        let node = self.node(id);
+                        node.credits[port] += 1;
+                    }
+                }
+            }
+
+            // --- Each switch computes a matching and forwards cells.
+            for &id in &node_ids {
+                // Option 1: egress buffers transmit first (a cell matched
+                // in slot t departs the stage in slot t+1), gated by
+                // downstream credits.
+                if self.cfg.placement == Placement::InputAndOutput {
+                    for o in 0..ports {
+                        let (send, dest) = {
+                            let node = match id {
+                                NodeId::Leaf(l) => &mut self.leaves[l],
+                                NodeId::Spine(s) => &mut self.spines[s],
+                            };
+                            if node.egress[o].is_empty() {
+                                continue;
+                            }
+                            let is_switch =
+                                matches!(node.downstream[o], Downstream::Switch(..));
+                            if is_switch && node.credits[o] == 0 {
+                                continue;
+                            }
+                            let cell = node.egress[o].pop_front().unwrap();
+                            if is_switch {
+                                node.credits[o] -= 1;
+                            }
+                            (cell, node.downstream[o])
+                        };
+                        let dest = match dest {
+                            Downstream::Host(h) => CellDest::Host(h),
+                            Downstream::Switch(nid, port) => {
+                                CellDest::SwitchIn(nid, port)
+                            }
+                        };
+                        self.cell_flights.push_back((t + d, dest, send));
+                    }
+                }
+
+                // Matching (iterative RR grant/accept) on the node.
+                let mut matched_pairs: Vec<(usize, usize)> = Vec::new();
+                {
+                    let needs_credit_at_match =
+                        self.cfg.placement != Placement::InputAndOutput;
+                    let node = match id {
+                        NodeId::Leaf(l) => &mut self.leaves[l],
+                        NodeId::Spine(s) => &mut self.spines[s],
+                    };
+                    let mut in_matched = vec![false; ports];
+                    let mut out_matched = vec![false; ports];
+                    for _ in 0..self.cfg.iterations {
+                        for g in grants_to_input.iter_mut() {
+                            g.clear_all();
+                        }
+                        let mut any = false;
+                        for o in 0..ports {
+                            if out_matched[o] {
+                                continue;
+                            }
+                            if needs_credit_at_match && node.credits[o] == 0 {
+                                continue;
+                            }
+                            requesters.clear_all();
+                            let mut have = false;
+                            for i in 0..ports {
+                                if in_matched[i] {
+                                    continue;
+                                }
+                                let q = &node.voq[i * ports + o];
+                                if q.front().is_some_and(|&(ready, _)| ready <= t) {
+                                    requesters.set(i);
+                                    have = true;
+                                }
+                            }
+                            if !have {
+                                continue;
+                            }
+                            if let Some(i) = node.grant_arb[o].arbitrate(&requesters)
+                            {
+                                grants_to_input[i].set(o);
+                                any = true;
+                            }
+                        }
+                        if !any {
+                            break;
+                        }
+                        for i in 0..ports {
+                            if in_matched[i] || grants_to_input[i].is_empty() {
+                                continue;
+                            }
+                            if let Some(o) =
+                                node.accept_arb[i].arbitrate(&grants_to_input[i])
+                            {
+                                in_matched[i] = true;
+                                out_matched[o] = true;
+                                node.grant_arb[o].advance_past(i);
+                                node.accept_arb[i].advance_past(o);
+                                matched_pairs.push((i, o));
+                            }
+                        }
+                    }
+                }
+
+                // Execute the matching: move cells out of the input
+                // buffers, return credits upstream.
+                for &(i, o) in &matched_pairs {
+                    let (cell, upstream, to_egress, dest) = {
+                        let node = match id {
+                            NodeId::Leaf(l) => &mut self.leaves[l],
+                            NodeId::Spine(s) => &mut self.spines[s],
+                        };
+                        let (_, mut cell) = node.voq[i * ports + o]
+                            .pop_front()
+                            .expect("matched pair without a cell");
+                        cell.grant_slot = t;
+                        node.input_occupancy[i] -= 1;
+                        let to_egress =
+                            self.cfg.placement == Placement::InputAndOutput;
+                        if !to_egress {
+                            debug_assert!(node.credits[o] >= 1);
+                            if let Downstream::Switch(..) = node.downstream[o] {
+                                node.credits[o] -= 1;
+                            }
+                        }
+                        (cell, node.upstream[i], to_egress, node.downstream[o])
+                    };
+                    // Credit back to whoever feeds this input port.
+                    match upstream {
+                        Upstream::Host(h) => self
+                            .credit_flights
+                            .push_back((t + d, CreditDest::Host(h))),
+                        Upstream::Switch(up_id, up_port) => self.credit_flights.push_back((
+                            t + d,
+                            CreditDest::SwitchOut(up_id, up_port),
+                        )),
+                    }
+                    if to_egress {
+                        let node = match id {
+                            NodeId::Leaf(l) => &mut self.leaves[l],
+                            NodeId::Spine(s) => &mut self.spines[s],
+                        };
+                        node.egress[o].push_back(cell);
+                    } else {
+                        let dest = match dest {
+                            Downstream::Host(h) => CellDest::Host(h),
+                            Downstream::Switch(nid, port) => {
+                                CellDest::SwitchIn(nid, port)
+                            }
+                        };
+                        self.cell_flights.push_back((t + d, dest, cell));
+                    }
+                }
+            }
+
+            // --- Hosts inject one cell per slot when they hold a credit.
+            for h in 0..hosts {
+                if self.host_credits[h] > 0 {
+                    if let Some(cell) = self.host_queues[h].pop_front() {
+                        self.host_credits[h] -= 1;
+                        let leaf = self.topo.leaf_of(h);
+                        let port = self.topo.down_port_of(h);
+                        self.cell_flights.push_back((
+                            t + d,
+                            CellDest::SwitchIn(NodeId::Leaf(leaf), port),
+                            cell,
+                        ));
+                    }
+                }
+            }
+
+            // --- New traffic.
+            arrivals.clear();
+            traffic.arrivals(t, &mut arrivals);
+            for a in &arrivals {
+                let seq = self.stamper.stamp(a.src, a.dst);
+                let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, t);
+                self.next_id += 1;
+                if measuring {
+                    injected += 1;
+                }
+                self.host_queues[a.src].push_back(cell);
+            }
+        }
+
+        let denom = measure_slots as f64 * hosts as f64;
+        FabricReport {
+            offered_load: injected as f64 / denom,
+            throughput: delivered as f64 / denom,
+            mean_latency: latency_hist.mean(),
+            p99_latency: latency_hist.quantile(0.99),
+            injected,
+            delivered,
+            reordered: checker.reordered(),
+            max_buffer_occupancy: max_occ,
+            latency_hist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osmosis_sim::SeedSequence;
+    use osmosis_traffic::{BernoulliUniform, Hotspot};
+
+    fn run_fabric(cfg: FabricConfig, load: f64, seed: u64) -> FabricReport {
+        let mut fab = FatTreeFabric::new(cfg);
+        let mut tr =
+            BernoulliUniform::new(fab.topology().hosts(), load, &SeedSequence::new(seed));
+        fab.run(&mut tr, 1_000, 8_000)
+    }
+
+    #[test]
+    fn idle_fabric_stays_idle() {
+        let r = run_fabric(FabricConfig::small(8, 2), 0.0, 1);
+        assert_eq!(r.injected, 0);
+        assert_eq!(r.delivered, 0);
+    }
+
+    #[test]
+    fn light_load_flows_lossless_in_order() {
+        let r = run_fabric(FabricConfig::small(8, 2), 0.2, 2);
+        assert!((r.throughput - 0.2).abs() < 0.02, "thr {}", r.throughput);
+        assert_eq!(r.reordered, 0, "per-flow order via stable spine hashing");
+        assert!(r.max_buffer_occupancy <= 6, "occ {}", r.max_buffer_occupancy);
+    }
+
+    #[test]
+    fn unloaded_latency_decomposes_into_hops() {
+        // Inter-leaf: 1 (inject) + 4 links + 3 scheduling cycles = 4d+4;
+        // intra-leaf (prob = (k/2−1)/(k²/2)·…≈1/8 incl. self): 2d+2.
+        // At radix 8 the destination is under the same leaf with
+        // probability 4/32, so the mix is 0.875·(4d+4) + 0.125·(2d+2).
+        let d = 3u64;
+        let r = run_fabric(FabricConfig::small(8, d), 0.02, 3);
+        let inter = (4 * d + 4) as f64;
+        let intra = (2 * d + 2) as f64;
+        let expect = 0.875 * inter + 0.125 * intra;
+        assert!(
+            (r.mean_latency - expect).abs() < 1.5,
+            "latency {} vs ≈{expect}",
+            r.mean_latency
+        );
+    }
+
+    #[test]
+    fn moderate_load_sustains_throughput() {
+        let r = run_fabric(FabricConfig::small(8, 2), 0.7, 4);
+        assert!(
+            (r.throughput - 0.7).abs() < 0.04,
+            "thr {} vs 0.7",
+            r.throughput
+        );
+        assert_eq!(r.reordered, 0);
+    }
+
+    #[test]
+    fn hotspot_overload_is_lossless() {
+        // Every host sends half its traffic to host 0: output 0 is
+        // overloaded, backpressure propagates, nothing is ever dropped
+        // (the assertion inside the sim would panic on overflow).
+        let cfg = FabricConfig::small(8, 2);
+        let mut fab = FatTreeFabric::new(cfg);
+        let hosts = fab.topology().hosts();
+        let mut tr = Hotspot::new(hosts, 0.5, 0, 0.5, &SeedSequence::new(5));
+        let r = fab.run(&mut tr, 1_000, 8_000);
+        assert_eq!(r.reordered, 0);
+        assert!(
+            r.max_buffer_occupancy <= cfg.buffer_cells,
+            "credits bound the buffers"
+        );
+        // The hot egress drains at its full line rate (1/hosts of the
+        // aggregate); port-level backpressure lets congestion spread into
+        // the shared buffers (tree saturation), so aggregate throughput
+        // sits well below offered load — but strictly above the hot
+        // port's own rate, and nothing is ever lost.
+        let hot_rate = 1.0 / fab.topology().hosts() as f64;
+        assert!(r.throughput > hot_rate, "throughput {}", r.throughput);
+    }
+
+    #[test]
+    fn tiny_buffers_throttle_but_never_drop() {
+        // Buffer below the credit RTT: goodput drops, losslessness holds.
+        let mut cfg = FabricConfig::small(8, 4);
+        cfg.buffer_cells = 2; // RTT is 2·4 = 8 slots
+        let r = run_fabric(cfg, 0.9, 6);
+        assert!(r.throughput < 0.6, "throttled: {}", r.throughput);
+        assert_eq!(r.reordered, 0);
+    }
+
+    #[test]
+    fn rtt_sized_buffers_sustain_full_rate() {
+        // Load chosen below the static-flow-hash imbalance point: with
+        // k/2 = 4 uplinks per leaf and random per-flow spine hashing, the
+        // worst uplink carries noticeably more than the average, so the
+        // fabric saturates before the hosts do (cf. the ECMP-imbalance
+        // literature). 0.72 keeps every link under 1.0 with margin.
+        let mut cfg = FabricConfig::small(8, 4);
+        cfg.buffer_cells = (2 * cfg.link_delay + 2) as usize;
+        let r = run_fabric(cfg, 0.72, 7);
+        assert!(
+            (r.throughput - 0.72).abs() < 0.04,
+            "thr {} at RTT-sized buffers",
+            r.throughput
+        );
+    }
+
+    #[test]
+    fn placement_option1_adds_a_stage_of_latency() {
+        let mut cfg3 = FabricConfig::small(8, 2);
+        cfg3.placement = Placement::InputOnly;
+        let mut cfg1 = cfg3;
+        cfg1.placement = Placement::InputAndOutput;
+        let r3 = run_fabric(cfg3, 0.1, 8);
+        let r1 = run_fabric(cfg1, 0.1, 8);
+        assert!(
+            r1.mean_latency > r3.mean_latency + 2.0,
+            "option 1 {} vs option 3 {}",
+            r1.mean_latency,
+            r3.mean_latency
+        );
+        assert_eq!(Placement::InputAndOutput.oeo_per_stage(), 2);
+        assert_eq!(Placement::InputOnly.oeo_per_stage(), 1);
+    }
+
+    #[test]
+    fn placement_option2_pays_control_rtt_per_stage() {
+        let mut cfg3 = FabricConfig::small(8, 3);
+        cfg3.placement = Placement::InputOnly;
+        let mut cfg2 = cfg3;
+        cfg2.placement = Placement::OutputOnly;
+        let r3 = run_fabric(cfg3, 0.1, 9);
+        let r2 = run_fabric(cfg2, 0.1, 9);
+        // Each of the 3 stages adds ≈ 2·d of request/grant flight.
+        assert!(
+            r2.mean_latency > r3.mean_latency + 4.0,
+            "option 2 {} vs option 3 {}",
+            r2.mean_latency,
+            r3.mean_latency
+        );
+    }
+
+    #[test]
+    fn fabric_is_deterministic() {
+        let a = run_fabric(FabricConfig::small(8, 2), 0.5, 11);
+        let b = run_fabric(FabricConfig::small(8, 2), 0.5, 11);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.mean_latency, b.mean_latency);
+    }
+}

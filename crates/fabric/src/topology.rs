@@ -1,0 +1,205 @@
+//! Folded-Clos (fat-tree) topology arithmetic.
+//!
+//! The paper builds fabrics from identical radix-k switches (§IV.A "for
+//! cost reasons, we assume that the fabric is built using identical
+//! switches in each stage"). A two-level fat tree of 64-port switches
+//! yields the 2048-port fabric of §V; §VI.C compares stage counts across
+//! switch radixes: 3 OSMOSIS stages vs. 5 high-end-electronic vs. 9
+//! commodity stages for 2048 ports.
+
+/// Levels needed to reach at least `ports` hosts with radix-k switches.
+pub fn levels_for_ports(radix: usize, ports: u64) -> u32 {
+    let mut l = 1;
+    while max_ports(radix, l) < ports {
+        l += 1;
+        assert!(l < 32, "unreachable port count");
+    }
+    l
+}
+
+/// Maximum host count of an L-level fat tree of radix-k switches:
+/// a single switch at L=1 (k ports), k·(k/2)/1... in general
+/// 2·(k/2)^L.
+pub fn max_ports(radix: usize, levels: u32) -> u64 {
+    assert!(radix >= 2 && radix % 2 == 0);
+    let half = (radix / 2) as u64;
+    2 * half.pow(levels)
+}
+
+/// Switch *stages* a packet traverses end-to-end in an L-level fat tree:
+/// up through L−1 levels, across the top, down again → 2L−1.
+pub fn stages_for_levels(levels: u32) -> u32 {
+    2 * levels - 1
+}
+
+/// Stage count to build `ports` hosts from radix-k switches (the §VI.C
+/// comparison quantity).
+pub fn stages_for_ports(radix: usize, ports: u64) -> u32 {
+    stages_for_levels(levels_for_ports(radix, ports))
+}
+
+/// A concrete two-level folded Clos (leaf–spine) instance used by the
+/// multistage simulation: k leaves of radix k, k/2 spines, k²/2 hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoLevelFatTree {
+    /// Switch radix (port count per switch).
+    pub radix: usize,
+}
+
+impl TwoLevelFatTree {
+    /// Build the descriptor. Radix must be even and ≥ 4.
+    pub fn new(radix: usize) -> Self {
+        assert!(radix >= 4 && radix % 2 == 0, "radix must be even ≥ 4");
+        TwoLevelFatTree { radix }
+    }
+
+    /// Hosts per leaf switch (= down ports = up ports = k/2).
+    pub fn hosts_per_leaf(&self) -> usize {
+        self.radix / 2
+    }
+
+    /// Number of leaf switches.
+    pub fn leaves(&self) -> usize {
+        self.radix
+    }
+
+    /// Number of spine switches.
+    pub fn spines(&self) -> usize {
+        self.radix / 2
+    }
+
+    /// Total hosts: k²/2.
+    pub fn hosts(&self) -> usize {
+        self.radix * self.radix / 2
+    }
+
+    /// Leaf switch of a host.
+    pub fn leaf_of(&self, host: usize) -> usize {
+        assert!(host < self.hosts());
+        host / self.hosts_per_leaf()
+    }
+
+    /// Leaf down-port of a host.
+    pub fn down_port_of(&self, host: usize) -> usize {
+        host % self.hosts_per_leaf()
+    }
+
+    /// The spine a flow (src, dst) uses — a stable hash, so every cell of
+    /// a flow takes the same path and per-flow order survives the
+    /// multipath (Table 1's ordering requirement).
+    pub fn spine_of_flow(&self, src: usize, dst: usize) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in [src as u64, dst as u64] {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        // SplitMix finalizer: raw FNV low bits are poorly mixed for the
+        // small spine counts used here.
+        h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        ((h >> 32) % self.spines() as u64) as usize
+    }
+
+    /// Leaf up-port toward a given spine.
+    pub fn up_port(&self, spine: usize) -> usize {
+        assert!(spine < self.spines());
+        self.hosts_per_leaf() + spine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_ports_values() {
+        // 2·(k/2)^L: one 64-port switch L=1 → 64; two-level → 2048.
+        assert_eq!(max_ports(64, 1), 64);
+        assert_eq!(max_ports(64, 2), 2_048);
+        assert_eq!(max_ports(32, 2), 512);
+        assert_eq!(max_ports(32, 3), 8_192);
+        assert_eq!(max_ports(8, 5), 2_048);
+    }
+
+    #[test]
+    fn paper_claim_stage_counts_for_2048_ports() {
+        // §VI.C: "A 2048-port fabric needs 3 OSMOSIS stages, 5 high-end
+        // electronic switch stages and 9 stages of commodity switch chips."
+        assert_eq!(stages_for_ports(64, 2048), 3, "OSMOSIS 64-port switches");
+        assert_eq!(stages_for_ports(32, 2048), 5, "high-end electronic 32-port");
+        assert_eq!(stages_for_ports(8, 2048), 9, "commodity 8-port");
+        // The paper quotes the 8-port end of its "8 to 12 ports" range;
+        // 12-port parts would need 2·6^4 = 2592 ≥ 2048 → 7 stages.
+        assert_eq!(stages_for_ports(12, 2048), 7, "commodity 12-port");
+    }
+
+    #[test]
+    fn levels_monotone_in_ports() {
+        assert_eq!(levels_for_ports(64, 64), 1);
+        assert_eq!(levels_for_ports(64, 65), 2);
+        assert_eq!(levels_for_ports(64, 2048), 2);
+        assert_eq!(levels_for_ports(64, 2049), 3);
+    }
+
+    #[test]
+    fn two_level_dimensions() {
+        let t = TwoLevelFatTree::new(8);
+        assert_eq!(t.hosts(), 32);
+        assert_eq!(t.leaves(), 8);
+        assert_eq!(t.spines(), 4);
+        assert_eq!(t.hosts_per_leaf(), 4);
+        // The demonstrator-scale fabric.
+        let big = TwoLevelFatTree::new(64);
+        assert_eq!(big.hosts(), 2_048, "the §V fabric-level port count");
+    }
+
+    #[test]
+    fn host_mapping_roundtrip() {
+        let t = TwoLevelFatTree::new(8);
+        for h in 0..t.hosts() {
+            let l = t.leaf_of(h);
+            let p = t.down_port_of(h);
+            assert_eq!(l * t.hosts_per_leaf() + p, h);
+        }
+    }
+
+    #[test]
+    fn flow_spine_is_stable_and_in_range() {
+        let t = TwoLevelFatTree::new(8);
+        for src in 0..8 {
+            for dst in 0..8 {
+                let s = t.spine_of_flow(src, dst);
+                assert!(s < t.spines());
+                assert_eq!(s, t.spine_of_flow(src, dst), "stable per flow");
+            }
+        }
+    }
+
+    #[test]
+    fn flows_spread_over_spines() {
+        let t = TwoLevelFatTree::new(16);
+        let mut counts = vec![0u32; t.spines()];
+        for src in 0..t.hosts() {
+            for dst in 0..t.hosts() {
+                counts[t.spine_of_flow(src, dst)] += 1;
+            }
+        }
+        let total: u32 = counts.iter().sum();
+        let expect = total as f64 / counts.len() as f64;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.1,
+                "spine load skew: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn up_port_layout() {
+        let t = TwoLevelFatTree::new(8);
+        assert_eq!(t.up_port(0), 4);
+        assert_eq!(t.up_port(3), 7);
+    }
+}

@@ -1,0 +1,392 @@
+//! Optical component models for the OSMOSIS datapath (Fig. 5).
+//!
+//! Each component carries an insertion loss or gain and, for active
+//! switching elements, a reconfiguration (guard) time. A [`PowerBudget`]
+//! chains components from a transmitter launch power to a receiver and
+//! checks closure against the receiver sensitivity — the paper reports
+//! (§VI.A) that the demonstrator's "optical power, latency, utilization
+//! and jitter budgets" were closed; this module reproduces the power part.
+
+use crate::units::{Db, PowerDbm};
+use osmosis_sim::TimeDelta;
+
+/// A passive or active element in an optical path.
+#[derive(Debug, Clone)]
+pub struct OpticalElement {
+    /// Human-readable name for budget reports.
+    pub name: &'static str,
+    /// Power gain (positive) or loss (negative).
+    pub gain: Db,
+    /// Time the element needs to change state (zero for passive parts).
+    pub switching_time: TimeDelta,
+}
+
+impl OpticalElement {
+    /// A passive element with a fixed insertion loss (`loss_db` ≥ 0).
+    pub fn passive(name: &'static str, loss_db: f64) -> Self {
+        assert!(loss_db >= 0.0, "passive loss must be non-negative");
+        OpticalElement {
+            name,
+            gain: Db(-loss_db),
+            switching_time: TimeDelta::ZERO,
+        }
+    }
+
+    /// An ideal 1:n splitter (star coupler) plus excess loss.
+    pub fn splitter(name: &'static str, n: u32, excess_db: f64) -> Self {
+        OpticalElement {
+            name,
+            gain: Db::split_loss(n) + Db(-excess_db),
+            switching_time: TimeDelta::ZERO,
+        }
+    }
+
+    /// An n:1 WDM combiner/multiplexer: each wavelength passes with only
+    /// the excess loss (wavelength-selective combining is lossless in the
+    /// ideal limit, unlike a power combiner).
+    pub fn wdm_mux(name: &'static str, excess_db: f64) -> Self {
+        OpticalElement::passive(name, excess_db)
+    }
+
+    /// An optical amplifier with the given gain.
+    pub fn amplifier(name: &'static str, gain_db: f64) -> Self {
+        assert!(gain_db >= 0.0);
+        OpticalElement {
+            name,
+            gain: Db(gain_db),
+            switching_time: TimeDelta::ZERO,
+        }
+    }
+
+    /// A fiber span at 0.35 dB/km (C-band single-mode).
+    pub fn fiber(name: &'static str, meters: f64) -> Self {
+        OpticalElement::passive(name, 0.35e-3 * meters)
+    }
+
+    /// A fiber connector (0.3 dB typical).
+    pub fn connector(name: &'static str) -> Self {
+        OpticalElement::passive(name, 0.3)
+    }
+}
+
+/// Semiconductor Optical Amplifier used as an on/off gate.
+///
+/// §IV.C selects SOAs as "the best combination of optical bandwidth
+/// scalability and switching speed"; §II quotes ≈5 ns guard times for
+/// current SOAs, and §VII sub-nanosecond operation in high current-density
+/// mode with DPSK.
+#[derive(Debug, Clone)]
+pub struct SoaGate {
+    /// Fiber-to-fiber gain when the gate is on.
+    pub on_gain: Db,
+    /// Extinction: residual transmission when off (e.g. −40 dB).
+    pub off_transmission: Db,
+    /// Time to switch between on and off (the guard-time contribution).
+    pub switching_time: TimeDelta,
+    /// Output saturation power; signals above it are distorted by XGM.
+    pub saturation_output: PowerDbm,
+}
+
+impl SoaGate {
+    /// The demonstrator's electrically controlled SOA: +8 dB net
+    /// fiber-to-fiber gain, −40 dB extinction, 5 ns switching, +13 dBm
+    /// output saturation.
+    pub fn osmosis_default() -> Self {
+        SoaGate {
+            on_gain: Db(8.0),
+            off_transmission: Db(-40.0),
+            switching_time: TimeDelta::from_ns(5),
+            saturation_output: PowerDbm(13.0),
+        }
+    }
+
+    /// The §VII outlook device: high current density, tight confinement,
+    /// sub-nanosecond switching (800 ps here).
+    pub fn fast_dpsk_mode() -> Self {
+        SoaGate {
+            on_gain: Db(8.0),
+            off_transmission: Db(-40.0),
+            switching_time: TimeDelta::from_ps(800),
+            saturation_output: PowerDbm(16.0),
+        }
+    }
+
+    /// This gate as an on-state element for budget chains.
+    pub fn as_element_on(&self, name: &'static str) -> OpticalElement {
+        OpticalElement {
+            name,
+            gain: self.on_gain,
+            switching_time: self.switching_time,
+        }
+    }
+
+    /// Crosstalk level leaking through when the gate is off, for a given
+    /// input power.
+    pub fn crosstalk(&self, input: PowerDbm) -> PowerDbm {
+        input + self.off_transmission
+    }
+}
+
+/// A bank of `n` SOA gates of which exactly one may be on (fiber-select or
+/// wavelength-select stage of an OSMOSIS switching module).
+#[derive(Debug, Clone)]
+pub struct SelectorBank {
+    gate: SoaGate,
+    selected: Option<usize>,
+    size: usize,
+}
+
+impl SelectorBank {
+    /// Bank of `size` identical gates, all off.
+    pub fn new(gate: SoaGate, size: usize) -> Self {
+        assert!(size > 0);
+        SelectorBank {
+            gate,
+            selected: None,
+            size,
+        }
+    }
+
+    /// Number of gates.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Currently selected gate, if any.
+    pub fn selected(&self) -> Option<usize> {
+        self.selected
+    }
+
+    /// Select gate `idx` (turning any other off). Panics on out of range.
+    pub fn select(&mut self, idx: usize) {
+        assert!(idx < self.size, "gate {idx} out of range {}", self.size);
+        self.selected = Some(idx);
+    }
+
+    /// Turn all gates off.
+    pub fn clear(&mut self) {
+        self.selected = None;
+    }
+
+    /// The guard time this bank needs to change selection.
+    pub fn switching_time(&self) -> TimeDelta {
+        self.gate.switching_time
+    }
+
+    /// Signal power after the bank for a signal entering on gate `idx`.
+    /// Returns the on-path power if selected, the crosstalk level if not.
+    pub fn output_power(&self, idx: usize, input: PowerDbm) -> PowerDbm {
+        assert!(idx < self.size);
+        if self.selected == Some(idx) {
+            input + self.gate.on_gain
+        } else {
+            self.gate.crosstalk(input)
+        }
+    }
+
+    /// Worst-case crosstalk-to-signal ratio at the bank output when one
+    /// gate is on and the other `size-1` leak: total leaked power relative
+    /// to the selected signal (equal input powers assumed).
+    pub fn crosstalk_ratio(&self) -> Db {
+        let leak_lin = self.gate.off_transmission.linear() * (self.size - 1) as f64;
+        let on_lin = self.gate.on_gain.linear();
+        Db::from_linear(leak_lin / on_lin)
+    }
+}
+
+/// A transmitter–receiver power budget over a chain of elements.
+#[derive(Debug, Clone)]
+pub struct PowerBudget {
+    /// Transmitter launch power.
+    pub launch: PowerDbm,
+    /// Receiver sensitivity (minimum power for the target BER).
+    pub sensitivity: PowerDbm,
+    elements: Vec<OpticalElement>,
+}
+
+/// One line of a power-budget report.
+#[derive(Debug, Clone)]
+pub struct BudgetLine {
+    /// Element name.
+    pub name: &'static str,
+    /// Element gain (negative = loss).
+    pub gain: Db,
+    /// Power after this element.
+    pub power_after: PowerDbm,
+}
+
+impl PowerBudget {
+    /// Budget with the given endpoints and no elements yet.
+    pub fn new(launch: PowerDbm, sensitivity: PowerDbm) -> Self {
+        PowerBudget {
+            launch,
+            sensitivity,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Append an element to the chain.
+    pub fn push(&mut self, e: OpticalElement) -> &mut Self {
+        self.elements.push(e);
+        self
+    }
+
+    /// Power arriving at the receiver.
+    pub fn received_power(&self) -> PowerDbm {
+        self.elements
+            .iter()
+            .fold(self.launch, |p, e| p + e.gain)
+    }
+
+    /// Margin above sensitivity (negative = budget does not close).
+    pub fn margin(&self) -> Db {
+        self.received_power() - self.sensitivity
+    }
+
+    /// True when the budget closes with at least `required_margin`.
+    pub fn closes_with(&self, required_margin: Db) -> bool {
+        self.margin().0 >= required_margin.0
+    }
+
+    /// Per-element breakdown.
+    pub fn lines(&self) -> Vec<BudgetLine> {
+        let mut p = self.launch;
+        self.elements
+            .iter()
+            .map(|e| {
+                p += e.gain;
+                BudgetLine {
+                    name: e.name,
+                    gain: e.gain,
+                    power_after: p,
+                }
+            })
+            .collect()
+    }
+
+    /// Total guard time contributed by switching elements in the chain.
+    pub fn switching_time(&self) -> TimeDelta {
+        self.elements
+            .iter()
+            .map(|e| e.switching_time)
+            .max()
+            .unwrap_or(TimeDelta::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_elements_lose_power() {
+        let e = OpticalElement::passive("pad", 3.0);
+        assert!((e.gain.0 + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn passive_rejects_gain() {
+        OpticalElement::passive("bad", -1.0);
+    }
+
+    #[test]
+    fn splitter_loss_includes_excess() {
+        let e = OpticalElement::splitter("star", 128, 1.0);
+        assert!((e.gain.0 + 22.07).abs() < 0.01);
+    }
+
+    #[test]
+    fn fiber_loss_is_negligible_in_machine_room() {
+        // 50 m of fiber at 0.35 dB/km = 0.0175 dB.
+        let e = OpticalElement::fiber("run", 50.0);
+        assert!(e.gain.0.abs() < 0.02);
+    }
+
+    #[test]
+    fn soa_defaults_match_paper_guard_times() {
+        let soa = SoaGate::osmosis_default();
+        assert_eq!(soa.switching_time, TimeDelta::from_ns(5));
+        let fast = SoaGate::fast_dpsk_mode();
+        assert!(fast.switching_time < TimeDelta::from_ns(1), "sub-ns per §VII");
+    }
+
+    #[test]
+    fn selector_bank_exclusivity() {
+        let mut bank = SelectorBank::new(SoaGate::osmosis_default(), 8);
+        assert_eq!(bank.selected(), None);
+        bank.select(3);
+        assert_eq!(bank.selected(), Some(3));
+        bank.select(5);
+        assert_eq!(bank.selected(), Some(5), "selecting switches, never adds");
+        bank.clear();
+        assert_eq!(bank.selected(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn selector_bounds_checked() {
+        let mut bank = SelectorBank::new(SoaGate::osmosis_default(), 8);
+        bank.select(8);
+    }
+
+    #[test]
+    fn selected_path_amplifies_others_leak() {
+        let mut bank = SelectorBank::new(SoaGate::osmosis_default(), 8);
+        bank.select(2);
+        let on = bank.output_power(2, PowerDbm(-10.0));
+        let off = bank.output_power(3, PowerDbm(-10.0));
+        assert!((on.0 + 2.0).abs() < 1e-9, "-10 + 8 gain");
+        assert!((off.0 + 50.0).abs() < 1e-9, "-10 - 40 extinction");
+    }
+
+    #[test]
+    fn crosstalk_ratio_is_deeply_negative() {
+        let bank = SelectorBank::new(SoaGate::osmosis_default(), 8);
+        // 7 leakers at −40 dB vs one at +8 dB → ≈ −39.5 dB.
+        let x = bank.crosstalk_ratio();
+        assert!(x.0 < -35.0, "crosstalk {x}");
+    }
+
+    #[test]
+    fn budget_chain_accumulates() {
+        let mut b = PowerBudget::new(PowerDbm(0.0), PowerDbm(-25.0));
+        b.push(OpticalElement::passive("mux", 3.0))
+            .push(OpticalElement::amplifier("amp", 17.0))
+            .push(OpticalElement::splitter("star", 128, 1.0));
+        let rx = b.received_power();
+        // 0 − 3 + 17 − 22.07 = −8.07 dBm.
+        assert!((rx.0 + 8.07).abs() < 0.01, "rx {rx}");
+        assert!(b.closes_with(Db(3.0)));
+        assert!((b.margin().0 - 16.93).abs() < 0.01);
+    }
+
+    #[test]
+    fn budget_lines_report_running_power() {
+        let mut b = PowerBudget::new(PowerDbm(0.0), PowerDbm(-20.0));
+        b.push(OpticalElement::passive("a", 5.0))
+            .push(OpticalElement::amplifier("b", 2.0));
+        let lines = b.lines();
+        assert_eq!(lines.len(), 2);
+        assert!((lines[0].power_after.0 + 5.0).abs() < 1e-12);
+        assert!((lines[1].power_after.0 + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_switching_time_is_max_not_sum() {
+        let soa = SoaGate::osmosis_default();
+        let mut b = PowerBudget::new(PowerDbm(0.0), PowerDbm(-20.0));
+        b.push(soa.as_element_on("fiber-select"))
+            .push(soa.as_element_on("lambda-select"));
+        // Gates switch in parallel during the same guard window.
+        assert_eq!(b.switching_time(), TimeDelta::from_ns(5));
+    }
+
+    #[test]
+    fn failing_budget_detected() {
+        let mut b = PowerBudget::new(PowerDbm(0.0), PowerDbm(-10.0));
+        b.push(OpticalElement::splitter("star", 128, 1.0));
+        assert!(!b.closes_with(Db(0.0)), "−22 dBm < −10 dBm sensitivity");
+        assert!(b.margin().0 < 0.0);
+    }
+}

@@ -1,0 +1,420 @@
+//! The OSMOSIS broadcast-and-select optical crossbar (Fig. 5).
+//!
+//! Sixty-four ingress adapters are organized as 8 WDM groups of 8
+//! wavelengths. Each group's eight colors are multiplexed onto one fiber
+//! (8× "broadcast modules": 8×1 combiner + optical amplifier + 1×128 star
+//! coupler), so eight fibers carry all 64 inputs, each split 128 ways. Each
+//! of the 128 "optical switching modules" (two per egress port — the dual
+//! receiver) selects one fiber with a bank of 8 fiber-select SOAs, then one
+//! color with a bank of 8 wavelength-select SOAs. Turning exactly one SOA
+//! on per bank routes exactly one input to that module; any input can be
+//! selected by any number of modules simultaneously (the architecture is
+//! inherently multicast-capable).
+
+use crate::components::{OpticalElement, PowerBudget, SelectorBank, SoaGate};
+use crate::units::{Db, PowerDbm};
+use osmosis_sim::TimeDelta;
+
+/// Static description of a broadcast-and-select crossbar.
+#[derive(Debug, Clone)]
+pub struct CrossbarConfig {
+    /// WDM wavelengths per fiber (8 in the demonstrator).
+    pub wavelengths: usize,
+    /// Broadcast fibers (8 in the demonstrator).
+    pub fibers: usize,
+    /// Receivers per egress port (2 in the demonstrator — dual receiver).
+    pub receivers_per_port: usize,
+    /// SOA gate technology for both selector stages.
+    pub soa: SoaGate,
+    /// Transmitter launch power per ingress.
+    pub launch: PowerDbm,
+    /// Burst-mode receiver sensitivity.
+    pub sensitivity: PowerDbm,
+    /// WDM mux excess loss (dB).
+    pub mux_loss_db: f64,
+    /// Broadcast-module amplifier gain (dB).
+    pub amp_gain_db: f64,
+    /// Star-coupler excess loss on top of the ideal split (dB).
+    pub star_excess_db: f64,
+    /// Wavelength demultiplexer loss inside the switching module (dB).
+    pub demux_loss_db: f64,
+}
+
+impl CrossbarConfig {
+    /// The demonstrator: 8λ × 8 fibers = 64 ports, dual receivers,
+    /// component values chosen so the power budget closes with margin
+    /// (§VI.A reports the budget was closed).
+    pub fn osmosis_64() -> Self {
+        CrossbarConfig {
+            wavelengths: 8,
+            fibers: 8,
+            receivers_per_port: 2,
+            soa: SoaGate::osmosis_default(),
+            launch: PowerDbm(0.0),
+            sensitivity: PowerDbm(-12.0),
+            mux_loss_db: 3.0,
+            amp_gain_db: 10.0,
+            star_excess_db: 1.5,
+            demux_loss_db: 3.0,
+        }
+    }
+
+    /// Port count = wavelengths × fibers.
+    pub fn ports(&self) -> usize {
+        self.wavelengths * self.fibers
+    }
+
+    /// Number of switching modules = ports × receivers per port
+    /// (128 in the demonstrator).
+    pub fn switching_modules(&self) -> usize {
+        self.ports() * self.receivers_per_port
+    }
+
+    /// The broadcast group (fiber index) of an ingress port.
+    pub fn fiber_of(&self, input: usize) -> usize {
+        input / self.wavelengths
+    }
+
+    /// The WDM color of an ingress port within its group.
+    pub fn color_of(&self, input: usize) -> usize {
+        input % self.wavelengths
+    }
+}
+
+/// One optical switching module: a fiber-select bank and a color-select
+/// bank in series.
+#[derive(Debug, Clone)]
+pub struct SwitchingModule {
+    fiber_select: SelectorBank,
+    color_select: SelectorBank,
+}
+
+impl SwitchingModule {
+    fn new(cfg: &CrossbarConfig) -> Self {
+        SwitchingModule {
+            fiber_select: SelectorBank::new(cfg.soa.clone(), cfg.fibers),
+            color_select: SelectorBank::new(cfg.soa.clone(), cfg.wavelengths),
+        }
+    }
+
+    /// The input currently routed through this module, if any.
+    pub fn selected_input(&self, cfg: &CrossbarConfig) -> Option<usize> {
+        match (self.fiber_select.selected(), self.color_select.selected()) {
+            (Some(f), Some(c)) => Some(f * cfg.wavelengths + c),
+            _ => None,
+        }
+    }
+
+    fn select(&mut self, cfg: &CrossbarConfig, input: usize) {
+        self.fiber_select.select(cfg.fiber_of(input));
+        self.color_select.select(cfg.color_of(input));
+    }
+
+    fn clear(&mut self) {
+        self.fiber_select.clear();
+        self.color_select.clear();
+    }
+
+    /// Guard time to reconfigure this module (banks switch in parallel).
+    pub fn switching_time(&self) -> TimeDelta {
+        self.fiber_select
+            .switching_time()
+            .max(self.color_select.switching_time())
+    }
+}
+
+/// The full crossbar state.
+#[derive(Debug, Clone)]
+pub struct BroadcastSelectCrossbar {
+    cfg: CrossbarConfig,
+    /// `modules[output][receiver]`.
+    modules: Vec<Vec<SwitchingModule>>,
+}
+
+/// Errors from configuring the crossbar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Input index ≥ port count.
+    InputOutOfRange(usize),
+    /// Output index ≥ port count.
+    OutputOutOfRange(usize),
+    /// Receiver index ≥ receivers per port.
+    ReceiverOutOfRange(usize),
+    /// Two entries of one matching target the same (output, receiver).
+    ReceiverConflict {
+        /// Egress port.
+        output: usize,
+        /// Receiver on that port.
+        receiver: usize,
+    },
+}
+
+impl BroadcastSelectCrossbar {
+    /// Build a crossbar with all gates off.
+    pub fn new(cfg: CrossbarConfig) -> Self {
+        let modules = (0..cfg.ports())
+            .map(|_| {
+                (0..cfg.receivers_per_port)
+                    .map(|_| SwitchingModule::new(&cfg))
+                    .collect()
+            })
+            .collect();
+        BroadcastSelectCrossbar { cfg, modules }
+    }
+
+    /// The configuration this crossbar was built with.
+    pub fn config(&self) -> &CrossbarConfig {
+        &self.cfg
+    }
+
+    /// Route `input` to `(output, receiver)`.
+    pub fn connect(
+        &mut self,
+        input: usize,
+        output: usize,
+        receiver: usize,
+    ) -> Result<(), ConfigError> {
+        if input >= self.cfg.ports() {
+            return Err(ConfigError::InputOutOfRange(input));
+        }
+        if output >= self.cfg.ports() {
+            return Err(ConfigError::OutputOutOfRange(output));
+        }
+        if receiver >= self.cfg.receivers_per_port {
+            return Err(ConfigError::ReceiverOutOfRange(receiver));
+        }
+        self.modules[output][receiver].select(&self.cfg, input);
+        Ok(())
+    }
+
+    /// Disconnect a receiver.
+    pub fn disconnect(&mut self, output: usize, receiver: usize) {
+        self.modules[output][receiver].clear();
+    }
+
+    /// The input feeding `(output, receiver)`, if connected.
+    pub fn input_at(&self, output: usize, receiver: usize) -> Option<usize> {
+        self.modules[output][receiver].selected_input(&self.cfg)
+    }
+
+    /// Apply a whole matching for one cell slot: a list of
+    /// `(input, output, receiver)` connections. All previous connections
+    /// are cleared. Fails atomically on conflicts.
+    pub fn apply_matching(
+        &mut self,
+        matches: &[(usize, usize, usize)],
+    ) -> Result<TimeDelta, ConfigError> {
+        // Validate first (atomicity).
+        let mut used =
+            vec![false; self.cfg.ports() * self.cfg.receivers_per_port];
+        for &(input, output, receiver) in matches {
+            if input >= self.cfg.ports() {
+                return Err(ConfigError::InputOutOfRange(input));
+            }
+            if output >= self.cfg.ports() {
+                return Err(ConfigError::OutputOutOfRange(output));
+            }
+            if receiver >= self.cfg.receivers_per_port {
+                return Err(ConfigError::ReceiverOutOfRange(receiver));
+            }
+            let slot = output * self.cfg.receivers_per_port + receiver;
+            if used[slot] {
+                return Err(ConfigError::ReceiverConflict { output, receiver });
+            }
+            used[slot] = true;
+        }
+        for row in &mut self.modules {
+            for m in row {
+                m.clear();
+            }
+        }
+        for &(input, output, receiver) in matches {
+            self.modules[output][receiver].select(&self.cfg, input);
+        }
+        Ok(self.reconfiguration_guard_time())
+    }
+
+    /// Guard time for a full-crossbar reconfiguration: all modules switch
+    /// in parallel, so it is the worst single-module time.
+    pub fn reconfiguration_guard_time(&self) -> TimeDelta {
+        self.modules
+            .iter()
+            .flatten()
+            .map(|m| m.switching_time())
+            .max()
+            .unwrap_or(TimeDelta::ZERO)
+    }
+
+    /// The power budget of the path from any ingress to any switching
+    /// module (the architecture is symmetric, so one budget covers all
+    /// 64 × 128 paths).
+    pub fn path_budget(&self) -> PowerBudget {
+        let cfg = &self.cfg;
+        let mut b = PowerBudget::new(cfg.launch, cfg.sensitivity);
+        b.push(OpticalElement::wdm_mux("8×1 WDM mux", cfg.mux_loss_db))
+            .push(OpticalElement::amplifier(
+                "broadcast amplifier",
+                cfg.amp_gain_db,
+            ))
+            .push(OpticalElement::splitter(
+                "1×128 star coupler",
+                cfg.switching_modules() as u32,
+                cfg.star_excess_db,
+            ))
+            .push(cfg.soa.as_element_on("fiber-select SOA"))
+            .push(OpticalElement::passive(
+                "wavelength demux",
+                cfg.demux_loss_db,
+            ))
+            .push(cfg.soa.as_element_on("wavelength-select SOA"));
+        b
+    }
+
+    /// Check that every ingress–egress path closes its power budget with
+    /// the given margin.
+    pub fn budget_closes(&self, margin: Db) -> bool {
+        self.path_budget().closes_with(margin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xbar() -> BroadcastSelectCrossbar {
+        BroadcastSelectCrossbar::new(CrossbarConfig::osmosis_64())
+    }
+
+    #[test]
+    fn demonstrator_dimensions() {
+        let cfg = CrossbarConfig::osmosis_64();
+        assert_eq!(cfg.ports(), 64);
+        assert_eq!(cfg.switching_modules(), 128, "128 switching modules per Fig. 5");
+        assert_eq!(cfg.fibers, 8, "eight fibers carry all the data");
+    }
+
+    #[test]
+    fn fiber_and_color_mapping() {
+        let cfg = CrossbarConfig::osmosis_64();
+        assert_eq!(cfg.fiber_of(0), 0);
+        assert_eq!(cfg.color_of(0), 0);
+        assert_eq!(cfg.fiber_of(63), 7);
+        assert_eq!(cfg.color_of(63), 7);
+        assert_eq!(cfg.fiber_of(17), 2);
+        assert_eq!(cfg.color_of(17), 1);
+    }
+
+    #[test]
+    fn connect_routes_the_right_input() {
+        let mut x = xbar();
+        x.connect(17, 42, 0).unwrap();
+        assert_eq!(x.input_at(42, 0), Some(17));
+        assert_eq!(x.input_at(42, 1), None);
+        x.disconnect(42, 0);
+        assert_eq!(x.input_at(42, 0), None);
+    }
+
+    #[test]
+    fn broadcast_is_multicast_capable() {
+        // The same input selected by many outputs simultaneously.
+        let mut x = xbar();
+        for out in 0..64 {
+            x.connect(5, out, 0).unwrap();
+        }
+        for out in 0..64 {
+            assert_eq!(x.input_at(out, 0), Some(5));
+        }
+    }
+
+    #[test]
+    fn dual_receivers_take_different_inputs() {
+        let mut x = xbar();
+        x.connect(10, 3, 0).unwrap();
+        x.connect(20, 3, 1).unwrap();
+        assert_eq!(x.input_at(3, 0), Some(10));
+        assert_eq!(x.input_at(3, 1), Some(20));
+    }
+
+    #[test]
+    fn bounds_errors() {
+        let mut x = xbar();
+        assert_eq!(x.connect(64, 0, 0), Err(ConfigError::InputOutOfRange(64)));
+        assert_eq!(x.connect(0, 64, 0), Err(ConfigError::OutputOutOfRange(64)));
+        assert_eq!(x.connect(0, 0, 2), Err(ConfigError::ReceiverOutOfRange(2)));
+    }
+
+    #[test]
+    fn apply_matching_replaces_previous_state() {
+        let mut x = xbar();
+        x.connect(1, 1, 0).unwrap();
+        x.apply_matching(&[(2, 2, 0), (3, 3, 1)]).unwrap();
+        assert_eq!(x.input_at(1, 0), None, "old connection cleared");
+        assert_eq!(x.input_at(2, 0), Some(2));
+        assert_eq!(x.input_at(3, 1), Some(3));
+    }
+
+    #[test]
+    fn apply_matching_detects_receiver_conflicts() {
+        let mut x = xbar();
+        let err = x
+            .apply_matching(&[(1, 5, 0), (2, 5, 0)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ReceiverConflict {
+                output: 5,
+                receiver: 0
+            }
+        );
+        // Atomic: nothing was applied.
+        assert_eq!(x.input_at(5, 0), None);
+    }
+
+    #[test]
+    fn full_permutation_matching() {
+        let mut x = xbar();
+        let m: Vec<(usize, usize, usize)> =
+            (0..64).map(|i| (i, (i + 1) % 64, 0)).collect();
+        let guard = x.apply_matching(&m).unwrap();
+        assert_eq!(guard, TimeDelta::from_ns(5), "SOA guard time");
+        for i in 0..64 {
+            assert_eq!(x.input_at((i + 1) % 64, 0), Some(i));
+        }
+    }
+
+    #[test]
+    fn power_budget_closes_for_demonstrator() {
+        // §VI.A: "closed the optical power [...] budgets".
+        let x = xbar();
+        let b = x.path_budget();
+        assert!(
+            x.budget_closes(Db(3.0)),
+            "margin {} too small",
+            b.margin()
+        );
+        // Sanity: the path is net lossy (the 1:128 split dominates).
+        let rx = b.received_power();
+        assert!(rx.0 < x.config().launch.0, "rx {rx} vs launch");
+    }
+
+    #[test]
+    fn budget_fails_without_amplifier() {
+        // Removing the broadcast amplifier must break the 1:128 split loss.
+        let mut cfg = CrossbarConfig::osmosis_64();
+        cfg.amp_gain_db = 0.0;
+        let x = BroadcastSelectCrossbar::new(cfg);
+        assert!(
+            !x.budget_closes(Db(0.0)),
+            "the split loss requires optical amplification"
+        );
+    }
+
+    #[test]
+    fn guard_time_improves_with_fast_soas() {
+        let mut cfg = CrossbarConfig::osmosis_64();
+        cfg.soa = SoaGate::fast_dpsk_mode();
+        let mut x = BroadcastSelectCrossbar::new(cfg);
+        let guard = x.apply_matching(&[(0, 0, 0)]).unwrap();
+        assert!(guard < TimeDelta::from_ns(1));
+    }
+}

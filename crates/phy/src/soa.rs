@@ -1,0 +1,236 @@
+//! SOA saturation behaviour: cross-gain modulation and the DPSK advantage
+//! (Fig. 10 and §VII).
+//!
+//! When several WDM channels share one SOA, the return-to-zero power
+//! transients of an NRZ-modulated channel modulate the amplifier gain and
+//! distort the other channels (cross-gain modulation, XGM). The distortion
+//! grows as the SOA is driven into saturation, i.e. with input loading.
+//! Constant-envelope DPSK has no power transients, so the SOA can operate
+//! "very deeply into saturation" (§VII).
+//!
+//! Fig. 10 of the paper plots the OSNR penalty as a function of SOA input
+//! power for both formats at BER 10⁻⁶ and 10⁻¹⁰, and the text quotes:
+//! *"a 14 dB improvement measured in SOA input loading at 1 dB OSNR
+//! penalty can be achieved by adopting DPSK"*, and, separately, that the
+//! DPSK link *"operates with 3 dB lower OSNR than NRZ at any given
+//! bit-error rate"*.
+//!
+//! The model here is a calibrated saturation-knee curve: the penalty is an
+//! exponential in the input power above the format's knee, pinned so the
+//! 1 dB-penalty points sit 14 dB apart, with the stricter BER curve
+//! shifted toward lower powers. Absolute hardware numbers are not
+//! reproducible in software; the *shape* and the quoted deltas are.
+
+/// Modulation format of the WDM channels through the SOA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// Non-return-to-zero on-off keying (the conventional format).
+    Nrz,
+    /// Differential phase-shift keying (constant envelope).
+    Dpsk,
+}
+
+/// Decade width of the penalty exponential: penalty ×10 every `SLOPE_DB`
+/// of extra input power.
+const SLOPE_DB: f64 = 6.0;
+
+/// SOA input power (dBm) at which the OSNR penalty reaches exactly 1 dB.
+///
+/// Calibration points chosen to match Fig. 10: NRZ knees at low single-digit
+/// dBm input, DPSK knees 14 dB higher; the 10⁻¹⁰ curves sit 1 dB to the
+/// left of (i.e. are stricter than) the 10⁻⁶ curves.
+pub fn knee_dbm(modulation: Modulation, ber: f64) -> f64 {
+    let base = match modulation {
+        Modulation::Nrz => 3.0,
+        Modulation::Dpsk => 17.0,
+    };
+    // Stricter BER → earlier knee. Interpolate on log10(BER):
+    // 1e-6 → +0, 1e-10 → −1 dB.
+    let exponent = -ber.log10(); // 6 for 1e-6, 10 for 1e-10
+    base - (exponent - 6.0) * 0.25
+}
+
+/// OSNR penalty (dB) for the given format, target BER, and SOA input
+/// power (dBm).
+pub fn osnr_penalty_db(modulation: Modulation, ber: f64, input_dbm: f64) -> f64 {
+    let knee = knee_dbm(modulation, ber);
+    10f64.powf((input_dbm - knee) / SLOPE_DB)
+}
+
+/// Inverse of [`osnr_penalty_db`]: the input power producing a given
+/// penalty. Panics for non-positive penalties.
+pub fn input_power_at_penalty(
+    modulation: Modulation,
+    ber: f64,
+    penalty_db: f64,
+) -> f64 {
+    assert!(penalty_db > 0.0, "penalty must be positive");
+    knee_dbm(modulation, ber) + SLOPE_DB * penalty_db.log10()
+}
+
+/// The headline Fig. 10 number: how many dB more input loading DPSK
+/// tolerates than NRZ at a given penalty and BER.
+pub fn dpsk_loading_improvement_db(ber: f64, penalty_db: f64) -> f64 {
+    input_power_at_penalty(Modulation::Dpsk, ber, penalty_db)
+        - input_power_at_penalty(Modulation::Nrz, ber, penalty_db)
+}
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26, |ε| < 1.5e-7).
+pub fn erfc(x: f64) -> f64 {
+    let sign_neg = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let y = poly * (-x * x).exp();
+    if sign_neg {
+        2.0 - y
+    } else {
+        y
+    }
+}
+
+/// BER of an ideal binary receiver at Q-factor `q`: 0.5·erfc(q/√2).
+pub fn ber_from_q(q: f64) -> f64 {
+    0.5 * erfc(q / std::f64::consts::SQRT_2)
+}
+
+/// Q-factor needed for a target BER (bisection on [`ber_from_q`]).
+pub fn q_from_ber(ber: f64) -> f64 {
+    assert!(ber > 0.0 && ber < 0.5, "BER out of range");
+    let (mut lo, mut hi) = (0.0f64, 20.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if ber_from_q(mid) > ber {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Required OSNR (dB, 0.1 nm reference bandwidth) for a 40 Gb/s channel at
+/// the target BER: `20·log10(Q) + C` for NRZ, 3 dB less for DPSK
+/// (the §VII measurement: "the SOA-switched link operates with 3 dB lower
+/// OSNR than NRZ at any given bit-error rate").
+pub fn required_osnr_db(modulation: Modulation, ber: f64) -> f64 {
+    // C calibrated so NRZ at BER 1e-12 (Q ≈ 7) needs ≈ 20 dB OSNR at
+    // 40 Gb/s — a standard engineering figure.
+    let c = 3.1;
+    let q = q_from_ber(ber);
+    let nrz = 20.0 * q.log10() + c;
+    match modulation {
+        Modulation::Nrz => nrz,
+        Modulation::Dpsk => nrz - 3.0,
+    }
+}
+
+/// A (input power, penalty) sample series for one Fig. 10 curve.
+pub fn figure10_curve(
+    modulation: Modulation,
+    ber: f64,
+    powers_dbm: &[f64],
+) -> Vec<(f64, f64)> {
+    powers_dbm
+        .iter()
+        .map(|&p| (p, osnr_penalty_db(modulation, ber, p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_is_one_db_at_the_knee() {
+        for m in [Modulation::Nrz, Modulation::Dpsk] {
+            for ber in [1e-6, 1e-10] {
+                let knee = knee_dbm(m, ber);
+                let p = osnr_penalty_db(m, ber, knee);
+                assert!((p - 1.0).abs() < 1e-12, "{m:?} {ber:e}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn penalty_monotone_in_input_power() {
+        let mut last = 0.0;
+        for p in 0..40 {
+            let pen = osnr_penalty_db(Modulation::Nrz, 1e-10, p as f64 * 0.5);
+            assert!(pen > last);
+            last = pen;
+        }
+    }
+
+    #[test]
+    fn paper_claim_14_db_improvement_at_1db_penalty() {
+        for ber in [1e-6, 1e-10] {
+            let d = dpsk_loading_improvement_db(ber, 1.0);
+            assert!((d - 14.0).abs() < 0.01, "{ber:e}: {d}");
+        }
+    }
+
+    #[test]
+    fn stricter_ber_has_earlier_knee() {
+        for m in [Modulation::Nrz, Modulation::Dpsk] {
+            assert!(knee_dbm(m, 1e-10) < knee_dbm(m, 1e-6), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        for m in [Modulation::Nrz, Modulation::Dpsk] {
+            for pen in [0.2, 1.0, 3.0, 5.0] {
+                let p = input_power_at_penalty(m, 1e-10, pen);
+                let back = osnr_penalty_db(m, 1e-10, p);
+                assert!((back - pen).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn figure10_shape_matches_paper_axes() {
+        // Within the paper's plot window (0..20 dBm, 0..5 dB): NRZ curves
+        // exceed 1 dB early; DPSK stays below 1 dB until ≈16 dBm.
+        let powers: Vec<f64> = (0..=20).map(|p| p as f64).collect();
+        let nrz = figure10_curve(Modulation::Nrz, 1e-10, &powers);
+        let dpsk = figure10_curve(Modulation::Dpsk, 1e-10, &powers);
+        assert!(nrz[6].1 > 1.0, "NRZ already penalized at 6 dBm");
+        assert!(dpsk[10].1 < 0.2, "DPSK clean at 10 dBm");
+        assert!(dpsk[18].1 > 1.0, "DPSK knee before 18 dBm");
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-5);
+        assert!((erfc(2.0) - 0.004678).abs() < 1e-5);
+        assert!((erfc(-1.0) - 1.842701).abs() < 1e-5);
+    }
+
+    #[test]
+    fn q_ber_roundtrip() {
+        // Q ≈ 7.03 ↔ BER 1e-12 (textbook pairing).
+        let q = q_from_ber(1e-12);
+        assert!((q - 7.03).abs() < 0.05, "q {q}");
+        let b = ber_from_q(q);
+        assert!((b.log10() - (-12.0)).abs() < 0.05);
+    }
+
+    #[test]
+    fn dpsk_needs_3db_less_osnr() {
+        for ber in [1e-6, 1e-9, 1e-12] {
+            let d = required_osnr_db(Modulation::Nrz, ber)
+                - required_osnr_db(Modulation::Dpsk, ber);
+            assert!((d - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nrz_osnr_at_1e12_is_about_20db() {
+        let o = required_osnr_db(Modulation::Nrz, 1e-12);
+        assert!((o - 20.0).abs() < 0.5, "OSNR {o}");
+    }
+}

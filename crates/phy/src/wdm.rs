@@ -1,0 +1,170 @@
+//! WDM channel plan for the broadcast fibers.
+//!
+//! Eight ingress adapters per broadcast module "each using a different
+//! WDM color" (§V). This module lays the colors on an ITU-style grid,
+//! checks the plan fits the amplified band, and aggregates the in-band
+//! crosstalk a color picks up from its neighbours through the shared SOA
+//! (adjacent-channel leakage plus the XGM coupling modelled in
+//! [`crate::soa`]).
+
+use crate::units::Db;
+
+/// Speed of light (m/s).
+const C: f64 = 2.997_924_58e8;
+
+/// A WDM channel plan: `channels` colors spaced `spacing_ghz` apart,
+/// centred in the C-band.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelPlan {
+    /// Number of colors per fiber.
+    pub channels: u32,
+    /// Grid spacing in GHz (100 GHz standard; 200 GHz relaxed).
+    pub spacing_ghz: f64,
+    /// Center frequency of the band in THz (C-band ≈ 193.4 THz).
+    pub center_thz: f64,
+}
+
+impl ChannelPlan {
+    /// The demonstrator plan: 8 colors on a 200 GHz grid.
+    pub fn osmosis_8() -> Self {
+        ChannelPlan {
+            channels: 8,
+            spacing_ghz: 200.0,
+            center_thz: 193.4,
+        }
+    }
+
+    /// The §VII outlook plan: 16 colors on a 100 GHz grid.
+    pub fn outlook_16() -> Self {
+        ChannelPlan {
+            channels: 16,
+            spacing_ghz: 100.0,
+            center_thz: 193.4,
+        }
+    }
+
+    /// Frequency of channel `i` in THz.
+    pub fn frequency_thz(&self, i: u32) -> f64 {
+        assert!(i < self.channels);
+        let offset = i as f64 - (self.channels as f64 - 1.0) / 2.0;
+        self.center_thz + offset * self.spacing_ghz / 1_000.0
+    }
+
+    /// Wavelength of channel `i` in nanometers.
+    pub fn wavelength_nm(&self, i: u32) -> f64 {
+        C / (self.frequency_thz(i) * 1e12) * 1e9
+    }
+
+    /// Total spectral width of the plan in GHz.
+    pub fn band_ghz(&self) -> f64 {
+        (self.channels - 1) as f64 * self.spacing_ghz
+    }
+
+    /// Does the plan fit a band of `band_ghz` (e.g. the amplifier's
+    /// 4 THz usable window) with one spacing of edge margin?
+    pub fn fits_band(&self, band_ghz: f64) -> bool {
+        self.band_ghz() + 2.0 * self.spacing_ghz <= band_ghz
+    }
+
+    /// Maximum per-channel symbol rate (Gbaud) before adjacent channels
+    /// overlap, at the given spectral shaping factor (≈1.2 for NRZ/DPSK).
+    pub fn max_symbol_rate_gbaud(&self, shaping: f64) -> f64 {
+        self.spacing_ghz / shaping
+    }
+
+    /// Aggregate adjacent-channel crosstalk picked up by the worst (i.e.
+    /// middle) channel: each neighbour leaks `adjacent_isolation` (dB,
+    /// negative) scaled by grid distance (each extra slot buys
+    /// `rolloff_db_per_slot` more isolation).
+    pub fn aggregate_crosstalk(
+        &self,
+        adjacent_isolation: Db,
+        rolloff_db_per_slot: f64,
+    ) -> Db {
+        assert!(adjacent_isolation.0 < 0.0, "isolation must be a loss");
+        let mid = (self.channels as f64 - 1.0) / 2.0;
+        let mut lin = 0.0;
+        for i in 0..self.channels {
+            let dist = (i as f64 - mid).abs().round();
+            if dist < 0.5 {
+                continue; // the victim itself
+            }
+            let iso = adjacent_isolation.0 - (dist - 1.0) * rolloff_db_per_slot;
+            lin += Db(iso).linear();
+        }
+        Db::from_linear(lin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demonstrator_plan_fits_the_cband() {
+        let p = ChannelPlan::osmosis_8();
+        assert_eq!(p.channels, 8);
+        assert!((p.band_ghz() - 1_400.0).abs() < 1e-9);
+        assert!(p.fits_band(4_000.0), "8 × 200 GHz within 4 THz");
+    }
+
+    #[test]
+    fn outlook_plan_fits_too() {
+        let p = ChannelPlan::outlook_16();
+        assert!((p.band_ghz() - 1_500.0).abs() < 1e-9);
+        assert!(p.fits_band(4_000.0), "16 × 100 GHz within 4 THz");
+    }
+
+    #[test]
+    fn frequencies_are_symmetric_and_ordered() {
+        let p = ChannelPlan::osmosis_8();
+        let f: Vec<f64> = (0..8).map(|i| p.frequency_thz(i)).collect();
+        for w in f.windows(2) {
+            assert!((w[1] - w[0] - 0.2).abs() < 1e-12, "200 GHz steps");
+        }
+        let mid = (f[3] + f[4]) / 2.0;
+        assert!((mid - 193.4).abs() < 1e-9, "centred");
+    }
+
+    #[test]
+    fn wavelengths_are_in_the_1550nm_window() {
+        let p = ChannelPlan::osmosis_8();
+        for i in 0..8 {
+            let wl = p.wavelength_nm(i);
+            assert!((1540.0..1565.0).contains(&wl), "λ{i} = {wl} nm");
+        }
+        // Higher frequency → shorter wavelength.
+        assert!(p.wavelength_nm(7) < p.wavelength_nm(0));
+    }
+
+    #[test]
+    fn symbol_rate_supports_40g_on_the_200ghz_grid() {
+        let p = ChannelPlan::osmosis_8();
+        assert!(p.max_symbol_rate_gbaud(1.2) > 40.0, "40 Gbaud NRZ fits");
+        // The outlook's 200 Gb/s on a 100 GHz grid needs multi-bit
+        // symbols (e.g. DQPSK at 100 Gbaud) — binary 200 Gbaud does not fit.
+        let o = ChannelPlan::outlook_16();
+        assert!(o.max_symbol_rate_gbaud(1.2) < 200.0);
+        assert!(o.max_symbol_rate_gbaud(1.2) > 80.0);
+    }
+
+    #[test]
+    fn aggregate_crosstalk_stays_below_budget() {
+        // 30 dB adjacent isolation, 10 dB/slot rolloff: the middle
+        // channel's total crosstalk stays better than −26 dB.
+        let p = ChannelPlan::osmosis_8();
+        let x = p.aggregate_crosstalk(Db(-30.0), 10.0);
+        assert!(x.0 < -26.0, "crosstalk {x}");
+        // More channels on a tighter grid is worse, but still bounded.
+        let o = ChannelPlan::outlook_16();
+        let xo = o.aggregate_crosstalk(Db(-30.0), 10.0);
+        assert!(xo.0 > x.0, "denser plan has more crosstalk");
+        assert!(xo.0 < -20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "isolation must be a loss")]
+    fn crosstalk_rejects_gain() {
+        ChannelPlan::osmosis_8().aggregate_crosstalk(Db(3.0), 10.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # osmosis-sched
+//!
+//! Crossbar schedulers for the OSMOSIS reproduction: round-robin arbiters,
+//! the classic iSLIP and PIM iterative matchers, the prior-art pipelined
+//! arbiter, and FLPPR — the paper's novel Fast Low-latency Parallel
+//! Pipelined aRbitration (ref. [22]) — plus a maximum-size-matching oracle
+//! for ablations.
+//!
+//! All schedulers implement [`CellScheduler`] and can drive both the
+//! single-stage switch and the multistage fabric simulations, with single
+//! or dual receivers per output.
+//!
+//! The Fig. 6 contrast in four lines:
+//!
+//! ```
+//! use osmosis_sched::{CellScheduler, Flppr, PipelinedArbiter};
+//!
+//! let mut flppr = Flppr::osmosis(64, 1);          // 6 parallel sub-schedulers
+//! flppr.tick(0);
+//! flppr.note_arrival(17, 42);                     // request in cycle 0
+//! assert_eq!(flppr.tick(1).pairs(), &[(17, 42)]); // grant in cycle 1
+//!
+//! let mut prior = PipelinedArbiter::log2n(64, 1); // the prior art
+//! prior.tick(0);
+//! prior.note_arrival(17, 42);
+//! let waited = (1..=10).find(|&t| !prior.tick(t).is_empty()).unwrap();
+//! assert_eq!(waited, 6);                          // log2(64) cycles
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod flppr;
+pub mod islip;
+pub mod maxmatch;
+pub mod pim;
+pub mod pipelined;
+pub mod requests;
+pub mod subsched;
+pub mod traits;
+
+pub use arbiter::{BitSet, RoundRobinArbiter};
+pub use flppr::Flppr;
+pub use islip::Islip;
+pub use maxmatch::{max_matching, MaxSizeScheduler};
+pub use pim::Pim;
+pub use pipelined::PipelinedArbiter;
+pub use requests::{Matching, Requests};
+pub use traits::CellScheduler;

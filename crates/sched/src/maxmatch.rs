@@ -1,0 +1,241 @@
+//! Maximum-size bipartite matching (Hopcroft–Karp) — the oracle reference
+//! for matching-quality ablations.
+//!
+//! Iterative schedulers approximate the maximum matching; this module
+//! computes it exactly so benches can report how close iSLIP/FLPPR get.
+//! Also exposes a (hardware-infeasible) `MaxSizeScheduler` that issues a
+//! maximum matching every slot.
+
+use crate::requests::{Matching, Requests};
+use crate::traits::CellScheduler;
+
+/// Maximum matching size on the bipartite graph with an edge (i, o)
+/// wherever `occ.get(i, o) > 0`, with unit input capacity and
+/// `out_capacity` per output (outputs are expanded into sub-ports).
+pub fn max_matching(occ: &Requests, out_capacity: usize) -> Matching {
+    let n_in = occ.inputs();
+    let n_out = occ.outputs();
+    let n_right = n_out * out_capacity;
+    // Hopcroft–Karp.
+    const NIL: usize = usize::MAX;
+    let mut match_l = vec![NIL; n_in];
+    let mut match_r = vec![NIL; n_right];
+    let adj: Vec<Vec<usize>> = (0..n_in)
+        .map(|i| {
+            (0..n_out)
+                .filter(|&o| occ.get(i, o) > 0)
+                .flat_map(|o| (0..out_capacity).map(move |r| o * out_capacity + r))
+                .collect()
+        })
+        .collect();
+
+    let mut dist = vec![0u32; n_in];
+    let mut queue = std::collections::VecDeque::new();
+
+    loop {
+        // BFS layering from free left vertices.
+        queue.clear();
+        const INF: u32 = u32::MAX;
+        for i in 0..n_in {
+            if match_l[i] == NIL {
+                dist[i] = 0;
+                queue.push_back(i);
+            } else {
+                dist[i] = INF;
+            }
+        }
+        let mut found_free = false;
+        while let Some(i) = queue.pop_front() {
+            for &r in &adj[i] {
+                let m = match_r[r];
+                if m == NIL {
+                    found_free = true;
+                } else if dist[m] == INF {
+                    dist[m] = dist[i] + 1;
+                    queue.push_back(m);
+                }
+            }
+        }
+        if !found_free {
+            break;
+        }
+        // DFS augmenting along layered paths.
+        fn try_augment(
+            i: usize,
+            adj: &[Vec<usize>],
+            match_l: &mut [usize],
+            match_r: &mut [usize],
+            dist: &mut [u32],
+        ) -> bool {
+            const NIL: usize = usize::MAX;
+            const INF: u32 = u32::MAX;
+            for idx in 0..adj[i].len() {
+                let r = adj[i][idx];
+                let m = match_r[r];
+                if m == NIL
+                    || (dist[m] == dist[i] + 1
+                        && try_augment(m, adj, match_l, match_r, dist))
+                {
+                    match_l[i] = r;
+                    match_r[r] = i;
+                    return true;
+                }
+            }
+            dist[i] = INF;
+            false
+        }
+        for i in 0..n_in {
+            if match_l[i] == NIL {
+                try_augment(i, &adj, &mut match_l, &mut match_r, &mut dist);
+            }
+        }
+    }
+
+    let mut m = Matching::new();
+    for (i, &r) in match_l.iter().enumerate() {
+        if r != NIL {
+            m.push(i, r / out_capacity);
+        }
+    }
+    m
+}
+
+/// Oracle scheduler issuing a maximum-size matching every slot. Not
+/// implementable at 51.2 ns; used only as an upper bound in ablations.
+#[derive(Debug, Clone)]
+pub struct MaxSizeScheduler {
+    occ: Requests,
+    out_capacity: usize,
+}
+
+impl MaxSizeScheduler {
+    /// Oracle for an n-port switch.
+    pub fn new(n: usize, out_capacity: usize) -> Self {
+        MaxSizeScheduler {
+            occ: Requests::square(n),
+            out_capacity,
+        }
+    }
+}
+
+impl CellScheduler for MaxSizeScheduler {
+    fn inputs(&self) -> usize {
+        self.occ.inputs()
+    }
+
+    fn outputs(&self) -> usize {
+        self.occ.outputs()
+    }
+
+    fn out_capacity(&self) -> usize {
+        self.out_capacity
+    }
+
+    fn note_arrival(&mut self, input: usize, output: usize) {
+        self.occ.inc(input, output);
+    }
+
+    fn tick(&mut self, _slot: u64) -> Matching {
+        let m = max_matching(&self.occ, self.out_capacity);
+        for &(i, o) in m.pairs() {
+            self.occ.dec(i, o);
+        }
+        m
+    }
+
+    fn name(&self) -> &'static str {
+        "max-size-oracle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let occ = Requests::square(4);
+        assert!(max_matching(&occ, 1).is_empty());
+    }
+
+    #[test]
+    fn perfect_matching_found() {
+        let mut occ = Requests::square(4);
+        for i in 0..4 {
+            occ.inc(i, (i + 1) % 4);
+        }
+        let m = max_matching(&occ, 1);
+        assert_eq!(m.len(), 4);
+        m.validate(&occ, 1).unwrap();
+    }
+
+    #[test]
+    fn finds_augmenting_paths() {
+        // i0→{o0}, i1→{o0,o1}: greedy could match i1→o0 and strand i0;
+        // max matching is 2.
+        let mut occ = Requests::square(2);
+        occ.inc(0, 0);
+        occ.inc(1, 0);
+        occ.inc(1, 1);
+        let m = max_matching(&occ, 1);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn respects_output_capacity() {
+        let mut occ = Requests::square(4);
+        for i in 0..4 {
+            occ.inc(i, 0);
+        }
+        assert_eq!(max_matching(&occ, 1).len(), 1);
+        assert_eq!(max_matching(&occ, 2).len(), 2);
+        assert_eq!(max_matching(&occ, 4).len(), 4);
+    }
+
+    #[test]
+    fn hard_instance_vs_known_size() {
+        // Bipartite graph with a known maximum: inputs 0..5 connect to
+        // outputs {i, i+1 mod 5}; maximum matching = 5.
+        let mut occ = Requests::square(5);
+        for i in 0..5 {
+            occ.inc(i, i);
+            occ.inc(i, (i + 1) % 5);
+        }
+        assert_eq!(max_matching(&occ, 1).len(), 5);
+    }
+
+    #[test]
+    fn oracle_scheduler_is_work_conserving() {
+        let mut s = MaxSizeScheduler::new(8, 1);
+        let mut injected = 0;
+        for i in 0..8 {
+            for o in 0..8 {
+                s.note_arrival(i, o);
+                injected += 1;
+            }
+        }
+        let mut served = 0;
+        for t in 0..20 {
+            served += s.tick(t).len();
+        }
+        assert_eq!(served, injected);
+    }
+
+    #[test]
+    fn oracle_beats_or_ties_single_iteration_islip() {
+        use crate::islip::Islip;
+        let mut occ = Requests::square(8);
+        let mut islip = Islip::new(8, 1, 1);
+        for i in 0..8 {
+            for o in 0..8 {
+                if (i * o) % 3 == 1 {
+                    occ.inc(i, o);
+                    islip.note_arrival(i, o);
+                }
+            }
+        }
+        let oracle = max_matching(&occ, 1).len();
+        let heur = islip.tick(0).len();
+        assert!(oracle >= heur, "{oracle} vs {heur}");
+    }
+}

@@ -1,0 +1,35 @@
+//! The scheduler interface shared by the single-stage switch and fabric
+//! simulations.
+
+use crate::requests::Matching;
+
+/// A central crossbar scheduler operating on cell slots.
+///
+/// The switch notifies the scheduler of every VOQ arrival and calls
+/// [`CellScheduler::tick`] once per slot; the returned [`Matching`] is the
+/// crossbar configuration for that slot. The contract:
+///
+/// * every granted pair is backed by a cell the scheduler was told about
+///   and has not yet granted;
+/// * each input appears at most once per matching;
+/// * each output appears at most [`CellScheduler::out_capacity`] times
+///   (2 with the dual-receiver datapath).
+pub trait CellScheduler {
+    /// Number of switch inputs.
+    fn inputs(&self) -> usize;
+
+    /// Number of switch outputs.
+    fn outputs(&self) -> usize;
+
+    /// Grants each output can absorb per slot (receivers per egress).
+    fn out_capacity(&self) -> usize;
+
+    /// Record one cell arrival into VOQ (input, output).
+    fn note_arrival(&mut self, input: usize, output: usize);
+
+    /// Produce the crossbar grants for this slot.
+    fn tick(&mut self, slot: u64) -> Matching;
+
+    /// Short algorithm name for reports.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,291 @@
+//! A small deterministic discrete-event simulation kernel.
+//!
+//! The slotted switch simulations advance in lock-step cycles, but the
+//! physical-layer and control-channel models need events at arbitrary
+//! picosecond offsets (cable flight times, guard intervals, retransmission
+//! timeouts). This kernel provides a classic calendar: a priority queue of
+//! `(time, sequence, event)` where the sequence number breaks ties in
+//! insertion order so runs are bit-reproducible.
+
+use crate::time::{Time, TimeDelta};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. Sequence ordering makes simultaneous events FIFO.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event calendar and simulation clock.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: Time,
+    next_seq: u64,
+    next_id: u64,
+    cancelled: std::collections::HashSet<EventId>,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: Time::ZERO,
+            next_seq: 0,
+            next_id: 0,
+            cancelled: std::collections::HashSet::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `event` at absolute time `at`. Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: Time, event: E) -> EventId {
+        assert!(at >= self.now, "scheduling into the past");
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            id,
+            event,
+        });
+        id
+    }
+
+    /// Schedule `event` after a delay from now.
+    pub fn schedule_in(&mut self, delay: TimeDelta, event: E) -> EventId {
+        let at = self.now + delay;
+        self.schedule_at(at, event)
+    }
+
+    /// Cancel a previously scheduled event. Returns true if the event was
+    /// still pending. Cancelled entries are dropped lazily on pop.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        // Only mark if it could still be in the heap.
+        self.cancelled.insert(id)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "causality violation");
+            self.now = entry.time;
+            self.processed += 1;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next pending event without popping it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let e = self.heap.pop().unwrap();
+                self.cancelled.remove(&e.id);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+}
+
+/// Drives an [`EventQueue`] against a handler until a horizon or exhaustion.
+///
+/// This is the shape the physical-layer simulations use:
+///
+/// ```
+/// use osmosis_sim::events::{EventQueue, run_until};
+/// use osmosis_sim::time::{Time, TimeDelta};
+///
+/// #[derive(Debug)]
+/// enum Ev { Ping(u32) }
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_at(Time::from_ns(5), Ev::Ping(1));
+/// let mut seen = vec![];
+/// run_until(&mut q, Time::from_ns(100), |q, t, ev| {
+///     let Ev::Ping(n) = ev;
+///     seen.push((t, n));
+///     if n < 3 {
+///         q.schedule_in(TimeDelta::from_ns(10), Ev::Ping(n + 1));
+///     }
+/// });
+/// assert_eq!(seen.len(), 3);
+/// ```
+pub fn run_until<E>(
+    q: &mut EventQueue<E>,
+    horizon: Time,
+    mut handler: impl FnMut(&mut EventQueue<E>, Time, E),
+) {
+    while let Some(t) = q.peek_time() {
+        if t > horizon {
+            break;
+        }
+        let (t, ev) = q.pop().expect("peeked event vanished");
+        handler(q, t, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    enum Ev {
+        A,
+        B,
+        C,
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ns(30), Ev::C);
+        q.schedule_at(Time::from_ns(10), Ev::A);
+        q.schedule_at(Time::from_ns(20), Ev::B);
+        assert_eq!(q.pop().unwrap(), (Time::from_ns(10), Ev::A));
+        assert_eq!(q.pop().unwrap(), (Time::from_ns(20), Ev::B));
+        assert_eq!(q.pop().unwrap(), (Time::from_ns(30), Ev::C));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ns(5), Ev::A);
+        q.schedule_at(Time::from_ns(5), Ev::B);
+        q.schedule_at(Time::from_ns(5), Ev::C);
+        assert_eq!(q.pop().unwrap().1, Ev::A);
+        assert_eq!(q.pop().unwrap().1, Ev::B);
+        assert_eq!(q.pop().unwrap().1, Ev::C);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ns(7), Ev::A);
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_ns(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ns(10), Ev::A);
+        q.pop();
+        q.schedule_at(Time::from_ns(5), Ev::B);
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_at(Time::from_ns(1), Ev::A);
+        q.schedule_at(Time::from_ns(2), Ev::B);
+        assert!(q.cancel(id));
+        assert!(!q.cancel(EventId(999)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, Ev::B);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_at(Time::from_ns(1), Ev::A);
+        q.schedule_at(Time::from_ns(4), Ev::B);
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(Time::from_ns(4)));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ns(10), Ev::A);
+        q.schedule_at(Time::from_ns(20), Ev::B);
+        q.schedule_at(Time::from_ns(30), Ev::C);
+        let mut seen = vec![];
+        run_until(&mut q, Time::from_ns(25), |_, _, ev| seen.push(ev));
+        assert_eq!(seen, vec![Ev::A, Ev::B]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn handler_can_reschedule() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(Time::from_ns(1), 0);
+        let mut count = 0;
+        run_until(&mut q, Time::from_ns(100), |q, _, n| {
+            count += 1;
+            if n < 4 {
+                q.schedule_in(TimeDelta::from_ns(1), n + 1);
+            }
+        });
+        assert_eq!(count, 5);
+        assert_eq!(q.processed(), 5);
+    }
+}

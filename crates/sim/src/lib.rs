@@ -1,0 +1,32 @@
+//! # osmosis-sim
+//!
+//! Deterministic simulation kernel for the OSMOSIS reproduction: picosecond
+//! time arithmetic, a discrete-event calendar, seedable random streams,
+//! online statistics, and parallel parameter sweeps.
+//!
+//! The paper's own performance results (Figs. 6-7) came from an Omnet++
+//! simulation environment; this crate is the Rust substitute for that
+//! substrate. Two execution styles are supported:
+//!
+//! * **Slotted** — the switch/fabric simulations advance in fixed cell
+//!   cycles (51.2 ns in the demonstrator) using [`time::SlotClock`].
+//! * **Event-driven** — physical-layer and protocol models schedule events
+//!   at arbitrary picosecond offsets using [`events::EventQueue`].
+//!
+//! All randomness flows from a single experiment seed through
+//! [`rng::SeedSequence`], so every figure in `EXPERIMENTS.md` is exactly
+//! reproducible.
+
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod sweep;
+pub mod time;
+
+pub use events::{run_until, EventQueue};
+pub use rng::{SeedSequence, SimRng};
+pub use stats::{Counter, Histogram, SimSummary, Welford};
+pub use sweep::{linspace, logspace, parallel_sweep};
+pub use time::{SlotClock, Time, TimeDelta};

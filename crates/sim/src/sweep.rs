@@ -1,0 +1,154 @@
+//! Parallel parameter sweeps.
+//!
+//! Figure reproductions sweep offered load, port count, or guard time over
+//! dozens of points, each an independent simulation. [`parallel_sweep`]
+//! fans the points out over `std::thread::scope` workers (the data-parallel
+//! pattern from the Rayon guide, without the dependency) and returns the
+//! results in input order. Determinism is preserved because every point
+//! carries its own seed.
+
+/// Run `f` over every element of `inputs`, in parallel, preserving order.
+///
+/// `f` must be `Sync` (it is shared by reference across workers); inputs are
+/// consumed by value. The number of workers defaults to available
+/// parallelism, capped by the number of inputs.
+pub fn parallel_sweep<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+
+    // Work-stealing by index: a shared atomic cursor over a slot vector.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<I>>> =
+        inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let outputs: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let input = slots[idx]
+                    .lock()
+                    .expect("input slot poisoned")
+                    .take()
+                    .expect("input taken twice");
+                let out = f(input);
+                *outputs[idx].lock().expect("output slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    outputs
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("output slot poisoned")
+                .expect("worker died before writing output")
+        })
+        .collect()
+}
+
+/// Generate `count` evenly spaced points in `[lo, hi]` inclusive.
+pub fn linspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(count >= 2, "need at least two points");
+    let step = (hi - lo) / (count - 1) as f64;
+    (0..count).map(|i| lo + step * i as f64).collect()
+}
+
+/// Generate logarithmically spaced points in `[lo, hi]` inclusive.
+/// Panics unless `0 < lo <= hi`.
+pub fn logspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(count >= 2, "need at least two points");
+    assert!(lo > 0.0 && hi >= lo, "logspace needs 0 < lo <= hi");
+    let llo = lo.ln();
+    let lhi = hi.ln();
+    let step = (lhi - llo) / (count - 1) as f64;
+    (0..count).map(|i| (llo + step * i as f64).exp()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_preserves_order() {
+        let inputs: Vec<u64> = (0..57).collect();
+        let out = parallel_sweep(inputs, |x| x * x);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn sweep_empty() {
+        let out: Vec<u64> = parallel_sweep(Vec::<u64>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sweep_single() {
+        let out = parallel_sweep(vec![41], |x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn sweep_with_heavy_work_is_correct() {
+        // Each task busy-computes so threads actually interleave.
+        let inputs: Vec<u64> = (0..32).collect();
+        let out = parallel_sweep(inputs, |x| {
+            let mut acc = 0u64;
+            for i in 0..50_000 {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            (x, acc)
+        });
+        for (i, &(x, _)) in out.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let v = linspace(0.0, 1.0, 5);
+        assert_eq!(v.len(), 5);
+        assert!((v[0] - 0.0).abs() < 1e-12);
+        assert!((v[4] - 1.0).abs() < 1e-12);
+        assert!((v[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logspace_endpoints() {
+        let v = logspace(1e-12, 1e-6, 7);
+        assert!((v[0] - 1e-12).abs() < 1e-24);
+        assert!((v[6] - 1e-6).abs() < 1e-16);
+        // Monotone increasing.
+        for w in v.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn linspace_needs_two_points() {
+        linspace(0.0, 1.0, 1);
+    }
+}

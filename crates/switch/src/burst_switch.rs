@@ -1,0 +1,278 @@
+//! Burst (container / envelope) switching — the workaround the paper
+//! rejects (§II, §VI.D).
+//!
+//! High-port-count centrally scheduled crossbars have been built by
+//! aggregating packets into multi-cell bursts so the scheduler only has
+//! to produce a matching every B cell cycles (refs. [5][6]). The price is
+//! exactly what §VI.D states: *"Owing to the packet burst size, these
+//! architectures exhibit latencies on the order of the packet burst time
+//! for unloaded switches, which is not attractive for HPC interconnect
+//! fabrics."* A lone cell must first wait for its container to be
+//! assembled (or for the assembly timeout) and then for a burst-grained
+//! grant.
+//!
+//! The model: VOQs aggregate cells into containers of `burst` cells; a
+//! container becomes eligible when full **or** when its oldest cell has
+//! waited `timeout` slots (the standard assembly rule). The scheduler
+//! computes one matching every `burst` slots (it has B cycles to do so —
+//! that is the whole point) and a granted container occupies its input
+//! and output for the following `burst` slots.
+
+use crate::cell::Cell;
+use crate::voq_switch::{RunConfig, SwitchReport};
+use osmosis_sched::arbiter::{BitSet, RoundRobinArbiter};
+use osmosis_sim::stats::Histogram;
+use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use std::collections::VecDeque;
+
+/// Burst-switching crossbar.
+pub struct BurstSwitch {
+    n: usize,
+    /// Cells per container.
+    burst: u64,
+    /// Assembly timeout in slots.
+    timeout: u64,
+    voq: Vec<VecDeque<Cell>>,
+    egress: Vec<VecDeque<Cell>>,
+    grant_arb: Vec<RoundRobinArbiter>,
+    accept_arb: Vec<RoundRobinArbiter>,
+    /// Remaining busy slots per input / output (container in flight).
+    in_busy: Vec<u64>,
+    out_busy: Vec<u64>,
+    stamper: SequenceStamper,
+    next_id: u64,
+}
+
+impl BurstSwitch {
+    /// An `n`-port burst switch with `burst` cells per container and the
+    /// given assembly timeout.
+    pub fn new(n: usize, burst: u64, timeout: u64) -> Self {
+        assert!(n > 0 && burst >= 1);
+        BurstSwitch {
+            n,
+            burst,
+            timeout,
+            voq: (0..n * n).map(|_| VecDeque::new()).collect(),
+            egress: (0..n).map(|_| VecDeque::new()).collect(),
+            grant_arb: (0..n).map(|_| RoundRobinArbiter::new(n)).collect(),
+            accept_arb: (0..n).map(|_| RoundRobinArbiter::new(n)).collect(),
+            in_busy: vec![0; n],
+            out_busy: vec![0; n],
+            stamper: SequenceStamper::new(),
+            next_id: 0,
+        }
+    }
+
+    fn container_eligible(&self, i: usize, o: usize, t: u64) -> bool {
+        let q = &self.voq[i * self.n + o];
+        match q.front() {
+            None => false,
+            Some(head) => {
+                q.len() as u64 >= self.burst || t.saturating_sub(head.inject_slot) >= self.timeout
+            }
+        }
+    }
+
+    /// Run traffic and report (same schema as the VOQ switch).
+    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: RunConfig) -> SwitchReport {
+        assert_eq!(traffic.ports(), self.n);
+        let n = self.n;
+        let total = cfg.warmup_slots + cfg.measure_slots;
+        let mut delay_hist = Histogram::new(1.0, 65_536);
+        let mut grant_hist = Histogram::new(1.0, 65_536);
+        let mut checker = SequenceChecker::new();
+        let (mut injected, mut delivered) = (0u64, 0u64);
+        let mut max_voq = 0usize;
+        let mut max_egress = 0usize;
+        let mut arrivals = Vec::with_capacity(n);
+        let mut requesters = BitSet::new(n);
+        let mut grants_to_input: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+
+        for t in 0..total {
+            let measuring = t >= cfg.warmup_slots;
+
+            // Ports tied up by a container in flight count down.
+            for b in self.in_busy.iter_mut().chain(self.out_busy.iter_mut()) {
+                *b = b.saturating_sub(1);
+            }
+
+            // A matching is computed only on burst boundaries — and the
+            // scheduler had `burst` cycles to compute it, so it can
+            // afford a full log2(N)-iteration matching (that relaxation
+            // is the entire point of container switching).
+            if t % self.burst == 0 {
+                let iterations = (n.max(2) as f64).log2().ceil() as usize;
+                let mut in_matched = vec![false; n];
+                let mut out_matched = vec![false; n];
+                for _ in 0..iterations {
+                    for g in grants_to_input.iter_mut() {
+                        g.clear_all();
+                    }
+                    let mut any = false;
+                    for o in 0..n {
+                        if out_matched[o] || self.out_busy[o] > 0 {
+                            continue;
+                        }
+                        requesters.clear_all();
+                        let mut have = false;
+                        for i in 0..n {
+                            if !in_matched[i]
+                                && self.in_busy[i] == 0
+                                && self.container_eligible(i, o, t)
+                            {
+                                requesters.set(i);
+                                have = true;
+                            }
+                        }
+                        if !have {
+                            continue;
+                        }
+                        if let Some(i) = self.grant_arb[o].arbitrate(&requesters) {
+                            grants_to_input[i].set(o);
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        break;
+                    }
+                    for i in 0..n {
+                        if in_matched[i]
+                            || self.in_busy[i] > 0
+                            || grants_to_input[i].is_empty()
+                        {
+                            continue;
+                        }
+                        if let Some(o) =
+                            self.accept_arb[i].arbitrate(&grants_to_input[i])
+                        {
+                            in_matched[i] = true;
+                            out_matched[o] = true;
+                            self.grant_arb[o].advance_past(i);
+                            self.accept_arb[i].advance_past(o);
+                            // Launch the container: up to `burst` cells
+                            // leave back to back over the next slots.
+                            let q = &mut self.voq[i * n + o];
+                            let take = (q.len() as u64).min(self.burst);
+                            for k in 0..take {
+                                let mut cell = q.pop_front().unwrap();
+                                cell.grant_slot = t + k;
+                                if measuring && cell.inject_slot >= cfg.warmup_slots {
+                                    grant_hist
+                                        .record((t + k - cell.inject_slot) as f64);
+                                }
+                                self.egress[o].push_back(cell);
+                            }
+                            self.in_busy[i] = self.burst;
+                            self.out_busy[o] = self.burst;
+                        }
+                    }
+                }
+            }
+
+            // Egress drains one cell per slot.
+            for (o, q) in self.egress.iter_mut().enumerate() {
+                max_egress = max_egress.max(q.len());
+                if let Some(cell) = q.pop_front() {
+                    debug_assert_eq!(cell.dst, o);
+                    checker.record(cell.src, cell.dst, cell.seq);
+                    if measuring {
+                        delivered += 1;
+                        if cell.inject_slot >= cfg.warmup_slots {
+                            delay_hist.record((t - cell.inject_slot) as f64);
+                        }
+                    }
+                }
+            }
+
+            // Arrivals.
+            arrivals.clear();
+            traffic.arrivals(t, &mut arrivals);
+            for a in &arrivals {
+                let seq = self.stamper.stamp(a.src, a.dst);
+                let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, t);
+                self.next_id += 1;
+                if measuring {
+                    injected += 1;
+                }
+                self.voq[a.src * n + a.dst].push_back(cell);
+                max_voq = max_voq.max(self.voq[a.src * n + a.dst].len());
+            }
+        }
+
+        let denom = cfg.measure_slots as f64 * n as f64;
+        SwitchReport {
+            offered_load: injected as f64 / denom,
+            throughput: delivered as f64 / denom,
+            mean_delay: delay_hist.mean(),
+            p99_delay: delay_hist.quantile(0.99),
+            mean_request_grant: grant_hist.mean(),
+            injected,
+            delivered,
+            dropped: 0,
+            reordered: checker.reordered(),
+            max_voq_depth: max_voq,
+            max_egress_depth: max_egress,
+            delay_hist,
+            grant_hist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osmosis_sim::SeedSequence;
+    use osmosis_traffic::BernoulliUniform;
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            warmup_slots: 2_000,
+            measure_slots: 10_000,
+        }
+    }
+
+    #[test]
+    fn unloaded_latency_is_on_the_order_of_the_burst_time() {
+        // §VI.D's disqualifier: a lone cell waits out the assembly
+        // timeout (≈ the burst time) before anything moves.
+        let burst = 16u64;
+        let mut sw = BurstSwitch::new(8, burst, burst);
+        let mut tr = BernoulliUniform::new(8, 0.02, &SeedSequence::new(1));
+        let r = sw.run(&mut tr, cfg());
+        assert!(
+            r.mean_delay >= burst as f64 * 0.8,
+            "delay {} vs burst {burst}",
+            r.mean_delay
+        );
+    }
+
+    #[test]
+    fn bigger_bursts_mean_bigger_unloaded_latency() {
+        let measure = |burst| {
+            let mut sw = BurstSwitch::new(8, burst, burst);
+            let mut tr = BernoulliUniform::new(8, 0.02, &SeedSequence::new(2));
+            sw.run(&mut tr, cfg()).mean_delay
+        };
+        let b4 = measure(4);
+        let b32 = measure(32);
+        assert!(b32 > b4 * 3.0, "{b4} vs {b32}");
+    }
+
+    #[test]
+    fn keeps_order_and_loses_nothing() {
+        let mut sw = BurstSwitch::new(8, 8, 8);
+        let mut tr = BernoulliUniform::new(8, 0.6, &SeedSequence::new(3));
+        let r = sw.run(&mut tr, cfg());
+        assert_eq!(r.reordered, 0);
+        assert_eq!(r.dropped, 0);
+        assert!((r.throughput - 0.6).abs() < 0.05, "{}", r.throughput);
+    }
+
+    #[test]
+    fn burst_one_degenerates_to_cell_switching() {
+        let mut sw = BurstSwitch::new(8, 1, 1);
+        let mut tr = BernoulliUniform::new(8, 0.05, &SeedSequence::new(4));
+        let r = sw.run(&mut tr, cfg());
+        assert!(r.mean_delay < 3.0, "{}", r.mean_delay);
+    }
+}

@@ -1,0 +1,159 @@
+//! The load-balanced Birkhoff–von Neumann switch (§VI.D, ref. [24]) —
+//! the scalable-but-unsuitable baseline.
+//!
+//! A space-time-space architecture with *distributed* scheduling: the
+//! first stage walks a deterministic round-robin pattern that shapes any
+//! admissible traffic into uniform traffic; the middle holds the buffers;
+//! the second stage walks the same deterministic pattern toward the
+//! outputs. No central scheduler at all — which is why it scales — but,
+//! as the paper notes, it is unattractive for HPC: an unloaded N-port
+//! switch still averages ≈N/2 packet cycles of latency (a cell must wait
+//! for the rotation to reach its output) and packets of one flow take
+//! different middle ports, arriving out of order.
+
+use crate::cell::Cell;
+use crate::voq_switch::{RunConfig, SwitchReport};
+use osmosis_sim::stats::Histogram;
+use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use std::collections::VecDeque;
+
+/// The two-stage load-balanced BvN switch.
+pub struct BvnSwitch {
+    n: usize,
+    /// Middle-stage VOQs: `mid[m * n + o]`.
+    mid: Vec<VecDeque<Cell>>,
+    stamper: SequenceStamper,
+    next_id: u64,
+}
+
+impl BvnSwitch {
+    /// An `n`-port BvN switch.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        BvnSwitch {
+            n,
+            mid: (0..n * n).map(|_| VecDeque::new()).collect(),
+            stamper: SequenceStamper::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Run traffic and report.
+    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: RunConfig) -> SwitchReport {
+        assert_eq!(traffic.ports(), self.n);
+        let n = self.n as u64;
+        let total = cfg.warmup_slots + cfg.measure_slots;
+        let mut delay_hist = Histogram::new(1.0, 16_384);
+        let mut checker = SequenceChecker::new();
+        let (mut injected, mut delivered) = (0u64, 0u64);
+        let mut max_mid = 0usize;
+        let mut arrivals = Vec::with_capacity(self.n);
+
+        for t in 0..total {
+            let measuring = t >= cfg.warmup_slots;
+
+            // Stage 2: middle m → output (m + t) mod N; deliver the head
+            // cell of the matching middle VOQ straight to the host.
+            for m in 0..self.n {
+                let o = ((m as u64 + t) % n) as usize;
+                let q = &mut self.mid[m * self.n + o];
+                max_mid = max_mid.max(q.len());
+                if let Some(cell) = q.pop_front() {
+                    checker.record(cell.src, cell.dst, cell.seq);
+                    if measuring {
+                        delivered += 1;
+                        if cell.inject_slot >= cfg.warmup_slots {
+                            delay_hist.record((t - cell.inject_slot) as f64);
+                        }
+                    }
+                }
+            }
+
+            // Stage 1: input i → middle (i + t) mod N; arriving cells are
+            // spread over the middles by the rotation itself.
+            arrivals.clear();
+            traffic.arrivals(t, &mut arrivals);
+            for a in &arrivals {
+                let seq = self.stamper.stamp(a.src, a.dst);
+                let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, t);
+                self.next_id += 1;
+                if measuring {
+                    injected += 1;
+                }
+                let m = ((a.src as u64 + t) % n) as usize;
+                self.mid[m * self.n + a.dst].push_back(cell);
+            }
+        }
+
+        let denom = cfg.measure_slots as f64 * self.n as f64;
+        SwitchReport {
+            offered_load: injected as f64 / denom,
+            throughput: delivered as f64 / denom,
+            mean_delay: delay_hist.mean(),
+            p99_delay: delay_hist.quantile(0.99),
+            mean_request_grant: 0.0,
+            injected,
+            delivered,
+            dropped: 0,
+            reordered: checker.reordered(),
+            max_voq_depth: max_mid,
+            max_egress_depth: 0,
+            delay_hist,
+            grant_hist: Histogram::new(1.0, 2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osmosis_sim::SeedSequence;
+    use osmosis_traffic::BernoulliUniform;
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            warmup_slots: 1_000,
+            measure_slots: 10_000,
+        }
+    }
+
+    #[test]
+    fn unloaded_latency_is_about_n_over_2() {
+        // §VI.D: "high average switching latency of N/2 packets for an
+        // unloaded N-port switch".
+        for n in [16usize, 32] {
+            let mut sw = BvnSwitch::new(n);
+            let mut tr = BernoulliUniform::new(n, 0.02, &SeedSequence::new(1));
+            let r = sw.run(&mut tr, cfg());
+            let expect = n as f64 / 2.0;
+            assert!(
+                (r.mean_delay - expect).abs() < expect * 0.15,
+                "n={n}: delay {} vs ≈{expect}",
+                r.mean_delay
+            );
+        }
+    }
+
+    #[test]
+    fn delivers_out_of_order() {
+        // §VI.D: "out-of-order packet delivery" — the other disqualifier.
+        let mut sw = BvnSwitch::new(16);
+        let mut tr = BernoulliUniform::new(16, 0.7, &SeedSequence::new(2));
+        let r = sw.run(&mut tr, cfg());
+        assert!(
+            r.reordered > 0,
+            "BvN must reorder under load (got {})",
+            r.reordered
+        );
+    }
+
+    #[test]
+    fn scalable_throughput_without_a_scheduler() {
+        // Its merit: full throughput under uniform traffic, no scheduler.
+        let mut sw = BvnSwitch::new(16);
+        let mut tr = BernoulliUniform::new(16, 0.95, &SeedSequence::new(3));
+        let r = sw.run(&mut tr, cfg());
+        assert!((r.throughput - 0.95).abs() < 0.02, "{}", r.throughput);
+        assert_eq!(r.dropped, 0);
+    }
+}

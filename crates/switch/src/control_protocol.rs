@@ -1,0 +1,231 @@
+//! Reliable control channel for crossbar arbitration (the paper's
+//! ref. [19]: Minkenberg, Abel, Gusat, "Reliable control protocol for
+//! crossbar arbitration"; §IV.B: "we have shown how to make these
+//! control channels reliable").
+//!
+//! The request/grant channel between the ingress adapters and the central
+//! scheduler is a physical link with a real BER. A corrupted *request*
+//! (VOQ increment) silently desynchronizes the scheduler's mirror of the
+//! VOQ state: the scheduler undercounts and cells strand forever. A
+//! corrupted *grant* makes the scheduler overcount departures: it later
+//! issues grants for cells that were already counted out (phantoms) —
+//! or the adapter misses the grant and the cell stalls.
+//!
+//! The protected protocol used here (after ref. [19]): CRC-protected
+//! control cells (corruption = erasure, never silent corruption) plus a
+//! **periodic absolute refresh** — every `refresh_period` slots the
+//! adapter transmits its true VOQ occupancy vector, which overwrites the
+//! scheduler's mirror. Incremental errors therefore persist at most one
+//! refresh period. The experiment contrasts `naive` (increments only)
+//! with `protected` and measures stranded cells and phantom grants.
+
+use osmosis_sched::arbiter::{BitSet, RoundRobinArbiter};
+use osmosis_sim::SimRng;
+
+/// Protocol variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlProtocol {
+    /// Incremental updates only; a lost message desynchronizes forever.
+    Naive,
+    /// Incremental updates + periodic absolute refresh (ref. [19]).
+    Protected {
+        /// Slots between absolute refreshes.
+        refresh_period: u64,
+    },
+}
+
+/// Results of a control-channel run.
+#[derive(Debug, Clone)]
+pub struct ControlReport {
+    /// Cells that arrived at the adapter.
+    pub arrivals: u64,
+    /// Cells actually transmitted on grants.
+    pub served: u64,
+    /// Grants that found no cell (scheduler overcounted).
+    pub phantom_grants: u64,
+    /// Cells still queued at the horizon although the scheduler's mirror
+    /// showed empty (stranded by desynchronization).
+    pub stranded: u64,
+    /// Control messages lost to channel errors.
+    pub control_losses: u64,
+}
+
+/// Simulate one adapter↔scheduler pair with `n` VOQs over a lossy
+/// control channel for `slots` slots at `arrival_rate` cells/slot and
+/// per-message loss probability `loss_p`.
+pub fn run_control_channel(
+    n: usize,
+    protocol: ControlProtocol,
+    arrival_rate: f64,
+    loss_p: f64,
+    slots: u64,
+    seed: u64,
+) -> ControlReport {
+    assert!(n > 0);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut true_count = vec![0u64; n]; // adapter ground truth
+    let mut mirror = vec![0u64; n]; // scheduler's belief
+    let mut arb = RoundRobinArbiter::new(n);
+    let mut requesters = BitSet::new(n);
+
+    let mut report = ControlReport {
+        arrivals: 0,
+        served: 0,
+        phantom_grants: 0,
+        stranded: 0,
+        control_losses: 0,
+    };
+
+    for t in 0..slots {
+        // Scheduler side: grant one VOQ the mirror believes non-empty.
+        requesters.clear_all();
+        let mut have = false;
+        for (o, &m) in mirror.iter().enumerate() {
+            if m > 0 {
+                requesters.set(o);
+                have = true;
+            }
+        }
+        if have {
+            if let Some(o) = arb.arbitrate(&requesters) {
+                arb.advance_past(o);
+                mirror[o] -= 1;
+                // The grant crosses the lossy channel to the adapter.
+                if rng.coin(loss_p) {
+                    report.control_losses += 1;
+                    // Grant lost: the cell stays queued, the mirror is
+                    // now low by one — a stranding error.
+                } else if true_count[o] > 0 {
+                    true_count[o] -= 1;
+                    report.served += 1;
+                } else {
+                    report.phantom_grants += 1;
+                }
+            }
+        }
+
+        // Adapter side: arrivals; each sends an increment message.
+        if rng.coin(arrival_rate) {
+            let o = rng.index(n);
+            true_count[o] += 1;
+            report.arrivals += 1;
+            if rng.coin(loss_p) {
+                // Increment lost: the scheduler never learns of the cell.
+                report.control_losses += 1;
+            } else {
+                mirror[o] += 1;
+            }
+        }
+
+        // Protected: periodic absolute refresh overwrites the mirror.
+        if let ControlProtocol::Protected { refresh_period } = protocol {
+            if t % refresh_period == refresh_period - 1 {
+                // The refresh itself is CRC-protected and retried within
+                // the period; model: it may be lost this period (caught
+                // next period).
+                if !rng.coin(loss_p) {
+                    mirror.copy_from_slice(&true_count);
+                }
+            }
+        }
+    }
+
+    // Stranded: cells the adapter still holds where the mirror shows
+    // nothing to grant.
+    for o in 0..n {
+        report.stranded += true_count[o].saturating_sub(mirror[o]);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_channel_never_strands() {
+        for proto in [
+            ControlProtocol::Naive,
+            ControlProtocol::Protected { refresh_period: 64 },
+        ] {
+            let r = run_control_channel(8, proto, 0.5, 0.0, 50_000, 1);
+            assert_eq!(r.stranded, 0, "{proto:?}");
+            assert_eq!(r.phantom_grants, 0);
+            assert_eq!(r.control_losses, 0);
+            assert!(r.served as f64 >= r.arrivals as f64 * 0.999);
+        }
+    }
+
+    #[test]
+    fn naive_protocol_strands_cells_on_a_lossy_channel() {
+        let r = run_control_channel(8, ControlProtocol::Naive, 0.5, 1e-3, 200_000, 2);
+        assert!(r.control_losses > 0);
+        assert!(
+            r.stranded > 10,
+            "lost increments must strand cells: {}",
+            r.stranded
+        );
+    }
+
+    #[test]
+    fn protected_protocol_recovers() {
+        let r = run_control_channel(
+            8,
+            ControlProtocol::Protected { refresh_period: 64 },
+            0.5,
+            1e-3,
+            200_000,
+            2,
+        );
+        assert!(r.control_losses > 0, "errors did occur");
+        // Any residual stranding is at most what the last (possibly
+        // lost) refresh window left behind.
+        assert!(
+            r.stranded <= 2,
+            "refresh must bound desynchronization: {}",
+            r.stranded
+        );
+        assert!(r.served as f64 >= r.arrivals as f64 * 0.99);
+    }
+
+    #[test]
+    fn protection_quality_scales_with_refresh_rate() {
+        let slow = run_control_channel(
+            8,
+            ControlProtocol::Protected { refresh_period: 4_096 },
+            0.5,
+            5e-3,
+            100_000,
+            3,
+        );
+        let fast = run_control_channel(
+            8,
+            ControlProtocol::Protected { refresh_period: 64 },
+            0.5,
+            5e-3,
+            100_000,
+            3,
+        );
+        // Faster refresh serves more of the arrivals by the horizon.
+        assert!(fast.served >= slow.served, "{} vs {}", fast.served, slow.served);
+    }
+
+    #[test]
+    fn phantom_grants_counted() {
+        // Very lossy grants: the mirror overcounts departures relative to
+        // truth only when grants are lost *after* decrement; phantoms
+        // appear when refresh resyncs counts upward and stale grants
+        // fire. Just verify the counter machinery is consistent:
+        // served + phantoms ≤ grants issued ≤ slots.
+        let r = run_control_channel(
+            4,
+            ControlProtocol::Protected { refresh_period: 32 },
+            0.8,
+            5e-2,
+            50_000,
+            4,
+        );
+        assert!(r.served + r.phantom_grants <= 50_000);
+        assert!(r.served > 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # osmosis-switch
+//!
+//! Slotted single-stage switch simulations for the OSMOSIS reproduction:
+//!
+//! * [`VoqSwitch`] — the OSMOSIS architecture: VOQ ingress, bufferless
+//!   crossbar, central scheduler, single/dual receivers (Figs. 5–7);
+//! * [`RemoteSchedulerSwitch`] — the Fig. 1 thought experiment: a distant
+//!   scheduler costs 2 RTT of unloaded latency;
+//! * [`FifoSwitch`] — head-of-line-blocked baseline (the 58.6% limit);
+//! * [`OqSwitch`] — ideal output-queued electronic baseline (ref. [16]);
+//! * [`BvnSwitch`] — load-balanced Birkhoff-von Neumann baseline (§VI.D);
+//! * [`BurstSwitch`] — container/envelope switching baseline (§II, §VI.D);
+//! * [`DeflectionSwitch`] — Data-Vortex-style deflection routing (§II).
+//!
+//! All runs report throughput, delay and request-to-grant distributions,
+//! losslessness and per-flow ordering — the switch-level rows of Table 1.
+
+#![warn(missing_docs)]
+
+pub mod burst_switch;
+pub mod bvn;
+pub mod cell;
+pub mod cioq;
+pub mod control_protocol;
+pub mod deflection;
+pub mod fifo_switch;
+pub mod multicast;
+pub mod oq_switch;
+pub mod remote_sched;
+pub mod voq_switch;
+
+pub use burst_switch::BurstSwitch;
+pub use cioq::{CioqReport, CioqSwitch};
+pub use control_protocol::{run_control_channel, ControlProtocol, ControlReport};
+pub use bvn::BvnSwitch;
+pub use deflection::DeflectionSwitch;
+pub use cell::Cell;
+pub use fifo_switch::FifoSwitch;
+pub use multicast::{run_multicast, MulticastReport, MulticastSwitch};
+pub use oq_switch::OqSwitch;
+pub use remote_sched::RemoteSchedulerSwitch;
+pub use voq_switch::{run_uniform, RunConfig, SwitchReport, VoqSwitch};

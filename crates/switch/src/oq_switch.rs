@@ -1,0 +1,145 @@
+//! Ideal output-queued switch — the classic electronic baseline.
+//!
+//! §III: "Traditional supercomputing interconnect fabrics have typically
+//! used output-queued electronic switches with integrated buffers [16]."
+//! An OQ switch moves every arriving cell into its output buffer within
+//! the same slot (internal speedup N), making it trivially
+//! work-conserving — the delay lower bound every input-queued design is
+//! measured against. Its cost is what the paper's optics cannot provide:
+//! a memory running N times faster than the line rate.
+
+use crate::cell::Cell;
+use crate::voq_switch::{RunConfig, SwitchReport};
+use osmosis_sim::stats::Histogram;
+use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use std::collections::VecDeque;
+
+/// The ideal output-queued switch.
+pub struct OqSwitch {
+    n: usize,
+    egress: Vec<VecDeque<Cell>>,
+    stamper: SequenceStamper,
+    next_id: u64,
+}
+
+impl OqSwitch {
+    /// An `n`-port OQ switch.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        OqSwitch {
+            n,
+            egress: (0..n).map(|_| VecDeque::new()).collect(),
+            stamper: SequenceStamper::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Run traffic and report.
+    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: RunConfig) -> SwitchReport {
+        assert_eq!(traffic.ports(), self.n);
+        let n = self.n;
+        let total = cfg.warmup_slots + cfg.measure_slots;
+        let mut delay_hist = Histogram::new(1.0, 16_384);
+        let mut checker = SequenceChecker::new();
+        let (mut injected, mut delivered) = (0u64, 0u64);
+        let mut max_egress = 0usize;
+        let mut arrivals = Vec::with_capacity(n);
+
+        for t in 0..total {
+            let measuring = t >= cfg.warmup_slots;
+
+            // Egress transmits one cell per slot.
+            for (o, q) in self.egress.iter_mut().enumerate() {
+                max_egress = max_egress.max(q.len());
+                if let Some(cell) = q.pop_front() {
+                    debug_assert_eq!(cell.dst, o);
+                    checker.record(cell.src, cell.dst, cell.seq);
+                    if measuring {
+                        delivered += 1;
+                        if cell.inject_slot >= cfg.warmup_slots {
+                            delay_hist.record((t - cell.inject_slot) as f64);
+                        }
+                    }
+                }
+            }
+
+            // Arrivals go straight to their output queue (speedup N).
+            arrivals.clear();
+            traffic.arrivals(t, &mut arrivals);
+            for a in &arrivals {
+                let seq = self.stamper.stamp(a.src, a.dst);
+                let mut cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, t);
+                cell.grant_slot = t;
+                self.next_id += 1;
+                if measuring {
+                    injected += 1;
+                }
+                self.egress[a.dst].push_back(cell);
+            }
+        }
+
+        let denom = cfg.measure_slots as f64 * n as f64;
+        SwitchReport {
+            offered_load: injected as f64 / denom,
+            throughput: delivered as f64 / denom,
+            mean_delay: delay_hist.mean(),
+            p99_delay: delay_hist.quantile(0.99),
+            mean_request_grant: 0.0,
+            injected,
+            delivered,
+            dropped: 0,
+            reordered: checker.reordered(),
+            max_voq_depth: 0,
+            max_egress_depth: max_egress,
+            delay_hist,
+            grant_hist: Histogram::new(1.0, 2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osmosis_sim::SeedSequence;
+    use osmosis_traffic::BernoulliUniform;
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            warmup_slots: 1_000,
+            measure_slots: 10_000,
+        }
+    }
+
+    #[test]
+    fn oq_sustains_full_load() {
+        let mut sw = OqSwitch::new(16);
+        let mut tr = BernoulliUniform::new(16, 0.98, &SeedSequence::new(1));
+        let r = sw.run(&mut tr, cfg());
+        assert!((r.throughput - 0.98).abs() < 0.02, "{}", r.throughput);
+        assert_eq!(r.reordered, 0);
+    }
+
+    #[test]
+    fn oq_delay_is_a_lower_bound_for_voq() {
+        use crate::voq_switch::run_uniform;
+        use osmosis_sched::Flppr;
+        let mut sw = OqSwitch::new(16);
+        let mut tr = BernoulliUniform::new(16, 0.8, &SeedSequence::new(7));
+        let oq = sw.run(&mut tr, cfg());
+        let voq = run_uniform(|| Box::new(Flppr::osmosis(16, 1)), 0.8, 7, cfg());
+        assert!(
+            oq.mean_delay <= voq.mean_delay + 0.5,
+            "OQ {} vs VOQ {}",
+            oq.mean_delay,
+            voq.mean_delay
+        );
+    }
+
+    #[test]
+    fn unloaded_oq_delay_is_one_slot() {
+        let mut sw = OqSwitch::new(8);
+        let mut tr = BernoulliUniform::new(8, 0.01, &SeedSequence::new(3));
+        let r = sw.run(&mut tr, cfg());
+        assert!((r.mean_delay - 1.0).abs() < 0.1, "{}", r.mean_delay);
+    }
+}

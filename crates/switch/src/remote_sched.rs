@@ -1,0 +1,239 @@
+//! Single-stage fabric with a *distant* central scheduler — the Fig. 1
+//! latency argument.
+//!
+//! In a hypothetical single-stage 2048-port optical fabric, the crossbar
+//! and its scheduler sit in the middle of the machine room, half an RTT of
+//! fiber away from every host adapter. A cell then pays:
+//!
+//! 1. ½ RTT for the request to reach the scheduler,
+//! 2. the scheduling delay,
+//! 3. ½ RTT for the grant to return,
+//! 4. ½ RTT for the data to reach the crossbar,
+//! 5. ½ RTT from the crossbar to the egress adapter,
+//!
+//! i.e. **2 RTT plus scheduling** of unloaded latency — which is what
+//! rules the single-stage topology out (§III): with 250 ns of one-way
+//! cable flight the budget of 500 ns is blown by the control loop alone.
+//! This module simulates that timing around any [`CellScheduler`].
+
+use crate::cell::Cell;
+use crate::voq_switch::{RunConfig, SwitchReport};
+use osmosis_sched::CellScheduler;
+use osmosis_sim::stats::Histogram;
+use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use std::collections::VecDeque;
+
+/// A VOQ switch whose hosts are `half_rtt_slots` of flight time away from
+/// the central scheduler/crossbar.
+pub struct RemoteSchedulerSwitch {
+    n: usize,
+    sched: Box<dyn CellScheduler>,
+    half_rtt_slots: u64,
+    voq: Vec<VecDeque<Cell>>,
+    egress: Vec<VecDeque<Cell>>,
+    /// (due slot, input, output) — requests in flight to the scheduler.
+    requests_in_flight: VecDeque<(u64, usize, usize)>,
+    /// (due slot at input, input, output) — grants in flight back.
+    grants_in_flight: VecDeque<(u64, usize, usize)>,
+    /// (arrival slot at egress adapter, cell).
+    data_in_flight: VecDeque<(u64, Cell)>,
+    stamper: SequenceStamper,
+    next_id: u64,
+}
+
+impl RemoteSchedulerSwitch {
+    /// Build around a scheduler with the given one-way host↔crossbar
+    /// flight time in slots (½ RTT).
+    pub fn new(sched: Box<dyn CellScheduler>, half_rtt_slots: u64) -> Self {
+        let n = sched.inputs();
+        RemoteSchedulerSwitch {
+            n,
+            sched,
+            half_rtt_slots,
+            voq: (0..n * n).map(|_| VecDeque::new()).collect(),
+            egress: (0..n).map(|_| VecDeque::new()).collect(),
+            requests_in_flight: VecDeque::new(),
+            grants_in_flight: VecDeque::new(),
+            data_in_flight: VecDeque::new(),
+            stamper: SequenceStamper::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Run traffic and report.
+    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: RunConfig) -> SwitchReport {
+        assert_eq!(traffic.ports(), self.n);
+        let n = self.n;
+        let d = self.half_rtt_slots;
+        let total = cfg.warmup_slots + cfg.measure_slots;
+        let mut delay_hist = Histogram::new(1.0, 65_536);
+        let mut grant_hist = Histogram::new(1.0, 65_536);
+        let mut checker = SequenceChecker::new();
+        let (mut injected, mut delivered) = (0u64, 0u64);
+        let mut arrivals = Vec::with_capacity(n);
+
+        for t in 0..total {
+            let measuring = t >= cfg.warmup_slots;
+
+            // Requests arriving at the scheduler this slot.
+            while self
+                .requests_in_flight
+                .front()
+                .is_some_and(|&(due, _, _)| due == t)
+            {
+                let (_, i, o) = self.requests_in_flight.pop_front().unwrap();
+                self.sched.note_arrival(i, o);
+            }
+
+            // Scheduler computes this slot's matching; grants fly back.
+            let matching = self.sched.tick(t);
+            for &(i, o) in matching.pairs() {
+                self.grants_in_flight.push_back((t + d, i, o));
+            }
+
+            // Grants arriving at the inputs: launch the cell. It reaches
+            // the crossbar ½ RTT later and the egress adapter a further
+            // ½ RTT after that.
+            while self
+                .grants_in_flight
+                .front()
+                .is_some_and(|&(due, _, _)| due == t)
+            {
+                let (_, i, o) = self.grants_in_flight.pop_front().unwrap();
+                let mut cell = self.voq[i * n + o]
+                    .pop_front()
+                    .expect("grant for missing cell");
+                cell.grant_slot = t;
+                if measuring && cell.inject_slot >= cfg.warmup_slots {
+                    grant_hist.record((t - cell.inject_slot) as f64);
+                }
+                self.data_in_flight.push_back((t + 2 * d, cell));
+            }
+
+            // Data arriving at the egress adapters.
+            while self
+                .data_in_flight
+                .front()
+                .is_some_and(|&(due, _)| due == t)
+            {
+                let (_, cell) = self.data_in_flight.pop_front().unwrap();
+                self.egress[cell.dst].push_back(cell);
+            }
+
+            // Egress transmits one cell per slot to the host.
+            for q in self.egress.iter_mut() {
+                if let Some(cell) = q.pop_front() {
+                    checker.record(cell.src, cell.dst, cell.seq);
+                    if measuring {
+                        delivered += 1;
+                        if cell.inject_slot >= cfg.warmup_slots {
+                            delay_hist.record((t - cell.inject_slot) as f64);
+                        }
+                    }
+                }
+            }
+
+            // New arrivals: enqueue locally, request flies to scheduler.
+            arrivals.clear();
+            traffic.arrivals(t, &mut arrivals);
+            for a in &arrivals {
+                let seq = self.stamper.stamp(a.src, a.dst);
+                let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, t);
+                self.next_id += 1;
+                if measuring {
+                    injected += 1;
+                }
+                self.voq[a.src * n + a.dst].push_back(cell);
+                self.requests_in_flight.push_back((t + d, a.src, a.dst));
+            }
+        }
+
+        let denom = cfg.measure_slots as f64 * n as f64;
+        SwitchReport {
+            offered_load: injected as f64 / denom,
+            throughput: delivered as f64 / denom,
+            mean_delay: delay_hist.mean(),
+            p99_delay: delay_hist.quantile(0.99),
+            mean_request_grant: grant_hist.mean(),
+            injected,
+            delivered,
+            dropped: 0,
+            reordered: checker.reordered(),
+            max_voq_depth: 0,
+            max_egress_depth: 0,
+            delay_hist,
+            grant_hist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osmosis_sched::Flppr;
+    use osmosis_sim::SeedSequence;
+    use osmosis_traffic::BernoulliUniform;
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            warmup_slots: 1_000,
+            measure_slots: 8_000,
+        }
+    }
+
+    #[test]
+    fn colocated_scheduler_matches_plain_switch() {
+        // d = 0 degenerates to the ordinary VOQ switch timing.
+        let mut sw =
+            RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), 0);
+        let mut tr = BernoulliUniform::new(8, 0.1, &SeedSequence::new(1));
+        let r = sw.run(&mut tr, cfg());
+        assert!(r.mean_delay < 2.5, "{}", r.mean_delay);
+    }
+
+    #[test]
+    fn unloaded_latency_is_two_rtt_plus_scheduling() {
+        // Fig. 1: 2 RTT (= 4 half-RTTs) + scheduling.
+        let d = 10u64;
+        let mut sw =
+            RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), d);
+        let mut tr = BernoulliUniform::new(8, 0.05, &SeedSequence::new(2));
+        let r = sw.run(&mut tr, cfg());
+        let two_rtt = 4.0 * d as f64;
+        assert!(
+            r.mean_delay >= two_rtt,
+            "delay {} below 2 RTT {two_rtt}",
+            r.mean_delay
+        );
+        assert!(
+            r.mean_delay < two_rtt + 4.0,
+            "delay {} ≫ 2 RTT + sched",
+            r.mean_delay
+        );
+    }
+
+    #[test]
+    fn latency_scales_linearly_with_distance() {
+        let measure = |d| {
+            let mut sw =
+                RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), d);
+            let mut tr = BernoulliUniform::new(8, 0.05, &SeedSequence::new(3));
+            sw.run(&mut tr, cfg()).mean_delay
+        };
+        let d5 = measure(5);
+        let d20 = measure(20);
+        assert!((d20 - d5 - 60.0).abs() < 3.0, "Δ {}", d20 - d5);
+    }
+
+    #[test]
+    fn throughput_survives_the_control_loop() {
+        // The RTT adds latency but not a throughput penalty when the VOQ
+        // request pipeline keeps the scheduler busy.
+        let mut sw =
+            RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), 6);
+        let mut tr = BernoulliUniform::new(8, 0.9, &SeedSequence::new(4));
+        let r = sw.run(&mut tr, cfg());
+        assert!((r.throughput - 0.9).abs() < 0.03, "{}", r.throughput);
+        assert_eq!(r.reordered, 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Checkpoint I/O burst: many compute nodes simultaneously dump state to
+//! a handful of I/O nodes — the classic incast pattern that stresses the
+//! paper's losslessness and flow-control machinery (Figs. 3–4).
+//!
+//! The experiment overloads 4 I/O nodes with traffic from all 28 compute
+//! nodes and shows that (a) nothing is ever dropped, (b) per-flow order
+//! holds, (c) the I/O node links run at 100% utilization, and (d) the
+//! credit loop bounds every buffer, with backpressure absorbing the rest.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_burst
+//! ```
+
+use osmosis_fabric::multistage::{FabricConfig, FatTreeFabric};
+use osmosis_sim::{SeedSequence, SimRng};
+use osmosis_traffic::{Arrival, Class, TrafficGen};
+
+/// Compute nodes stream checkpoint cells to the I/O nodes round-robin;
+/// I/O nodes send nothing.
+struct CheckpointTraffic {
+    hosts: usize,
+    io_nodes: Vec<usize>,
+    load: f64,
+    rngs: Vec<SimRng>,
+    next_io: Vec<usize>,
+}
+
+impl CheckpointTraffic {
+    fn new(hosts: usize, io_nodes: Vec<usize>, load: f64, seeds: &SeedSequence) -> Self {
+        CheckpointTraffic {
+            rngs: (0..hosts).map(|i| seeds.stream("ckpt", i as u64)).collect(),
+            next_io: vec![0; hosts],
+            hosts,
+            io_nodes,
+            load,
+        }
+    }
+}
+
+impl TrafficGen for CheckpointTraffic {
+    fn ports(&self) -> usize {
+        self.hosts
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.load
+    }
+
+    fn arrivals(&mut self, _slot: u64, out: &mut Vec<Arrival>) {
+        for src in 0..self.hosts {
+            if self.io_nodes.contains(&src) {
+                continue;
+            }
+            if self.rngs[src].coin(self.load) {
+                let dst = self.io_nodes[self.next_io[src] % self.io_nodes.len()];
+                self.next_io[src] += 1;
+                out.push(Arrival {
+                    src,
+                    dst,
+                    class: Class::Data,
+                });
+            }
+        }
+    }
+}
+
+fn main() {
+    let radix = 8; // 32 hosts
+    let cfg = FabricConfig::small(radix, 2);
+    let mut fabric = FatTreeFabric::new(cfg);
+    let hosts = fabric.topology().hosts();
+    // One I/O node per leaf quadrant: hosts 0, 8, 16, 24.
+    let io_nodes: Vec<usize> = (0..4).map(|i| i * (hosts / 4)).collect();
+    let compute = hosts - io_nodes.len();
+
+    println!("Checkpoint burst: {compute} compute nodes → {} I/O nodes", io_nodes.len());
+    println!("fabric: radix-{radix} two-level fat tree, credit flow control, option-3 buffers\n");
+
+    // Each compute node offers 40% of line rate — aggregate 28×0.4 = 11.2
+    // cells/slot toward 4 sinks that drain 4 cells/slot: a 2.8× incast.
+    let load = 0.4;
+    let mut traffic =
+        CheckpointTraffic::new(hosts, io_nodes.clone(), load, &SeedSequence::new(7));
+    let report = fabric.run(&mut traffic, 1_000, 30_000);
+
+    let io_rate = report.delivered as f64 / 30_000.0 / io_nodes.len() as f64;
+    println!("offered per compute node : {:.0}% of line rate", load * 100.0);
+    println!(
+        "aggregate offered        : {:.1} cells/slot into {} sinks",
+        load * compute as f64,
+        io_nodes.len()
+    );
+    println!("I/O-node link utilization: {:.1}%", io_rate * 100.0);
+    println!("cells delivered          : {}", report.delivered);
+    println!("reorderings              : {}", report.reordered);
+    println!(
+        "peak buffer occupancy    : {} cells (capacity {})",
+        report.max_buffer_occupancy, cfg.buffer_cells
+    );
+    println!("mean fabric latency      : {:.0} cycles (queued behind the incast)", report.mean_latency);
+
+    assert_eq!(report.reordered, 0);
+    assert!(report.max_buffer_occupancy <= cfg.buffer_cells);
+    assert!(
+        io_rate > 0.97,
+        "the bottleneck links must run at line rate: {io_rate}"
+    );
+    println!("\nThe 2.8× overload never drops a cell: credits stall the sources, the");
+    println!("I/O links stay 100% busy, and order is preserved — Table 1 under incast.");
+}

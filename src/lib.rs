@@ -1,0 +1,11 @@
+//! Umbrella crate: re-exports the OSMOSIS workspace crates for integration
+//! tests and examples. See `osmosis-core` for the main public API.
+pub use osmosis_analysis as analysis;
+pub use osmosis_core as core;
+pub use osmosis_fabric as fabric;
+pub use osmosis_fec as fec;
+pub use osmosis_phy as phy;
+pub use osmosis_sched as sched;
+pub use osmosis_sim as sim;
+pub use osmosis_switch as switch;
+pub use osmosis_traffic as traffic;

@@ -1,0 +1,88 @@
+//! Property-based tests of the fabric topology and routing: paths are
+//! well-formed for arbitrary host pairs and topologies, and simulated
+//! fabrics preserve the Table 1 invariants for arbitrary traffic.
+
+use osmosis::fabric::multilevel::{MultiLevelClos, MultiLevelConfig, MultiLevelFabric};
+use osmosis::fabric::topology::TwoLevelFatTree;
+use osmosis::sim::SeedSequence;
+use osmosis::traffic::BernoulliUniform;
+use proptest::prelude::*;
+
+fn topo_strategy() -> impl Strategy<Value = MultiLevelClos> {
+    (1u32..=4, prop::sample::select(vec![4usize, 6, 8])).prop_map(|(levels, radix)| {
+        // Cap host counts so tests stay fast.
+        let levels = if radix >= 8 { levels.min(2) } else { levels };
+        MultiLevelClos::new(radix, levels)
+    })
+}
+
+proptest! {
+    /// Every src→dst path starts at the source leaf, ends at the
+    /// destination leaf, ascends then descends symmetrically, and stays
+    /// within topology bounds.
+    #[test]
+    fn paths_are_well_formed(topo in topo_strategy(), seed in any::<u64>()) {
+        let hosts = topo.hosts();
+        let src = (seed as usize) % hosts;
+        let dst = (seed as usize / hosts) % hosts;
+        let path = topo.path(src, dst);
+        prop_assert_eq!(path[0], (0, topo.leaf_of(src)));
+        prop_assert_eq!(*path.last().unwrap(), (0, topo.leaf_of(dst)));
+        let a = topo.ascent(src, dst);
+        prop_assert_eq!(path.len() as u32, 2 * a + 1, "up then down");
+        // Levels form the tent profile 0,1,…,a,…,1,0 and indices are
+        // in range.
+        for (i, &(level, sw)) in path.iter().enumerate() {
+            let expect = (i as u32).min(2 * a - (i as u32).min(2 * a));
+            prop_assert_eq!(level, expect.min(a));
+            prop_assert!(sw < topo.switches_per_level());
+        }
+    }
+
+    /// Paths are flow-stable: the same (src, dst) always routes the same
+    /// way — the property per-flow ordering rests on.
+    #[test]
+    fn paths_are_deterministic(topo in topo_strategy(), pair in any::<u64>()) {
+        let hosts = topo.hosts();
+        let src = (pair as usize) % hosts;
+        let dst = (pair as usize >> 16) % hosts;
+        prop_assert_eq!(topo.path(src, dst), topo.path(src, dst));
+    }
+
+    /// Two-level topology helpers are self-consistent.
+    #[test]
+    fn two_level_mapping_consistent(radix in prop::sample::select(vec![4usize, 8, 16]), h in any::<usize>()) {
+        let t = TwoLevelFatTree::new(radix);
+        let h = h % t.hosts();
+        let leaf = t.leaf_of(h);
+        prop_assert!(leaf < t.leaves());
+        prop_assert_eq!(leaf * t.hosts_per_leaf() + t.down_port_of(h), h);
+        let s = t.spine_of_flow(h, (h + 1) % t.hosts());
+        prop_assert!(s < t.spines());
+        prop_assert!(t.up_port(s) >= t.hosts_per_leaf());
+        prop_assert!(t.up_port(s) < radix);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Arbitrary multilevel fabrics stay lossless and in order under
+    /// arbitrary uniform loads.
+    #[test]
+    fn multilevel_sim_invariants(
+        levels in 1u32..=3,
+        load in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let topo = MultiLevelClos::new(4, levels);
+        let cfg = MultiLevelConfig::standard(topo, 2);
+        let mut fab = MultiLevelFabric::new(cfg);
+        let mut tr = BernoulliUniform::new(topo.hosts(), load, &SeedSequence::new(seed));
+        // Losslessness is asserted inside the simulator.
+        let r = fab.run(&mut tr, 300, 2_000);
+        prop_assert_eq!(r.reordered, 0);
+        prop_assert!(r.max_buffer_occupancy <= cfg.buffer_cells);
+        prop_assert!(r.throughput <= r.offered_load + 0.05);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the FEC subsystem: the coding invariants hold
+//! for arbitrary data and arbitrary error patterns in their class.
+
+use osmosis::fec::code::{
+    decode_payload, encode_payload, Decode, OsmosisCode, BLOCK_SYMBOLS, DATA_SYMBOLS,
+};
+use proptest::prelude::*;
+
+fn code() -> OsmosisCode {
+    OsmosisCode::new()
+}
+
+proptest! {
+    /// Systematic encoding round-trips arbitrary data.
+    #[test]
+    fn encode_decode_roundtrip(data in prop::array::uniform32(any::<u8>())) {
+        let c = code();
+        let mut block = c.encode(&data);
+        prop_assert!(c.is_codeword(&block));
+        prop_assert_eq!(c.decode(&mut block), Decode::Clean);
+        prop_assert_eq!(&block[..DATA_SYMBOLS], &data[..]);
+    }
+
+    /// Any single-bit error anywhere in the block is corrected exactly.
+    #[test]
+    fn single_bit_errors_corrected(
+        data in prop::array::uniform32(any::<u8>()),
+        sym in 0..BLOCK_SYMBOLS,
+        bit in 0u8..8,
+    ) {
+        let c = code();
+        let clean = c.encode(&data);
+        let mut block = clean;
+        block[sym] ^= 1 << bit;
+        let outcome = c.decode(&mut block);
+        prop_assert_eq!(outcome, Decode::Corrected { position: sym, magnitude: 1 << bit });
+        prop_assert_eq!(block, clean);
+    }
+
+    /// Any double-bit error (same or different symbols) is detected,
+    /// never miscorrected — for arbitrary codewords, not just zero.
+    #[test]
+    fn double_bit_errors_detected(
+        data in prop::array::uniform32(any::<u8>()),
+        sym1 in 0..BLOCK_SYMBOLS,
+        bit1 in 0u8..8,
+        sym2 in 0..BLOCK_SYMBOLS,
+        bit2 in 0u8..8,
+    ) {
+        prop_assume!((sym1, bit1) != (sym2, bit2));
+        let c = code();
+        let clean = c.encode(&data);
+        let mut block = clean;
+        block[sym1] ^= 1 << bit1;
+        block[sym2] ^= 1 << bit2;
+        prop_assert_eq!(c.decode(&mut block), Decode::Detected);
+    }
+
+    /// Any single-symbol error whose magnitude is not weight-2 is
+    /// corrected in place.
+    #[test]
+    fn heavy_symbol_errors_corrected(
+        data in prop::array::uniform32(any::<u8>()),
+        sym in 0..BLOCK_SYMBOLS,
+        e in 1u8..=255,
+    ) {
+        prop_assume!(e.count_ones() != 2);
+        let c = code();
+        let clean = c.encode(&data);
+        let mut block = clean;
+        block[sym] ^= e;
+        prop_assert_eq!(
+            c.decode(&mut block),
+            Decode::Corrected { position: sym, magnitude: e }
+        );
+        prop_assert_eq!(block, clean);
+    }
+
+    /// Decoding never invents data: whatever the (arbitrary, possibly
+    /// garbage) received block, decode terminates with one of the three
+    /// outcomes and leaves a 34-byte block.
+    #[test]
+    fn decode_total_on_garbage(block in prop::array::uniform::<_, 34>(any::<u8>())) {
+        let c = code();
+        let mut b = block;
+        let outcome = c.decode(&mut b);
+        match outcome {
+            Decode::Clean => prop_assert_eq!(b, block),
+            Decode::Detected => prop_assert_eq!(b, block, "detected blocks are untouched"),
+            Decode::Corrected { position, magnitude } => {
+                prop_assert!(position < BLOCK_SYMBOLS);
+                prop_assert!(magnitude != 0);
+                // The corrected block is a codeword.
+                prop_assert!(c.is_codeword(&b));
+            }
+        }
+    }
+
+    /// Payload framing round-trips arbitrary lengths.
+    #[test]
+    fn payload_roundtrip(payload in prop::collection::vec(any::<u8>(), 0..1024)) {
+        let c = code();
+        let coded = encode_payload(&c, &payload);
+        prop_assert_eq!(coded.len() % BLOCK_SYMBOLS, 0);
+        let out = decode_payload(&c, &coded);
+        prop_assert_eq!(&out.data[..payload.len()], &payload[..]);
+        prop_assert_eq!(out.corrected_blocks, 0);
+        prop_assert_eq!(out.detected_blocks, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The bit-error channel is deterministic per seed and its measured
+    /// BER approaches the configured value on long streams.
+    #[test]
+    fn channel_determinism(seed in any::<u64>(), ber_exp in 2u32..5) {
+        use osmosis::fec::BitErrorChannel;
+        let ber = 10f64.powi(-(ber_exp as i32));
+        let mut a = BitErrorChannel::new(ber, seed);
+        let mut b = BitErrorChannel::new(ber, seed);
+        let mut x = vec![0u8; 2048];
+        let mut y = vec![0u8; 2048];
+        a.transmit(&mut x);
+        b.transmit(&mut y);
+        prop_assert_eq!(x, y);
+    }
+}

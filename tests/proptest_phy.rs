@@ -1,0 +1,142 @@
+//! Property-based tests of the physical-layer models: unit conversions,
+//! budget-chain algebra, guard-time arithmetic and timeline composition
+//! hold for arbitrary (sane) parameters.
+
+use osmosis::phy::components::{OpticalElement, PowerBudget};
+use osmosis::phy::guard::CellEfficiency;
+use osmosis::phy::soa::{osnr_penalty_db, Modulation};
+use osmosis::phy::timeline::{run_timeline, TimelineConfig};
+use osmosis::phy::units::{Db, PowerDbm};
+use osmosis::phy::wdm::ChannelPlan;
+use osmosis::sim::TimeDelta;
+use proptest::prelude::*;
+
+proptest! {
+    /// dB ↔ linear round-trips over the practical range.
+    #[test]
+    fn db_linear_roundtrip(v in -60.0f64..60.0) {
+        let db = Db(v);
+        prop_assert!((Db::from_linear(db.linear()).0 - v).abs() < 1e-9);
+    }
+
+    /// Combining n equal channels adds 10·log10(n) dB.
+    #[test]
+    fn combine_n_matches_log(p in -30.0f64..10.0, n in 1u32..64) {
+        let one = PowerDbm(p);
+        let combined = one.combine_n(n);
+        let expect = p + 10.0 * (n as f64).log10();
+        prop_assert!((combined.0 - expect).abs() < 1e-9);
+    }
+
+    /// A budget chain's received power is launch + Σ gains, regardless of
+    /// element order; adding a passive element never raises it.
+    #[test]
+    fn budget_chain_is_a_sum(
+        launch in -10.0f64..10.0,
+        gains in prop::collection::vec(-25.0f64..20.0, 0..8),
+        extra_loss in 0.0f64..10.0,
+    ) {
+        let mut b = PowerBudget::new(PowerDbm(launch), PowerDbm(-30.0));
+        for &g in &gains {
+            if g >= 0.0 {
+                b.push(OpticalElement::amplifier("amp", g));
+            } else {
+                b.push(OpticalElement::passive("pad", -g));
+            }
+        }
+        let expect = launch + gains.iter().sum::<f64>();
+        prop_assert!((b.received_power().0 - expect).abs() < 1e-9);
+        let before = b.received_power().0;
+        b.push(OpticalElement::passive("extra", extra_loss));
+        prop_assert!(b.received_power().0 <= before + 1e-12);
+    }
+
+    /// User bandwidth fraction is monotone: more guard or more overhead
+    /// never helps, bigger cells never hurt.
+    #[test]
+    fn user_fraction_monotonicity(
+        cell_exp in 6u32..10,           // 64..512 bytes
+        guard_ps in 0u64..9_000,
+        overhead in 0.0f64..0.2,
+    ) {
+        let cell = 1u64 << cell_exp;
+        let base = CellEfficiency {
+            cell_bytes: cell,
+            port_gbps: 40.0,
+            guard: TimeDelta::from_ps(guard_ps),
+            fec_overhead: overhead,
+        };
+        let more_guard = CellEfficiency {
+            guard: TimeDelta::from_ps(guard_ps + 500),
+            ..base
+        };
+        let bigger_cell = CellEfficiency {
+            cell_bytes: cell * 2,
+            ..base
+        };
+        prop_assert!(more_guard.user_fraction() <= base.user_fraction());
+        prop_assert!(bigger_cell.user_fraction() >= base.user_fraction());
+        prop_assert!(base.user_fraction() > 0.0 && base.user_fraction() <= 1.0);
+    }
+
+    /// The XGM penalty is monotone in input power and DPSK dominates NRZ
+    /// at every operating point.
+    #[test]
+    fn dpsk_dominates_nrz(p_dbm in -5.0f64..25.0, ber_exp in 4u32..12) {
+        let ber = 10f64.powi(-(ber_exp as i32));
+        let nrz = osnr_penalty_db(Modulation::Nrz, ber, p_dbm);
+        let dpsk = osnr_penalty_db(Modulation::Dpsk, ber, p_dbm);
+        prop_assert!(dpsk < nrz);
+        let nrz_hi = osnr_penalty_db(Modulation::Nrz, ber, p_dbm + 1.0);
+        prop_assert!(nrz_hi > nrz);
+    }
+
+    /// WDM plans: frequencies strictly increase and stay inside a band
+    /// that admits the plan.
+    #[test]
+    fn channel_plans_are_ordered(channels in 2u32..40, spacing in 25.0f64..400.0) {
+        let plan = ChannelPlan {
+            channels,
+            spacing_ghz: spacing,
+            center_thz: 193.4,
+        };
+        for i in 1..channels {
+            prop_assert!(plan.frequency_thz(i) > plan.frequency_thz(i - 1));
+            prop_assert!(plan.wavelength_nm(i) < plan.wavelength_nm(i - 1));
+        }
+        if plan.fits_band(4_000.0) {
+            prop_assert!(plan.band_ghz() <= 4_000.0);
+        }
+    }
+
+    /// The cell timeline is causal and composes additively for arbitrary
+    /// component timings.
+    #[test]
+    fn timeline_composes(
+        ingress in 1u64..500,
+        sched in 1u64..500,
+        guard in 1u64..20,
+        egress in 1u64..500,
+    ) {
+        let cfg = TimelineConfig {
+            ingress_pipeline: TimeDelta::from_ns(ingress),
+            request_flight: TimeDelta::from_ns(10),
+            scheduling: TimeDelta::from_ns(sched),
+            grant_flight: TimeDelta::from_ns(10),
+            soa_control_flight: TimeDelta::from_ns(15),
+            soa_guard: TimeDelta::from_ns(guard),
+            serialization: TimeDelta::from_ps(51_200),
+            data_flight: TimeDelta::from_ns(10),
+            burst_lock: TimeDelta::from_ps(3_800),
+            egress_pipeline: TimeDelta::from_ns(egress),
+        };
+        let tl = run_timeline(&cfg);
+        for w in tl.events.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0);
+        }
+        let expect = TimeDelta::from_ns(ingress + 10 + sched + 15 + guard + 10 + egress)
+            + TimeDelta::from_ps(51_200)
+            + TimeDelta::from_ps(3_800);
+        prop_assert_eq!(tl.total(), expect);
+    }
+}
