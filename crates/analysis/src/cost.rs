@@ -62,10 +62,9 @@ impl CostModel {
 
     /// Cost of one OSMOSIS port ($).
     pub fn osmosis_port(&self) -> f64 {
-        let optics = (self.soa_gate * self.gates_per_port
-            + self.passives_per_port
-            + self.amp_per_port)
-            / self.integration_factor;
+        let optics =
+            (self.soa_gate * self.gates_per_port + self.passives_per_port + self.amp_per_port)
+                / self.integration_factor;
         optics + self.transceiver + self.adapter_electronics
     }
 
@@ -76,31 +75,19 @@ impl CostModel {
 
     /// Fabric-level $/Gb/s for a `ports`-host fabric of `stages` stages at
     /// `gbps` per port (every stage's switch ports are paid for).
-    pub fn fabric_cost_per_gbps(
-        &self,
-        per_port: f64,
-        ports: u64,
-        stages: u32,
-        gbps: f64,
-    ) -> f64 {
+    pub fn fabric_cost_per_gbps(&self, per_port: f64, ports: u64, stages: u32, gbps: f64) -> f64 {
         per_port * stages as f64 * ports as f64 / (ports as f64 * gbps)
     }
 
     /// The integration factor at which the OSMOSIS fabric reaches cost
     /// parity with an electronic fabric, given the stage counts of each
     /// (OSMOSIS needs fewer stages, which is its structural advantage).
-    pub fn parity_integration_factor(
-        &self,
-        osmosis_stages: u32,
-        electronic_stages: u32,
-    ) -> f64 {
+    pub fn parity_integration_factor(&self, osmosis_stages: u32, electronic_stages: u32) -> f64 {
         // optics/f + fixed  ≤  electronic · (e_stages/o_stages)
-        let optics = self.soa_gate * self.gates_per_port
-            + self.passives_per_port
-            + self.amp_per_port;
+        let optics =
+            self.soa_gate * self.gates_per_port + self.passives_per_port + self.amp_per_port;
         let fixed = self.transceiver + self.adapter_electronics;
-        let target = self.electronic_port() * electronic_stages as f64
-            / osmosis_stages as f64;
+        let target = self.electronic_port() * electronic_stages as f64 / osmosis_stages as f64;
         if target <= fixed {
             return f64::INFINITY;
         }
@@ -110,12 +97,7 @@ impl CostModel {
 
 /// Total cost of ownership per port over `years`: capital + energy at
 /// `usd_per_kwh`, using the §I power model.
-pub fn tco_per_port(
-    capital: f64,
-    port_power_w: f64,
-    years: f64,
-    usd_per_kwh: f64,
-) -> f64 {
+pub fn tco_per_port(capital: f64, port_power_w: f64, years: f64, usd_per_kwh: f64) -> f64 {
     capital + port_power_w * 24.0 * 365.25 * years * usd_per_kwh / 1_000.0
 }
 
@@ -139,10 +121,8 @@ mod tests {
     fn fabric_level_stage_advantage_narrows_the_gap() {
         // 3 OSMOSIS stages vs 5 electronic stages at 2048 ports, 96 Gb/s.
         let m = CostModel::discrete_2005();
-        let osmosis =
-            m.fabric_cost_per_gbps(m.osmosis_port(), 2048, 3, 96.0);
-        let electronic =
-            m.fabric_cost_per_gbps(m.electronic_port(), 2048, 5, 96.0);
+        let osmosis = m.fabric_cost_per_gbps(m.osmosis_port(), 2048, 3, 96.0);
+        let electronic = m.fabric_cost_per_gbps(m.electronic_port(), 2048, 5, 96.0);
         let ratio = osmosis / electronic;
         assert!(
             ratio > 1.0 && ratio < 3.0,
@@ -159,8 +139,7 @@ mod tests {
         let f = m.parity_integration_factor(3, 5);
         assert!(f > 1.0 && f < 10.0, "parity factor {f:.1}");
         let integrated = CostModel::integrated(f * 1.01);
-        let osmosis =
-            integrated.fabric_cost_per_gbps(integrated.osmosis_port(), 2048, 3, 96.0);
+        let osmosis = integrated.fabric_cost_per_gbps(integrated.osmosis_port(), 2048, 3, 96.0);
         let electronic =
             integrated.fabric_cost_per_gbps(integrated.electronic_port(), 2048, 5, 96.0);
         assert!(osmosis <= electronic * 1.01, "{osmosis} vs {electronic}");
@@ -171,14 +150,8 @@ mod tests {
         // Even at equal capital, OSMOSIS's flat optical power beats CMOS
         // at high rates over a machine lifetime.
         let pm = PowerModel::circa_2005();
-        let osmosis_tco = tco_per_port(
-            3_000.0,
-            pm.hybrid_port_power_w(96.0, 256.0),
-            5.0,
-            0.10,
-        );
-        let electronic_tco =
-            tco_per_port(3_000.0, pm.cmos_port_power_w(96.0), 5.0, 0.10);
+        let osmosis_tco = tco_per_port(3_000.0, pm.hybrid_port_power_w(96.0, 256.0), 5.0, 0.10);
+        let electronic_tco = tco_per_port(3_000.0, pm.cmos_port_power_w(96.0), 5.0, 0.10);
         assert!(osmosis_tco < electronic_tco);
     }
 

@@ -107,9 +107,7 @@ pub fn demonstrator_budget() -> Vec<BudgetItem> {
 
 /// Sum of an itemized budget.
 pub fn total(items: &[BudgetItem]) -> TimeDelta {
-    items
-        .iter()
-        .fold(TimeDelta::ZERO, |acc, i| acc + i.latency)
+    items.iter().fold(TimeDelta::ZERO, |acc, i| acc + i.latency)
 }
 
 /// Apply an FPGA→ASIC mapping: logic items speed up by `factor`, physical

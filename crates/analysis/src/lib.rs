@@ -26,8 +26,8 @@ pub mod scaling;
 
 pub use cost::{tco_per_port, CostModel};
 pub use latency::{
-    asic_mapping, demonstrator_budget, total, ApplicationBudget, BudgetItem,
-    FabricBudget, SchedulerPartition,
+    asic_mapping, demonstrator_budget, total, ApplicationBudget, BudgetItem, FabricBudget,
+    SchedulerPartition,
 };
 pub use power::{fabric_power_w, PowerModel};
 pub use scaling::{

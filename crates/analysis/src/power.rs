@@ -65,8 +65,7 @@ impl PowerModel {
     /// Line rate at which the optical datapath becomes cheaper than CMOS.
     pub fn crossover_gbps(&self) -> f64 {
         // cmos_static + k·r = soa·gates  →  r = (soa·gates − static)/k.
-        ((self.soa_bias_w * self.gates_per_port) - self.cmos_static_w)
-            / self.cmos_w_per_gbps
+        ((self.soa_bias_w * self.gates_per_port) - self.cmos_static_w) / self.cmos_w_per_gbps
     }
 }
 

@@ -181,7 +181,11 @@ mod tests {
     #[test]
     fn flppr_depth_grows_logarithmically() {
         assert_eq!(flppr_depth_for(64), 6);
-        assert_eq!(flppr_depth_for(256), 8, "two more sub-schedulers for 4× ports");
+        assert_eq!(
+            flppr_depth_for(256),
+            8,
+            "two more sub-schedulers for 4× ports"
+        );
         assert_eq!(flppr_depth_for(2048), 11);
     }
 

@@ -1,0 +1,137 @@
+//! Engine-overhead bench: the VOQ switch run through the shared slotted
+//! engine (`SlottedModel` via `run_switch`) against the same simulation
+//! hand-rolled in the pre-refactor inline-loop shape, and with the
+//! `TraceSink` both disabled (`NullTrace`, monomorphized away) and
+//! enabled (`CountingTrace`). The engine's claim — zero-cost
+//! instrumentation when tracing is off — is checked here, not assumed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use osmosis_sched::{CellScheduler, Flppr};
+use osmosis_sim::stats::{Histogram, Welford};
+use osmosis_sim::{CountingTrace, EngineConfig, SeedSequence};
+use osmosis_switch::{run_switch_traced, Cell, VoqSwitch};
+use osmosis_traffic::{Arrival, BernoulliUniform, SequenceChecker, SequenceStamper, TrafficGen};
+use std::collections::VecDeque;
+
+const PORTS: usize = 64;
+const SLOTS: u64 = 2_000;
+const LOAD: f64 = 0.7;
+
+fn traffic(seed: u64) -> BernoulliUniform {
+    BernoulliUniform::new(PORTS, LOAD, &SeedSequence::new(seed))
+}
+
+/// The shape every bespoke simulator had before the engine refactor: one
+/// monolithic loop owning the VOQs, the warmup gate, and the statistics
+/// inline. Kept here as the baseline the engine is measured against.
+fn inline_loop(seed: u64) -> (u64, f64) {
+    let mut sched: Box<dyn CellScheduler> = Box::new(Flppr::osmosis(PORTS, 2));
+    let mut tr = traffic(seed);
+    let warmup = 0u64;
+    let mut voq: Vec<VecDeque<Cell>> = (0..PORTS * PORTS).map(|_| VecDeque::new()).collect();
+    let mut egress: Vec<VecDeque<Cell>> = (0..PORTS).map(|_| VecDeque::new()).collect();
+    let mut stamper = SequenceStamper::new();
+    let mut checker = SequenceChecker::new();
+    let mut arrivals: Vec<Arrival> = Vec::with_capacity(PORTS);
+    let mut next_id = 0u64;
+    let mut delivered = 0u64;
+    let mut delay = Welford::new();
+    let mut delay_hist = Histogram::new(1.0, 4_096);
+    let mut grant_hist = Histogram::new(1.0, 1_024);
+    for t in 0..warmup + SLOTS {
+        let measuring = t >= warmup;
+        // Phase 1: the scheduler's matching crosses the crossbar.
+        let matching = sched.tick(t);
+        for &(i, o) in matching.pairs() {
+            let mut cell = voq[i * PORTS + o].pop_front().expect("granted empty VOQ");
+            cell.grant_slot = t;
+            if measuring && cell.inject_slot >= warmup {
+                grant_hist.record((t - cell.inject_slot) as f64);
+            }
+            egress[o].push_back(cell);
+        }
+        // Phase 2: each egress transmits one cell toward its host.
+        for (o, q) in egress.iter_mut().enumerate() {
+            if let Some(cell) = q.pop_front() {
+                debug_assert_eq!(cell.dst, o);
+                checker.record(cell.src, cell.dst, cell.seq);
+                if measuring {
+                    delivered += 1;
+                    if cell.inject_slot >= warmup {
+                        let d = (t - cell.inject_slot) as f64;
+                        delay_hist.record(d);
+                        delay.add(d);
+                    }
+                }
+            }
+        }
+        // Phase 3: the slot's arrivals enter the VOQs.
+        arrivals.clear();
+        tr.arrivals(t, &mut arrivals);
+        for a in &arrivals {
+            let seq = stamper.stamp(a.src, a.dst);
+            voq[a.src * PORTS + a.dst].push_back(Cell::new(next_id, a.src, a.dst, a.class, seq, t));
+            next_id += 1;
+            sched.note_arrival(a.src, a.dst);
+        }
+    }
+    assert_eq!(checker.reordered(), 0);
+    (delivered, delay_hist.mean())
+}
+
+fn engine_run(seed: u64) -> (u64, f64) {
+    let mut sw = VoqSwitch::new(Box::new(Flppr::osmosis(PORTS, 2)));
+    let r = sw.run(&mut traffic(seed), &EngineConfig::new(0, SLOTS));
+    (r.delivered, r.mean_delay)
+}
+
+fn engine_run_traced(seed: u64) -> (u64, f64) {
+    let mut sw = VoqSwitch::new(Box::new(Flppr::osmosis(PORTS, 2)));
+    let mut sink = CountingTrace::default();
+    let r = run_switch_traced(
+        &mut sw,
+        &mut traffic(seed),
+        &EngineConfig::new(0, SLOTS),
+        &mut sink,
+    );
+    assert_eq!(sink.delivers, r.delivered);
+    (r.delivered, r.mean_delay)
+}
+
+fn bench_engine_overhead(c: &mut Criterion) {
+    // Same seed → the three variants simulate the identical cell stream;
+    // checked once up front so the bench compares like with like.
+    let a = inline_loop(1);
+    let b = engine_run(1);
+    let t = engine_run_traced(1);
+    assert_eq!(a, b, "engine must reproduce the inline loop exactly");
+    assert_eq!(b, t, "tracing must not perturb the simulation");
+
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(SLOTS));
+    let mut seed = 0u64;
+    g.bench_function("voq_64p/inline_loop", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(inline_loop(seed))
+        })
+    });
+    let mut seed = 0u64;
+    g.bench_function("voq_64p/engine_notrace", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(engine_run(seed))
+        })
+    });
+    let mut seed = 0u64;
+    g.bench_function("voq_64p/engine_counting_trace", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(engine_run_traced(seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_overhead);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use osmosis_fabric::multistage::{FabricConfig, FatTreeFabric};
-use osmosis_sim::SeedSequence;
+use osmosis_sim::{EngineConfig, SeedSequence};
 use osmosis_traffic::BernoulliUniform;
 
 fn bench_fabric(c: &mut Criterion) {
@@ -17,9 +17,8 @@ fn bench_fabric(c: &mut Criterion) {
                 seed += 1;
                 let mut fab = FatTreeFabric::new(FabricConfig::small(radix, 2));
                 let hosts = fab.topology().hosts();
-                let mut tr =
-                    BernoulliUniform::new(hosts, 0.6, &SeedSequence::new(seed));
-                fab.run(&mut tr, 0, slots)
+                let mut tr = BernoulliUniform::new(hosts, 0.6, &SeedSequence::new(seed));
+                fab.run(&mut tr, &EngineConfig::new(0, slots))
             })
         });
     }
@@ -40,14 +39,9 @@ fn bench_multilevel(c: &mut Criterion) {
                 b.iter(|| {
                     seed += 1;
                     let topo = MultiLevelClos::new(radix, levels);
-                    let mut fab =
-                        MultiLevelFabric::new(MultiLevelConfig::standard(topo, 2));
-                    let mut tr = BernoulliUniform::new(
-                        topo.hosts(),
-                        0.5,
-                        &SeedSequence::new(seed),
-                    );
-                    fab.run(&mut tr, 0, slots)
+                    let mut fab = MultiLevelFabric::new(MultiLevelConfig::standard(topo, 2));
+                    let mut tr = BernoulliUniform::new(topo.hosts(), 0.5, &SeedSequence::new(seed));
+                    fab.run(&mut tr, &EngineConfig::new(0, slots))
                 })
             },
         );

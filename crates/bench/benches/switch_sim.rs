@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use osmosis_sched::Flppr;
-use osmosis_switch::{run_uniform, RunConfig};
+use osmosis_switch::{run_uniform, EngineConfig};
 
 fn bench_switch(c: &mut Criterion) {
     let mut g = c.benchmark_group("switch_sim");
@@ -20,11 +20,7 @@ fn bench_switch(c: &mut Criterion) {
                     run_uniform(
                         || Box::new(Flppr::osmosis(64, 2)),
                         load,
-                        seed,
-                        RunConfig {
-                            warmup_slots: 0,
-                            measure_slots: slots,
-                        },
+                        &EngineConfig::new(0, slots).with_seed(seed),
                     )
                 })
             },

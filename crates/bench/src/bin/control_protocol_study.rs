@@ -11,8 +11,16 @@ fn main() {
     for loss_p in [1e-4f64, 1e-3, 1e-2] {
         for (name, proto) in [
             ("naive", ControlProtocol::Naive),
-            ("protected/4096", ControlProtocol::Protected { refresh_period: 4096 }),
-            ("protected/64", ControlProtocol::Protected { refresh_period: 64 }),
+            (
+                "protected/4096",
+                ControlProtocol::Protected {
+                    refresh_period: 4096,
+                },
+            ),
+            (
+                "protected/64",
+                ControlProtocol::Protected { refresh_period: 64 },
+            ),
         ] {
             let r = run_control_channel(8, proto, 0.6, loss_p, slots, 0x19);
             rows.push(vec![
@@ -27,7 +35,14 @@ fn main() {
     }
     print_table(
         "Reliable control protocol (8 VOQs, 60% load, 500k slots)",
-        &["msg loss", "protocol", "losses", "stranded cells", "phantom grants", "served fraction"],
+        &[
+            "msg loss",
+            "protocol",
+            "losses",
+            "stranded cells",
+            "phantom grants",
+            "served fraction",
+        ],
         &rows,
     );
     println!("\nWithout protection every lost request permanently strands a cell; the");

@@ -18,12 +18,24 @@ fn main() {
             format!("${:.0}", m.electronic_port()),
             format!("${:.2}/Gb/s", osmosis),
             format!("${:.2}/Gb/s", electronic),
-            if osmosis <= electronic { "OSMOSIS" } else { "electronic" }.to_string(),
+            if osmosis <= electronic {
+                "OSMOSIS"
+            } else {
+                "electronic"
+            }
+            .to_string(),
         ]);
     }
     print_table(
         "SVII: cost per bandwidth, 2048-port fabric (3 OSMOSIS vs 5 electronic stages)",
-        &["integration", "OSMOSIS port", "electronic port", "OSMOSIS fabric", "electronic fabric", "cheaper"],
+        &[
+            "integration",
+            "OSMOSIS port",
+            "electronic port",
+            "OSMOSIS fabric",
+            "electronic fabric",
+            "cheaper",
+        ],
         &rows,
     );
     let m = CostModel::discrete_2005();
@@ -37,7 +49,9 @@ fn main() {
     );
     let o_tco = tco_per_port(3_000.0, pm.hybrid_port_power_w(96.0, 256.0), 5.0, 0.10);
     let e_tco = tco_per_port(3_000.0, pm.cmos_port_power_w(96.0), 5.0, 0.10);
-    println!("\n5-year TCO per port at equal capital: OSMOSIS ${o_tco:.0} vs electronic ${e_tco:.0}");
+    println!(
+        "\n5-year TCO per port at equal capital: OSMOSIS ${o_tco:.0} vs electronic ${e_tco:.0}"
+    );
     println!("\n\"To reach this cost point, a further integration of the optical components");
     println!("is an essential first step\" (SVII) - the model quantifies how far: single-");
     println!("digit integration factors suffice, because OSMOSIS already saves stages.");

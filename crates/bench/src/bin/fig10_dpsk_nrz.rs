@@ -28,7 +28,13 @@ fn main() {
     }
     print_table(
         "Fig. 10: OSNR penalty (dB) vs. SOA input power (dBm)",
-        &["P_in (dBm)", "NRZ 1e-6", "NRZ 1e-10", "DPSK 1e-6", "DPSK 1e-10"],
+        &[
+            "P_in (dBm)",
+            "NRZ 1e-6",
+            "NRZ 1e-10",
+            "DPSK 1e-6",
+            "DPSK 1e-10",
+        ],
         &rows,
     );
     println!("\n1 dB-penalty points:");

@@ -10,7 +10,7 @@ fn main() {
     let scale = scale_from_args();
     let ports = scale.ports();
     let diameters = [5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 75.0, 100.0];
-    let pts = fig1::run(&diameters, ports, 0xF16_1);
+    let pts = fig1::run(&diameters, ports, 0xF161);
     let rows: Vec<Vec<String>> = pts
         .iter()
         .map(|p| {
@@ -25,7 +25,13 @@ fn main() {
         .collect();
     print_table(
         "Fig. 1: single-stage fabric latency vs. machine-room diameter",
-        &["diameter (m)", "1/2 RTT (ns)", "2 RTT floor (ns)", "sim latency (ns)", "fits 500 ns?"],
+        &[
+            "diameter (m)",
+            "1/2 RTT (ns)",
+            "2 RTT floor (ns)",
+            "sim latency (ns)",
+            "fits 500 ns?",
+        ],
         &rows,
     );
     let _ = Scale::Quick; // scale only affects port count here

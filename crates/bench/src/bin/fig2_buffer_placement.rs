@@ -6,7 +6,7 @@ use osmosis_core::experiments::fig2;
 
 fn main() {
     let scale = scale_from_args();
-    let rows = fig2::run(scale, 0xF16_2);
+    let rows = fig2::run(scale, 0xF162);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -22,7 +22,14 @@ fn main() {
         .collect();
     print_table(
         "Fig. 2: buffer placement options (two-level fat tree)",
-        &["placement", "OEO/stage", "latency @5% (cycles)", "latency @60%", "thr @60%", "buffer cells"],
+        &[
+            "placement",
+            "OEO/stage",
+            "latency @5% (cycles)",
+            "latency @60%",
+            "thr @60%",
+            "buffer cells",
+        ],
         &table,
     );
     println!("\nOption 3 (input-only) minimizes OEO conversions AND request/grant latency;");

@@ -7,22 +7,37 @@ use osmosis_core::experiments::fig4;
 
 fn main() {
     let scale = scale_from_args();
-    let r = fig4::run(scale, 0xF16_4);
+    let r = fig4::run(scale, 0xF164);
     print_table(
         "Figs. 3-4: scheduler-relayed remote flow control",
         &["metric", "value"],
         &[
             vec!["link delay (slots)".into(), r.link_delay.to_string()],
-            vec!["buffer sizing rule (cells)".into(), r.buffer_rule.to_string()],
+            vec![
+                "buffer sizing rule (cells)".into(),
+                r.buffer_rule.to_string(),
+            ],
             vec!["FC RTT min (slots)".into(), r.relay.fc_rtt_min.to_string()],
             vec!["FC RTT max (slots)".into(), r.relay.fc_rtt_max.to_string()],
-            vec!["relay-loop throughput".into(), format!("{:.4}", r.relay.throughput)],
+            vec![
+                "relay-loop throughput".into(),
+                format!("{:.4}", r.relay.throughput),
+            ],
             vec!["idle cells inserted".into(), r.relay.idle_cells.to_string()],
-            vec!["hotspot fabric: delivered".into(), r.hotspot.delivered.to_string()],
-            vec!["hotspot fabric: reordered".into(), r.hotspot.reordered.to_string()],
+            vec![
+                "hotspot fabric: delivered".into(),
+                r.hotspot.delivered.to_string(),
+            ],
+            vec![
+                "hotspot fabric: reordered".into(),
+                r.hotspot.reordered.to_string(),
+            ],
             vec![
                 "hotspot fabric: peak buffer occupancy".into(),
-                format!("{} / {} capacity", r.hotspot.max_buffer_occupancy, r.fabric_buffer),
+                format!(
+                    "{} / {} capacity",
+                    r.hotspot.max_queue_depth, r.fabric_buffer
+                ),
             ],
         ],
     );

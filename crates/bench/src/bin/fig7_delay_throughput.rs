@@ -6,7 +6,7 @@ use osmosis_core::experiments::fig7;
 
 fn main() {
     let scale = scale_from_args();
-    let pts = fig7::run(scale, 0xF16_7);
+    let pts = fig7::run(scale, 0xF167);
     let rows: Vec<Vec<String>> = pts
         .iter()
         .map(|p| {
@@ -20,8 +20,17 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!("Fig. 7: delay vs. throughput, {}-port switch, FLPPR", scale.ports()),
-        &["offered load", "thr (1 rx)", "delay (1 rx)", "thr (2 rx)", "delay (2 rx)"],
+        &format!(
+            "Fig. 7: delay vs. throughput, {}-port switch, FLPPR",
+            scale.ports()
+        ),
+        &[
+            "offered load",
+            "thr (1 rx)",
+            "delay (1 rx)",
+            "thr (2 rx)",
+            "delay (2 rx)",
+        ],
         &rows,
     );
     println!("\nDelays in cell cycles (51.2 ns each). The dual-receiver curve stays nearly");

@@ -19,7 +19,12 @@ fn main() {
         .collect();
     print_table(
         "A1: FLPPR depth ablation (uniform Bernoulli traffic)",
-        &["depth K", "offered load", "mean delay (cycles)", "throughput"],
+        &[
+            "depth K",
+            "offered load",
+            "mean delay (cycles)",
+            "throughput",
+        ],
         &rows,
     );
     println!("\nDepth 1 (a single one-iteration matcher) loses throughput near saturation;");

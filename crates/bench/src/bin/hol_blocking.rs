@@ -11,9 +11,15 @@ fn main() {
         "A3: saturated uniform throughput",
         &["architecture", "throughput"],
         &[
-            vec!["single FIFO per input (HoL-blocked)".into(), format!("{:.3}", r.fifo_throughput)],
+            vec![
+                "single FIFO per input (HoL-blocked)".into(),
+                format!("{:.3}", r.fifo_throughput),
+            ],
             vec!["VOQ + FLPPR".into(), format!("{:.3}", r.voq_throughput)],
-            vec!["Karol limit 2 - sqrt(2)".into(), format!("{:.3}", r.karol_limit)],
+            vec![
+                "Karol limit 2 - sqrt(2)".into(),
+                format!("{:.3}", r.karol_limit),
+            ],
         ],
     );
     println!("\nFIFO input queues saturate near 58.6%; VOQ restores full throughput -");

@@ -30,7 +30,15 @@ fn main() {
         .collect();
     print_table(
         "Per-link load under uniform traffic (offered = 1.0/host; flow-hash routing)",
-        &["topology", "hosts", "stages", "mean link load", "max link load", "imbalance", "saturation est."],
+        &[
+            "topology",
+            "hosts",
+            "stages",
+            "mean link load",
+            "max link load",
+            "imbalance",
+            "saturation est.",
+        ],
         &rows,
     );
     println!("\nDeterministic per-flow routing preserves order but concentrates load on");

@@ -17,15 +17,25 @@ fn main() {
         rows.push(vec![
             fanout.to_string(),
             format!("{rate:.4}"),
-            format!("{:.3}", r.output_utilization),
-            format!("{:.2}", r.mean_completion),
-            format!("{:.2}", r.mean_transmissions),
-            format!("{:.1}%", 100.0 * r.completed as f64 / r.injected.max(1) as f64),
+            format!("{:.3}", r.throughput),
+            format!("{:.2}", r.mean_delay),
+            format!("{:.2}", r.extra("mean_transmissions").unwrap_or(0.0)),
+            format!(
+                "{:.1}%",
+                100.0 * r.delivered as f64 / r.injected.max(1) as f64
+            ),
         ]);
     }
     print_table(
         "Multicast on broadcast-and-select (64 ports, copy load ~0.5/output)",
-        &["fanout", "inject rate", "output util", "mean completion (cycles)", "tx per cell", "completed"],
+        &[
+            "fanout",
+            "inject rate",
+            "output util",
+            "mean completion (cycles)",
+            "tx per cell",
+            "completed",
+        ],
         &rows,
     );
     println!("\nThe star-coupler broadcast serves a full fanout in one transmission when");

@@ -1,8 +1,8 @@
 //! Regenerates the SI power argument: CMOS power grows with the data
 //! rate, SOA bias does not; control power follows the packet rate.
 
-use osmosis_bench::print_table;
 use osmosis_analysis::power::PowerModel;
+use osmosis_bench::print_table;
 
 fn main() {
     let m = PowerModel::circa_2005();
@@ -24,7 +24,10 @@ fn main() {
         &["Gb/s", "CMOS", "optical (SOA)", "control", "hybrid total"],
         &rows,
     );
-    println!("\ncrossover: optics cheaper than CMOS above {:.1} Gb/s", m.crossover_gbps());
+    println!(
+        "\ncrossover: optics cheaper than CMOS above {:.1} Gb/s",
+        m.crossover_gbps()
+    );
     println!("The optical datapath is flat in the data rate; only the control function");
     println!("(proportional to the packet rate) grows - the paper's SI power argument.");
 }

@@ -24,10 +24,18 @@ fn main() {
         .collect();
     print_table(
         "SIV.C: two-tier reliability (272,256,3) FEC + hop-by-hop retransmission",
-        &["raw BER", "user BER (FEC only)", "user BER (FEC+retx)", "tx per block"],
+        &[
+            "raw BER",
+            "user BER (FEC only)",
+            "user BER (FEC+retx)",
+            "tx per block",
+        ],
         &rows,
     );
-    println!("\ncoding overhead: {:.2}% (paper: 6.25%)", r.overhead * 100.0);
+    println!(
+        "\ncoding overhead: {:.2}% (paper: 6.25%)",
+        r.overhead * 100.0
+    );
     println!("paper targets: FEC < 1e-17 at raw 1e-10 .. 1e-12; +retx < 1e-21  -- both hold");
     println!(
         "\nMonte-Carlo reliable link at raw BER 1e-5: {}/{} cells delivered, \

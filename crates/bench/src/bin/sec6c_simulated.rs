@@ -19,21 +19,27 @@ fn main() {
     let mut rows = Vec::new();
     for (name, topo, load) in cases {
         let mut fab = MultiLevelFabric::new(MultiLevelConfig::standard(topo, 2));
-        let mut tr =
-            BernoulliUniform::new(topo.hosts(), load, &SeedSequence::new(0x6C));
-        let r = fab.run(&mut tr, 1_000, 10_000);
+        let mut tr = BernoulliUniform::new(topo.hosts(), load, &SeedSequence::new(0x6C));
+        let r = fab.run(&mut tr, &osmosis_fabric::EngineConfig::new(1_000, 10_000));
         rows.push(vec![
             name.to_string(),
             topo.hosts().to_string(),
-            r.stages.to_string(),
-            format!("{:.2}", r.mean_latency),
+            format!("{}", r.extra("stages").unwrap_or(0.0) as u32),
+            format!("{:.2}", r.mean_delay),
             format!("{:.3}", r.throughput),
             r.reordered.to_string(),
         ]);
     }
     print_table(
         "SVI.C simulated: same hosts, different radix -> stage count vs latency",
-        &["fabric", "hosts", "stages", "mean latency (cycles)", "throughput", "reordered"],
+        &[
+            "fabric",
+            "hosts",
+            "stages",
+            "mean latency (cycles)",
+            "throughput",
+            "reordered",
+        ],
         &rows,
     );
     println!("\nEvery extra stage adds a link flight plus a scheduling cycle: the");

@@ -23,7 +23,15 @@ fn main() {
         .collect();
     print_table(
         "SVI.C: 2048-port fabric alternatives",
-        &["technology", "radix", "stages", "switches", "OEO layers", "path latency (ns)", "power (kW)"],
+        &[
+            "technology",
+            "radix",
+            "stages",
+            "switches",
+            "OEO layers",
+            "path latency (ns)",
+            "power (kW)",
+        ],
         &table,
     );
     println!("\nOSMOSIS needs 3 stages (vs 5 / 9) and saves two OEO layers vs the");

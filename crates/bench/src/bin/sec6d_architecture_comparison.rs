@@ -20,8 +20,17 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!("SVI.D: switch architecture comparison ({} ports)", scale.ports()),
-        &["architecture", "unloaded delay (cycles)", "thr @98%", "reordered @70%", "blocks?"],
+        &format!(
+            "SVI.D: switch architecture comparison ({} ports)",
+            scale.ports()
+        ),
+        &[
+            "architecture",
+            "unloaded delay (cycles)",
+            "thr @98%",
+            "reordered @70%",
+            "blocks?",
+        ],
         &table,
     );
     println!("\nOnly OSMOSIS (and the unbuildable ideal OQ switch) combines low latency,");

@@ -11,7 +11,12 @@ fn main() {
         .map(|row| {
             vec![
                 row.name.to_string(),
-                format!("{}x{} = {}", row.config.wavelengths, row.config.fibers, row.config.ports()),
+                format!(
+                    "{}x{} = {}",
+                    row.config.wavelengths,
+                    row.config.fibers,
+                    row.config.ports()
+                ),
                 format!("{:.0}", row.config.port_gbps),
                 format!("{:.1}", row.aggregate_tbps),
                 if row.feasible { "yes" } else { "no" }.to_string(),
@@ -22,7 +27,15 @@ fn main() {
         .collect();
     print_table(
         "SVII: single-stage scaling (electronic ceiling: 6-8 Tb/s)",
-        &["configuration", "lambda x fibers = ports", "Gb/s/port", "aggregate Tb/s", "optics OK?", "FLPPR depth", "cell time ns"],
+        &[
+            "configuration",
+            "lambda x fibers = ports",
+            "Gb/s/port",
+            "aggregate Tb/s",
+            "optics OK?",
+            "FLPPR depth",
+            "cell time ns",
+        ],
         &rows,
     );
     println!("\n64-byte cells at 40 Gb/s:");

@@ -3,33 +3,36 @@
 
 use osmosis_bench::print_table;
 use osmosis_sim::SeedSequence;
-use osmosis_switch::{CioqSwitch, RunConfig};
+use osmosis_switch::{CioqSwitch, EngineConfig};
 use osmosis_traffic::BernoulliUniform;
 
 fn main() {
     let n = 16;
-    let cfg = RunConfig {
-        warmup_slots: 2_000,
-        measure_slots: 30_000,
-    };
+    let cfg = EngineConfig::new(2_000, 30_000);
     let mut rows = Vec::new();
     for speedup in [1usize, 2, 3] {
         for cap in [1usize, 2, 4, 16] {
             let mut sw = CioqSwitch::new(n, speedup, cap);
             let mut tr = BernoulliUniform::new(n, 0.95, &SeedSequence::new(11));
-            let r = sw.run(&mut tr, cfg);
+            let r = sw.run(&mut tr, &cfg);
             rows.push(vec![
                 speedup.to_string(),
                 cap.to_string(),
                 format!("{:.3}", r.throughput),
-                format!("{:.4}", r.violation_fraction),
+                format!("{:.4}", r.extra("violation_fraction").unwrap_or(0.0)),
                 format!("{:.2}", r.mean_delay),
             ]);
         }
     }
     print_table(
         "Work conservation of CIOQ (16 ports, 95% uniform load)",
-        &["speedup", "egress buffer (cells)", "throughput", "violation fraction", "mean delay"],
+        &[
+            "speedup",
+            "egress buffer (cells)",
+            "throughput",
+            "violation fraction",
+            "mean delay",
+        ],
         &rows,
     );
     println!("\nSpeedup 1 cannot be work-conserving; speedup 2 nearly is, *provided* the");

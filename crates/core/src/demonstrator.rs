@@ -14,7 +14,7 @@ use osmosis_phy::guard::{CellEfficiency, GuardBudget};
 use osmosis_phy::units::Db;
 use osmosis_sched::{CellScheduler, Flppr};
 use osmosis_sim::{SlotClock, TimeDelta};
-use osmosis_switch::{RunConfig, SwitchReport, VoqSwitch};
+use osmosis_switch::{EngineConfig, EngineReport, VoqSwitch};
 use osmosis_traffic::TrafficGen;
 
 /// Static parameters of the demonstrator.
@@ -118,8 +118,8 @@ impl Demonstrator {
         &self,
         sched: Box<dyn CellScheduler>,
         traffic: &mut dyn TrafficGen,
-        cfg: RunConfig,
-    ) -> SwitchReport {
+        cfg: &EngineConfig,
+    ) -> EngineReport {
         self.switch(sched).run(traffic, cfg)
     }
 
@@ -176,10 +176,7 @@ mod tests {
         let r = d.run(
             Box::new(d.scheduler()),
             &mut tr,
-            RunConfig {
-                warmup_slots: 200,
-                measure_slots: 2_000,
-            },
+            &EngineConfig::new(200, 2_000),
         );
         assert!((r.throughput - 0.5).abs() < 0.03);
         assert_eq!(r.reordered, 0);

@@ -7,7 +7,7 @@ use super::Scale;
 use osmosis_phy::guard::user_fraction_vs_guard;
 use osmosis_sched::{CellScheduler, Flppr, Islip, Pim};
 use osmosis_sim::{parallel_sweep, SeedSequence, TimeDelta};
-use osmosis_switch::{run_uniform, BvnSwitch, FifoSwitch, RunConfig};
+use osmosis_switch::{run_uniform, BvnSwitch, EngineConfig, FifoSwitch};
 use osmosis_traffic::BernoulliUniform;
 
 /// FLPPR depth ablation point.
@@ -26,10 +26,7 @@ pub struct DepthPoint {
 /// Sweep FLPPR depth × load (A1).
 pub fn flppr_depth(scale: Scale, seed: u64) -> Vec<DepthPoint> {
     let ports = scale.ports();
-    let cfg = RunConfig {
-        warmup_slots: scale.warmup(),
-        measure_slots: scale.measure(),
-    };
+    let cfg = EngineConfig::new(scale.warmup(), scale.measure()).with_seed(seed);
     let mut jobs = Vec::new();
     for depth in [1usize, 2, 4, 6, 8] {
         for load in [0.3, 0.6, 0.9, 0.98] {
@@ -37,12 +34,7 @@ pub fn flppr_depth(scale: Scale, seed: u64) -> Vec<DepthPoint> {
         }
     }
     parallel_sweep(jobs, move |(depth, load)| {
-        let r = run_uniform(
-            || Box::new(Flppr::new(ports, depth, 1)),
-            load,
-            seed,
-            cfg,
-        );
+        let r = run_uniform(|| Box::new(Flppr::new(ports, depth, 1)), load, &cfg);
         DepthPoint {
             depth,
             load,
@@ -78,14 +70,11 @@ pub struct HolResult {
 /// Run the HoL experiment.
 pub fn hol_blocking(scale: Scale, seed: u64) -> HolResult {
     let ports = scale.ports();
-    let cfg = RunConfig {
-        warmup_slots: scale.warmup() * 2,
-        measure_slots: scale.measure(),
-    };
+    let cfg = EngineConfig::new(scale.warmup() * 2, scale.measure()).with_seed(seed);
     let mut fifo = FifoSwitch::new(ports);
     let mut tr = BernoulliUniform::new(ports, 1.0, &SeedSequence::new(seed));
-    let f = fifo.run(&mut tr, cfg);
-    let v = run_uniform(|| Box::new(Flppr::osmosis(ports, 1)), 1.0, seed, cfg);
+    let f = fifo.run(&mut tr, &cfg);
+    let v = run_uniform(|| Box::new(Flppr::osmosis(ports, 1)), 1.0, &cfg);
     HolResult {
         fifo_throughput: f.throughput,
         voq_throughput: v.throughput,
@@ -109,17 +98,14 @@ pub struct BvnResult {
 /// Run the BvN comparison.
 pub fn bvn_baseline(scale: Scale, seed: u64) -> BvnResult {
     let ports = scale.ports();
-    let cfg = RunConfig {
-        warmup_slots: scale.warmup(),
-        measure_slots: scale.measure(),
-    };
+    let cfg = EngineConfig::new(scale.warmup(), scale.measure()).with_seed(seed);
     let mut bvn = BvnSwitch::new(ports);
     let mut tr = BernoulliUniform::new(ports, 0.02, &SeedSequence::new(seed));
-    let unloaded = bvn.run(&mut tr, cfg);
+    let unloaded = bvn.run(&mut tr, &cfg);
     let mut bvn = BvnSwitch::new(ports);
     let mut tr = BernoulliUniform::new(ports, 0.7, &SeedSequence::new(seed + 1));
-    let loaded = bvn.run(&mut tr, cfg);
-    let osmosis = run_uniform(|| Box::new(Flppr::osmosis(ports, 2)), 0.02, seed, cfg);
+    let loaded = bvn.run(&mut tr, &cfg);
+    let osmosis = run_uniform(|| Box::new(Flppr::osmosis(ports, 2)), 0.02, &cfg);
     BvnResult {
         ports,
         unloaded_latency: unloaded.mean_delay,

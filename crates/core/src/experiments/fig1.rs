@@ -8,7 +8,7 @@
 
 use osmosis_sched::Flppr;
 use osmosis_sim::{SeedSequence, TimeDelta};
-use osmosis_switch::{remote_sched::RemoteSchedulerSwitch, RunConfig};
+use osmosis_switch::{remote_sched::RemoteSchedulerSwitch, EngineConfig};
 use osmosis_traffic::BernoulliUniform;
 
 /// One point of the latency-vs-machine-diameter curve.
@@ -36,21 +36,12 @@ pub fn run(diameters_m: &[f64], ports: usize, seed: u64) -> Vec<Fig1Point> {
         .iter()
         .map(|&diameter_m| {
             let half_rtt_ns = 5.0 * diameter_m; // 5 ns/m of fiber
-            let half_rtt_slots = TimeDelta::from_ns_f64(half_rtt_ns)
-                .div_ceil_slots(TimeDelta::from_ns_f64(CELL_NS));
-            let mut sw = RemoteSchedulerSwitch::new(
-                Box::new(Flppr::osmosis(ports, 1)),
-                half_rtt_slots,
-            );
-            let mut tr =
-                BernoulliUniform::new(ports, 0.05, &SeedSequence::new(seed));
-            let r = sw.run(
-                &mut tr,
-                RunConfig {
-                    warmup_slots: 500,
-                    measure_slots: 4_000,
-                },
-            );
+            let half_rtt_slots =
+                TimeDelta::from_ns_f64(half_rtt_ns).div_ceil_slots(TimeDelta::from_ns_f64(CELL_NS));
+            let mut sw =
+                RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(ports, 1)), half_rtt_slots);
+            let mut tr = BernoulliUniform::new(ports, 0.05, &SeedSequence::new(seed));
+            let r = sw.run(&mut tr, &EngineConfig::new(500, 4_000));
             let simulated_ns = r.mean_delay * CELL_NS;
             Fig1Point {
                 diameter_m,

@@ -3,8 +3,8 @@
 //! the 3 dB OSNR advantage.
 
 use osmosis_phy::soa::{
-    dpsk_loading_improvement_db, figure10_curve, input_power_at_penalty,
-    required_osnr_db, Modulation,
+    dpsk_loading_improvement_db, figure10_curve, input_power_at_penalty, required_osnr_db,
+    Modulation,
 };
 
 /// One curve of Fig. 10.
@@ -60,7 +60,11 @@ mod tests {
     #[test]
     fn paper_numbers() {
         let r = run();
-        assert!((r.improvement_db - 14.0).abs() < 0.01, "{}", r.improvement_db);
+        assert!(
+            (r.improvement_db - 14.0).abs() < 0.01,
+            "{}",
+            r.improvement_db
+        );
         assert!((r.osnr_advantage_db - 3.0).abs() < 1e-9);
         assert_eq!(r.curves.len(), 4);
     }

@@ -6,6 +6,7 @@
 use super::Scale;
 use osmosis_fabric::flow_control::required_buffer_cells;
 use osmosis_fabric::multistage::{FabricConfig, FatTreeFabric, Placement};
+use osmosis_fabric::EngineConfig;
 use osmosis_sim::SeedSequence;
 use osmosis_traffic::BernoulliUniform;
 
@@ -60,17 +61,16 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Fig2Row> {
         let run_at = |load: f64| {
             let mut fab = FatTreeFabric::new(cfg);
             let hosts = fab.topology().hosts();
-            let mut tr =
-                BernoulliUniform::new(hosts, load, &SeedSequence::new(seed));
-            fab.run(&mut tr, scale.warmup(), scale.measure())
+            let mut tr = BernoulliUniform::new(hosts, load, &SeedSequence::new(seed));
+            fab.run(&mut tr, &EngineConfig::new(scale.warmup(), scale.measure()))
         };
         let light = run_at(0.05);
         let moderate = run_at(0.6);
         Fig2Row {
             placement,
             oeo_per_stage: placement.oeo_per_stage(),
-            light_load_latency: light.mean_latency,
-            moderate_load_latency: moderate.mean_latency,
+            light_load_latency: light.mean_delay,
+            moderate_load_latency: moderate.mean_delay,
             moderate_throughput: moderate.throughput,
             buffer_cells_needed: cfg.buffer_cells,
         }

@@ -6,7 +6,8 @@ use super::Scale;
 use osmosis_fabric::flow_control::{
     required_buffer_cells, run_relay_loop, RelayConfig, RelayReport,
 };
-use osmosis_fabric::multistage::{FabricConfig, FabricReport, FatTreeFabric, Placement};
+use osmosis_fabric::multistage::{FabricConfig, FatTreeFabric, Placement};
+use osmosis_fabric::{EngineConfig, EngineReport};
 use osmosis_sim::SeedSequence;
 use osmosis_traffic::Hotspot;
 
@@ -20,7 +21,7 @@ pub struct Fig4Result {
     /// Buffer cells required by the sizing rule.
     pub buffer_rule: usize,
     /// Fabric run under hotspot overload: must be lossless and in order.
-    pub hotspot: FabricReport,
+    pub hotspot: EngineReport,
     /// Buffer capacity used in the fabric run.
     pub fabric_buffer: usize,
 }
@@ -50,7 +51,7 @@ pub fn run(scale: Scale, seed: u64) -> Fig4Result {
     let mut fab = FatTreeFabric::new(cfg);
     let hosts = fab.topology().hosts();
     let mut tr = Hotspot::new(hosts, 0.5, 0, 0.5, &SeedSequence::new(seed));
-    let hotspot = fab.run(&mut tr, scale.warmup(), scale.measure());
+    let hotspot = fab.run(&mut tr, &EngineConfig::new(scale.warmup(), scale.measure()));
 
     Fig4Result {
         relay,
@@ -75,7 +76,7 @@ mod tests {
         // Hotspot overload: lossless (the sim asserts on overflow),
         // in-order, buffers bounded.
         assert_eq!(r.hotspot.reordered, 0);
-        assert!(r.hotspot.max_buffer_occupancy <= r.fabric_buffer);
+        assert!(r.hotspot.max_queue_depth <= r.fabric_buffer);
         assert!(r.hotspot.delivered > 0);
     }
 }

@@ -9,7 +9,7 @@
 use super::Scale;
 use osmosis_sched::Flppr;
 use osmosis_sim::parallel_sweep;
-use osmosis_switch::{run_uniform, RunConfig};
+use osmosis_switch::{run_uniform, EngineConfig};
 
 /// One point of the Fig. 7 curves.
 #[derive(Debug, Clone, Copy)]
@@ -29,13 +29,10 @@ pub struct Fig7Point {
 /// Run the sweep.
 pub fn run(scale: Scale, seed: u64) -> Vec<Fig7Point> {
     let ports = scale.ports();
-    let cfg = RunConfig {
-        warmup_slots: scale.warmup(),
-        measure_slots: scale.measure(),
-    };
+    let cfg = EngineConfig::new(scale.warmup(), scale.measure()).with_seed(seed);
     parallel_sweep(scale.loads(), move |load| {
-        let single = run_uniform(|| Box::new(Flppr::osmosis(ports, 1)), load, seed, cfg);
-        let dual = run_uniform(|| Box::new(Flppr::osmosis(ports, 2)), load, seed, cfg);
+        let single = run_uniform(|| Box::new(Flppr::osmosis(ports, 1)), load, &cfg);
+        let dual = run_uniform(|| Box::new(Flppr::osmosis(ports, 2)), load, &cfg);
         Fig7Point {
             load,
             throughput_single: single.throughput,

@@ -62,6 +62,6 @@ mod tests {
         // must land in (or near) that band.
         let r = run();
         let ns = r.asic_total.as_ns_f64();
-        assert!(ns <= 400.0 && ns >= 100.0, "{ns} ns");
+        assert!((100.0..=400.0).contains(&ns), "{ns} ns");
     }
 }

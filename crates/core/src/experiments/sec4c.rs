@@ -3,8 +3,7 @@
 //! below 10⁻²¹, at 6.25% overhead.
 
 use osmosis_fec::analytics::{
-    block_outcomes, expected_transmissions, user_ber_fec_only,
-    user_ber_with_retransmission,
+    block_outcomes, expected_transmissions, user_ber_fec_only, user_ber_with_retransmission,
 };
 use osmosis_fec::code::OVERHEAD;
 use osmosis_fec::retransmission::{run_reliable_link, LinkConfig, LinkReport};
@@ -71,8 +70,18 @@ mod tests {
         assert!((r.overhead - 0.0625).abs() < 1e-12);
         for row in &r.rows {
             if row.raw_ber <= 1e-10 {
-                assert!(row.fec_ber < 1e-17, "raw {:e} → {:e}", row.raw_ber, row.fec_ber);
-                assert!(row.retx_ber < 1e-21, "raw {:e} → {:e}", row.raw_ber, row.retx_ber);
+                assert!(
+                    row.fec_ber < 1e-17,
+                    "raw {:e} → {:e}",
+                    row.raw_ber,
+                    row.fec_ber
+                );
+                assert!(
+                    row.retx_ber < 1e-21,
+                    "raw {:e} → {:e}",
+                    row.raw_ber,
+                    row.retx_ber
+                );
             }
             assert!(row.retx_ber < row.fec_ber);
             assert!(row.transmissions >= 1.0);

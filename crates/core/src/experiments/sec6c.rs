@@ -28,8 +28,7 @@ pub fn run() -> Vec<Sec6cRow> {
                 }
                 _ => pm.cmos_port_power_w(port_gbps),
             };
-            let model_power_w =
-                fabric_power_w(per_port, 2048, comparison.stages);
+            let model_power_w = fabric_power_w(per_port, 2048, comparison.stages);
             Sec6cRow {
                 comparison,
                 model_power_w,

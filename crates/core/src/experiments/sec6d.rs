@@ -7,8 +7,8 @@ use super::Scale;
 use osmosis_sched::Flppr;
 use osmosis_sim::SeedSequence;
 use osmosis_switch::{
-    run_uniform, BurstSwitch, BvnSwitch, DeflectionSwitch, FifoSwitch, OqSwitch,
-    RunConfig, SwitchReport,
+    run_uniform, BurstSwitch, BvnSwitch, DeflectionSwitch, EngineConfig, EngineReport, FifoSwitch,
+    OqSwitch,
 };
 use osmosis_traffic::BernoulliUniform;
 
@@ -28,11 +28,7 @@ pub struct ArchRow {
     pub blocks_or_drops: bool,
 }
 
-fn row(
-    name: &'static str,
-    mut run: impl FnMut(f64, u64) -> SwitchReport,
-    seed: u64,
-) -> ArchRow {
+fn row(name: &'static str, mut run: impl FnMut(f64, u64) -> EngineReport, seed: u64) -> ArchRow {
     let unloaded = run(0.05, seed);
     let saturated = run(0.98, seed + 1);
     let mid = run(0.7, seed + 2);
@@ -48,15 +44,12 @@ fn row(
 /// Run the §VI.D comparison.
 pub fn run(scale: Scale, seed: u64) -> Vec<ArchRow> {
     let n = scale.ports();
-    let cfg = RunConfig {
-        warmup_slots: scale.warmup(),
-        measure_slots: scale.measure(),
-    };
+    let cfg = EngineConfig::new(scale.warmup(), scale.measure());
     let burst = 16u64;
     vec![
         row(
             "OSMOSIS (FLPPR, dual receiver)",
-            |load, s| run_uniform(|| Box::new(Flppr::osmosis(n, 2)), load, s, cfg),
+            |load, s| run_uniform(|| Box::new(Flppr::osmosis(n, 2)), load, &cfg.with_seed(s)),
             seed,
         ),
         row(
@@ -64,7 +57,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<ArchRow> {
             |load, s| {
                 let mut sw = OqSwitch::new(n);
                 let mut tr = BernoulliUniform::new(n, load, &SeedSequence::new(s));
-                sw.run(&mut tr, cfg)
+                sw.run(&mut tr, &cfg)
             },
             seed + 10,
         ),
@@ -73,7 +66,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<ArchRow> {
             |load, s| {
                 let mut sw = BurstSwitch::new(n, burst, burst);
                 let mut tr = BernoulliUniform::new(n, load, &SeedSequence::new(s));
-                sw.run(&mut tr, cfg)
+                sw.run(&mut tr, &cfg)
             },
             seed + 20,
         ),
@@ -82,7 +75,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<ArchRow> {
             |load, s| {
                 let mut sw = BvnSwitch::new(n);
                 let mut tr = BernoulliUniform::new(n, load, &SeedSequence::new(s));
-                sw.run(&mut tr, cfg)
+                sw.run(&mut tr, &cfg)
             },
             seed + 30,
         ),
@@ -91,7 +84,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<ArchRow> {
             |load, s| {
                 let mut sw = DeflectionSwitch::new(n, 4, s);
                 let mut tr = BernoulliUniform::new(n, load, &SeedSequence::new(s));
-                sw.run(&mut tr, cfg)
+                sw.run(&mut tr, &cfg)
             },
             seed + 40,
         ),
@@ -100,7 +93,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<ArchRow> {
             |load, s| {
                 let mut sw = FifoSwitch::new(n);
                 let mut tr = BernoulliUniform::new(n, load, &SeedSequence::new(s));
-                sw.run(&mut tr, cfg)
+                sw.run(&mut tr, &cfg)
             },
             seed + 50,
         ),

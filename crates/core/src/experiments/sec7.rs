@@ -6,7 +6,7 @@ use osmosis_analysis::scaling::{
 };
 use osmosis_phy::guard::{CellEfficiency, GuardBudget};
 use osmosis_sched::Flppr;
-use osmosis_switch::{run_uniform, RunConfig, SwitchReport};
+use osmosis_switch::{run_uniform, EngineConfig, EngineReport};
 
 /// One scaling configuration row.
 #[derive(Debug, Clone)]
@@ -85,10 +85,22 @@ pub fn run() -> Sec7Result {
         small_cell_user_fraction_today: today.user_fraction(),
         small_cell_user_fraction_outlook: outlook.user_fraction(),
         asic_trades: vec![
-            ("4× → 64 B cells @ 40G", asic_tradeoff_fits(256, 40.0, 64, 40.0, 4.0)),
-            ("4× → 256 B cells @ 160G", asic_tradeoff_fits(256, 40.0, 256, 160.0, 4.0)),
-            ("4× → 128 B cells @ 80G", asic_tradeoff_fits(256, 40.0, 128, 80.0, 4.0)),
-            ("4× → 64 B cells @ 160G", asic_tradeoff_fits(256, 40.0, 64, 160.0, 4.0)),
+            (
+                "4× → 64 B cells @ 40G",
+                asic_tradeoff_fits(256, 40.0, 64, 40.0, 4.0),
+            ),
+            (
+                "4× → 256 B cells @ 160G",
+                asic_tradeoff_fits(256, 40.0, 256, 160.0, 4.0),
+            ),
+            (
+                "4× → 128 B cells @ 80G",
+                asic_tradeoff_fits(256, 40.0, 128, 80.0, 4.0),
+            ),
+            (
+                "4× → 64 B cells @ 160G",
+                asic_tradeoff_fits(256, 40.0, 64, 160.0, 4.0),
+            ),
         ],
     }
 }
@@ -99,16 +111,9 @@ pub fn run() -> Sec7Result {
 /// additional iterations in the same time" — i.e. the architecture still
 /// delivers single-cycle grants at low load and >95% sustained
 /// throughput at 4× the demonstrator's port count.
-pub fn outlook_switch_sim(load: f64, seed: u64, measure_slots: u64) -> SwitchReport {
-    run_uniform(
-        || Box::new(Flppr::osmosis(256, 2)),
-        load,
-        seed,
-        RunConfig {
-            warmup_slots: measure_slots / 10,
-            measure_slots,
-        },
-    )
+pub fn outlook_switch_sim(load: f64, seed: u64, measure_slots: u64) -> EngineReport {
+    let cfg = EngineConfig::new(measure_slots / 10, measure_slots).with_seed(seed);
+    run_uniform(|| Box::new(Flppr::osmosis(256, 2)), load, &cfg)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use crate::demonstrator::Demonstrator;
 use crate::fabric_level::OsmosisFabricConfig;
 use osmosis_fec::analytics::{user_ber_with_retransmission, OPTICAL_RAW_BER_WORST};
 use osmosis_sim::SeedSequence;
-use osmosis_switch::{RunConfig, VoqSwitch};
+use osmosis_switch::{EngineConfig, VoqSwitch};
 use osmosis_traffic::{BernoulliUniform, Hotspot};
 
 /// One requirement row.
@@ -26,28 +26,25 @@ pub struct Table1Row {
 pub fn run(scale: Scale, seed: u64) -> Vec<Table1Row> {
     let d = Demonstrator::new();
     let fabric = OsmosisFabricConfig::full_size();
-    let cfg = RunConfig {
-        warmup_slots: scale.warmup(),
-        measure_slots: scale.measure(),
-    };
+    let cfg = EngineConfig::new(scale.warmup(), scale.measure());
     let ports = scale.ports();
 
     // Switch latency: unloaded mean delay through one switch stage.
     // (Quick scale uses a smaller port count; the cell cycle is the same.)
     let mut tr = BernoulliUniform::new(ports, 0.05, &SeedSequence::new(seed));
-    let unloaded = VoqSwitch::new(Box::new(osmosis_sched::Flppr::osmosis(ports, 2)))
-        .run(&mut tr, cfg);
+    let unloaded =
+        VoqSwitch::new(Box::new(osmosis_sched::Flppr::osmosis(ports, 2))).run(&mut tr, &cfg);
     let latency_ns = unloaded.mean_delay * d.cell_cycle().as_ns_f64();
 
     // Sustained throughput at 99% offered load.
     let mut tr = BernoulliUniform::new(ports, 0.99, &SeedSequence::new(seed + 1));
-    let saturated = VoqSwitch::new(Box::new(osmosis_sched::Flppr::osmosis(ports, 2)))
-        .run(&mut tr, cfg);
+    let saturated =
+        VoqSwitch::new(Box::new(osmosis_sched::Flppr::osmosis(ports, 2))).run(&mut tr, &cfg);
 
     // Losslessness + ordering under hotspot overload.
     let mut tr = Hotspot::new(ports, 0.5, 0, 0.5, &SeedSequence::new(seed + 2));
-    let hotspot = VoqSwitch::new(Box::new(osmosis_sched::Flppr::osmosis(ports, 2)))
-        .run(&mut tr, cfg);
+    let hotspot =
+        VoqSwitch::new(Box::new(osmosis_sched::Flppr::osmosis(ports, 2))).run(&mut tr, &cfg);
 
     let user_frac = d.user_bandwidth_fraction();
     let residual_ber = user_ber_with_retransmission(OPTICAL_RAW_BER_WORST);

@@ -1,8 +1,9 @@
 //! The fabric-level OSMOSIS system (§V): 64-port switches in a two-level
 //! (three-stage) fat tree → 2048 ports at 12 GByte/s each.
 
-use osmosis_fabric::multistage::{FabricConfig, FabricReport, FatTreeFabric, Placement};
+use osmosis_fabric::multistage::{FabricConfig, FatTreeFabric, Placement};
 use osmosis_fabric::topology::TwoLevelFatTree;
+use osmosis_fabric::{EngineConfig, EngineReport};
 use osmosis_sim::TimeDelta;
 use osmosis_traffic::TrafficGen;
 
@@ -80,13 +81,8 @@ impl OsmosisFabricConfig {
     }
 
     /// Run traffic through a fabric instance.
-    pub fn run(
-        &self,
-        traffic: &mut dyn TrafficGen,
-        warmup: u64,
-        measure: u64,
-    ) -> FabricReport {
-        self.build().run(traffic, warmup, measure)
+    pub fn run(&self, traffic: &mut dyn TrafficGen, cfg: &EngineConfig) -> EngineReport {
+        self.build().run(traffic, cfg)
     }
 }
 
@@ -115,9 +111,8 @@ mod tests {
     #[test]
     fn sim_sized_instance_runs() {
         let f = OsmosisFabricConfig::sim_sized(8);
-        let mut tr =
-            BernoulliUniform::new(f.ports(), 0.4, &SeedSequence::new(3));
-        let r = f.run(&mut tr, 500, 4_000);
+        let mut tr = BernoulliUniform::new(f.ports(), 0.4, &SeedSequence::new(3));
+        let r = f.run(&mut tr, &EngineConfig::new(500, 4_000));
         assert!((r.throughput - 0.4).abs() < 0.03);
         assert_eq!(r.reordered, 0);
     }

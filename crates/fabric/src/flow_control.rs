@@ -188,11 +188,7 @@ mod tests {
         for d in [1u64, 3, 8] {
             let cfg = base(d, required_buffer_cells(d));
             let r = run_relay_loop(&cfg, 30_000, 2);
-            assert!(
-                r.throughput > 0.99,
-                "d={d}: throughput {}",
-                r.throughput
-            );
+            assert!(r.throughput > 0.99, "d={d}: throughput {}", r.throughput);
         }
     }
 

@@ -38,10 +38,12 @@ pub mod topology;
 pub use baselines::{compare, section_6c_table, FabricAlternative, FabricComparison};
 pub use flow_control::{required_buffer_cells, run_relay_loop, RelayConfig, RelayReport};
 pub use loadmap::{load_map, uniform_load_map, LoadMap};
-pub use multilevel::{
-    MultiLevelClos, MultiLevelConfig, MultiLevelFabric, MultiLevelReport,
-};
-pub use multistage::{FabricConfig, FabricReport, FatTreeFabric, Placement};
+pub use multilevel::{MultiLevelClos, MultiLevelConfig, MultiLevelFabric};
+pub use multistage::{FabricConfig, FatTreeFabric, Placement};
+
+// The engine types every consumer of this crate needs alongside the
+// fabrics.
+pub use osmosis_sim::engine::{EngineConfig, EngineReport};
 pub use topology::{
     levels_for_ports, max_ports, stages_for_levels, stages_for_ports, TwoLevelFatTree,
 };

@@ -170,12 +170,9 @@ mod tests {
         // Simulate well above the estimate: carried throughput should
         // flatten near the analytic ceiling (within 12%).
         let mut fab = MultiLevelFabric::new(MultiLevelConfig::standard(topo, 2));
-        let mut tr = BernoulliUniform::new(
-            topo.hosts(),
-            (est + 0.2).min(1.0),
-            &SeedSequence::new(5),
-        );
-        let r = fab.run(&mut tr, 2_000, 10_000);
+        let mut tr =
+            BernoulliUniform::new(topo.hosts(), (est + 0.2).min(1.0), &SeedSequence::new(5));
+        let r = fab.run(&mut tr, &osmosis_sim::EngineConfig::new(2_000, 10_000));
         assert!(
             (r.throughput - est).abs() < 0.12,
             "simulated {} vs analytic ceiling {est}",
@@ -188,8 +185,8 @@ mod tests {
         let topo = MultiLevelClos::new(8, 2);
         let hosts = topo.hosts();
         let mut rate = vec![vec![0.0; hosts]; hosts];
-        for src in 1..hosts {
-            rate[src][0] = 0.5;
+        for row in rate.iter_mut().skip(1) {
+            row[0] = 0.5;
         }
         let m = load_map(&topo, &rate);
         // The hottest links are those delivering into host 0's leaf

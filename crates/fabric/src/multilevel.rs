@@ -18,11 +18,16 @@
 //! hash, so per-flow order holds) and descends following the destination
 //! digits. Links carry credits exactly as in the two-level model; the
 //! losslessness assertion is the same.
+//!
+//! The simulator runs on the shared engine via the `CellSwitch` hooks
+//! and reports the unified [`EngineReport`]; the stage count (2L−1) of
+//! the simulated topology rides along as `extra("stages")`.
 
 use osmosis_sched::arbiter::{BitSet, RoundRobinArbiter};
-use osmosis_sim::stats::Histogram;
+use osmosis_sim::engine::{EngineConfig, EngineReport, Observer, TraceSink};
+use osmosis_switch::driven::{run_switch, CellSwitch};
 use osmosis_switch::Cell;
-use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use osmosis_traffic::{Arrival, SequenceChecker, SequenceStamper, TrafficGen};
 use std::collections::VecDeque;
 
 /// Topology descriptor for an L-level folded Clos of radix-k switches.
@@ -37,7 +42,7 @@ pub struct MultiLevelClos {
 impl MultiLevelClos {
     /// Build a descriptor. `radix` must be even ≥ 4, `levels ≥ 1`.
     pub fn new(radix: usize, levels: u32) -> Self {
-        assert!(radix >= 4 && radix % 2 == 0);
+        assert!(radix >= 4 && radix.is_multiple_of(2));
         assert!(levels >= 1);
         MultiLevelClos { radix, levels }
     }
@@ -137,7 +142,6 @@ fn mix(mut h: u64) -> u64 {
     h ^ (h >> 31)
 }
 
-
 /// Configuration for a multilevel fabric run.
 #[derive(Debug, Clone, Copy)]
 pub struct MultiLevelConfig {
@@ -161,25 +165,6 @@ impl MultiLevelConfig {
             iterations: 3,
         }
     }
-}
-
-/// Results (same semantics as the two-level fabric report).
-#[derive(Debug, Clone)]
-pub struct MultiLevelReport {
-    /// Offered load per host.
-    pub offered_load: f64,
-    /// Carried throughput per host.
-    pub throughput: f64,
-    /// Mean end-to-end latency in slots.
-    pub mean_latency: f64,
-    /// Out-of-order deliveries (must be 0).
-    pub reordered: u64,
-    /// Peak input-buffer occupancy.
-    pub max_buffer_occupancy: usize,
-    /// Cells delivered in the window.
-    pub delivered: u64,
-    /// Stages of the topology (2L−1), for reporting.
-    pub stages: u32,
 }
 
 /// Per-switch state: ports 0..m−1 down, m..2m−1 up.
@@ -209,7 +194,10 @@ pub struct MultiLevelFabric {
     cell_flights: VecDeque<(u64, Hop, Cell)>,
     credit_flights: VecDeque<(u64, CreditTo)>,
     stamper: SequenceStamper,
+    checker: SequenceChecker,
     next_id: u64,
+    requesters: BitSet,
+    grants_to_input: Vec<BitSet>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -232,12 +220,8 @@ impl MultiLevelFabric {
                         voq: (0..ports * ports).map(|_| VecDeque::new()).collect(),
                         input_occupancy: vec![0; ports],
                         credits: vec![cfg.buffer_cells; ports],
-                        grant_arb: (0..ports)
-                            .map(|_| RoundRobinArbiter::new(ports))
-                            .collect(),
-                        accept_arb: (0..ports)
-                            .map(|_| RoundRobinArbiter::new(ports))
-                            .collect(),
+                        grant_arb: (0..ports).map(|_| RoundRobinArbiter::new(ports)).collect(),
+                        accept_arb: (0..ports).map(|_| RoundRobinArbiter::new(ports)).collect(),
                     })
                     .collect()
             })
@@ -250,7 +234,10 @@ impl MultiLevelFabric {
             cell_flights: VecDeque::new(),
             credit_flights: VecDeque::new(),
             stamper: SequenceStamper::new(),
+            checker: SequenceChecker::new(),
             next_id: 0,
+            requesters: BitSet::new(ports),
+            grants_to_input: (0..ports).map(|_| BitSet::new(ports)).collect(),
         }
     }
 
@@ -339,196 +326,192 @@ impl MultiLevelFabric {
         }
     }
 
-    /// Run traffic.
-    pub fn run(
-        &mut self,
-        traffic: &mut dyn TrafficGen,
-        warmup: u64,
-        measure: u64,
-    ) -> MultiLevelReport {
+    /// Run traffic through the fabric on the shared engine. The stage
+    /// count of the topology is reported as `extra("stages")`.
+    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: &EngineConfig) -> EngineReport {
+        run_switch(self, traffic, cfg)
+    }
+}
+
+impl CellSwitch for MultiLevelFabric {
+    fn ports(&self) -> usize {
+        self.cfg.topo.hosts()
+    }
+
+    fn configure(&mut self, cfg: &EngineConfig) {
+        self.checker = SequenceChecker::new();
+        // Engine-level buffer override re-arms the credit loops (valid on
+        // a fabric that has not run yet).
+        if let Some(b) = cfg.buffer_cells {
+            if b != self.cfg.buffer_cells {
+                assert!(b >= 1);
+                self.cfg.buffer_cells = b;
+                for level in self.nodes.iter_mut() {
+                    for node in level.iter_mut() {
+                        node.credits.iter_mut().for_each(|c| *c = b);
+                    }
+                }
+                self.host_credits.iter_mut().for_each(|c| *c = b);
+            }
+        }
+    }
+
+    fn arbitrate<T: TraceSink>(&mut self, slot: u64, obs: &mut Observer<'_, T>) {
         let t = self.cfg.topo;
-        assert_eq!(traffic.ports(), t.hosts());
-        let hosts = t.hosts();
         let m = t.m();
         let ports = 2 * m;
         let d = self.cfg.link_delay;
         let buffer_cells = self.cfg.buffer_cells;
-        let total = warmup + measure;
 
-        let mut latency_hist = Histogram::new(1.0, 65_536);
-        let mut checker = SequenceChecker::new();
-        let (mut injected, mut delivered) = (0u64, 0u64);
-        let mut max_occ = 0usize;
-        let mut arrivals = Vec::with_capacity(hosts);
-        let mut requesters = BitSet::new(ports);
-        let mut grants_to_input: Vec<BitSet> =
-            (0..ports).map(|_| BitSet::new(ports)).collect();
-
-        for slot in 0..total {
-            let measuring = slot >= warmup;
-
-            // Cell arrivals.
-            while self.cell_flights.front().is_some_and(|&(at, _, _)| at == slot) {
-                let (_, hop, cell) = self.cell_flights.pop_front().unwrap();
-                match hop {
-                    Hop::Host(h) => {
-                        debug_assert_eq!(cell.dst, h);
-                        checker.record(cell.src, cell.dst, cell.seq);
-                        if measuring {
-                            delivered += 1;
-                            if cell.inject_slot >= warmup {
-                                latency_hist.record((slot - cell.inject_slot) as f64);
-                            }
-                        }
-                    }
-                    Hop::Switch(level, sw, in_port) => {
-                        let out = self.route(level, sw, in_port, &cell);
-                        let node = &mut self.nodes[level as usize][sw];
-                        node.input_occupancy[in_port] += 1;
-                        assert!(
-                            node.input_occupancy[in_port] <= buffer_cells,
-                            "buffer overflow at level {level} switch {sw} \
-                             port {in_port}"
-                        );
-                        max_occ = max_occ.max(node.input_occupancy[in_port]);
-                        node.voq[in_port * ports + out].push_back(cell);
-                    }
+        // Cell arrivals.
+        while self
+            .cell_flights
+            .front()
+            .is_some_and(|&(at, _, _)| at == slot)
+        {
+            let (_, hop, cell) = self.cell_flights.pop_front().unwrap();
+            match hop {
+                Hop::Host(h) => {
+                    debug_assert_eq!(cell.dst, h);
+                    self.checker.record(cell.src, cell.dst, cell.seq);
+                    obs.cell_delivered(h, cell.inject_slot);
                 }
-            }
-
-            // Credit returns.
-            while self
-                .credit_flights
-                .front()
-                .is_some_and(|&(at, _)| at == slot)
-            {
-                match self.credit_flights.pop_front().unwrap().1 {
-                    CreditTo::Host(h) => self.host_credits[h] += 1,
-                    CreditTo::Switch(level, sw, port) => {
-                        self.nodes[level as usize][sw].credits[port] += 1;
-                    }
+                Hop::Switch(level, sw, in_port) => {
+                    let out = self.route(level, sw, in_port, &cell);
+                    let node = &mut self.nodes[level as usize][sw];
+                    node.input_occupancy[in_port] += 1;
+                    assert!(
+                        node.input_occupancy[in_port] <= buffer_cells,
+                        "buffer overflow at level {level} switch {sw} \
+                         port {in_port}"
+                    );
+                    obs.note_queue_depth(node.input_occupancy[in_port]);
+                    node.voq[in_port * ports + out].push_back(cell);
                 }
-            }
-
-            // Matchings, level by level.
-            for level in 0..t.levels {
-                for sw in 0..t.switches_per_level() {
-                    let mut matched: Vec<(usize, usize)> = Vec::new();
-                    {
-                        let node = &mut self.nodes[level as usize][sw];
-                        let mut in_matched = vec![false; ports];
-                        let mut out_matched = vec![false; ports];
-                        for _ in 0..self.cfg.iterations {
-                            for g in grants_to_input.iter_mut() {
-                                g.clear_all();
-                            }
-                            let mut any = false;
-                            for o in 0..ports {
-                                if out_matched[o] || node.credits[o] == 0 {
-                                    continue;
-                                }
-                                requesters.clear_all();
-                                let mut have = false;
-                                for i in 0..ports {
-                                    if !in_matched[i]
-                                        && !node.voq[i * ports + o].is_empty()
-                                    {
-                                        requesters.set(i);
-                                        have = true;
-                                    }
-                                }
-                                if !have {
-                                    continue;
-                                }
-                                if let Some(i) =
-                                    node.grant_arb[o].arbitrate(&requesters)
-                                {
-                                    grants_to_input[i].set(o);
-                                    any = true;
-                                }
-                            }
-                            if !any {
-                                break;
-                            }
-                            for i in 0..ports {
-                                if in_matched[i] || grants_to_input[i].is_empty() {
-                                    continue;
-                                }
-                                if let Some(o) =
-                                    node.accept_arb[i].arbitrate(&grants_to_input[i])
-                                {
-                                    in_matched[i] = true;
-                                    out_matched[o] = true;
-                                    node.grant_arb[o].advance_past(i);
-                                    node.accept_arb[i].advance_past(o);
-                                    matched.push((i, o));
-                                }
-                            }
-                        }
-                    }
-                    for (i, o) in matched {
-                        let cell = {
-                            let node = &mut self.nodes[level as usize][sw];
-                            let mut cell =
-                                node.voq[i * ports + o].pop_front().unwrap();
-                            cell.grant_slot = slot;
-                            node.input_occupancy[i] -= 1;
-                            node.credits[o] -= 1;
-                            cell
-                        };
-                        // Credit for hosts feeding leaf down-ports: a host
-                        // sink never consumes switch credits, so restore
-                        // the decrement for host-bound ports.
-                        let hop = self.downstream(level, sw, o);
-                        if matches!(hop, Hop::Host(_)) {
-                            self.nodes[level as usize][sw].credits[o] += 1;
-                        }
-                        let credit_to = self.upstream(level, sw, i);
-                        self.credit_flights.push_back((slot + d, credit_to));
-                        self.cell_flights.push_back((slot + d, hop, cell));
-                    }
-                }
-            }
-
-            // Host injection.
-            for h in 0..hosts {
-                if self.host_credits[h] > 0 {
-                    if let Some(cell) = self.host_queues[h].pop_front() {
-                        self.host_credits[h] -= 1;
-                        let leaf = t.leaf_of(h);
-                        self.cell_flights.push_back((
-                            slot + d,
-                            Hop::Switch(0, leaf, h % m),
-                            cell,
-                        ));
-                    }
-                }
-            }
-
-            // Traffic.
-            arrivals.clear();
-            traffic.arrivals(slot, &mut arrivals);
-            for a in &arrivals {
-                let seq = self.stamper.stamp(a.src, a.dst);
-                let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, slot);
-                self.next_id += 1;
-                if measuring {
-                    injected += 1;
-                }
-                self.host_queues[a.src].push_back(cell);
             }
         }
 
-        let denom = measure as f64 * hosts as f64;
-        MultiLevelReport {
-            offered_load: injected as f64 / denom,
-            throughput: delivered as f64 / denom,
-            mean_latency: latency_hist.mean(),
-            reordered: checker.reordered(),
-            max_buffer_occupancy: max_occ,
-            delivered,
-            stages: t.stages(),
+        // Credit returns.
+        while self
+            .credit_flights
+            .front()
+            .is_some_and(|&(at, _)| at == slot)
+        {
+            match self.credit_flights.pop_front().unwrap().1 {
+                CreditTo::Host(h) => self.host_credits[h] += 1,
+                CreditTo::Switch(level, sw, port) => {
+                    self.nodes[level as usize][sw].credits[port] += 1;
+                }
+            }
         }
+
+        // Matchings, level by level.
+        for level in 0..t.levels {
+            for sw in 0..t.switches_per_level() {
+                let mut matched: Vec<(usize, usize)> = Vec::new();
+                {
+                    let node = &mut self.nodes[level as usize][sw];
+                    let mut in_matched = vec![false; ports];
+                    let mut out_matched = vec![false; ports];
+                    for _ in 0..self.cfg.iterations {
+                        for g in self.grants_to_input.iter_mut() {
+                            g.clear_all();
+                        }
+                        let mut any = false;
+                        for (o, &o_matched) in out_matched.iter().enumerate() {
+                            if o_matched || node.credits[o] == 0 {
+                                continue;
+                            }
+                            self.requesters.clear_all();
+                            let mut have = false;
+                            for (i, &i_matched) in in_matched.iter().enumerate() {
+                                if !i_matched && !node.voq[i * ports + o].is_empty() {
+                                    self.requesters.set(i);
+                                    have = true;
+                                }
+                            }
+                            if !have {
+                                continue;
+                            }
+                            if let Some(i) = node.grant_arb[o].arbitrate(&self.requesters) {
+                                self.grants_to_input[i].set(o);
+                                any = true;
+                            }
+                        }
+                        if !any {
+                            break;
+                        }
+                        for (i, i_matched) in in_matched.iter_mut().enumerate() {
+                            if *i_matched || self.grants_to_input[i].is_empty() {
+                                continue;
+                            }
+                            if let Some(o) = node.accept_arb[i].arbitrate(&self.grants_to_input[i])
+                            {
+                                *i_matched = true;
+                                out_matched[o] = true;
+                                node.grant_arb[o].advance_past(i);
+                                node.accept_arb[i].advance_past(o);
+                                matched.push((i, o));
+                            }
+                        }
+                    }
+                }
+                for (i, o) in matched {
+                    let cell = {
+                        let node = &mut self.nodes[level as usize][sw];
+                        let mut cell = node.voq[i * ports + o].pop_front().unwrap();
+                        cell.grant_slot = slot;
+                        node.input_occupancy[i] -= 1;
+                        node.credits[o] -= 1;
+                        cell
+                    };
+                    // Credit for hosts feeding leaf down-ports: a host
+                    // sink never consumes switch credits, so restore
+                    // the decrement for host-bound ports.
+                    let hop = self.downstream(level, sw, o);
+                    if matches!(hop, Hop::Host(_)) {
+                        self.nodes[level as usize][sw].credits[o] += 1;
+                    }
+                    let credit_to = self.upstream(level, sw, i);
+                    self.credit_flights.push_back((slot + d, credit_to));
+                    self.cell_flights.push_back((slot + d, hop, cell));
+                }
+            }
+        }
+    }
+
+    fn deliver<T: TraceSink>(&mut self, slot: u64, obs: &mut Observer<'_, T>) {
+        // Host injection, credit-gated.
+        let t = self.cfg.topo;
+        let m = t.m();
+        let d = self.cfg.link_delay;
+        for h in 0..t.hosts() {
+            if self.host_credits[h] > 0 {
+                if let Some(cell) = self.host_queues[h].pop_front() {
+                    self.host_credits[h] -= 1;
+                    let leaf = t.leaf_of(h);
+                    self.cell_flights
+                        .push_back((slot + d, Hop::Switch(0, leaf, h % m), cell));
+                }
+            } else if !self.host_queues[h].is_empty() {
+                obs.credit_stall(t.leaf_of(h), h % m);
+            }
+        }
+    }
+
+    fn admit<T: TraceSink>(&mut self, arrivals: &[Arrival], slot: u64, obs: &mut Observer<'_, T>) {
+        for a in arrivals {
+            let seq = self.stamper.stamp(a.src, a.dst);
+            let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, slot);
+            self.next_id += 1;
+            obs.cell_injected(a.src, a.dst);
+            self.host_queues[a.src].push_back(cell);
+        }
+    }
+
+    fn finish(&mut self, report: &mut EngineReport) {
+        report.reordered = self.checker.reordered();
+        report.set_extra("stages", self.cfg.topo.stages() as f64);
     }
 }
 
@@ -538,12 +521,15 @@ mod tests {
     use osmosis_sim::SeedSequence;
     use osmosis_traffic::BernoulliUniform;
 
-    fn run_clos(radix: usize, levels: u32, load: f64, seed: u64) -> MultiLevelReport {
+    fn run_clos(radix: usize, levels: u32, load: f64, seed: u64) -> EngineReport {
         let topo = MultiLevelClos::new(radix, levels);
         let mut fab = MultiLevelFabric::new(MultiLevelConfig::standard(topo, 2));
-        let mut tr =
-            BernoulliUniform::new(topo.hosts(), load, &SeedSequence::new(seed));
-        fab.run(&mut tr, 1_000, 8_000)
+        let mut tr = BernoulliUniform::new(topo.hosts(), load, &SeedSequence::new(seed));
+        fab.run(&mut tr, &EngineConfig::new(1_000, 8_000))
+    }
+
+    fn stages(r: &EngineReport) -> u32 {
+        r.extra("stages").unwrap() as u32
     }
 
     #[test]
@@ -568,7 +554,7 @@ mod tests {
     #[test]
     fn single_level_is_one_switch() {
         let r = run_clos(8, 1, 0.5, 1);
-        assert_eq!(r.stages, 1);
+        assert_eq!(stages(&r), 1);
         assert!((r.throughput - 0.5).abs() < 0.03);
         assert_eq!(r.reordered, 0);
     }
@@ -584,7 +570,7 @@ mod tests {
     fn four_level_radix4_works_too() {
         // 16 hosts through a 7-stage fabric of radix-4 switches.
         let r = run_clos(4, 4, 0.3, 3);
-        assert_eq!(r.stages, 7);
+        assert_eq!(stages(&r), 7);
         assert!((r.throughput - 0.3).abs() < 0.04, "thr {}", r.throughput);
         assert_eq!(r.reordered, 0);
     }
@@ -597,10 +583,17 @@ mod tests {
         let big_radix = run_clos(8, 2, 0.2, 4);
         let small_radix = run_clos(4, 4, 0.2, 4);
         assert!(
-            small_radix.mean_latency > big_radix.mean_latency + 4.0,
+            small_radix.mean_delay > big_radix.mean_delay + 4.0,
             "7-stage {} vs 3-stage {}",
-            small_radix.mean_latency,
-            big_radix.mean_latency
+            small_radix.mean_delay,
+            big_radix.mean_delay
         );
+    }
+
+    #[test]
+    fn multilevel_runs_are_deterministic() {
+        let a = run_clos(8, 2, 0.4, 9);
+        let b = run_clos(8, 2, 0.4, 9);
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 }

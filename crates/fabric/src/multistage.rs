@@ -12,12 +12,21 @@
 //! remote flow control (Fig. 4) travels on existing channels, so its
 //! timing is exactly this credit loop. Losslessness is asserted, not just
 //! measured: a cell arriving at a full buffer panics the simulation.
+//!
+//! The fabric runs on the shared engine through the `CellSwitch` hooks
+//! (link/credit arrivals and switch matchings in `arbitrate`, host
+//! injection in `deliver`, new traffic in `admit`) and reports the
+//! unified [`EngineReport`]: end-to-end latency lands in
+//! `mean_delay`/`delay_hist`, peak input-buffer occupancy in
+//! `max_queue_depth`. Host credit stalls are emitted as
+//! `TraceEvent::CreditStall` for trace consumers.
 
 use crate::topology::TwoLevelFatTree;
 use osmosis_sched::arbiter::{BitSet, RoundRobinArbiter};
-use osmosis_sim::stats::Histogram;
+use osmosis_sim::engine::{EngineConfig, EngineReport, Observer, TraceSink};
+use osmosis_switch::driven::{run_switch, CellSwitch};
 use osmosis_switch::Cell;
-use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use osmosis_traffic::{Arrival, SequenceChecker, SequenceStamper, TrafficGen};
 use std::collections::VecDeque;
 
 /// Buffer placement per stage (Fig. 2).
@@ -76,29 +85,6 @@ impl FabricConfig {
     }
 }
 
-/// Fabric run results.
-#[derive(Debug, Clone)]
-pub struct FabricReport {
-    /// Offered load per host.
-    pub offered_load: f64,
-    /// Carried throughput per host.
-    pub throughput: f64,
-    /// Mean end-to-end latency in slots (host NIC → host NIC).
-    pub mean_latency: f64,
-    /// 99th percentile latency, when resolvable.
-    pub p99_latency: Option<f64>,
-    /// Cells injected/delivered in the measurement window.
-    pub injected: u64,
-    /// Cells delivered in the measurement window.
-    pub delivered: u64,
-    /// Out-of-order deliveries (must be 0).
-    pub reordered: u64,
-    /// Peak input-buffer occupancy seen at any switch input.
-    pub max_buffer_occupancy: usize,
-    /// Latency histogram (slots).
-    pub latency_hist: Histogram,
-}
-
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum NodeId {
     Leaf(usize),
@@ -140,7 +126,12 @@ struct SwitchNode {
 }
 
 impl SwitchNode {
-    fn new(ports: usize, downstream: Vec<Downstream>, upstream: Vec<Upstream>, buffer: usize) -> Self {
+    fn new(
+        ports: usize,
+        downstream: Vec<Downstream>,
+        upstream: Vec<Upstream>,
+        buffer: usize,
+    ) -> Self {
         let credits = downstream
             .iter()
             .map(|d| match d {
@@ -157,6 +148,15 @@ impl SwitchNode {
             accept_arb: (0..ports).map(|_| RoundRobinArbiter::new(ports)).collect(),
             downstream,
             upstream,
+        }
+    }
+
+    fn reset_credits(&mut self, buffer: usize) {
+        for (c, d) in self.credits.iter_mut().zip(self.downstream.iter()) {
+            *c = match d {
+                Downstream::Host(_) => usize::MAX,
+                Downstream::Switch(..) => buffer,
+            };
         }
     }
 }
@@ -176,7 +176,11 @@ pub struct FatTreeFabric {
     /// Credits in flight back to (node, output port) or host.
     credit_flights: VecDeque<(u64, CreditDest)>,
     stamper: SequenceStamper,
+    checker: SequenceChecker,
     next_id: u64,
+    node_ids: Vec<NodeId>,
+    requesters: BitSet,
+    grants_to_input: Vec<BitSet>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -194,7 +198,10 @@ enum CreditDest {
 impl FatTreeFabric {
     /// Build the fabric.
     pub fn new(cfg: FabricConfig) -> Self {
-        assert!(cfg.link_delay >= 1, "links need at least one slot of flight");
+        assert!(
+            cfg.link_delay >= 1,
+            "links need at least one slot of flight"
+        );
         assert!(cfg.buffer_cells >= 1);
         let topo = TwoLevelFatTree::new(cfg.radix);
         let k = cfg.radix;
@@ -240,6 +247,11 @@ impl FatTreeFabric {
             })
             .collect();
 
+        let node_ids = (0..topo.leaves())
+            .map(NodeId::Leaf)
+            .chain((0..topo.spines()).map(NodeId::Spine))
+            .collect();
+
         FatTreeFabric {
             cfg,
             topo,
@@ -250,7 +262,11 @@ impl FatTreeFabric {
             cell_flights: VecDeque::new(),
             credit_flights: VecDeque::new(),
             stamper: SequenceStamper::new(),
+            checker: SequenceChecker::new(),
             next_id: 0,
+            node_ids,
+            requesters: BitSet::new(k),
+            grants_to_input: (0..k).map(|_| BitSet::new(k)).collect(),
         }
     }
 
@@ -274,290 +290,265 @@ impl FatTreeFabric {
                 if dest_leaf == l {
                     self.topo.down_port_of(cell.dst)
                 } else {
-                    self.topo.up_port(self.topo.spine_of_flow(cell.src, cell.dst))
+                    self.topo
+                        .up_port(self.topo.spine_of_flow(cell.src, cell.dst))
                 }
             }
             NodeId::Spine(_) => self.topo.leaf_of(cell.dst),
         }
     }
 
-    /// Run traffic through the fabric.
-    pub fn run(
-        &mut self,
-        traffic: &mut dyn TrafficGen,
-        warmup_slots: u64,
-        measure_slots: u64,
-    ) -> FabricReport {
-        assert_eq!(traffic.ports(), self.topo.hosts());
-        let total = warmup_slots + measure_slots;
+    /// Run traffic through the fabric on the shared engine.
+    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: &EngineConfig) -> EngineReport {
+        run_switch(self, traffic, cfg)
+    }
+}
+
+impl CellSwitch for FatTreeFabric {
+    fn ports(&self) -> usize {
+        self.topo.hosts()
+    }
+
+    fn configure(&mut self, cfg: &EngineConfig) {
+        self.checker = SequenceChecker::new();
+        // An engine-level buffer override re-arms every credit loop; only
+        // meaningful on a fabric that has not run yet (queues empty).
+        if let Some(b) = cfg.buffer_cells {
+            if b != self.cfg.buffer_cells {
+                assert!(b >= 1);
+                self.cfg.buffer_cells = b;
+                for node in self.leaves.iter_mut().chain(self.spines.iter_mut()) {
+                    node.reset_credits(b);
+                }
+                self.host_credits.iter_mut().for_each(|c| *c = b);
+            }
+        }
+    }
+
+    fn arbitrate<T: TraceSink>(&mut self, t: u64, obs: &mut Observer<'_, T>) {
         let d = self.cfg.link_delay;
-        let hosts = self.topo.hosts();
+        let ports = self.cfg.radix;
+        let buffer_cells = self.cfg.buffer_cells;
         let option2_extra = if self.cfg.placement == Placement::OutputOnly {
             2 * d
         } else {
             0
         };
 
-        let buffer_cells = self.cfg.buffer_cells;
-        let mut latency_hist = Histogram::new(1.0, 65_536);
-        let mut checker = SequenceChecker::new();
-        let (mut injected, mut delivered) = (0u64, 0u64);
-        let mut max_occ = 0usize;
-        let mut arrivals = Vec::with_capacity(hosts);
-        let node_ids: Vec<NodeId> = (0..self.topo.leaves())
-            .map(NodeId::Leaf)
-            .chain((0..self.topo.spines()).map(NodeId::Spine))
-            .collect();
-        let ports = self.cfg.radix;
-        let mut requesters = BitSet::new(ports);
-        let mut grants_to_input: Vec<BitSet> =
-            (0..ports).map(|_| BitSet::new(ports)).collect();
+        // --- Cell arrivals from links.
+        while self.cell_flights.front().is_some_and(|&(at, _, _)| at == t) {
+            let (_, dest, cell) = self.cell_flights.pop_front().unwrap();
+            match dest {
+                CellDest::Host(h) => {
+                    debug_assert_eq!(cell.dst, h);
+                    self.checker.record(cell.src, cell.dst, cell.seq);
+                    obs.cell_delivered(h, cell.inject_slot);
+                }
+                CellDest::SwitchIn(id, port) => {
+                    let out = self.route(id, &cell);
+                    let node = self.node(id);
+                    node.input_occupancy[port] += 1;
+                    assert!(
+                        node.input_occupancy[port] <= buffer_cells,
+                        "input buffer overflow at {id:?} port {port}: \
+                         credit flow control violated"
+                    );
+                    obs.note_queue_depth(node.input_occupancy[port]);
+                    // A cell arriving in slot t is schedulable at t+1
+                    // (the local request/grant cycle); option 2 adds a
+                    // control RTT on top.
+                    node.voq[port * ports + out].push_back((t + 1 + option2_extra, cell));
+                }
+            }
+        }
 
-        for t in 0..total {
-            let measuring = t >= warmup_slots;
+        // --- Credit returns.
+        while self.credit_flights.front().is_some_and(|&(at, _)| at == t) {
+            let (_, dest) = self.credit_flights.pop_front().unwrap();
+            match dest {
+                CreditDest::Host(h) => self.host_credits[h] += 1,
+                CreditDest::SwitchOut(id, port) => {
+                    let node = self.node(id);
+                    node.credits[port] += 1;
+                }
+            }
+        }
 
-            // --- Cell arrivals from links.
-            while self.cell_flights.front().is_some_and(|&(at, _, _)| at == t) {
-                let (_, dest, cell) = self.cell_flights.pop_front().unwrap();
-                match dest {
-                    CellDest::Host(h) => {
-                        debug_assert_eq!(cell.dst, h);
-                        checker.record(cell.src, cell.dst, cell.seq);
-                        if measuring {
-                            delivered += 1;
-                            if cell.inject_slot >= warmup_slots {
-                                latency_hist.record((t - cell.inject_slot) as f64);
+        // --- Each switch computes a matching and forwards cells.
+        for idx in 0..self.node_ids.len() {
+            let id = self.node_ids[idx];
+            // Option 1: egress buffers transmit first (a cell matched in
+            // slot t departs the stage in slot t+1), gated by downstream
+            // credits.
+            if self.cfg.placement == Placement::InputAndOutput {
+                for o in 0..ports {
+                    let (send, dest) = {
+                        let node = match id {
+                            NodeId::Leaf(l) => &mut self.leaves[l],
+                            NodeId::Spine(s) => &mut self.spines[s],
+                        };
+                        if node.egress[o].is_empty() {
+                            continue;
+                        }
+                        let is_switch = matches!(node.downstream[o], Downstream::Switch(..));
+                        if is_switch && node.credits[o] == 0 {
+                            continue;
+                        }
+                        let cell = node.egress[o].pop_front().unwrap();
+                        if is_switch {
+                            node.credits[o] -= 1;
+                        }
+                        (cell, node.downstream[o])
+                    };
+                    let dest = match dest {
+                        Downstream::Host(h) => CellDest::Host(h),
+                        Downstream::Switch(nid, port) => CellDest::SwitchIn(nid, port),
+                    };
+                    self.cell_flights.push_back((t + d, dest, send));
+                }
+            }
+
+            // Matching (iterative RR grant/accept) on the node.
+            let mut matched_pairs: Vec<(usize, usize)> = Vec::new();
+            {
+                let needs_credit_at_match = self.cfg.placement != Placement::InputAndOutput;
+                let node = match id {
+                    NodeId::Leaf(l) => &mut self.leaves[l],
+                    NodeId::Spine(s) => &mut self.spines[s],
+                };
+                let mut in_matched = vec![false; ports];
+                let mut out_matched = vec![false; ports];
+                for _ in 0..self.cfg.iterations {
+                    for g in self.grants_to_input.iter_mut() {
+                        g.clear_all();
+                    }
+                    let mut any = false;
+                    for (o, &o_matched) in out_matched.iter().enumerate() {
+                        if o_matched {
+                            continue;
+                        }
+                        if needs_credit_at_match && node.credits[o] == 0 {
+                            continue;
+                        }
+                        self.requesters.clear_all();
+                        let mut have = false;
+                        for (i, &i_matched) in in_matched.iter().enumerate() {
+                            if i_matched {
+                                continue;
+                            }
+                            let q = &node.voq[i * ports + o];
+                            if q.front().is_some_and(|&(ready, _)| ready <= t) {
+                                self.requesters.set(i);
+                                have = true;
                             }
                         }
+                        if !have {
+                            continue;
+                        }
+                        if let Some(i) = node.grant_arb[o].arbitrate(&self.requesters) {
+                            self.grants_to_input[i].set(o);
+                            any = true;
+                        }
                     }
-                    CellDest::SwitchIn(id, port) => {
-                        let out = self.route(id, &cell);
-                        let node = self.node(id);
-                        node.input_occupancy[port] += 1;
-                        assert!(
-                            node.input_occupancy[port] <= buffer_cells,
-                            "input buffer overflow at {id:?} port {port}: \
-                             credit flow control violated"
-                        );
-                        max_occ = max_occ.max(node.input_occupancy[port]);
-                        // A cell arriving in slot t is schedulable at t+1
-                        // (the local request/grant cycle); option 2 adds a
-                        // control RTT on top.
-                        node.voq[port * ports + out]
-                            .push_back((t + 1 + option2_extra, cell));
+                    if !any {
+                        break;
                     }
-                }
-            }
-
-            // --- Credit returns.
-            while self
-                .credit_flights
-                .front()
-                .is_some_and(|&(at, _)| at == t)
-            {
-                let (_, dest) = self.credit_flights.pop_front().unwrap();
-                match dest {
-                    CreditDest::Host(h) => self.host_credits[h] += 1,
-                    CreditDest::SwitchOut(id, port) => {
-                        let node = self.node(id);
-                        node.credits[port] += 1;
+                    for (i, i_matched) in in_matched.iter_mut().enumerate() {
+                        if *i_matched || self.grants_to_input[i].is_empty() {
+                            continue;
+                        }
+                        if let Some(o) = node.accept_arb[i].arbitrate(&self.grants_to_input[i]) {
+                            *i_matched = true;
+                            out_matched[o] = true;
+                            node.grant_arb[o].advance_past(i);
+                            node.accept_arb[i].advance_past(o);
+                            matched_pairs.push((i, o));
+                        }
                     }
                 }
             }
 
-            // --- Each switch computes a matching and forwards cells.
-            for &id in &node_ids {
-                // Option 1: egress buffers transmit first (a cell matched
-                // in slot t departs the stage in slot t+1), gated by
-                // downstream credits.
-                if self.cfg.placement == Placement::InputAndOutput {
-                    for o in 0..ports {
-                        let (send, dest) = {
-                            let node = match id {
-                                NodeId::Leaf(l) => &mut self.leaves[l],
-                                NodeId::Spine(s) => &mut self.spines[s],
-                            };
-                            if node.egress[o].is_empty() {
-                                continue;
-                            }
-                            let is_switch =
-                                matches!(node.downstream[o], Downstream::Switch(..));
-                            if is_switch && node.credits[o] == 0 {
-                                continue;
-                            }
-                            let cell = node.egress[o].pop_front().unwrap();
-                            if is_switch {
-                                node.credits[o] -= 1;
-                            }
-                            (cell, node.downstream[o])
-                        };
-                        let dest = match dest {
-                            Downstream::Host(h) => CellDest::Host(h),
-                            Downstream::Switch(nid, port) => {
-                                CellDest::SwitchIn(nid, port)
-                            }
-                        };
-                        self.cell_flights.push_back((t + d, dest, send));
-                    }
-                }
-
-                // Matching (iterative RR grant/accept) on the node.
-                let mut matched_pairs: Vec<(usize, usize)> = Vec::new();
-                {
-                    let needs_credit_at_match =
-                        self.cfg.placement != Placement::InputAndOutput;
+            // Execute the matching: move cells out of the input buffers,
+            // return credits upstream.
+            for &(i, o) in &matched_pairs {
+                let (cell, upstream, to_egress, dest) = {
                     let node = match id {
                         NodeId::Leaf(l) => &mut self.leaves[l],
                         NodeId::Spine(s) => &mut self.spines[s],
                     };
-                    let mut in_matched = vec![false; ports];
-                    let mut out_matched = vec![false; ports];
-                    for _ in 0..self.cfg.iterations {
-                        for g in grants_to_input.iter_mut() {
-                            g.clear_all();
-                        }
-                        let mut any = false;
-                        for o in 0..ports {
-                            if out_matched[o] {
-                                continue;
-                            }
-                            if needs_credit_at_match && node.credits[o] == 0 {
-                                continue;
-                            }
-                            requesters.clear_all();
-                            let mut have = false;
-                            for i in 0..ports {
-                                if in_matched[i] {
-                                    continue;
-                                }
-                                let q = &node.voq[i * ports + o];
-                                if q.front().is_some_and(|&(ready, _)| ready <= t) {
-                                    requesters.set(i);
-                                    have = true;
-                                }
-                            }
-                            if !have {
-                                continue;
-                            }
-                            if let Some(i) = node.grant_arb[o].arbitrate(&requesters)
-                            {
-                                grants_to_input[i].set(o);
-                                any = true;
-                            }
-                        }
-                        if !any {
-                            break;
-                        }
-                        for i in 0..ports {
-                            if in_matched[i] || grants_to_input[i].is_empty() {
-                                continue;
-                            }
-                            if let Some(o) =
-                                node.accept_arb[i].arbitrate(&grants_to_input[i])
-                            {
-                                in_matched[i] = true;
-                                out_matched[o] = true;
-                                node.grant_arb[o].advance_past(i);
-                                node.accept_arb[i].advance_past(o);
-                                matched_pairs.push((i, o));
-                            }
+                    let (_, mut cell) = node.voq[i * ports + o]
+                        .pop_front()
+                        .expect("matched pair without a cell");
+                    cell.grant_slot = t;
+                    node.input_occupancy[i] -= 1;
+                    let to_egress = self.cfg.placement == Placement::InputAndOutput;
+                    if !to_egress {
+                        debug_assert!(node.credits[o] >= 1);
+                        if let Downstream::Switch(..) = node.downstream[o] {
+                            node.credits[o] -= 1;
                         }
                     }
+                    (cell, node.upstream[i], to_egress, node.downstream[o])
+                };
+                // Credit back to whoever feeds this input port.
+                match upstream {
+                    Upstream::Host(h) => {
+                        self.credit_flights.push_back((t + d, CreditDest::Host(h)))
+                    }
+                    Upstream::Switch(up_id, up_port) => self
+                        .credit_flights
+                        .push_back((t + d, CreditDest::SwitchOut(up_id, up_port))),
                 }
-
-                // Execute the matching: move cells out of the input
-                // buffers, return credits upstream.
-                for &(i, o) in &matched_pairs {
-                    let (cell, upstream, to_egress, dest) = {
-                        let node = match id {
-                            NodeId::Leaf(l) => &mut self.leaves[l],
-                            NodeId::Spine(s) => &mut self.spines[s],
-                        };
-                        let (_, mut cell) = node.voq[i * ports + o]
-                            .pop_front()
-                            .expect("matched pair without a cell");
-                        cell.grant_slot = t;
-                        node.input_occupancy[i] -= 1;
-                        let to_egress =
-                            self.cfg.placement == Placement::InputAndOutput;
-                        if !to_egress {
-                            debug_assert!(node.credits[o] >= 1);
-                            if let Downstream::Switch(..) = node.downstream[o] {
-                                node.credits[o] -= 1;
-                            }
-                        }
-                        (cell, node.upstream[i], to_egress, node.downstream[o])
+                if to_egress {
+                    let node = match id {
+                        NodeId::Leaf(l) => &mut self.leaves[l],
+                        NodeId::Spine(s) => &mut self.spines[s],
                     };
-                    // Credit back to whoever feeds this input port.
-                    match upstream {
-                        Upstream::Host(h) => self
-                            .credit_flights
-                            .push_back((t + d, CreditDest::Host(h))),
-                        Upstream::Switch(up_id, up_port) => self.credit_flights.push_back((
-                            t + d,
-                            CreditDest::SwitchOut(up_id, up_port),
-                        )),
-                    }
-                    if to_egress {
-                        let node = match id {
-                            NodeId::Leaf(l) => &mut self.leaves[l],
-                            NodeId::Spine(s) => &mut self.spines[s],
-                        };
-                        node.egress[o].push_back(cell);
-                    } else {
-                        let dest = match dest {
-                            Downstream::Host(h) => CellDest::Host(h),
-                            Downstream::Switch(nid, port) => {
-                                CellDest::SwitchIn(nid, port)
-                            }
-                        };
-                        self.cell_flights.push_back((t + d, dest, cell));
-                    }
+                    node.egress[o].push_back(cell);
+                } else {
+                    let dest = match dest {
+                        Downstream::Host(h) => CellDest::Host(h),
+                        Downstream::Switch(nid, port) => CellDest::SwitchIn(nid, port),
+                    };
+                    self.cell_flights.push_back((t + d, dest, cell));
                 }
-            }
-
-            // --- Hosts inject one cell per slot when they hold a credit.
-            for h in 0..hosts {
-                if self.host_credits[h] > 0 {
-                    if let Some(cell) = self.host_queues[h].pop_front() {
-                        self.host_credits[h] -= 1;
-                        let leaf = self.topo.leaf_of(h);
-                        let port = self.topo.down_port_of(h);
-                        self.cell_flights.push_back((
-                            t + d,
-                            CellDest::SwitchIn(NodeId::Leaf(leaf), port),
-                            cell,
-                        ));
-                    }
-                }
-            }
-
-            // --- New traffic.
-            arrivals.clear();
-            traffic.arrivals(t, &mut arrivals);
-            for a in &arrivals {
-                let seq = self.stamper.stamp(a.src, a.dst);
-                let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, t);
-                self.next_id += 1;
-                if measuring {
-                    injected += 1;
-                }
-                self.host_queues[a.src].push_back(cell);
             }
         }
+    }
 
-        let denom = measure_slots as f64 * hosts as f64;
-        FabricReport {
-            offered_load: injected as f64 / denom,
-            throughput: delivered as f64 / denom,
-            mean_latency: latency_hist.mean(),
-            p99_latency: latency_hist.quantile(0.99),
-            injected,
-            delivered,
-            reordered: checker.reordered(),
-            max_buffer_occupancy: max_occ,
-            latency_hist,
+    fn deliver<T: TraceSink>(&mut self, t: u64, obs: &mut Observer<'_, T>) {
+        // --- Hosts inject one cell per slot when they hold a credit.
+        let d = self.cfg.link_delay;
+        for h in 0..self.topo.hosts() {
+            if self.host_credits[h] > 0 {
+                if let Some(cell) = self.host_queues[h].pop_front() {
+                    self.host_credits[h] -= 1;
+                    let leaf = self.topo.leaf_of(h);
+                    let port = self.topo.down_port_of(h);
+                    self.cell_flights.push_back((
+                        t + d,
+                        CellDest::SwitchIn(NodeId::Leaf(leaf), port),
+                        cell,
+                    ));
+                }
+            } else if !self.host_queues[h].is_empty() {
+                obs.credit_stall(self.topo.leaf_of(h), self.topo.down_port_of(h));
+            }
         }
+    }
+
+    fn admit<T: TraceSink>(&mut self, arrivals: &[Arrival], slot: u64, obs: &mut Observer<'_, T>) {
+        for a in arrivals {
+            let seq = self.stamper.stamp(a.src, a.dst);
+            let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, slot);
+            self.next_id += 1;
+            obs.cell_injected(a.src, a.dst);
+            self.host_queues[a.src].push_back(cell);
+        }
+    }
+
+    fn finish(&mut self, report: &mut EngineReport) {
+        report.reordered = self.checker.reordered();
     }
 }
 
@@ -567,11 +558,10 @@ mod tests {
     use osmosis_sim::SeedSequence;
     use osmosis_traffic::{BernoulliUniform, Hotspot};
 
-    fn run_fabric(cfg: FabricConfig, load: f64, seed: u64) -> FabricReport {
+    fn run_fabric(cfg: FabricConfig, load: f64, seed: u64) -> EngineReport {
         let mut fab = FatTreeFabric::new(cfg);
-        let mut tr =
-            BernoulliUniform::new(fab.topology().hosts(), load, &SeedSequence::new(seed));
-        fab.run(&mut tr, 1_000, 8_000)
+        let mut tr = BernoulliUniform::new(fab.topology().hosts(), load, &SeedSequence::new(seed));
+        fab.run(&mut tr, &EngineConfig::new(1_000, 8_000))
     }
 
     #[test]
@@ -586,7 +576,7 @@ mod tests {
         let r = run_fabric(FabricConfig::small(8, 2), 0.2, 2);
         assert!((r.throughput - 0.2).abs() < 0.02, "thr {}", r.throughput);
         assert_eq!(r.reordered, 0, "per-flow order via stable spine hashing");
-        assert!(r.max_buffer_occupancy <= 6, "occ {}", r.max_buffer_occupancy);
+        assert!(r.max_queue_depth <= 6, "occ {}", r.max_queue_depth);
     }
 
     #[test]
@@ -601,9 +591,9 @@ mod tests {
         let intra = (2 * d + 2) as f64;
         let expect = 0.875 * inter + 0.125 * intra;
         assert!(
-            (r.mean_latency - expect).abs() < 1.5,
+            (r.mean_delay - expect).abs() < 1.5,
             "latency {} vs ≈{expect}",
-            r.mean_latency
+            r.mean_delay
         );
     }
 
@@ -627,10 +617,10 @@ mod tests {
         let mut fab = FatTreeFabric::new(cfg);
         let hosts = fab.topology().hosts();
         let mut tr = Hotspot::new(hosts, 0.5, 0, 0.5, &SeedSequence::new(5));
-        let r = fab.run(&mut tr, 1_000, 8_000);
+        let r = fab.run(&mut tr, &EngineConfig::new(1_000, 8_000));
         assert_eq!(r.reordered, 0);
         assert!(
-            r.max_buffer_occupancy <= cfg.buffer_cells,
+            r.max_queue_depth <= cfg.buffer_cells,
             "credits bound the buffers"
         );
         // The hot egress drains at its full line rate (1/hosts of the
@@ -670,6 +660,22 @@ mod tests {
     }
 
     #[test]
+    fn engine_buffer_override_rearms_the_credit_loop() {
+        // EngineConfig::with_buffer_cells reaches the fabric's credit
+        // loops: a 2-cell override on an RTT=8 fabric throttles exactly
+        // like building it with tiny buffers.
+        let cfg = FabricConfig::small(8, 4);
+        let mut fab = FatTreeFabric::new(cfg);
+        let mut tr = BernoulliUniform::new(fab.topology().hosts(), 0.9, &SeedSequence::new(6));
+        let r = fab.run(
+            &mut tr,
+            &EngineConfig::new(1_000, 8_000).with_buffer_cells(2),
+        );
+        assert!(r.throughput < 0.6, "throttled: {}", r.throughput);
+        assert!(r.max_queue_depth <= 2, "occ {}", r.max_queue_depth);
+    }
+
+    #[test]
     fn placement_option1_adds_a_stage_of_latency() {
         let mut cfg3 = FabricConfig::small(8, 2);
         cfg3.placement = Placement::InputOnly;
@@ -678,10 +684,10 @@ mod tests {
         let r3 = run_fabric(cfg3, 0.1, 8);
         let r1 = run_fabric(cfg1, 0.1, 8);
         assert!(
-            r1.mean_latency > r3.mean_latency + 2.0,
+            r1.mean_delay > r3.mean_delay + 2.0,
             "option 1 {} vs option 3 {}",
-            r1.mean_latency,
-            r3.mean_latency
+            r1.mean_delay,
+            r3.mean_delay
         );
         assert_eq!(Placement::InputAndOutput.oeo_per_stage(), 2);
         assert_eq!(Placement::InputOnly.oeo_per_stage(), 1);
@@ -697,10 +703,10 @@ mod tests {
         let r2 = run_fabric(cfg2, 0.1, 9);
         // Each of the 3 stages adds ≈ 2·d of request/grant flight.
         assert!(
-            r2.mean_latency > r3.mean_latency + 4.0,
+            r2.mean_delay > r3.mean_delay + 4.0,
             "option 2 {} vs option 3 {}",
-            r2.mean_latency,
-            r3.mean_latency
+            r2.mean_delay,
+            r3.mean_delay
         );
     }
 
@@ -708,7 +714,6 @@ mod tests {
     fn fabric_is_deterministic() {
         let a = run_fabric(FabricConfig::small(8, 2), 0.5, 11);
         let b = run_fabric(FabricConfig::small(8, 2), 0.5, 11);
-        assert_eq!(a.delivered, b.delivered);
-        assert_eq!(a.mean_latency, b.mean_latency);
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 }

@@ -21,7 +21,7 @@ pub fn levels_for_ports(radix: usize, ports: u64) -> u32 {
 /// a single switch at L=1 (k ports), k·(k/2)/1... in general
 /// 2·(k/2)^L.
 pub fn max_ports(radix: usize, levels: u32) -> u64 {
-    assert!(radix >= 2 && radix % 2 == 0);
+    assert!(radix >= 2 && radix.is_multiple_of(2));
     let half = (radix / 2) as u64;
     2 * half.pow(levels)
 }
@@ -49,7 +49,10 @@ pub struct TwoLevelFatTree {
 impl TwoLevelFatTree {
     /// Build the descriptor. Radix must be even and ≥ 4.
     pub fn new(radix: usize) -> Self {
-        assert!(radix >= 4 && radix % 2 == 0, "radix must be even ≥ 4");
+        assert!(
+            radix >= 4 && radix.is_multiple_of(2),
+            "radix must be even ≥ 4"
+        );
         TwoLevelFatTree { radix }
     }
 

@@ -214,10 +214,10 @@ mod tests {
         for _ in 0..trials {
             let mut block = clean;
             let mut flipped = false;
-            for sym in 0..BLOCK_SYMBOLS {
+            for sym in block.iter_mut() {
                 for bit in 0..8 {
                     if rng.coin(p) {
-                        block[sym] ^= 1 << bit;
+                        *sym ^= 1 << bit;
                         flipped = true;
                     }
                 }
@@ -245,9 +245,21 @@ mod tests {
         let f_corr = n_corr as f64 / trials as f64;
         let f_det = n_det as f64 / trials as f64;
         let f_bad = n_bad as f64 / trials as f64;
-        assert!((f_clean - o.clean).abs() < 0.005, "clean {f_clean} vs {}", o.clean);
-        assert!((f_corr - o.corrected).abs() < 0.005, "corr {f_corr} vs {}", o.corrected);
-        assert!((f_det - o.detected).abs() < 0.005, "det {f_det} vs {}", o.detected);
+        assert!(
+            (f_clean - o.clean).abs() < 0.005,
+            "clean {f_clean} vs {}",
+            o.clean
+        );
+        assert!(
+            (f_corr - o.corrected).abs() < 0.005,
+            "corr {f_corr} vs {}",
+            o.corrected
+        );
+        assert!(
+            (f_det - o.detected).abs() < 0.005,
+            "det {f_det} vs {}",
+            o.detected
+        );
         // Undetected events are rare (≈ alias_frac × P(≥3 errors) ≈ 1e-7);
         // with 2·10⁵ trials we expect ~0 — the analytic value bounds it.
         assert!(f_bad <= o.undetected * 50.0 + 5.0 / trials as f64);

@@ -248,7 +248,7 @@ pub struct PayloadDecode {
 /// Panics if the stream length is not a multiple of the block size.
 pub fn decode_payload(code: &OsmosisCode, coded: &[u8]) -> PayloadDecode {
     assert!(
-        coded.len() % BLOCK_SYMBOLS == 0,
+        coded.len().is_multiple_of(BLOCK_SYMBOLS),
         "coded length {} not a multiple of {}",
         coded.len(),
         BLOCK_SYMBOLS

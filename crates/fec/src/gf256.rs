@@ -141,8 +141,8 @@ mod tests {
     fn alpha_is_primitive() {
         // Powers α^0..α^254 must be distinct (0x11D is primitive).
         let mut seen = [false; 256];
-        for i in 0..255 {
-            let v = EXP[i] as usize;
+        for (i, &e) in EXP.iter().enumerate().take(255) {
+            let v = e as usize;
             assert!(v != 0);
             assert!(!seen[v], "repeat at exponent {i}");
             seen[v] = true;

@@ -195,10 +195,13 @@ pub fn run_reliable_link(cfg: &LinkConfig, total_cells: u64) -> LinkReport {
                 report.retransmissions += 1;
             }
             sent_once[next_seq as usize] = true;
-            fwd.push_back((t + cfg.delay_slots, Fwd::Cell {
-                seq: next_seq,
-                coded,
-            }));
+            fwd.push_back((
+                t + cfg.delay_slots,
+                Fwd::Cell {
+                    seq: next_seq,
+                    coded,
+                },
+            ));
             next_seq += 1;
         }
 

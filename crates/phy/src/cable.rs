@@ -95,11 +95,7 @@ impl PortCabling {
     /// needs at the unequalized budget, two conductors per differential
     /// lane, both directions.
     pub fn copper_bundle_mm2(&self) -> f64 {
-        let d = copper_required_diameter_mm(
-            self.lane_gbps,
-            self.length_m,
-            UNEQUALIZED_BUDGET_DB,
-        );
+        let d = copper_required_diameter_mm(self.lane_gbps, self.length_m, UNEQUALIZED_BUDGET_DB);
         let per_conductor = std::f64::consts::PI * (d / 2.0) * (d / 2.0);
         per_conductor * 2.0 * 2.0 * self.lanes() as f64
     }

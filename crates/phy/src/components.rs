@@ -233,9 +233,7 @@ impl PowerBudget {
 
     /// Power arriving at the receiver.
     pub fn received_power(&self) -> PowerDbm {
-        self.elements
-            .iter()
-            .fold(self.launch, |p, e| p + e.gain)
+        self.elements.iter().fold(self.launch, |p, e| p + e.gain)
     }
 
     /// Margin above sensitivity (negative = budget does not close).
@@ -308,7 +306,10 @@ mod tests {
         let soa = SoaGate::osmosis_default();
         assert_eq!(soa.switching_time, TimeDelta::from_ns(5));
         let fast = SoaGate::fast_dpsk_mode();
-        assert!(fast.switching_time < TimeDelta::from_ns(1), "sub-ns per §VII");
+        assert!(
+            fast.switching_time < TimeDelta::from_ns(1),
+            "sub-ns per §VII"
+        );
     }
 
     #[test]

@@ -205,8 +205,7 @@ impl BroadcastSelectCrossbar {
         matches: &[(usize, usize, usize)],
     ) -> Result<TimeDelta, ConfigError> {
         // Validate first (atomicity).
-        let mut used =
-            vec![false; self.cfg.ports() * self.cfg.receivers_per_port];
+        let mut used = vec![false; self.cfg.ports() * self.cfg.receivers_per_port];
         for &(input, output, receiver) in matches {
             if input >= self.cfg.ports() {
                 return Err(ConfigError::InputOutOfRange(input));
@@ -289,7 +288,11 @@ mod tests {
     fn demonstrator_dimensions() {
         let cfg = CrossbarConfig::osmosis_64();
         assert_eq!(cfg.ports(), 64);
-        assert_eq!(cfg.switching_modules(), 128, "128 switching modules per Fig. 5");
+        assert_eq!(
+            cfg.switching_modules(),
+            128,
+            "128 switching modules per Fig. 5"
+        );
         assert_eq!(cfg.fibers, 8, "eight fibers carry all the data");
     }
 
@@ -356,9 +359,7 @@ mod tests {
     #[test]
     fn apply_matching_detects_receiver_conflicts() {
         let mut x = xbar();
-        let err = x
-            .apply_matching(&[(1, 5, 0), (2, 5, 0)])
-            .unwrap_err();
+        let err = x.apply_matching(&[(1, 5, 0), (2, 5, 0)]).unwrap_err();
         assert_eq!(
             err,
             ConfigError::ReceiverConflict {
@@ -373,8 +374,7 @@ mod tests {
     #[test]
     fn full_permutation_matching() {
         let mut x = xbar();
-        let m: Vec<(usize, usize, usize)> =
-            (0..64).map(|i| (i, (i + 1) % 64, 0)).collect();
+        let m: Vec<(usize, usize, usize)> = (0..64).map(|i| (i, (i + 1) % 64, 0)).collect();
         let guard = x.apply_matching(&m).unwrap();
         assert_eq!(guard, TimeDelta::from_ns(5), "SOA guard time");
         for i in 0..64 {
@@ -387,11 +387,7 @@ mod tests {
         // §VI.A: "closed the optical power [...] budgets".
         let x = xbar();
         let b = x.path_budget();
-        assert!(
-            x.budget_closes(Db(3.0)),
-            "margin {} too small",
-            b.margin()
-        );
+        assert!(x.budget_closes(Db(3.0)), "margin {} too small", b.margin());
         // Sanity: the path is net lossy (the 1:128 split dominates).
         let rx = b.received_power();
         assert!(rx.0 < x.config().launch.0, "rx {rx} vs launch");

@@ -148,7 +148,10 @@ mod tests {
     fn fast_outlook_is_sub_3ns() {
         let g = GuardBudget::fast_outlook();
         assert!(g.total() < TimeDelta::from_ns(3));
-        assert!(g.soa_switching < TimeDelta::from_ns(1), "sub-ns SOA per §VII");
+        assert!(
+            g.soa_switching < TimeDelta::from_ns(1),
+            "sub-ns SOA per §VII"
+        );
     }
 
     #[test]
@@ -200,12 +203,14 @@ mod tests {
 
     #[test]
     fn sweep_is_monotone_decreasing() {
-        let guards: Vec<TimeDelta> =
-            (0..10).map(|i| TimeDelta::from_ns(i)).collect();
+        let guards: Vec<TimeDelta> = (0..10).map(TimeDelta::from_ns).collect();
         let pts = user_fraction_vs_guard(256, 40.0, 0.0625, &guards);
         for w in pts.windows(2) {
             assert!(w[1].1 < w[0].1);
         }
-        assert!((pts[0].1 - 1.0 / 1.0625).abs() < 1e-9, "zero guard → FEC tax only");
+        assert!(
+            (pts[0].1 - 1.0 / 1.0625).abs() < 1e-9,
+            "zero guard → FEC tax only"
+        );
     }
 }

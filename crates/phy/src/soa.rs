@@ -59,11 +59,7 @@ pub fn osnr_penalty_db(modulation: Modulation, ber: f64, input_dbm: f64) -> f64 
 
 /// Inverse of [`osnr_penalty_db`]: the input power producing a given
 /// penalty. Panics for non-positive penalties.
-pub fn input_power_at_penalty(
-    modulation: Modulation,
-    ber: f64,
-    penalty_db: f64,
-) -> f64 {
+pub fn input_power_at_penalty(modulation: Modulation, ber: f64, penalty_db: f64) -> f64 {
     assert!(penalty_db > 0.0, "penalty must be positive");
     knee_dbm(modulation, ber) + SLOPE_DB * penalty_db.log10()
 }
@@ -128,11 +124,7 @@ pub fn required_osnr_db(modulation: Modulation, ber: f64) -> f64 {
 }
 
 /// A (input power, penalty) sample series for one Fig. 10 curve.
-pub fn figure10_curve(
-    modulation: Modulation,
-    ber: f64,
-    powers_dbm: &[f64],
-) -> Vec<(f64, f64)> {
+pub fn figure10_curve(modulation: Modulation, ber: f64, powers_dbm: &[f64]) -> Vec<(f64, f64)> {
     powers_dbm
         .iter()
         .map(|&p| (p, osnr_penalty_db(modulation, ber, p)))
@@ -222,8 +214,8 @@ mod tests {
     #[test]
     fn dpsk_needs_3db_less_osnr() {
         for ber in [1e-6, 1e-9, 1e-12] {
-            let d = required_osnr_db(Modulation::Nrz, ber)
-                - required_osnr_db(Modulation::Dpsk, ber);
+            let d =
+                required_osnr_db(Modulation::Nrz, ber) - required_osnr_db(Modulation::Dpsk, ber);
             assert!((d - 3.0).abs() < 1e-12);
         }
     }

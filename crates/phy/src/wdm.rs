@@ -76,11 +76,7 @@ impl ChannelPlan {
     /// middle) channel: each neighbour leaks `adjacent_isolation` (dB,
     /// negative) scaled by grid distance (each extra slot buys
     /// `rolloff_db_per_slot` more isolation).
-    pub fn aggregate_crosstalk(
-        &self,
-        adjacent_isolation: Db,
-        rolloff_db_per_slot: f64,
-    ) -> Db {
+    pub fn aggregate_crosstalk(&self, adjacent_isolation: Db, rolloff_db_per_slot: f64) -> Db {
         assert!(adjacent_isolation.0 < 0.0, "isolation must be a loss");
         let mid = (self.channels as f64 - 1.0) / 2.0;
         let mut lin = 0.0;

@@ -211,9 +211,7 @@ mod tests {
                 }
             }
             for from in 0..n {
-                let naive = (0..n)
-                    .map(|k| (from + k) % n)
-                    .find(|&i| b.get(i));
+                let naive = (0..n).map(|k| (from + k) % n).find(|&i| b.get(i));
                 assert_eq!(b.next_set_wrapping(from), naive, "pat {pat} from {from}");
             }
         }

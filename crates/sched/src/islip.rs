@@ -127,8 +127,7 @@ impl CellScheduler for Islip {
                 if self.in_matched_bits.get(i) || self.grants_to_input[i].is_empty() {
                     continue;
                 }
-                if let Some(sp) = self.accept_arb[i].arbitrate(&self.grants_to_input[i])
-                {
+                if let Some(sp) = self.accept_arb[i].arbitrate(&self.grants_to_input[i]) {
                     let o = sp / r;
                     self.in_matched_bits.set(i);
                     self.subport_used[sp] = true;

@@ -73,8 +73,7 @@ pub fn max_matching(occ: &Requests, out_capacity: usize) -> Matching {
                 let r = adj[i][idx];
                 let m = match_r[r];
                 if m == NIL
-                    || (dist[m] == dist[i] + 1
-                        && try_augment(m, adj, match_l, match_r, dist))
+                    || (dist[m] == dist[i] + 1 && try_augment(m, adj, match_l, match_r, dist))
                 {
                     match_l[i] = r;
                     match_r[r] = i;

@@ -141,7 +141,11 @@ mod tests {
         }
         let m = s.tick(0);
         m.validate(&shadow, 1).unwrap();
-        assert!(m.len() >= 6, "log2(8)=3 < 4 iterations nearly perfect: {}", m.len());
+        assert!(
+            m.len() >= 6,
+            "log2(8)=3 < 4 iterations nearly perfect: {}",
+            m.len()
+        );
     }
 
     #[test]

@@ -227,7 +227,10 @@ mod tests {
         m.push(0, 1);
         m.push(2, 1);
         m.push(3, 0);
-        assert!(m.validate(&occ, 2).is_ok(), "dual receiver allows 2 per output");
+        assert!(
+            m.validate(&occ, 2).is_ok(),
+            "dual receiver allows 2 per output"
+        );
         assert!(m.validate(&occ, 1).is_err(), "single receiver rejects it");
     }
 

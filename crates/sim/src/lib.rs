@@ -19,12 +19,17 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod events;
 pub mod rng;
 pub mod stats;
 pub mod sweep;
 pub mod time;
 
+pub use engine::{
+    Convergence, CountingTrace, EngineConfig, EngineReport, NullTrace, Observer, SlottedModel,
+    TraceEvent, TraceSink, VecTrace,
+};
 pub use events::{run_until, EventQueue};
 pub use rng::{SeedSequence, SimRng};
 pub use stats::{Counter, Histogram, SimSummary, Welford};

@@ -92,8 +92,7 @@ impl Welford {
         let n = self.n + other.n;
         let d = other.mean - self.mean;
         let mean = self.mean + d * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -164,6 +163,12 @@ impl Histogram {
         self.overflow
     }
 
+    /// The per-bucket counts (excluding overflow), for digesting and
+    /// export.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// q-quantile (0 ≤ q ≤ 1), interpolated within the containing bucket.
     /// Returns `None` when empty or when the quantile falls in overflow.
     pub fn quantile(&self, q: f64) -> Option<f64> {
@@ -190,7 +195,11 @@ impl Histogram {
     /// Merge another histogram (must have identical geometry).
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.width, other.width, "histogram width mismatch");
-        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }

@@ -12,6 +12,16 @@
 /// `f` must be `Sync` (it is shared by reference across workers); inputs are
 /// consumed by value. The number of workers defaults to available
 /// parallelism, capped by the number of inputs.
+///
+/// Each worker receives an owned contiguous chunk of the inputs and
+/// returns an owned `Vec` of outputs; the chunks are concatenated in
+/// input order after the scope joins. There is no shared mutable state —
+/// no locks, no atomics — so results are deterministic by construction
+/// and the per-item overhead is a move, not two mutex acquisitions.
+///
+/// Chunks are interleaved round-robin (worker `w` takes items `w`,
+/// `w + workers`, `w + 2·workers`, ...) so that a load sweep whose cost
+/// grows monotonically with the parameter still balances across workers.
 pub fn parallel_sweep<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,
@@ -30,41 +40,39 @@ where
         return inputs.into_iter().map(f).collect();
     }
 
-    // Work-stealing by index: a shared atomic cursor over a slot vector.
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+    // Deal the inputs round-robin into one owned stripe per worker.
+    let mut stripes: Vec<Vec<I>> = (0..workers)
+        .map(|w| Vec::with_capacity(n / workers + usize::from(w < n % workers)))
+        .collect();
+    for (idx, input) in inputs.into_iter().enumerate() {
+        stripes[idx % workers].push(input);
+    }
 
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<I>>> =
-        inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
-    let outputs: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let input = slots[idx]
-                    .lock()
-                    .expect("input slot poisoned")
-                    .take()
-                    .expect("input taken twice");
-                let out = f(input);
-                *outputs[idx].lock().expect("output slot poisoned") = Some(out);
-            });
-        }
+    let mut stripe_outputs: Vec<Vec<O>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stripes
+            .into_iter()
+            .map(|stripe| {
+                let f = &f;
+                scope.spawn(move || stripe.into_iter().map(f).collect::<Vec<O>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
     });
 
-    outputs
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("output slot poisoned")
-                .expect("worker died before writing output")
-        })
-        .collect()
+    // Un-deal: output idx lives at stripes[idx % workers][idx / workers].
+    let mut cursors: Vec<_> = stripe_outputs.iter_mut().map(|v| v.drain(..)).collect();
+    let mut out = Vec::with_capacity(n);
+    for idx in 0..n {
+        out.push(
+            cursors[idx % workers]
+                .next()
+                .expect("stripe exhausted early"),
+        );
+    }
+    out
 }
 
 /// Generate `count` evenly spaced points in `[lo, hi]` inclusive.

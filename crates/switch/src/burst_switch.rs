@@ -19,10 +19,10 @@
 //! and output for the following `burst` slots.
 
 use crate::cell::Cell;
-use crate::voq_switch::{RunConfig, SwitchReport};
+use crate::driven::{run_switch, CellSwitch};
 use osmosis_sched::arbiter::{BitSet, RoundRobinArbiter};
-use osmosis_sim::stats::Histogram;
-use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use osmosis_sim::engine::{EngineConfig, EngineReport, Observer, TraceSink};
+use osmosis_traffic::{Arrival, SequenceChecker, SequenceStamper, TrafficGen};
 use std::collections::VecDeque;
 
 /// Burst-switching crossbar.
@@ -40,7 +40,10 @@ pub struct BurstSwitch {
     in_busy: Vec<u64>,
     out_busy: Vec<u64>,
     stamper: SequenceStamper,
+    checker: SequenceChecker,
     next_id: u64,
+    requesters: BitSet,
+    grants_to_input: Vec<BitSet>,
 }
 
 impl BurstSwitch {
@@ -59,7 +62,10 @@ impl BurstSwitch {
             in_busy: vec![0; n],
             out_busy: vec![0; n],
             stamper: SequenceStamper::new(),
+            checker: SequenceChecker::new(),
             next_id: 0,
+            requesters: BitSet::new(n),
+            grants_to_input: (0..n).map(|_| BitSet::new(n)).collect(),
         }
     }
 
@@ -74,147 +80,122 @@ impl BurstSwitch {
     }
 
     /// Run traffic and report (same schema as the VOQ switch).
-    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: RunConfig) -> SwitchReport {
-        assert_eq!(traffic.ports(), self.n);
+    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: &EngineConfig) -> EngineReport {
+        run_switch(self, traffic, cfg)
+    }
+}
+
+impl CellSwitch for BurstSwitch {
+    fn ports(&self) -> usize {
+        self.n
+    }
+
+    fn configure(&mut self, _cfg: &EngineConfig) {
+        self.checker = SequenceChecker::new();
+    }
+
+    fn arbitrate<T: TraceSink>(&mut self, t: u64, obs: &mut Observer<'_, T>) {
         let n = self.n;
-        let total = cfg.warmup_slots + cfg.measure_slots;
-        let mut delay_hist = Histogram::new(1.0, 65_536);
-        let mut grant_hist = Histogram::new(1.0, 65_536);
-        let mut checker = SequenceChecker::new();
-        let (mut injected, mut delivered) = (0u64, 0u64);
-        let mut max_voq = 0usize;
-        let mut max_egress = 0usize;
-        let mut arrivals = Vec::with_capacity(n);
-        let mut requesters = BitSet::new(n);
-        let mut grants_to_input: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
 
-        for t in 0..total {
-            let measuring = t >= cfg.warmup_slots;
-
-            // Ports tied up by a container in flight count down.
-            for b in self.in_busy.iter_mut().chain(self.out_busy.iter_mut()) {
-                *b = b.saturating_sub(1);
-            }
-
-            // A matching is computed only on burst boundaries — and the
-            // scheduler had `burst` cycles to compute it, so it can
-            // afford a full log2(N)-iteration matching (that relaxation
-            // is the entire point of container switching).
-            if t % self.burst == 0 {
-                let iterations = (n.max(2) as f64).log2().ceil() as usize;
-                let mut in_matched = vec![false; n];
-                let mut out_matched = vec![false; n];
-                for _ in 0..iterations {
-                    for g in grants_to_input.iter_mut() {
-                        g.clear_all();
-                    }
-                    let mut any = false;
-                    for o in 0..n {
-                        if out_matched[o] || self.out_busy[o] > 0 {
-                            continue;
-                        }
-                        requesters.clear_all();
-                        let mut have = false;
-                        for i in 0..n {
-                            if !in_matched[i]
-                                && self.in_busy[i] == 0
-                                && self.container_eligible(i, o, t)
-                            {
-                                requesters.set(i);
-                                have = true;
-                            }
-                        }
-                        if !have {
-                            continue;
-                        }
-                        if let Some(i) = self.grant_arb[o].arbitrate(&requesters) {
-                            grants_to_input[i].set(o);
-                            any = true;
-                        }
-                    }
-                    if !any {
-                        break;
-                    }
-                    for i in 0..n {
-                        if in_matched[i]
-                            || self.in_busy[i] > 0
-                            || grants_to_input[i].is_empty()
-                        {
-                            continue;
-                        }
-                        if let Some(o) =
-                            self.accept_arb[i].arbitrate(&grants_to_input[i])
-                        {
-                            in_matched[i] = true;
-                            out_matched[o] = true;
-                            self.grant_arb[o].advance_past(i);
-                            self.accept_arb[i].advance_past(o);
-                            // Launch the container: up to `burst` cells
-                            // leave back to back over the next slots.
-                            let q = &mut self.voq[i * n + o];
-                            let take = (q.len() as u64).min(self.burst);
-                            for k in 0..take {
-                                let mut cell = q.pop_front().unwrap();
-                                cell.grant_slot = t + k;
-                                if measuring && cell.inject_slot >= cfg.warmup_slots {
-                                    grant_hist
-                                        .record((t + k - cell.inject_slot) as f64);
-                                }
-                                self.egress[o].push_back(cell);
-                            }
-                            self.in_busy[i] = self.burst;
-                            self.out_busy[o] = self.burst;
-                        }
-                    }
-                }
-            }
-
-            // Egress drains one cell per slot.
-            for (o, q) in self.egress.iter_mut().enumerate() {
-                max_egress = max_egress.max(q.len());
-                if let Some(cell) = q.pop_front() {
-                    debug_assert_eq!(cell.dst, o);
-                    checker.record(cell.src, cell.dst, cell.seq);
-                    if measuring {
-                        delivered += 1;
-                        if cell.inject_slot >= cfg.warmup_slots {
-                            delay_hist.record((t - cell.inject_slot) as f64);
-                        }
-                    }
-                }
-            }
-
-            // Arrivals.
-            arrivals.clear();
-            traffic.arrivals(t, &mut arrivals);
-            for a in &arrivals {
-                let seq = self.stamper.stamp(a.src, a.dst);
-                let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, t);
-                self.next_id += 1;
-                if measuring {
-                    injected += 1;
-                }
-                self.voq[a.src * n + a.dst].push_back(cell);
-                max_voq = max_voq.max(self.voq[a.src * n + a.dst].len());
-            }
+        // Ports tied up by a container in flight count down.
+        for b in self.in_busy.iter_mut().chain(self.out_busy.iter_mut()) {
+            *b = b.saturating_sub(1);
         }
 
-        let denom = cfg.measure_slots as f64 * n as f64;
-        SwitchReport {
-            offered_load: injected as f64 / denom,
-            throughput: delivered as f64 / denom,
-            mean_delay: delay_hist.mean(),
-            p99_delay: delay_hist.quantile(0.99),
-            mean_request_grant: grant_hist.mean(),
-            injected,
-            delivered,
-            dropped: 0,
-            reordered: checker.reordered(),
-            max_voq_depth: max_voq,
-            max_egress_depth: max_egress,
-            delay_hist,
-            grant_hist,
+        // A matching is computed only on burst boundaries — and the
+        // scheduler had `burst` cycles to compute it, so it can afford a
+        // full log2(N)-iteration matching (that relaxation is the entire
+        // point of container switching).
+        if t.is_multiple_of(self.burst) {
+            let iterations = (n.max(2) as f64).log2().ceil() as usize;
+            let mut in_matched = vec![false; n];
+            let mut out_matched = vec![false; n];
+            for _ in 0..iterations {
+                for g in self.grants_to_input.iter_mut() {
+                    g.clear_all();
+                }
+                let mut any = false;
+                for (o, &o_matched) in out_matched.iter().enumerate() {
+                    if o_matched || self.out_busy[o] > 0 {
+                        continue;
+                    }
+                    self.requesters.clear_all();
+                    let mut have = false;
+                    for (i, &i_matched) in in_matched.iter().enumerate() {
+                        if !i_matched && self.in_busy[i] == 0 && self.container_eligible(i, o, t) {
+                            self.requesters.set(i);
+                            have = true;
+                        }
+                    }
+                    if !have {
+                        continue;
+                    }
+                    if let Some(i) = self.grant_arb[o].arbitrate(&self.requesters) {
+                        self.grants_to_input[i].set(o);
+                        any = true;
+                    }
+                }
+                if !any {
+                    break;
+                }
+                for (i, i_matched) in in_matched.iter_mut().enumerate() {
+                    if *i_matched || self.in_busy[i] > 0 || self.grants_to_input[i].is_empty() {
+                        continue;
+                    }
+                    if let Some(o) = self.accept_arb[i].arbitrate(&self.grants_to_input[i]) {
+                        *i_matched = true;
+                        out_matched[o] = true;
+                        self.grant_arb[o].advance_past(i);
+                        self.accept_arb[i].advance_past(o);
+                        // Launch the container: up to `burst` cells leave
+                        // back to back over the next slots.
+                        let q = &mut self.voq[i * n + o];
+                        let take = (q.len() as u64).min(self.burst);
+                        for k in 0..take {
+                            let mut cell = q.pop_front().unwrap();
+                            cell.grant_slot = t + k;
+                            obs.cell_granted_with_wait(
+                                i,
+                                o,
+                                cell.inject_slot,
+                                t + k - cell.inject_slot,
+                            );
+                            self.egress[o].push_back(cell);
+                        }
+                        self.in_busy[i] = self.burst;
+                        self.out_busy[o] = self.burst;
+                    }
+                }
+            }
         }
+    }
+
+    fn deliver<T: TraceSink>(&mut self, _slot: u64, obs: &mut Observer<'_, T>) {
+        // Egress drains one cell per slot.
+        for (o, q) in self.egress.iter_mut().enumerate() {
+            obs.note_egress_depth(q.len());
+            if let Some(cell) = q.pop_front() {
+                debug_assert_eq!(cell.dst, o);
+                self.checker.record(cell.src, cell.dst, cell.seq);
+                obs.cell_delivered(o, cell.inject_slot);
+            }
+        }
+    }
+
+    fn admit<T: TraceSink>(&mut self, arrivals: &[Arrival], slot: u64, obs: &mut Observer<'_, T>) {
+        for a in arrivals {
+            let seq = self.stamper.stamp(a.src, a.dst);
+            let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, slot);
+            self.next_id += 1;
+            obs.cell_injected(a.src, a.dst);
+            let q = &mut self.voq[a.src * self.n + a.dst];
+            q.push_back(cell);
+            obs.note_queue_depth(q.len());
+        }
+    }
+
+    fn finish(&mut self, report: &mut EngineReport) {
+        report.reordered = self.checker.reordered();
     }
 }
 
@@ -224,11 +205,8 @@ mod tests {
     use osmosis_sim::SeedSequence;
     use osmosis_traffic::BernoulliUniform;
 
-    fn cfg() -> RunConfig {
-        RunConfig {
-            warmup_slots: 2_000,
-            measure_slots: 10_000,
-        }
+    fn cfg() -> EngineConfig {
+        EngineConfig::new(2_000, 10_000)
     }
 
     #[test]
@@ -238,7 +216,7 @@ mod tests {
         let burst = 16u64;
         let mut sw = BurstSwitch::new(8, burst, burst);
         let mut tr = BernoulliUniform::new(8, 0.02, &SeedSequence::new(1));
-        let r = sw.run(&mut tr, cfg());
+        let r = sw.run(&mut tr, &cfg());
         assert!(
             r.mean_delay >= burst as f64 * 0.8,
             "delay {} vs burst {burst}",
@@ -251,7 +229,7 @@ mod tests {
         let measure = |burst| {
             let mut sw = BurstSwitch::new(8, burst, burst);
             let mut tr = BernoulliUniform::new(8, 0.02, &SeedSequence::new(2));
-            sw.run(&mut tr, cfg()).mean_delay
+            sw.run(&mut tr, &cfg()).mean_delay
         };
         let b4 = measure(4);
         let b32 = measure(32);
@@ -262,7 +240,7 @@ mod tests {
     fn keeps_order_and_loses_nothing() {
         let mut sw = BurstSwitch::new(8, 8, 8);
         let mut tr = BernoulliUniform::new(8, 0.6, &SeedSequence::new(3));
-        let r = sw.run(&mut tr, cfg());
+        let r = sw.run(&mut tr, &cfg());
         assert_eq!(r.reordered, 0);
         assert_eq!(r.dropped, 0);
         assert!((r.throughput - 0.6).abs() < 0.05, "{}", r.throughput);
@@ -272,7 +250,7 @@ mod tests {
     fn burst_one_degenerates_to_cell_switching() {
         let mut sw = BurstSwitch::new(8, 1, 1);
         let mut tr = BernoulliUniform::new(8, 0.05, &SeedSequence::new(4));
-        let r = sw.run(&mut tr, cfg());
+        let r = sw.run(&mut tr, &cfg());
         assert!(r.mean_delay < 3.0, "{}", r.mean_delay);
     }
 }

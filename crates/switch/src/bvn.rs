@@ -12,9 +12,9 @@
 //! different middle ports, arriving out of order.
 
 use crate::cell::Cell;
-use crate::voq_switch::{RunConfig, SwitchReport};
-use osmosis_sim::stats::Histogram;
-use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use crate::driven::{run_switch, CellSwitch};
+use osmosis_sim::engine::{EngineConfig, EngineReport, Observer, TraceSink};
+use osmosis_traffic::{Arrival, SequenceChecker, SequenceStamper, TrafficGen};
 use std::collections::VecDeque;
 
 /// The two-stage load-balanced BvN switch.
@@ -23,6 +23,7 @@ pub struct BvnSwitch {
     /// Middle-stage VOQs: `mid[m * n + o]`.
     mid: Vec<VecDeque<Cell>>,
     stamper: SequenceStamper,
+    checker: SequenceChecker,
     next_id: u64,
 }
 
@@ -34,73 +35,63 @@ impl BvnSwitch {
             n,
             mid: (0..n * n).map(|_| VecDeque::new()).collect(),
             stamper: SequenceStamper::new(),
+            checker: SequenceChecker::new(),
             next_id: 0,
         }
     }
 
     /// Run traffic and report.
-    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: RunConfig) -> SwitchReport {
-        assert_eq!(traffic.ports(), self.n);
+    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: &EngineConfig) -> EngineReport {
+        run_switch(self, traffic, cfg)
+    }
+}
+
+impl CellSwitch for BvnSwitch {
+    fn ports(&self) -> usize {
+        self.n
+    }
+
+    fn configure(&mut self, _cfg: &EngineConfig) {
+        self.checker = SequenceChecker::new();
+    }
+
+    // Stage 2 delivers straight from the middle buffers to the hosts, so
+    // the whole transfer lives in the delivery phase; there is no
+    // arbitration (that is the architecture's point) and
+    // `mean_request_grant` stays 0.
+    fn arbitrate<T: TraceSink>(&mut self, _slot: u64, _obs: &mut Observer<'_, T>) {}
+
+    fn deliver<T: TraceSink>(&mut self, slot: u64, obs: &mut Observer<'_, T>) {
+        // Stage 2: middle m → output (m + t) mod N; deliver the head cell
+        // of the matching middle VOQ straight to the host.
         let n = self.n as u64;
-        let total = cfg.warmup_slots + cfg.measure_slots;
-        let mut delay_hist = Histogram::new(1.0, 16_384);
-        let mut checker = SequenceChecker::new();
-        let (mut injected, mut delivered) = (0u64, 0u64);
-        let mut max_mid = 0usize;
-        let mut arrivals = Vec::with_capacity(self.n);
-
-        for t in 0..total {
-            let measuring = t >= cfg.warmup_slots;
-
-            // Stage 2: middle m → output (m + t) mod N; deliver the head
-            // cell of the matching middle VOQ straight to the host.
-            for m in 0..self.n {
-                let o = ((m as u64 + t) % n) as usize;
-                let q = &mut self.mid[m * self.n + o];
-                max_mid = max_mid.max(q.len());
-                if let Some(cell) = q.pop_front() {
-                    checker.record(cell.src, cell.dst, cell.seq);
-                    if measuring {
-                        delivered += 1;
-                        if cell.inject_slot >= cfg.warmup_slots {
-                            delay_hist.record((t - cell.inject_slot) as f64);
-                        }
-                    }
-                }
-            }
-
-            // Stage 1: input i → middle (i + t) mod N; arriving cells are
-            // spread over the middles by the rotation itself.
-            arrivals.clear();
-            traffic.arrivals(t, &mut arrivals);
-            for a in &arrivals {
-                let seq = self.stamper.stamp(a.src, a.dst);
-                let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, t);
-                self.next_id += 1;
-                if measuring {
-                    injected += 1;
-                }
-                let m = ((a.src as u64 + t) % n) as usize;
-                self.mid[m * self.n + a.dst].push_back(cell);
+        for m in 0..self.n {
+            let o = ((m as u64 + slot) % n) as usize;
+            let q = &mut self.mid[m * self.n + o];
+            obs.note_queue_depth(q.len());
+            if let Some(cell) = q.pop_front() {
+                self.checker.record(cell.src, cell.dst, cell.seq);
+                obs.cell_delivered(o, cell.inject_slot);
             }
         }
+    }
 
-        let denom = cfg.measure_slots as f64 * self.n as f64;
-        SwitchReport {
-            offered_load: injected as f64 / denom,
-            throughput: delivered as f64 / denom,
-            mean_delay: delay_hist.mean(),
-            p99_delay: delay_hist.quantile(0.99),
-            mean_request_grant: 0.0,
-            injected,
-            delivered,
-            dropped: 0,
-            reordered: checker.reordered(),
-            max_voq_depth: max_mid,
-            max_egress_depth: 0,
-            delay_hist,
-            grant_hist: Histogram::new(1.0, 2),
+    fn admit<T: TraceSink>(&mut self, arrivals: &[Arrival], slot: u64, obs: &mut Observer<'_, T>) {
+        // Stage 1: input i → middle (i + t) mod N; arriving cells are
+        // spread over the middles by the rotation itself.
+        let n = self.n as u64;
+        for a in arrivals {
+            let seq = self.stamper.stamp(a.src, a.dst);
+            let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, slot);
+            self.next_id += 1;
+            obs.cell_injected(a.src, a.dst);
+            let m = ((a.src as u64 + slot) % n) as usize;
+            self.mid[m * self.n + a.dst].push_back(cell);
         }
+    }
+
+    fn finish(&mut self, report: &mut EngineReport) {
+        report.reordered = self.checker.reordered();
     }
 }
 
@@ -110,11 +101,8 @@ mod tests {
     use osmosis_sim::SeedSequence;
     use osmosis_traffic::BernoulliUniform;
 
-    fn cfg() -> RunConfig {
-        RunConfig {
-            warmup_slots: 1_000,
-            measure_slots: 10_000,
-        }
+    fn cfg() -> EngineConfig {
+        EngineConfig::new(1_000, 10_000)
     }
 
     #[test]
@@ -124,7 +112,7 @@ mod tests {
         for n in [16usize, 32] {
             let mut sw = BvnSwitch::new(n);
             let mut tr = BernoulliUniform::new(n, 0.02, &SeedSequence::new(1));
-            let r = sw.run(&mut tr, cfg());
+            let r = sw.run(&mut tr, &cfg());
             let expect = n as f64 / 2.0;
             assert!(
                 (r.mean_delay - expect).abs() < expect * 0.15,
@@ -139,7 +127,7 @@ mod tests {
         // §VI.D: "out-of-order packet delivery" — the other disqualifier.
         let mut sw = BvnSwitch::new(16);
         let mut tr = BernoulliUniform::new(16, 0.7, &SeedSequence::new(2));
-        let r = sw.run(&mut tr, cfg());
+        let r = sw.run(&mut tr, &cfg());
         assert!(
             r.reordered > 0,
             "BvN must reorder under load (got {})",
@@ -152,7 +140,7 @@ mod tests {
         // Its merit: full throughput under uniform traffic, no scheduler.
         let mut sw = BvnSwitch::new(16);
         let mut tr = BernoulliUniform::new(16, 0.95, &SeedSequence::new(3));
-        let r = sw.run(&mut tr, cfg());
+        let r = sw.run(&mut tr, &cfg());
         assert!((r.throughput - 0.95).abs() < 0.02, "{}", r.throughput);
         assert_eq!(r.dropped, 0);
     }

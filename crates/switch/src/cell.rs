@@ -25,14 +25,7 @@ pub struct Cell {
 
 impl Cell {
     /// A new cell, not yet granted.
-    pub fn new(
-        id: u64,
-        src: usize,
-        dst: usize,
-        class: Class,
-        seq: u64,
-        inject_slot: u64,
-    ) -> Self {
+    pub fn new(id: u64, src: usize, dst: usize, class: Class, seq: u64, inject_slot: u64) -> Self {
         Cell {
             id,
             src,

@@ -10,33 +10,14 @@
 //! be work-conserving; with S = 2 and enough egress buffer it (almost)
 //! is. This model measures work conservation directly: a slot where an
 //! output idles while a cell for it sits anywhere in the switch is a
-//! violation.
+//! violation, reported as `extra("violation_fraction")`.
 
 use crate::cell::Cell;
-use crate::voq_switch::RunConfig;
+use crate::driven::{run_switch, CellSwitch};
 use osmosis_sched::arbiter::{BitSet, RoundRobinArbiter};
-use osmosis_sim::stats::Histogram;
-use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use osmosis_sim::engine::{EngineConfig, EngineReport, Observer, TraceSink};
+use osmosis_traffic::{Arrival, SequenceChecker, SequenceStamper, TrafficGen};
 use std::collections::VecDeque;
-
-/// CIOQ run results.
-#[derive(Debug, Clone)]
-pub struct CioqReport {
-    /// Offered load per port.
-    pub offered_load: f64,
-    /// Carried throughput per port.
-    pub throughput: f64,
-    /// Mean delay in slots.
-    pub mean_delay: f64,
-    /// Slots in which some output idled despite having a cell queued for
-    /// it somewhere in the switch (work-conservation violations), as a
-    /// fraction of busy output-slots.
-    pub violation_fraction: f64,
-    /// Out-of-order deliveries.
-    pub reordered: u64,
-    /// Peak egress-buffer occupancy.
-    pub max_egress: usize,
-}
 
 /// The CIOQ switch.
 pub struct CioqSwitch {
@@ -50,7 +31,14 @@ pub struct CioqSwitch {
     grant_arb: Vec<RoundRobinArbiter>,
     accept_arb: Vec<RoundRobinArbiter>,
     stamper: SequenceStamper,
+    checker: SequenceChecker,
     next_id: u64,
+    violations: u64,
+    busy_slots: u64,
+    /// Per-output "work existed at slot start" flags for the audit.
+    pending_for: Vec<bool>,
+    requesters: BitSet,
+    grants_to_input: Vec<BitSet>,
 }
 
 impl CioqSwitch {
@@ -66,128 +54,132 @@ impl CioqSwitch {
             grant_arb: (0..n).map(|_| RoundRobinArbiter::new(n)).collect(),
             accept_arb: (0..n).map(|_| RoundRobinArbiter::new(n)).collect(),
             stamper: SequenceStamper::new(),
+            checker: SequenceChecker::new(),
             next_id: 0,
+            violations: 0,
+            busy_slots: 0,
+            pending_for: vec![false; n],
+            requesters: BitSet::new(n),
+            grants_to_input: (0..n).map(|_| BitSet::new(n)).collect(),
         }
     }
 
-    /// Run traffic and report.
-    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: RunConfig) -> CioqReport {
-        assert_eq!(traffic.ports(), self.n);
+    /// Run traffic and report. The work-conservation violation rate is in
+    /// `extra("violation_fraction")`.
+    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: &EngineConfig) -> EngineReport {
+        run_switch(self, traffic, cfg)
+    }
+}
+
+impl CellSwitch for CioqSwitch {
+    fn ports(&self) -> usize {
+        self.n
+    }
+
+    fn configure(&mut self, _cfg: &EngineConfig) {
+        self.checker = SequenceChecker::new();
+        self.violations = 0;
+        self.busy_slots = 0;
+    }
+
+    fn arbitrate<T: TraceSink>(&mut self, slot: u64, obs: &mut Observer<'_, T>) {
         let n = self.n;
-        let total = cfg.warmup_slots + cfg.measure_slots;
-        let mut delay_hist = Histogram::new(1.0, 65_536);
-        let mut checker = SequenceChecker::new();
-        let (mut injected, mut delivered) = (0u64, 0u64);
-        let (mut violations, mut busy_slots) = (0u64, 0u64);
-        let mut max_egress = 0usize;
-        let mut arrivals = Vec::with_capacity(n);
-        let mut requesters = BitSet::new(n);
-        let mut grants_to_input: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
 
-        for t in 0..total {
-            let measuring = t >= cfg.warmup_slots;
-
-            // Work-conservation audit *before* this slot's transfers: an
-            // output with an empty egress buffer but pending VOQ cells
-            // can only transmit this slot if a matching phase feeds it.
-            let pending_for: Vec<bool> = (0..n)
-                .map(|o| (0..n).any(|i| !self.voq[i * n + o].is_empty()))
-                .collect();
-
-            // S matching phases per slot (single-iteration RR each —
-            // speedup, not iteration count, is the knob under study).
-            for _phase in 0..self.speedup {
-                for g in grants_to_input.iter_mut() {
-                    g.clear_all();
-                }
-                let mut in_used = vec![false; n];
-                for o in 0..n {
-                    if self.egress[o].len() >= self.egress_cap {
-                        continue; // limited output buffer: backpressure
-                    }
-                    requesters.clear_all();
-                    let mut have = false;
-                    for i in 0..n {
-                        if !in_used[i] && !self.voq[i * n + o].is_empty() {
-                            requesters.set(i);
-                            have = true;
-                        }
-                    }
-                    if !have {
-                        continue;
-                    }
-                    if let Some(i) = self.grant_arb[o].arbitrate(&requesters) {
-                        grants_to_input[i].set(o);
-                    }
-                }
-                for i in 0..n {
-                    if grants_to_input[i].is_empty() {
-                        continue;
-                    }
-                    if let Some(o) = self.accept_arb[i].arbitrate(&grants_to_input[i]) {
-                        self.grant_arb[o].advance_past(i);
-                        self.accept_arb[i].advance_past(o);
-                        let mut cell = self.voq[i * n + o].pop_front().unwrap();
-                        cell.grant_slot = t;
-                        in_used[i] = true;
-                        self.egress[o].push_back(cell);
-                    }
-                }
-            }
-
-            // Egress transmits one cell per slot; audit idleness.
-            for (o, q) in self.egress.iter_mut().enumerate() {
-                max_egress = max_egress.max(q.len());
-                match q.pop_front() {
-                    Some(cell) => {
-                        debug_assert_eq!(cell.dst, o);
-                        checker.record(cell.src, cell.dst, cell.seq);
-                        if measuring {
-                            busy_slots += 1;
-                            delivered += 1;
-                            if cell.inject_slot >= cfg.warmup_slots {
-                                delay_hist.record((t - cell.inject_slot) as f64);
-                            }
-                        }
-                    }
-                    None => {
-                        if measuring && pending_for[o] {
-                            // Work existed for this output at slot start,
-                            // the output line still idled.
-                            violations += 1;
-                            busy_slots += 1;
-                        }
-                    }
-                }
-            }
-
-            // Arrivals.
-            arrivals.clear();
-            traffic.arrivals(t, &mut arrivals);
-            for a in &arrivals {
-                let seq = self.stamper.stamp(a.src, a.dst);
-                let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, t);
-                self.next_id += 1;
-                if measuring {
-                    injected += 1;
-                }
-                self.voq[a.src * n + a.dst].push_back(cell);
-            }
+        // Work-conservation audit *before* this slot's transfers: an
+        // output with an empty egress buffer but pending VOQ cells can
+        // only transmit this slot if a matching phase feeds it.
+        for o in 0..n {
+            self.pending_for[o] = (0..n).any(|i| !self.voq[i * n + o].is_empty());
         }
 
-        let denom = cfg.measure_slots as f64 * n as f64;
-        CioqReport {
-            offered_load: injected as f64 / denom,
-            throughput: delivered as f64 / denom,
-            mean_delay: delay_hist.mean(),
-            violation_fraction: if busy_slots == 0 {
-                0.0
-            } else {
-                violations as f64 / busy_slots as f64
-            },
-            reordered: checker.reordered(),
-            max_egress,
+        // S matching phases per slot (single-iteration RR each — speedup,
+        // not iteration count, is the knob under study).
+        for _phase in 0..self.speedup {
+            for g in self.grants_to_input.iter_mut() {
+                g.clear_all();
+            }
+            let mut in_used = vec![false; n];
+            for o in 0..n {
+                if self.egress[o].len() >= self.egress_cap {
+                    continue; // limited output buffer: backpressure
+                }
+                self.requesters.clear_all();
+                let mut have = false;
+                for (i, &used) in in_used.iter().enumerate() {
+                    if !used && !self.voq[i * n + o].is_empty() {
+                        self.requesters.set(i);
+                        have = true;
+                    }
+                }
+                if !have {
+                    continue;
+                }
+                if let Some(i) = self.grant_arb[o].arbitrate(&self.requesters) {
+                    self.grants_to_input[i].set(o);
+                }
+            }
+            for (i, used) in in_used.iter_mut().enumerate() {
+                if self.grants_to_input[i].is_empty() {
+                    continue;
+                }
+                if let Some(o) = self.accept_arb[i].arbitrate(&self.grants_to_input[i]) {
+                    self.grant_arb[o].advance_past(i);
+                    self.accept_arb[i].advance_past(o);
+                    let mut cell = self.voq[i * n + o].pop_front().unwrap();
+                    cell.grant_slot = slot;
+                    obs.cell_granted(i, o, cell.inject_slot);
+                    *used = true;
+                    self.egress[o].push_back(cell);
+                }
+            }
         }
+    }
+
+    fn deliver<T: TraceSink>(&mut self, _slot: u64, obs: &mut Observer<'_, T>) {
+        // Egress transmits one cell per slot; audit idleness.
+        for (o, q) in self.egress.iter_mut().enumerate() {
+            obs.note_egress_depth(q.len());
+            match q.pop_front() {
+                Some(cell) => {
+                    debug_assert_eq!(cell.dst, o);
+                    self.checker.record(cell.src, cell.dst, cell.seq);
+                    if obs.measuring() {
+                        self.busy_slots += 1;
+                    }
+                    obs.cell_delivered(o, cell.inject_slot);
+                }
+                None => {
+                    if obs.measuring() && self.pending_for[o] {
+                        // Work existed for this output at slot start, the
+                        // output line still idled.
+                        self.violations += 1;
+                        self.busy_slots += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn admit<T: TraceSink>(&mut self, arrivals: &[Arrival], slot: u64, obs: &mut Observer<'_, T>) {
+        for a in arrivals {
+            let seq = self.stamper.stamp(a.src, a.dst);
+            let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, slot);
+            self.next_id += 1;
+            obs.cell_injected(a.src, a.dst);
+            let q = &mut self.voq[a.src * self.n + a.dst];
+            q.push_back(cell);
+            obs.note_queue_depth(q.len());
+        }
+    }
+
+    fn finish(&mut self, report: &mut EngineReport) {
+        report.reordered = self.checker.reordered();
+        let fraction = if self.busy_slots == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.busy_slots as f64
+        };
+        report.set_extra("violation_fraction", fraction);
     }
 }
 
@@ -197,17 +189,18 @@ mod tests {
     use osmosis_sim::SeedSequence;
     use osmosis_traffic::BernoulliUniform;
 
-    fn cfg() -> RunConfig {
-        RunConfig {
-            warmup_slots: 1_000,
-            measure_slots: 10_000,
-        }
+    fn cfg() -> EngineConfig {
+        EngineConfig::new(1_000, 10_000)
     }
 
-    fn run_at(speedup: usize, cap: usize, load: f64, seed: u64) -> CioqReport {
+    fn run_at(speedup: usize, cap: usize, load: f64, seed: u64) -> EngineReport {
         let mut sw = CioqSwitch::new(16, speedup, cap);
         let mut tr = BernoulliUniform::new(16, load, &SeedSequence::new(seed));
-        sw.run(&mut tr, cfg())
+        sw.run(&mut tr, &cfg())
+    }
+
+    fn violation_fraction(r: &EngineReport) -> f64 {
+        r.extra("violation_fraction").unwrap()
     }
 
     #[test]
@@ -216,9 +209,9 @@ mod tests {
         // waits at other inputs — the violation rate is material.
         let r = run_at(1, 4, 0.9, 1);
         assert!(
-            r.violation_fraction > 0.02,
+            violation_fraction(&r) > 0.02,
             "violations {}",
-            r.violation_fraction
+            violation_fraction(&r)
         );
     }
 
@@ -229,12 +222,12 @@ mod tests {
         let s1 = run_at(1, 8, 0.9, 2);
         let s2 = run_at(2, 8, 0.9, 2);
         assert!(
-            s2.violation_fraction < s1.violation_fraction / 4.0,
+            violation_fraction(&s2) < violation_fraction(&s1) / 4.0,
             "{} vs {}",
-            s2.violation_fraction,
-            s1.violation_fraction
+            violation_fraction(&s2),
+            violation_fraction(&s1)
         );
-        assert!(s2.violation_fraction < 0.01);
+        assert!(violation_fraction(&s2) < 0.01);
     }
 
     #[test]
@@ -245,10 +238,10 @@ mod tests {
         let small = run_at(2, 1, 0.95, 3);
         let large = run_at(2, 16, 0.95, 3);
         assert!(
-            small.violation_fraction > large.violation_fraction,
+            violation_fraction(&small) > violation_fraction(&large),
             "{} vs {}",
-            small.violation_fraction,
-            large.violation_fraction
+            violation_fraction(&small),
+            violation_fraction(&large)
         );
     }
 
@@ -257,6 +250,6 @@ mod tests {
         let r = run_at(2, 8, 0.8, 4);
         assert_eq!(r.reordered, 0);
         assert!((r.throughput - 0.8).abs() < 0.03);
-        assert!(r.max_egress <= 8);
+        assert!(r.max_egress_depth <= 8);
     }
 }

@@ -192,7 +192,9 @@ mod tests {
     fn protection_quality_scales_with_refresh_rate() {
         let slow = run_control_channel(
             8,
-            ControlProtocol::Protected { refresh_period: 4_096 },
+            ControlProtocol::Protected {
+                refresh_period: 4_096,
+            },
             0.5,
             5e-3,
             100_000,
@@ -207,7 +209,12 @@ mod tests {
             3,
         );
         // Faster refresh serves more of the arrivals by the horizon.
-        assert!(fast.served >= slow.served, "{} vs {}", fast.served, slow.served);
+        assert!(
+            fast.served >= slow.served,
+            "{} vs {}",
+            fast.served,
+            slow.served
+        );
     }
 
     #[test]

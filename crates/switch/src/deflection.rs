@@ -16,10 +16,10 @@
 //! deliver out of order (a deflected cell falls behind its successors).
 
 use crate::cell::Cell;
-use crate::voq_switch::{RunConfig, SwitchReport};
+use crate::driven::{run_switch, CellSwitch};
+use osmosis_sim::engine::{EngineConfig, EngineReport, Observer, TraceSink};
 use osmosis_sim::rng::SimRng;
-use osmosis_sim::stats::Histogram;
-use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use osmosis_traffic::{Arrival, SequenceChecker, SequenceStamper, TrafficGen};
 use std::collections::VecDeque;
 
 /// Deflection-routing switch with recirculation loops.
@@ -31,7 +31,9 @@ pub struct DeflectionSwitch {
     loops: Vec<VecDeque<Cell>>,
     rng: SimRng,
     stamper: SequenceStamper,
+    checker: SequenceChecker,
     next_id: u64,
+    contenders: Vec<Vec<usize>>,
 }
 
 impl DeflectionSwitch {
@@ -44,7 +46,9 @@ impl DeflectionSwitch {
             loops: (0..n).map(|_| VecDeque::new()).collect(),
             rng: SimRng::seed_from_u64(seed),
             stamper: SequenceStamper::new(),
+            checker: SequenceChecker::new(),
             next_id: 0,
+            contenders: vec![Vec::new(); n],
         }
     }
 
@@ -52,91 +56,79 @@ impl DeflectionSwitch {
     /// are counted as blocked injections (reported via `dropped` — the
     /// host must retry, which is the throughput limitation in action; no
     /// accepted cell is ever lost).
-    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: RunConfig) -> SwitchReport {
-        assert_eq!(traffic.ports(), self.n);
-        let n = self.n;
-        let total = cfg.warmup_slots + cfg.measure_slots;
-        let mut delay_hist = Histogram::new(1.0, 65_536);
-        let mut checker = SequenceChecker::new();
-        let (mut injected, mut delivered, mut blocked) = (0u64, 0u64, 0u64);
-        let mut max_loop = 0usize;
-        let mut arrivals = Vec::with_capacity(n);
-        let mut contenders: Vec<Vec<usize>> = vec![Vec::new(); n];
+    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: &EngineConfig) -> EngineReport {
+        run_switch(self, traffic, cfg)
+    }
+}
 
-        for t in 0..total {
-            let measuring = t >= cfg.warmup_slots;
+impl CellSwitch for DeflectionSwitch {
+    fn ports(&self) -> usize {
+        self.n
+    }
 
-            // Contention: the head cell of every loop fights for its
-            // destination; one random winner per output is delivered,
-            // losers recirculate (deflection).
-            for c in contenders.iter_mut() {
-                c.clear();
+    fn configure(&mut self, _cfg: &EngineConfig) {
+        self.checker = SequenceChecker::new();
+    }
+
+    fn arbitrate<T: TraceSink>(&mut self, _slot: u64, obs: &mut Observer<'_, T>) {
+        // Contention: the head cell of every loop fights for its
+        // destination; one random winner per output is delivered, losers
+        // recirculate (deflection). Delivery is immediate — the winner
+        // leaves in the same slot — so the whole contest lives here and
+        // the deliver phase is empty.
+        for c in self.contenders.iter_mut() {
+            c.clear();
+        }
+        for (i, l) in self.loops.iter().enumerate() {
+            if let Some(head) = l.front() {
+                self.contenders[head.dst].push(i);
             }
-            for (i, l) in self.loops.iter().enumerate() {
-                if let Some(head) = l.front() {
-                    contenders[head.dst].push(i);
-                }
+        }
+        for o in 0..self.n {
+            if self.contenders[o].is_empty() {
+                continue;
             }
-            for o in 0..n {
-                if contenders[o].is_empty() {
-                    continue;
-                }
-                let k = self.rng.index(contenders[o].len());
-                let winner = contenders[o][k];
-                let cell = self.loops[winner].pop_front().unwrap();
-                checker.record(cell.src, cell.dst, cell.seq);
-                if measuring {
-                    delivered += 1;
-                    if cell.inject_slot >= cfg.warmup_slots {
-                        delay_hist.record((t - cell.inject_slot) as f64);
-                    }
-                }
-                // Losers: rotate to the back of their loop — they lost a
-                // slot in the ring (the deflection penalty).
-                for &loser in contenders[o].iter().filter(|&&i| i != winner) {
+            if self.contenders[o].len() > 1 {
+                obs.receiver_conflict(o, self.contenders[o].len());
+            }
+            let k = self.rng.index(self.contenders[o].len());
+            let winner = self.contenders[o][k];
+            let cell = self.loops[winner].pop_front().unwrap();
+            self.checker.record(cell.src, cell.dst, cell.seq);
+            obs.cell_delivered(o, cell.inject_slot);
+            // Losers: rotate to the back of their loop — they lost a slot
+            // in the ring (the deflection penalty).
+            for idx in 0..self.contenders[o].len() {
+                let loser = self.contenders[o][idx];
+                if loser != winner {
                     let c = self.loops[loser].pop_front().unwrap();
                     self.loops[loser].push_back(c);
                 }
             }
+        }
+    }
 
-            // Fresh arrivals: blocked when the loop has no room — the
-            // "limited throughput per port" mechanism.
-            arrivals.clear();
-            traffic.arrivals(t, &mut arrivals);
-            for a in &arrivals {
-                if self.loops[a.src].len() >= self.loop_capacity {
-                    if measuring {
-                        blocked += 1;
-                    }
-                    continue;
-                }
-                let seq = self.stamper.stamp(a.src, a.dst);
-                let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, t);
-                self.next_id += 1;
-                if measuring {
-                    injected += 1;
-                }
-                self.loops[a.src].push_back(cell);
-                max_loop = max_loop.max(self.loops[a.src].len());
+    fn deliver<T: TraceSink>(&mut self, _slot: u64, _obs: &mut Observer<'_, T>) {}
+
+    fn admit<T: TraceSink>(&mut self, arrivals: &[Arrival], slot: u64, obs: &mut Observer<'_, T>) {
+        // Fresh arrivals: blocked when the loop has no room — the
+        // "limited throughput per port" mechanism.
+        for a in arrivals {
+            if self.loops[a.src].len() >= self.loop_capacity {
+                obs.cell_dropped(a.src);
+                continue;
             }
+            let seq = self.stamper.stamp(a.src, a.dst);
+            let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, slot);
+            self.next_id += 1;
+            obs.cell_injected(a.src, a.dst);
+            self.loops[a.src].push_back(cell);
+            obs.note_queue_depth(self.loops[a.src].len());
         }
+    }
 
-        let denom = cfg.measure_slots as f64 * n as f64;
-        SwitchReport {
-            offered_load: (injected + blocked) as f64 / denom,
-            throughput: delivered as f64 / denom,
-            mean_delay: delay_hist.mean(),
-            p99_delay: delay_hist.quantile(0.99),
-            mean_request_grant: 0.0,
-            injected,
-            delivered,
-            dropped: blocked,
-            reordered: checker.reordered(),
-            max_voq_depth: max_loop,
-            max_egress_depth: 0,
-            delay_hist,
-            grant_hist: Histogram::new(1.0, 2),
-        }
+    fn finish(&mut self, report: &mut EngineReport) {
+        report.reordered = self.checker.reordered();
     }
 }
 
@@ -146,18 +138,15 @@ mod tests {
     use osmosis_sim::SeedSequence;
     use osmosis_traffic::BernoulliUniform;
 
-    fn cfg() -> RunConfig {
-        RunConfig {
-            warmup_slots: 2_000,
-            measure_slots: 10_000,
-        }
+    fn cfg() -> EngineConfig {
+        EngineConfig::new(2_000, 10_000)
     }
 
     #[test]
     fn light_load_flows_with_low_latency() {
         let mut sw = DeflectionSwitch::new(16, 4, 7);
         let mut tr = BernoulliUniform::new(16, 0.1, &SeedSequence::new(1));
-        let r = sw.run(&mut tr, cfg());
+        let r = sw.run(&mut tr, &cfg());
         assert!((r.throughput - 0.1).abs() < 0.02);
         assert!(r.mean_delay < 2.0, "{}", r.mean_delay);
         assert_eq!(r.dropped, 0, "no blocking at light load");
@@ -169,7 +158,7 @@ mod tests {
         // deflection ring saturates and blocks injections.
         let mut sw = DeflectionSwitch::new(16, 4, 7);
         let mut tr = BernoulliUniform::new(16, 0.95, &SeedSequence::new(2));
-        let r = sw.run(&mut tr, cfg());
+        let r = sw.run(&mut tr, &cfg());
         assert!(
             r.throughput < 0.85,
             "deflection must cap throughput: {}",
@@ -185,7 +174,7 @@ mod tests {
         // without an (expensive) resequencer.
         let mut sw = DeflectionSwitch::new(16, 8, 7);
         let mut tr = BernoulliUniform::new(16, 0.7, &SeedSequence::new(3));
-        let r = sw.run(&mut tr, cfg());
+        let r = sw.run(&mut tr, &cfg());
         assert!(r.reordered > 0, "deflection must reorder under load");
     }
 
@@ -195,8 +184,8 @@ mod tests {
         use osmosis_sched::Flppr;
         let mut sw = DeflectionSwitch::new(16, 4, 7);
         let mut tr = BernoulliUniform::new(16, 0.9, &SeedSequence::new(4));
-        let defl = sw.run(&mut tr, cfg());
-        let osmo = run_uniform(|| Box::new(Flppr::osmosis(16, 2)), 0.9, 4, cfg());
+        let defl = sw.run(&mut tr, &cfg());
+        let osmo = run_uniform(|| Box::new(Flppr::osmosis(16, 2)), 0.9, &cfg().with_seed(4));
         assert!(osmo.throughput > defl.throughput + 0.05);
         assert_eq!(osmo.reordered, 0);
     }

@@ -8,12 +8,11 @@
 //! 0.586.
 
 use crate::cell::Cell;
+use crate::driven::{run_switch, CellSwitch};
 use osmosis_sched::arbiter::{BitSet, RoundRobinArbiter};
-use osmosis_sim::stats::Histogram;
-use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use osmosis_sim::engine::{EngineConfig, EngineReport, Observer, TraceSink};
+use osmosis_traffic::{Arrival, SequenceChecker, SequenceStamper, TrafficGen};
 use std::collections::VecDeque;
-
-use crate::voq_switch::{RunConfig, SwitchReport};
 
 /// FIFO-input switch with round-robin output arbitration over head cells.
 pub struct FifoSwitch {
@@ -22,7 +21,10 @@ pub struct FifoSwitch {
     egress: Vec<VecDeque<Cell>>,
     out_arb: Vec<RoundRobinArbiter>,
     stamper: SequenceStamper,
+    checker: SequenceChecker,
     next_id: u64,
+    input_won: Vec<bool>,
+    requesters: BitSet,
 }
 
 impl FifoSwitch {
@@ -35,102 +37,84 @@ impl FifoSwitch {
             egress: (0..n).map(|_| VecDeque::new()).collect(),
             out_arb: (0..n).map(|_| RoundRobinArbiter::new(n)).collect(),
             stamper: SequenceStamper::new(),
+            checker: SequenceChecker::new(),
             next_id: 0,
+            input_won: vec![false; n],
+            requesters: BitSet::new(n),
         }
     }
 
     /// Run traffic and report (same schema as the VOQ switch).
-    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: RunConfig) -> SwitchReport {
-        assert_eq!(traffic.ports(), self.n);
+    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: &EngineConfig) -> EngineReport {
+        run_switch(self, traffic, cfg)
+    }
+}
+
+impl CellSwitch for FifoSwitch {
+    fn ports(&self) -> usize {
+        self.n
+    }
+
+    fn configure(&mut self, _cfg: &EngineConfig) {
+        self.checker = SequenceChecker::new();
+    }
+
+    fn arbitrate<T: TraceSink>(&mut self, slot: u64, obs: &mut Observer<'_, T>) {
+        // Head-of-line matching: each output round-robins over the inputs
+        // whose *head* cell wants it; an input can win once.
         let n = self.n;
-        let total = cfg.warmup_slots + cfg.measure_slots;
-        let mut delay_hist = Histogram::new(1.0, 16_384);
-        let mut grant_hist = Histogram::new(1.0, 16_384);
-        let mut checker = SequenceChecker::new();
-        let (mut injected, mut delivered) = (0u64, 0u64);
-        let mut max_fifo = 0usize;
-        let mut max_egress = 0usize;
-        let mut arrivals = Vec::with_capacity(n);
-        let mut requesters = BitSet::new(n);
-
-        for t in 0..total {
-            let measuring = t >= cfg.warmup_slots;
-
-            // Head-of-line matching: each output round-robins over the
-            // inputs whose *head* cell wants it; an input can win once.
-            let mut input_won = vec![false; n];
-            for o in 0..n {
-                requesters.clear_all();
-                let mut have = false;
-                for i in 0..n {
-                    if !input_won[i] {
-                        if let Some(head) = self.fifos[i].front() {
-                            if head.dst == o {
-                                requesters.set(i);
-                                have = true;
-                            }
-                        }
-                    }
-                }
-                if !have {
-                    continue;
-                }
-                if let Some(i) = self.out_arb[o].arbitrate(&requesters) {
-                    self.out_arb[o].advance_past(i);
-                    input_won[i] = true;
-                    let mut cell = self.fifos[i].pop_front().unwrap();
-                    cell.grant_slot = t;
-                    if measuring && cell.inject_slot >= cfg.warmup_slots {
-                        grant_hist.record((t - cell.inject_slot) as f64);
-                    }
-                    self.egress[o].push_back(cell);
-                }
-            }
-
-            for (o, q) in self.egress.iter_mut().enumerate() {
-                max_egress = max_egress.max(q.len());
-                if let Some(cell) = q.pop_front() {
-                    debug_assert_eq!(cell.dst, o);
-                    checker.record(cell.src, cell.dst, cell.seq);
-                    if measuring {
-                        delivered += 1;
-                        if cell.inject_slot >= cfg.warmup_slots {
-                            delay_hist.record((t - cell.inject_slot) as f64);
+        self.input_won.iter_mut().for_each(|w| *w = false);
+        for o in 0..n {
+            self.requesters.clear_all();
+            let mut have = false;
+            for i in 0..n {
+                if !self.input_won[i] {
+                    if let Some(head) = self.fifos[i].front() {
+                        if head.dst == o {
+                            self.requesters.set(i);
+                            have = true;
                         }
                     }
                 }
             }
-
-            arrivals.clear();
-            traffic.arrivals(t, &mut arrivals);
-            for a in &arrivals {
-                let seq = self.stamper.stamp(a.src, a.dst);
-                let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, t);
-                self.next_id += 1;
-                if measuring {
-                    injected += 1;
-                }
-                self.fifos[a.src].push_back(cell);
-                max_fifo = max_fifo.max(self.fifos[a.src].len());
+            if !have {
+                continue;
+            }
+            if let Some(i) = self.out_arb[o].arbitrate(&self.requesters) {
+                self.out_arb[o].advance_past(i);
+                self.input_won[i] = true;
+                let mut cell = self.fifos[i].pop_front().unwrap();
+                cell.grant_slot = slot;
+                obs.cell_granted(i, o, cell.inject_slot);
+                self.egress[o].push_back(cell);
             }
         }
+    }
 
-        let denom = cfg.measure_slots as f64 * n as f64;
-        SwitchReport {
-            offered_load: injected as f64 / denom,
-            throughput: delivered as f64 / denom,
-            mean_delay: delay_hist.mean(),
-            p99_delay: delay_hist.quantile(0.99),
-            mean_request_grant: grant_hist.mean(),
-            injected,
-            delivered,
-            dropped: 0,
-            reordered: checker.reordered(),
-            max_voq_depth: max_fifo,
-            max_egress_depth: max_egress,
-            delay_hist,
-            grant_hist,
+    fn deliver<T: TraceSink>(&mut self, _slot: u64, obs: &mut Observer<'_, T>) {
+        for (o, q) in self.egress.iter_mut().enumerate() {
+            obs.note_egress_depth(q.len());
+            if let Some(cell) = q.pop_front() {
+                debug_assert_eq!(cell.dst, o);
+                self.checker.record(cell.src, cell.dst, cell.seq);
+                obs.cell_delivered(o, cell.inject_slot);
+            }
         }
+    }
+
+    fn admit<T: TraceSink>(&mut self, arrivals: &[Arrival], slot: u64, obs: &mut Observer<'_, T>) {
+        for a in arrivals {
+            let seq = self.stamper.stamp(a.src, a.dst);
+            let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, slot);
+            self.next_id += 1;
+            obs.cell_injected(a.src, a.dst);
+            self.fifos[a.src].push_back(cell);
+            obs.note_queue_depth(self.fifos[a.src].len());
+        }
+    }
+
+    fn finish(&mut self, report: &mut EngineReport) {
+        report.reordered = self.checker.reordered();
     }
 }
 
@@ -146,13 +130,7 @@ mod tests {
         // traffic: 2 − √2 ≈ 0.586.
         let mut sw = FifoSwitch::new(16);
         let mut tr = BernoulliUniform::new(16, 1.0, &SeedSequence::new(1));
-        let r = sw.run(
-            &mut tr,
-            RunConfig {
-                warmup_slots: 3_000,
-                measure_slots: 20_000,
-            },
-        );
+        let r = sw.run(&mut tr, &EngineConfig::new(3_000, 20_000));
         assert!(
             (r.throughput - 0.586).abs() < 0.02,
             "throughput {}",
@@ -164,13 +142,7 @@ mod tests {
     fn light_load_flows_fine() {
         let mut sw = FifoSwitch::new(8);
         let mut tr = BernoulliUniform::new(8, 0.2, &SeedSequence::new(2));
-        let r = sw.run(
-            &mut tr,
-            RunConfig {
-                warmup_slots: 500,
-                measure_slots: 5_000,
-            },
-        );
+        let r = sw.run(&mut tr, &EngineConfig::new(500, 5_000));
         assert!((r.throughput - 0.2).abs() < 0.02);
         assert_eq!(r.reordered, 0);
     }
@@ -179,13 +151,7 @@ mod tests {
     fn fifo_preserves_order_trivially() {
         let mut sw = FifoSwitch::new(4);
         let mut tr = BernoulliUniform::new(4, 0.9, &SeedSequence::new(3));
-        let r = sw.run(
-            &mut tr,
-            RunConfig {
-                warmup_slots: 500,
-                measure_slots: 5_000,
-            },
-        );
+        let r = sw.run(&mut tr, &EngineConfig::new(500, 5_000));
         assert_eq!(r.reordered, 0);
     }
 }

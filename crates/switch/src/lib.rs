@@ -10,10 +10,18 @@
 //! * [`OqSwitch`] — ideal output-queued electronic baseline (ref. [16]);
 //! * [`BvnSwitch`] — load-balanced Birkhoff-von Neumann baseline (§VI.D);
 //! * [`BurstSwitch`] — container/envelope switching baseline (§II, §VI.D);
-//! * [`DeflectionSwitch`] — Data-Vortex-style deflection routing (§II).
+//! * [`DeflectionSwitch`] — Data-Vortex-style deflection routing (§II);
+//! * [`MulticastSwitch`] — fanout-splitting multicast scheduling on the
+//!   broadcast-and-select datapath.
 //!
-//! All runs report throughput, delay and request-to-grant distributions,
-//! losslessness and per-flow ordering — the switch-level rows of Table 1.
+//! Every simulator implements the [`CellSwitch`] hooks (or
+//! `SlottedModel` directly, for self-driven workloads) and runs on the
+//! shared engine in `osmosis_sim::engine`, producing the unified
+//! [`EngineReport`]: throughput, delay and request-to-grant
+//! distributions, losslessness and per-flow ordering — the switch-level
+//! rows of Table 1. Cycle-level traces (grants, drops, flow-control
+//! stalls, receiver conflicts) are available through any
+//! [`TraceSink`](osmosis_sim::TraceSink) via [`run_switch_traced`].
 
 #![warn(missing_docs)]
 
@@ -23,6 +31,7 @@ pub mod cell;
 pub mod cioq;
 pub mod control_protocol;
 pub mod deflection;
+pub mod driven;
 pub mod fifo_switch;
 pub mod multicast;
 pub mod oq_switch;
@@ -30,13 +39,18 @@ pub mod remote_sched;
 pub mod voq_switch;
 
 pub use burst_switch::BurstSwitch;
-pub use cioq::{CioqReport, CioqSwitch};
-pub use control_protocol::{run_control_channel, ControlProtocol, ControlReport};
 pub use bvn::BvnSwitch;
-pub use deflection::DeflectionSwitch;
 pub use cell::Cell;
+pub use cioq::CioqSwitch;
+pub use control_protocol::{run_control_channel, ControlProtocol, ControlReport};
+pub use deflection::DeflectionSwitch;
+pub use driven::{run_switch, run_switch_traced, CellSwitch, Driven};
 pub use fifo_switch::FifoSwitch;
-pub use multicast::{run_multicast, MulticastReport, MulticastSwitch};
+pub use multicast::{run_multicast, MulticastSwitch, MulticastWorkload};
 pub use oq_switch::OqSwitch;
 pub use remote_sched::RemoteSchedulerSwitch;
-pub use voq_switch::{run_uniform, RunConfig, SwitchReport, VoqSwitch};
+pub use voq_switch::{run_uniform, VoqSwitch};
+
+// The engine types every consumer of this crate needs alongside the
+// simulators.
+pub use osmosis_sim::engine::{EngineConfig, EngineReport};

@@ -10,9 +10,20 @@
 //! transmitting input, an input may serve *many* outputs at once, and a
 //! cell retires when its residue (unserved destinations) is empty.
 //! Fanout splitting across slots is the standard technique (cf. ESLIP).
+//!
+//! The randomized workload runner is a *self-driven* [`SlottedModel`]
+//! (its traffic comes from internal seeded streams, not a `TrafficGen`),
+//! so it runs on the same engine as every other simulator. In its
+//! [`EngineReport`]: `delivered`/`mean_delay` are completions and
+//! completion latency, `throughput` is overridden to the output-line
+//! utilization (copies per output per slot), and
+//! `extra("copies_delivered")` / `extra("mean_transmissions")` carry the
+//! multicast-specific counters.
 
 use osmosis_sched::arbiter::{BitSet, RoundRobinArbiter};
-use osmosis_sim::stats::Histogram;
+use osmosis_sim::engine::{
+    run_model, EngineConfig, EngineReport, Observer, SlottedModel, TraceSink,
+};
 use osmosis_sim::{SeedSequence, SimRng};
 use std::collections::VecDeque;
 
@@ -27,23 +38,6 @@ pub struct McCell {
     pub inject_slot: u64,
     /// Original fanout.
     pub fanout: usize,
-}
-
-/// Multicast run results.
-#[derive(Debug, Clone)]
-pub struct MulticastReport {
-    /// Multicast cells injected.
-    pub injected: u64,
-    /// Multicast cells fully delivered (all destinations reached).
-    pub completed: u64,
-    /// Destination-copies delivered.
-    pub copies_delivered: u64,
-    /// Mean completion latency in slots (injection → last copy).
-    pub mean_completion: f64,
-    /// Mean number of slots a cell transmits in (1 = no splitting).
-    pub mean_transmissions: f64,
-    /// Output-line utilization (copies per output per slot).
-    pub output_utilization: f64,
 }
 
 /// Fanout-splitting multicast switch.
@@ -93,14 +87,13 @@ impl MulticastSwitch {
     pub fn tick(&mut self, _slot: u64) -> (u64, Vec<McCell>) {
         let n = self.n;
         // Which inputs want which outputs (head cells only).
-        let mut requesters_per_output: Vec<BitSet> =
-            (0..n).map(|_| BitSet::new(n)).collect();
+        let mut requesters_per_output: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
         let mut any = false;
         for (i, q) in self.queues.iter().enumerate() {
             if let Some(head) = q.front() {
-                for o in 0..n {
+                for (o, req) in requesters_per_output.iter_mut().enumerate() {
                     if head.residue[o] {
-                        requesters_per_output[o].set(i);
+                        req.set(i);
                         any = true;
                     }
                 }
@@ -114,23 +107,23 @@ impl MulticastSwitch {
         let mut copies = 0u64;
         self.tx_count.fill(0);
         let mut served: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for o in 0..n {
-            if requesters_per_output[o].is_empty() {
+        for (o, req) in requesters_per_output.iter().enumerate() {
+            if req.is_empty() {
                 continue;
             }
-            if let Some(i) = self.out_arb[o].arbitrate(&requesters_per_output[o]) {
+            if let Some(i) = self.out_arb[o].arbitrate(req) {
                 self.out_arb[o].advance_past(i);
                 served[i].push(o);
                 copies += 1;
             }
         }
         let mut completions = Vec::new();
-        for i in 0..n {
-            if served[i].is_empty() {
+        for (i, outs) in served.iter().enumerate() {
+            if outs.is_empty() {
                 continue;
             }
             let head = self.queues[i].front_mut().unwrap();
-            for &o in &served[i] {
+            for &o in outs {
                 head.residue[o] = false;
             }
             self.tx_count[i] += 1;
@@ -142,59 +135,99 @@ impl MulticastSwitch {
     }
 }
 
-/// Run a randomized multicast workload: each input injects cells with
-/// the given fanout at `rate` cells/slot.
-pub fn run_multicast(
-    n: usize,
+/// The randomized multicast workload as a self-driven engine model: each
+/// input injects cells with the given fanout at `rate` cells/slot, drawn
+/// from per-input seeded streams.
+pub struct MulticastWorkload {
+    sw: MulticastSwitch,
+    rngs: Vec<SimRng>,
     fanout: usize,
     rate: f64,
-    slots: u64,
-    seed: u64,
-) -> MulticastReport {
-    assert!(fanout >= 1 && fanout <= n);
-    let seeds = SeedSequence::new(seed);
-    let mut sw = MulticastSwitch::new(n);
-    let mut rngs: Vec<SimRng> = (0..n).map(|i| seeds.stream("mc", i as u64)).collect();
-    let mut completion_hist = Histogram::new(1.0, 65_536);
-    let (mut injected, mut completed, mut copies) = (0u64, 0u64, 0u64);
-    let mut total_tx = 0u64;
+    copies: u64,
+    total_tx: u64,
+}
 
-    for t in 0..slots {
-        let (c, done) = sw.tick(t);
-        copies += c;
-        for cell in done {
-            completed += 1;
-            completion_hist.record((t - cell.inject_slot) as f64);
+impl MulticastWorkload {
+    /// An `n`-port workload; RNG streams come from `cfg.seed` at
+    /// configure time.
+    pub fn new(n: usize, fanout: usize, rate: f64) -> Self {
+        assert!(fanout >= 1 && fanout <= n);
+        MulticastWorkload {
+            sw: MulticastSwitch::new(n),
+            rngs: Vec::new(),
+            fanout,
+            rate,
+            copies: 0,
+            total_tx: 0,
         }
-        total_tx += sw.tx_count.iter().sum::<u64>();
+    }
+}
+
+impl SlottedModel for MulticastWorkload {
+    fn ports(&self) -> usize {
+        self.sw.n
+    }
+
+    fn configure(&mut self, cfg: &EngineConfig) {
+        let seeds = SeedSequence::new(cfg.seed);
+        self.rngs = (0..self.sw.n)
+            .map(|i| seeds.stream("mc", i as u64))
+            .collect();
+        self.copies = 0;
+        self.total_tx = 0;
+    }
+
+    fn arbitrate<T: TraceSink>(&mut self, slot: u64, obs: &mut Observer<'_, T>) {
+        let (c, done) = self.sw.tick(slot);
+        self.copies += c;
+        for cell in done {
+            obs.cell_delivered(cell.src, cell.inject_slot);
+        }
+        self.total_tx += self.sw.tx_count.iter().sum::<u64>();
+    }
+
+    fn deliver<T: TraceSink>(&mut self, _slot: u64, _obs: &mut Observer<'_, T>) {}
+
+    fn inject<T: TraceSink>(&mut self, slot: u64, obs: &mut Observer<'_, T>) {
+        let n = self.sw.n;
         for i in 0..n {
-            if rngs[i].coin(rate) {
+            if self.rngs[i].coin(self.rate) {
                 // A random fanout-sized destination set.
-                let mut dsts = Vec::with_capacity(fanout);
-                while dsts.len() < fanout {
-                    let d = rngs[i].index(n);
+                let mut dsts = Vec::with_capacity(self.fanout);
+                while dsts.len() < self.fanout {
+                    let d = self.rngs[i].index(n);
                     if !dsts.contains(&d) {
                         dsts.push(d);
                     }
                 }
-                sw.inject(i, &dsts, t);
-                injected += 1;
+                self.sw.inject(i, &dsts, slot);
+                obs.cell_injected(i, dsts[0]);
+                obs.note_queue_depth(self.sw.queues[i].len());
             }
         }
     }
 
-    MulticastReport {
-        injected,
-        completed,
-        copies_delivered: copies,
-        mean_completion: completion_hist.mean(),
-        mean_transmissions: if completed == 0 {
-            0.0
-        } else {
-            total_tx as f64 / completed as f64
-        },
-        output_utilization: copies as f64 / (slots as f64 * n as f64),
+    fn finish(&mut self, report: &mut EngineReport) {
+        // Throughput for a multicast run is output-line utilization:
+        // copies (not completions) per output per slot.
+        let denom = (report.measured_slots as f64 * self.sw.n as f64).max(1.0);
+        report.throughput = self.copies as f64 / denom;
+        report.set_extra("copies_delivered", self.copies as f64);
+        report.set_extra(
+            "mean_transmissions",
+            if report.delivered == 0 {
+                0.0
+            } else {
+                self.total_tx as f64 / report.delivered as f64
+            },
+        );
     }
+}
+
+/// Run a randomized multicast workload for `slots` slots (no warm-up).
+pub fn run_multicast(n: usize, fanout: usize, rate: f64, slots: u64, seed: u64) -> EngineReport {
+    let cfg = EngineConfig::new(0, slots).with_seed(seed);
+    run_model(&mut MulticastWorkload::new(n, fanout, rate), &cfg)
 }
 
 #[cfg(test)]
@@ -230,21 +263,21 @@ mod tests {
     #[test]
     fn unicast_degenerates_to_crossbar() {
         let r = run_multicast(8, 1, 0.5, 5_000, 1);
-        assert!(r.completed > 0);
-        assert!((r.mean_transmissions - 1.0).abs() < 0.05);
+        assert!(r.delivered > 0);
+        assert!((r.extra("mean_transmissions").unwrap() - 1.0).abs() < 0.05);
         // Unicast load 0.5: copies/output/slot ≈ 0.5.
-        assert!((r.output_utilization - 0.5).abs() < 0.05);
+        assert!((r.throughput - 0.5).abs() < 0.05);
     }
 
     #[test]
     fn broadcast_fanout_multiplies_output_load() {
         // Fanout 4 at injection rate 0.1: copy load ≈ 0.4 per output.
         let r = run_multicast(8, 4, 0.1, 10_000, 2);
-        assert!((r.output_utilization - 0.4).abs() < 0.05, "{}", r.output_utilization);
+        assert!((r.throughput - 0.4).abs() < 0.05, "{}", r.throughput);
         assert!(
-            r.mean_transmissions < 2.5,
+            r.extra("mean_transmissions").unwrap() < 2.5,
             "broadcast serves most copies in few transmissions: {}",
-            r.mean_transmissions
+            r.extra("mean_transmissions").unwrap()
         );
     }
 
@@ -254,16 +287,26 @@ mod tests {
         // Copy demand = 0.25 × 3 = 0.75 per output: below capacity, so
         // completions keep pace with injections.
         assert!(
-            r.completed as f64 >= r.injected as f64 * 0.95,
+            r.delivered as f64 >= r.injected as f64 * 0.95,
             "{} of {}",
-            r.completed,
+            r.delivered,
             r.injected
         );
         // Copy accounting: completed cells account for exactly 3 copies
         // each; cells still in flight may have delivered a partial
         // residue.
-        assert!(r.copies_delivered >= r.completed * 3);
-        assert!(r.copies_delivered <= r.injected * 3);
+        let copies = r.extra("copies_delivered").unwrap() as u64;
+        assert!(copies >= r.delivered * 3);
+        assert!(copies <= r.injected * 3);
+    }
+
+    #[test]
+    fn multicast_runs_are_deterministic_per_seed() {
+        let a = run_multicast(8, 2, 0.3, 3_000, 11);
+        let b = run_multicast(8, 2, 0.3, 3_000, 11);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = run_multicast(8, 2, 0.3, 3_000, 12);
+        assert_ne!(a.delivered, c.delivered);
     }
 
     #[test]

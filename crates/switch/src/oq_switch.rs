@@ -9,9 +9,9 @@
 //! a memory running N times faster than the line rate.
 
 use crate::cell::Cell;
-use crate::voq_switch::{RunConfig, SwitchReport};
-use osmosis_sim::stats::Histogram;
-use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use crate::driven::{run_switch, CellSwitch};
+use osmosis_sim::engine::{EngineConfig, EngineReport, Observer, TraceSink};
+use osmosis_traffic::{Arrival, SequenceChecker, SequenceStamper, TrafficGen};
 use std::collections::VecDeque;
 
 /// The ideal output-queued switch.
@@ -19,6 +19,7 @@ pub struct OqSwitch {
     n: usize,
     egress: Vec<VecDeque<Cell>>,
     stamper: SequenceStamper,
+    checker: SequenceChecker,
     next_id: u64,
 }
 
@@ -30,70 +31,55 @@ impl OqSwitch {
             n,
             egress: (0..n).map(|_| VecDeque::new()).collect(),
             stamper: SequenceStamper::new(),
+            checker: SequenceChecker::new(),
             next_id: 0,
         }
     }
 
     /// Run traffic and report.
-    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: RunConfig) -> SwitchReport {
-        assert_eq!(traffic.ports(), self.n);
-        let n = self.n;
-        let total = cfg.warmup_slots + cfg.measure_slots;
-        let mut delay_hist = Histogram::new(1.0, 16_384);
-        let mut checker = SequenceChecker::new();
-        let (mut injected, mut delivered) = (0u64, 0u64);
-        let mut max_egress = 0usize;
-        let mut arrivals = Vec::with_capacity(n);
+    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: &EngineConfig) -> EngineReport {
+        run_switch(self, traffic, cfg)
+    }
+}
 
-        for t in 0..total {
-            let measuring = t >= cfg.warmup_slots;
+impl CellSwitch for OqSwitch {
+    fn ports(&self) -> usize {
+        self.n
+    }
 
-            // Egress transmits one cell per slot.
-            for (o, q) in self.egress.iter_mut().enumerate() {
-                max_egress = max_egress.max(q.len());
-                if let Some(cell) = q.pop_front() {
-                    debug_assert_eq!(cell.dst, o);
-                    checker.record(cell.src, cell.dst, cell.seq);
-                    if measuring {
-                        delivered += 1;
-                        if cell.inject_slot >= cfg.warmup_slots {
-                            delay_hist.record((t - cell.inject_slot) as f64);
-                        }
-                    }
-                }
-            }
+    fn configure(&mut self, _cfg: &EngineConfig) {
+        self.checker = SequenceChecker::new();
+    }
 
-            // Arrivals go straight to their output queue (speedup N).
-            arrivals.clear();
-            traffic.arrivals(t, &mut arrivals);
-            for a in &arrivals {
-                let seq = self.stamper.stamp(a.src, a.dst);
-                let mut cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, t);
-                cell.grant_slot = t;
-                self.next_id += 1;
-                if measuring {
-                    injected += 1;
-                }
-                self.egress[a.dst].push_back(cell);
+    // No arbitration stage: arrivals land in their output queue with
+    // internal speedup N, so `mean_request_grant` stays 0.
+    fn arbitrate<T: TraceSink>(&mut self, _slot: u64, _obs: &mut Observer<'_, T>) {}
+
+    fn deliver<T: TraceSink>(&mut self, _slot: u64, obs: &mut Observer<'_, T>) {
+        for (o, q) in self.egress.iter_mut().enumerate() {
+            obs.note_egress_depth(q.len());
+            if let Some(cell) = q.pop_front() {
+                debug_assert_eq!(cell.dst, o);
+                self.checker.record(cell.src, cell.dst, cell.seq);
+                obs.cell_delivered(o, cell.inject_slot);
             }
         }
+    }
 
-        let denom = cfg.measure_slots as f64 * n as f64;
-        SwitchReport {
-            offered_load: injected as f64 / denom,
-            throughput: delivered as f64 / denom,
-            mean_delay: delay_hist.mean(),
-            p99_delay: delay_hist.quantile(0.99),
-            mean_request_grant: 0.0,
-            injected,
-            delivered,
-            dropped: 0,
-            reordered: checker.reordered(),
-            max_voq_depth: 0,
-            max_egress_depth: max_egress,
-            delay_hist,
-            grant_hist: Histogram::new(1.0, 2),
+    fn admit<T: TraceSink>(&mut self, arrivals: &[Arrival], slot: u64, obs: &mut Observer<'_, T>) {
+        // Arrivals go straight to their output queue (speedup N).
+        for a in arrivals {
+            let seq = self.stamper.stamp(a.src, a.dst);
+            let mut cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, slot);
+            cell.grant_slot = slot;
+            self.next_id += 1;
+            obs.cell_injected(a.src, a.dst);
+            self.egress[a.dst].push_back(cell);
         }
+    }
+
+    fn finish(&mut self, report: &mut EngineReport) {
+        report.reordered = self.checker.reordered();
     }
 }
 
@@ -103,18 +89,15 @@ mod tests {
     use osmosis_sim::SeedSequence;
     use osmosis_traffic::BernoulliUniform;
 
-    fn cfg() -> RunConfig {
-        RunConfig {
-            warmup_slots: 1_000,
-            measure_slots: 10_000,
-        }
+    fn cfg() -> EngineConfig {
+        EngineConfig::new(1_000, 10_000)
     }
 
     #[test]
     fn oq_sustains_full_load() {
         let mut sw = OqSwitch::new(16);
         let mut tr = BernoulliUniform::new(16, 0.98, &SeedSequence::new(1));
-        let r = sw.run(&mut tr, cfg());
+        let r = sw.run(&mut tr, &cfg());
         assert!((r.throughput - 0.98).abs() < 0.02, "{}", r.throughput);
         assert_eq!(r.reordered, 0);
     }
@@ -125,8 +108,8 @@ mod tests {
         use osmosis_sched::Flppr;
         let mut sw = OqSwitch::new(16);
         let mut tr = BernoulliUniform::new(16, 0.8, &SeedSequence::new(7));
-        let oq = sw.run(&mut tr, cfg());
-        let voq = run_uniform(|| Box::new(Flppr::osmosis(16, 1)), 0.8, 7, cfg());
+        let oq = sw.run(&mut tr, &cfg());
+        let voq = run_uniform(|| Box::new(Flppr::osmosis(16, 1)), 0.8, &cfg().with_seed(7));
         assert!(
             oq.mean_delay <= voq.mean_delay + 0.5,
             "OQ {} vs VOQ {}",
@@ -139,7 +122,7 @@ mod tests {
     fn unloaded_oq_delay_is_one_slot() {
         let mut sw = OqSwitch::new(8);
         let mut tr = BernoulliUniform::new(8, 0.01, &SeedSequence::new(3));
-        let r = sw.run(&mut tr, cfg());
+        let r = sw.run(&mut tr, &cfg());
         assert!((r.mean_delay - 1.0).abs() < 0.1, "{}", r.mean_delay);
     }
 }

@@ -17,10 +17,10 @@
 //! This module simulates that timing around any [`CellScheduler`].
 
 use crate::cell::Cell;
-use crate::voq_switch::{RunConfig, SwitchReport};
+use crate::driven::{run_switch, CellSwitch};
 use osmosis_sched::CellScheduler;
-use osmosis_sim::stats::Histogram;
-use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use osmosis_sim::engine::{EngineConfig, EngineReport, Observer, TraceSink};
+use osmosis_traffic::{Arrival, SequenceChecker, SequenceStamper, TrafficGen};
 use std::collections::VecDeque;
 
 /// A VOQ switch whose hosts are `half_rtt_slots` of flight time away from
@@ -38,6 +38,7 @@ pub struct RemoteSchedulerSwitch {
     /// (arrival slot at egress adapter, cell).
     data_in_flight: VecDeque<(u64, Cell)>,
     stamper: SequenceStamper,
+    checker: SequenceChecker,
     next_id: u64,
 }
 
@@ -56,114 +57,99 @@ impl RemoteSchedulerSwitch {
             grants_in_flight: VecDeque::new(),
             data_in_flight: VecDeque::new(),
             stamper: SequenceStamper::new(),
+            checker: SequenceChecker::new(),
             next_id: 0,
         }
     }
 
     /// Run traffic and report.
-    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: RunConfig) -> SwitchReport {
-        assert_eq!(traffic.ports(), self.n);
+    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: &EngineConfig) -> EngineReport {
+        run_switch(self, traffic, cfg)
+    }
+}
+
+impl CellSwitch for RemoteSchedulerSwitch {
+    fn ports(&self) -> usize {
+        self.n
+    }
+
+    fn configure(&mut self, _cfg: &EngineConfig) {
+        self.checker = SequenceChecker::new();
+    }
+
+    fn arbitrate<T: TraceSink>(&mut self, t: u64, obs: &mut Observer<'_, T>) {
         let n = self.n;
         let d = self.half_rtt_slots;
-        let total = cfg.warmup_slots + cfg.measure_slots;
-        let mut delay_hist = Histogram::new(1.0, 65_536);
-        let mut grant_hist = Histogram::new(1.0, 65_536);
-        let mut checker = SequenceChecker::new();
-        let (mut injected, mut delivered) = (0u64, 0u64);
-        let mut arrivals = Vec::with_capacity(n);
 
-        for t in 0..total {
-            let measuring = t >= cfg.warmup_slots;
-
-            // Requests arriving at the scheduler this slot.
-            while self
-                .requests_in_flight
-                .front()
-                .is_some_and(|&(due, _, _)| due == t)
-            {
-                let (_, i, o) = self.requests_in_flight.pop_front().unwrap();
-                self.sched.note_arrival(i, o);
-            }
-
-            // Scheduler computes this slot's matching; grants fly back.
-            let matching = self.sched.tick(t);
-            for &(i, o) in matching.pairs() {
-                self.grants_in_flight.push_back((t + d, i, o));
-            }
-
-            // Grants arriving at the inputs: launch the cell. It reaches
-            // the crossbar ½ RTT later and the egress adapter a further
-            // ½ RTT after that.
-            while self
-                .grants_in_flight
-                .front()
-                .is_some_and(|&(due, _, _)| due == t)
-            {
-                let (_, i, o) = self.grants_in_flight.pop_front().unwrap();
-                let mut cell = self.voq[i * n + o]
-                    .pop_front()
-                    .expect("grant for missing cell");
-                cell.grant_slot = t;
-                if measuring && cell.inject_slot >= cfg.warmup_slots {
-                    grant_hist.record((t - cell.inject_slot) as f64);
-                }
-                self.data_in_flight.push_back((t + 2 * d, cell));
-            }
-
-            // Data arriving at the egress adapters.
-            while self
-                .data_in_flight
-                .front()
-                .is_some_and(|&(due, _)| due == t)
-            {
-                let (_, cell) = self.data_in_flight.pop_front().unwrap();
-                self.egress[cell.dst].push_back(cell);
-            }
-
-            // Egress transmits one cell per slot to the host.
-            for q in self.egress.iter_mut() {
-                if let Some(cell) = q.pop_front() {
-                    checker.record(cell.src, cell.dst, cell.seq);
-                    if measuring {
-                        delivered += 1;
-                        if cell.inject_slot >= cfg.warmup_slots {
-                            delay_hist.record((t - cell.inject_slot) as f64);
-                        }
-                    }
-                }
-            }
-
-            // New arrivals: enqueue locally, request flies to scheduler.
-            arrivals.clear();
-            traffic.arrivals(t, &mut arrivals);
-            for a in &arrivals {
-                let seq = self.stamper.stamp(a.src, a.dst);
-                let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, t);
-                self.next_id += 1;
-                if measuring {
-                    injected += 1;
-                }
-                self.voq[a.src * n + a.dst].push_back(cell);
-                self.requests_in_flight.push_back((t + d, a.src, a.dst));
-            }
+        // Requests arriving at the scheduler this slot.
+        while self
+            .requests_in_flight
+            .front()
+            .is_some_and(|&(due, _, _)| due == t)
+        {
+            let (_, i, o) = self.requests_in_flight.pop_front().unwrap();
+            self.sched.note_arrival(i, o);
         }
 
-        let denom = cfg.measure_slots as f64 * n as f64;
-        SwitchReport {
-            offered_load: injected as f64 / denom,
-            throughput: delivered as f64 / denom,
-            mean_delay: delay_hist.mean(),
-            p99_delay: delay_hist.quantile(0.99),
-            mean_request_grant: grant_hist.mean(),
-            injected,
-            delivered,
-            dropped: 0,
-            reordered: checker.reordered(),
-            max_voq_depth: 0,
-            max_egress_depth: 0,
-            delay_hist,
-            grant_hist,
+        // Scheduler computes this slot's matching; grants fly back.
+        let matching = self.sched.tick(t);
+        for &(i, o) in matching.pairs() {
+            self.grants_in_flight.push_back((t + d, i, o));
         }
+
+        // Grants arriving at the inputs: launch the cell. It reaches the
+        // crossbar ½ RTT later and the egress adapter a further ½ RTT
+        // after that.
+        while self
+            .grants_in_flight
+            .front()
+            .is_some_and(|&(due, _, _)| due == t)
+        {
+            let (_, i, o) = self.grants_in_flight.pop_front().unwrap();
+            let mut cell = self.voq[i * n + o]
+                .pop_front()
+                .expect("grant for missing cell");
+            cell.grant_slot = t;
+            obs.cell_granted(i, o, cell.inject_slot);
+            self.data_in_flight.push_back((t + 2 * d, cell));
+        }
+
+        // Data arriving at the egress adapters.
+        while self
+            .data_in_flight
+            .front()
+            .is_some_and(|&(due, _)| due == t)
+        {
+            let (_, cell) = self.data_in_flight.pop_front().unwrap();
+            self.egress[cell.dst].push_back(cell);
+        }
+    }
+
+    fn deliver<T: TraceSink>(&mut self, _slot: u64, obs: &mut Observer<'_, T>) {
+        // Egress transmits one cell per slot to the host.
+        for (o, q) in self.egress.iter_mut().enumerate() {
+            if let Some(cell) = q.pop_front() {
+                self.checker.record(cell.src, cell.dst, cell.seq);
+                obs.cell_delivered(o, cell.inject_slot);
+            }
+        }
+    }
+
+    fn admit<T: TraceSink>(&mut self, arrivals: &[Arrival], slot: u64, obs: &mut Observer<'_, T>) {
+        // New arrivals: enqueue locally, request flies to scheduler.
+        let d = self.half_rtt_slots;
+        for a in arrivals {
+            let seq = self.stamper.stamp(a.src, a.dst);
+            let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, slot);
+            self.next_id += 1;
+            obs.cell_injected(a.src, a.dst);
+            self.voq[a.src * self.n + a.dst].push_back(cell);
+            self.requests_in_flight.push_back((slot + d, a.src, a.dst));
+        }
+    }
+
+    fn finish(&mut self, report: &mut EngineReport) {
+        report.reordered = self.checker.reordered();
     }
 }
 
@@ -174,20 +160,16 @@ mod tests {
     use osmosis_sim::SeedSequence;
     use osmosis_traffic::BernoulliUniform;
 
-    fn cfg() -> RunConfig {
-        RunConfig {
-            warmup_slots: 1_000,
-            measure_slots: 8_000,
-        }
+    fn cfg() -> EngineConfig {
+        EngineConfig::new(1_000, 8_000)
     }
 
     #[test]
     fn colocated_scheduler_matches_plain_switch() {
         // d = 0 degenerates to the ordinary VOQ switch timing.
-        let mut sw =
-            RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), 0);
+        let mut sw = RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), 0);
         let mut tr = BernoulliUniform::new(8, 0.1, &SeedSequence::new(1));
-        let r = sw.run(&mut tr, cfg());
+        let r = sw.run(&mut tr, &cfg());
         assert!(r.mean_delay < 2.5, "{}", r.mean_delay);
     }
 
@@ -195,10 +177,9 @@ mod tests {
     fn unloaded_latency_is_two_rtt_plus_scheduling() {
         // Fig. 1: 2 RTT (= 4 half-RTTs) + scheduling.
         let d = 10u64;
-        let mut sw =
-            RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), d);
+        let mut sw = RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), d);
         let mut tr = BernoulliUniform::new(8, 0.05, &SeedSequence::new(2));
-        let r = sw.run(&mut tr, cfg());
+        let r = sw.run(&mut tr, &cfg());
         let two_rtt = 4.0 * d as f64;
         assert!(
             r.mean_delay >= two_rtt,
@@ -215,10 +196,9 @@ mod tests {
     #[test]
     fn latency_scales_linearly_with_distance() {
         let measure = |d| {
-            let mut sw =
-                RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), d);
+            let mut sw = RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), d);
             let mut tr = BernoulliUniform::new(8, 0.05, &SeedSequence::new(3));
-            sw.run(&mut tr, cfg()).mean_delay
+            sw.run(&mut tr, &cfg()).mean_delay
         };
         let d5 = measure(5);
         let d20 = measure(20);
@@ -229,10 +209,9 @@ mod tests {
     fn throughput_survives_the_control_loop() {
         // The RTT adds latency but not a throughput penalty when the VOQ
         // request pipeline keeps the scheduler busy.
-        let mut sw =
-            RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), 6);
+        let mut sw = RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), 6);
         let mut tr = BernoulliUniform::new(8, 0.9, &SeedSequence::new(4));
-        let r = sw.run(&mut tr, cfg());
+        let r = sw.run(&mut tr, &cfg());
         assert!((r.throughput - 0.9).abs() < 0.03, "{}", r.throughput);
         assert_eq!(r.reordered, 0);
     }

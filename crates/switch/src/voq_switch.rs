@@ -2,75 +2,27 @@
 //! bufferless crossbar driven by a central scheduler, and egress queues
 //! with one or two receivers per port (Fig. 5).
 //!
-//! The simulation is slotted at the cell cycle. Per slot:
+//! The simulation is slotted at the cell cycle and runs on the shared
+//! engine (`osmosis_sim::engine`) through the [`CellSwitch`] hooks:
 //!
-//! 1. the scheduler issues the slot's matching (grants),
-//! 2. granted cells cross the (bufferless) crossbar into their egress
+//! 1. `arbitrate` — the scheduler issues the slot's matching (grants) and
+//!    granted cells cross the (bufferless) crossbar into their egress
 //!    queue — with dual receivers an egress can absorb two cells per slot,
-//! 3. each egress transmits one cell per slot to its host,
-//! 4. the slot's new arrivals enter the VOQs and are reported to the
-//!    scheduler (so the minimum request-to-grant latency is one cycle, as
-//!    in Fig. 6).
+//! 2. `deliver` — each egress transmits one cell per slot to its host,
+//! 3. `admit` — the slot's new arrivals enter the VOQs and are reported to
+//!    the scheduler (so the minimum request-to-grant latency is one cycle,
+//!    as in Fig. 6).
 //!
 //! The run reports throughput, delay distributions, the request-to-grant
 //! distribution, losslessness and per-flow ordering — every switch-level
-//! row of Table 1.
+//! row of Table 1 — in the unified [`EngineReport`].
 
 use crate::cell::Cell;
+use crate::driven::{run_switch, CellSwitch};
 use osmosis_sched::CellScheduler;
-use osmosis_sim::stats::Histogram;
-use osmosis_traffic::{SequenceChecker, SequenceStamper, TrafficGen};
+use osmosis_sim::engine::{EngineConfig, EngineReport, Observer, TraceSink};
+use osmosis_traffic::{Arrival, SequenceChecker, SequenceStamper, TrafficGen};
 use std::collections::VecDeque;
-
-/// Simulation window configuration.
-#[derive(Debug, Clone, Copy)]
-pub struct RunConfig {
-    /// Slots simulated before measurement starts (queue warm-up).
-    pub warmup_slots: u64,
-    /// Slots measured.
-    pub measure_slots: u64,
-}
-
-impl Default for RunConfig {
-    fn default() -> Self {
-        RunConfig {
-            warmup_slots: 2_000,
-            measure_slots: 20_000,
-        }
-    }
-}
-
-/// Results of a switch run.
-#[derive(Debug, Clone)]
-pub struct SwitchReport {
-    /// Offered load (measured arrivals / port / slot).
-    pub offered_load: f64,
-    /// Carried throughput (deliveries / port / slot).
-    pub throughput: f64,
-    /// Mean cell delay in slots (injection → delivery to host).
-    pub mean_delay: f64,
-    /// 99th-percentile delay in slots, when resolvable.
-    pub p99_delay: Option<f64>,
-    /// Mean request-to-grant latency in slots (the Fig. 6 quantity).
-    pub mean_request_grant: f64,
-    /// Cells injected in the measurement window.
-    pub injected: u64,
-    /// Cells delivered in the measurement window.
-    pub delivered: u64,
-    /// Cells dropped (always 0: the model is lossless by construction and
-    /// the field asserts it).
-    pub dropped: u64,
-    /// Out-of-order deliveries.
-    pub reordered: u64,
-    /// Deepest VOQ observed (per (input,output) queue).
-    pub max_voq_depth: usize,
-    /// Deepest egress queue observed.
-    pub max_egress_depth: usize,
-    /// Full delay histogram (slots).
-    pub delay_hist: Histogram,
-    /// Full request-to-grant histogram (slots).
-    pub grant_hist: Histogram,
-}
 
 /// The switch simulator.
 pub struct VoqSwitch {
@@ -79,6 +31,7 @@ pub struct VoqSwitch {
     voq: Vec<VecDeque<Cell>>, // [input * n + output]
     egress: Vec<VecDeque<Cell>>,
     stamper: SequenceStamper,
+    checker: SequenceChecker,
     next_id: u64,
 }
 
@@ -93,6 +46,7 @@ impl VoqSwitch {
             voq: (0..n * n).map(|_| VecDeque::new()).collect(),
             egress: (0..n).map(|_| VecDeque::new()).collect(),
             stamper: SequenceStamper::new(),
+            checker: SequenceChecker::new(),
             next_id: 0,
         }
     }
@@ -103,107 +57,75 @@ impl VoqSwitch {
     }
 
     /// Run the traffic through the switch and report.
-    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: RunConfig) -> SwitchReport {
-        assert_eq!(traffic.ports(), self.n, "traffic/switch port mismatch");
-        let n = self.n;
-        let total_slots = cfg.warmup_slots + cfg.measure_slots;
+    pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: &EngineConfig) -> EngineReport {
+        run_switch(self, traffic, cfg)
+    }
+}
 
-        let mut delay_hist = Histogram::new(1.0, 4_096);
-        let mut grant_hist = Histogram::new(1.0, 1_024);
-        let mut checker = SequenceChecker::new();
-        let mut injected = 0u64;
-        let mut delivered = 0u64;
-        let mut max_voq_depth = 0usize;
-        let mut max_egress_depth = 0usize;
-        let mut arrivals = Vec::with_capacity(n);
+impl CellSwitch for VoqSwitch {
+    fn ports(&self) -> usize {
+        self.n
+    }
 
-        for t in 0..total_slots {
-            let measuring = t >= cfg.warmup_slots;
+    fn configure(&mut self, _cfg: &EngineConfig) {
+        self.checker = SequenceChecker::new();
+    }
 
-            // 1. Scheduler issues this slot's matching.
-            let matching = self.sched.tick(t);
+    fn arbitrate<T: TraceSink>(&mut self, slot: u64, obs: &mut Observer<'_, T>) {
+        let matching = self.sched.tick(slot);
+        for &(i, o) in matching.pairs() {
+            let q = &mut self.voq[i * self.n + o];
+            let mut cell = q
+                .pop_front()
+                .expect("scheduler granted a cell the VOQ does not hold");
+            cell.grant_slot = slot;
+            obs.cell_granted(i, o, cell.inject_slot);
+            self.egress[o].push_back(cell);
+        }
+    }
 
-            // 2. Granted cells cross the crossbar into egress queues.
-            for &(i, o) in matching.pairs() {
-                let q = &mut self.voq[i * n + o];
-                let mut cell = q
-                    .pop_front()
-                    .expect("scheduler granted a cell the VOQ does not hold");
-                cell.grant_slot = t;
-                if measuring && cell.inject_slot >= cfg.warmup_slots {
-                    grant_hist.record((t - cell.inject_slot) as f64);
-                }
-                self.egress[o].push_back(cell);
-            }
-
-            // 3. Egress transmits one cell per slot to the host.
-            for (o, q) in self.egress.iter_mut().enumerate() {
-                max_egress_depth = max_egress_depth.max(q.len());
-                if let Some(cell) = q.pop_front() {
-                    debug_assert_eq!(cell.dst, o);
-                    checker.record(cell.src, cell.dst, cell.seq);
-                    if measuring {
-                        delivered += 1;
-                        // Delay is only meaningful for cells injected after
-                        // warm-up; throughput counts every delivery in the
-                        // measurement window (at saturation the backlog
-                        // drains strictly FIFO).
-                        if cell.inject_slot >= cfg.warmup_slots {
-                            delay_hist.record((t - cell.inject_slot) as f64);
-                        }
-                    }
-                }
-            }
-
-            // 4. New arrivals enter the VOQs.
-            arrivals.clear();
-            traffic.arrivals(t, &mut arrivals);
-            for a in &arrivals {
-                let seq = self.stamper.stamp(a.src, a.dst);
-                let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, t);
-                self.next_id += 1;
-                if measuring {
-                    injected += 1;
-                }
-                self.voq[a.src * n + a.dst].push_back(cell);
-                max_voq_depth = max_voq_depth.max(self.voq[a.src * n + a.dst].len());
-                self.sched.note_arrival(a.src, a.dst);
+    fn deliver<T: TraceSink>(&mut self, _slot: u64, obs: &mut Observer<'_, T>) {
+        for (o, q) in self.egress.iter_mut().enumerate() {
+            obs.note_egress_depth(q.len());
+            if let Some(cell) = q.pop_front() {
+                debug_assert_eq!(cell.dst, o);
+                self.checker.record(cell.src, cell.dst, cell.seq);
+                obs.cell_delivered(o, cell.inject_slot);
             }
         }
+    }
 
-        let denom = cfg.measure_slots as f64 * n as f64;
-        SwitchReport {
-            offered_load: injected as f64 / denom,
-            throughput: delivered as f64 / denom,
-            mean_delay: delay_hist.mean(),
-            p99_delay: delay_hist.quantile(0.99),
-            mean_request_grant: grant_hist.mean(),
-            injected,
-            delivered,
-            dropped: 0,
-            reordered: checker.reordered(),
-            max_voq_depth,
-            max_egress_depth,
-            delay_hist,
-            grant_hist,
+    fn admit<T: TraceSink>(&mut self, arrivals: &[Arrival], slot: u64, obs: &mut Observer<'_, T>) {
+        for a in arrivals {
+            let seq = self.stamper.stamp(a.src, a.dst);
+            let cell = Cell::new(self.next_id, a.src, a.dst, a.class, seq, slot);
+            self.next_id += 1;
+            obs.cell_injected(a.src, a.dst);
+            let q = &mut self.voq[a.src * self.n + a.dst];
+            q.push_back(cell);
+            obs.note_queue_depth(q.len());
+            self.sched.note_arrival(a.src, a.dst);
         }
+    }
+
+    fn finish(&mut self, report: &mut EngineReport) {
+        report.reordered = self.checker.reordered();
     }
 }
 
 /// Convenience: run Bernoulli-uniform traffic at `load` through a fresh
-/// switch built from `make_sched`, with the given seed.
+/// switch built from `make_sched`, seeded from `cfg.seed`.
 pub fn run_uniform(
     make_sched: impl FnOnce() -> Box<dyn CellScheduler>,
     load: f64,
-    seed: u64,
-    cfg: RunConfig,
-) -> SwitchReport {
+    cfg: &EngineConfig,
+) -> EngineReport {
     use osmosis_sim::SeedSequence;
     use osmosis_traffic::BernoulliUniform;
     let sched = make_sched();
     let n = sched.inputs();
     let mut sw = VoqSwitch::new(sched);
-    let mut tr = BernoulliUniform::new(n, load, &SeedSequence::new(seed));
+    let mut tr = BernoulliUniform::new(n, load, &SeedSequence::new(cfg.seed));
     sw.run(&mut tr, cfg)
 }
 
@@ -214,18 +136,15 @@ mod tests {
     use osmosis_sim::SeedSequence;
     use osmosis_traffic::{BernoulliUniform, Bursty, Hotspot, Permutation};
 
-    fn small_cfg() -> RunConfig {
-        RunConfig {
-            warmup_slots: 500,
-            measure_slots: 5_000,
-        }
+    fn small_cfg() -> EngineConfig {
+        EngineConfig::new(500, 5_000)
     }
 
     #[test]
     fn empty_traffic_idles() {
         let mut sw = VoqSwitch::new(Box::new(Flppr::osmosis(8, 1)));
         let mut tr = BernoulliUniform::new(8, 0.0, &SeedSequence::new(1));
-        let r = sw.run(&mut tr, small_cfg());
+        let r = sw.run(&mut tr, &small_cfg());
         assert_eq!(r.injected, 0);
         assert_eq!(r.delivered, 0);
         assert_eq!(r.reordered, 0);
@@ -237,8 +156,7 @@ mod tests {
         let r = run_uniform(
             || Box::new(Flppr::osmosis(16, 1)),
             0.05,
-            7,
-            small_cfg(),
+            &small_cfg().with_seed(7),
         );
         assert!(
             (r.mean_request_grant - 1.0).abs() < 0.05,
@@ -254,8 +172,7 @@ mod tests {
         let r = run_uniform(
             || Box::new(PipelinedArbiter::log2n(16, 1)),
             0.05,
-            7,
-            small_cfg(),
+            &small_cfg().with_seed(7),
         );
         // depth = log2(16) = 4 → request-to-grant ≈ 4 (+ rare contention).
         assert!(
@@ -272,8 +189,7 @@ mod tests {
             let r = run_uniform(
                 || Box::new(Flppr::osmosis(16, 1)),
                 load,
-                11,
-                small_cfg(),
+                &small_cfg().with_seed(11),
             );
             assert!(
                 (r.throughput - r.offered_load).abs() < 0.02,
@@ -291,11 +207,7 @@ mod tests {
         let r = run_uniform(
             || Box::new(Flppr::osmosis(16, 1)),
             0.99,
-            13,
-            RunConfig {
-                warmup_slots: 2_000,
-                measure_slots: 20_000,
-            },
+            &EngineConfig::new(2_000, 20_000).with_seed(13),
         );
         assert!(r.throughput > 0.95, "throughput {}", r.throughput);
     }
@@ -307,14 +219,12 @@ mod tests {
         let single = run_uniform(
             || Box::new(Flppr::osmosis(16, 1)),
             0.7,
-            17,
-            small_cfg(),
+            &small_cfg().with_seed(17),
         );
         let dual = run_uniform(
             || Box::new(Flppr::osmosis(16, 2)),
             0.7,
-            17,
-            small_cfg(),
+            &small_cfg().with_seed(17),
         );
         assert!(
             dual.mean_delay < single.mean_delay,
@@ -329,7 +239,7 @@ mod tests {
         let sched: Box<dyn CellScheduler> = Box::new(Flppr::osmosis(16, 1));
         let mut sw = VoqSwitch::new(sched);
         let mut tr = Permutation::random(16, 0.9, &SeedSequence::new(3));
-        let r = sw.run(&mut tr, small_cfg());
+        let r = sw.run(&mut tr, &small_cfg());
         assert!((r.throughput - 0.9).abs() < 0.02);
         assert!(r.mean_delay < 3.0, "no contention: {}", r.mean_delay);
         assert_eq!(r.reordered, 0);
@@ -342,7 +252,7 @@ mod tests {
         let sched: Box<dyn CellScheduler> = Box::new(Flppr::osmosis(8, 1));
         let mut sw = VoqSwitch::new(sched);
         let mut tr = Hotspot::new(8, 0.5, 0, 0.5, &SeedSequence::new(5));
-        let r = sw.run(&mut tr, small_cfg());
+        let r = sw.run(&mut tr, &small_cfg());
         assert_eq!(r.dropped, 0);
         assert_eq!(r.reordered, 0);
         assert!(r.throughput > 0.3, "non-hot traffic still flows");
@@ -353,24 +263,43 @@ mod tests {
         let sched: Box<dyn CellScheduler> = Box::new(Flppr::osmosis(8, 2));
         let mut sw = VoqSwitch::new(sched);
         let mut tr = Bursty::new(8, 0.8, 12.0, &SeedSequence::new(23));
-        let r = sw.run(&mut tr, small_cfg());
+        let r = sw.run(&mut tr, &small_cfg());
         assert_eq!(r.reordered, 0);
         assert!((r.throughput - r.offered_load).abs() < 0.03);
     }
 
     #[test]
     fn islip_reference_behaves_like_flppr_at_low_load() {
-        let r = run_uniform(|| Box::new(Islip::log2n(16, 1)), 0.1, 29, small_cfg());
+        let r = run_uniform(
+            || Box::new(Islip::log2n(16, 1)),
+            0.1,
+            &small_cfg().with_seed(29),
+        );
         assert!(r.mean_delay < 2.5);
         assert_eq!(r.reordered, 0);
     }
 
     #[test]
     fn deterministic_across_runs() {
-        let a = run_uniform(|| Box::new(Flppr::osmosis(8, 1)), 0.5, 99, small_cfg());
-        let b = run_uniform(|| Box::new(Flppr::osmosis(8, 1)), 0.5, 99, small_cfg());
-        assert_eq!(a.injected, b.injected);
-        assert_eq!(a.delivered, b.delivered);
-        assert_eq!(a.mean_delay, b.mean_delay);
+        let cfg = small_cfg().with_seed(99);
+        let a = run_uniform(|| Box::new(Flppr::osmosis(8, 1)), 0.5, &cfg);
+        let b = run_uniform(|| Box::new(Flppr::osmosis(8, 1)), 0.5, &cfg);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn trace_stream_matches_report_counters() {
+        use crate::driven::run_switch_traced;
+        use osmosis_sim::CountingTrace;
+        let mut sw = VoqSwitch::new(Box::new(Flppr::osmosis(8, 1)));
+        let mut tr = BernoulliUniform::new(8, 0.4, &SeedSequence::new(41));
+        let mut sink = CountingTrace::default();
+        let r = run_switch_traced(&mut sw, &mut tr, &EngineConfig::new(0, 2_000), &mut sink);
+        // With no warm-up, the sink and the report see the same window,
+        // modulo cells still queued at the horizon.
+        assert_eq!(sink.injects, r.injected);
+        assert_eq!(sink.delivers, r.delivered);
+        assert!(sink.grants >= r.delivered);
+        assert_eq!(sink.drops, 0);
     }
 }

@@ -645,8 +645,16 @@ mod tests {
         assert_eq!(
             out,
             vec![
-                Arrival { src: 0, dst: 1, class: Class::Data },
-                Arrival { src: 1, dst: 0, class: Class::Data },
+                Arrival {
+                    src: 0,
+                    dst: 1,
+                    class: Class::Data
+                },
+                Arrival {
+                    src: 1,
+                    dst: 0,
+                    class: Class::Data
+                },
             ]
         );
         out.clear();

@@ -15,7 +15,6 @@ pub mod generators;
 pub mod order;
 
 pub use generators::{
-    Arrival, BernoulliUniform, Bimodal, Bursty, Class, Hotspot, Permutation, Replay,
-    TrafficGen,
+    Arrival, BernoulliUniform, Bimodal, Bursty, Class, Hotspot, Permutation, Replay, TrafficGen,
 };
 pub use order::{SequenceChecker, SequenceStamper};

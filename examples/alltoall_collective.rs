@@ -21,6 +21,7 @@
 //! ```
 
 use osmosis_fabric::multistage::{FabricConfig, FatTreeFabric};
+use osmosis_fabric::EngineConfig;
 use osmosis_traffic::Replay;
 
 fn run_collective(radix: usize, cells_per_pair: usize, staggered: bool) -> (u64, u64) {
@@ -34,7 +35,11 @@ fn run_collective(radix: usize, cells_per_pair: usize, staggered: bool) -> (u64,
             for round in 0..hosts {
                 // Staggered: rotate the destination per source so each
                 // phase is a permutation. Naive: everyone walks dst 0,1,2…
-                let dst = if staggered { (src + round) % hosts } else { round };
+                let dst = if staggered {
+                    (src + round) % hosts
+                } else {
+                    round
+                };
                 if dst != src {
                     for _ in 0..cells_per_pair {
                         q.push_back(dst);
@@ -55,7 +60,7 @@ fn run_collective(radix: usize, cells_per_pair: usize, staggered: bool) -> (u64,
     // Generous horizon: the naive schedule serializes behind the
     // rotating hotspot and can take many times the ideal time.
     let horizon = total_cells * 2 + 10_000;
-    let report = fabric.run(&mut traffic, 0, horizon);
+    let report = fabric.run(&mut traffic, &EngineConfig::new(0, horizon));
     assert_eq!(report.reordered, 0, "collectives rely on in-order delivery");
     assert_eq!(
         report.delivered, total_cells,
@@ -66,18 +71,23 @@ fn run_collective(radix: usize, cells_per_pair: usize, staggered: bool) -> (u64,
     // injection span; simplest robust measure: smallest slot count that
     // delivered everything, found by re-running with bisection would be
     // costly — instead report mean latency and the delivery rate.
-    (report.delivered, report.mean_latency as u64)
+    (report.delivered, report.mean_delay as u64)
 }
 
 fn main() {
     let radix = 8; // 32 hosts — same code path as the 2048-host system
     let cells = 20;
-    println!("All-to-all personalized exchange, radix-{radix} fat tree ({} hosts), {cells} cells/pair\n", radix * radix / 2);
+    println!(
+        "All-to-all personalized exchange, radix-{radix} fat tree ({} hosts), {cells} cells/pair\n",
+        radix * radix / 2
+    );
 
     let (delivered_naive, lat_naive) = run_collective(radix, cells, false);
     let (delivered_stag, lat_stag) = run_collective(radix, cells, true);
 
-    println!("naive destination order:     {delivered_naive} cells, mean latency {lat_naive} cycles");
+    println!(
+        "naive destination order:     {delivered_naive} cells, mean latency {lat_naive} cycles"
+    );
     println!("staggered (rotating) order:  {delivered_stag} cells, mean latency {lat_stag} cycles");
     println!();
     println!("The staggered schedule keeps every phase contention-free, so cells spend");

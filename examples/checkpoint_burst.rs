@@ -12,6 +12,7 @@
 //! ```
 
 use osmosis_fabric::multistage::{FabricConfig, FatTreeFabric};
+use osmosis_fabric::EngineConfig;
 use osmosis_sim::{SeedSequence, SimRng};
 use osmosis_traffic::{Arrival, Class, TrafficGen};
 
@@ -73,18 +74,23 @@ fn main() {
     let io_nodes: Vec<usize> = (0..4).map(|i| i * (hosts / 4)).collect();
     let compute = hosts - io_nodes.len();
 
-    println!("Checkpoint burst: {compute} compute nodes → {} I/O nodes", io_nodes.len());
+    println!(
+        "Checkpoint burst: {compute} compute nodes → {} I/O nodes",
+        io_nodes.len()
+    );
     println!("fabric: radix-{radix} two-level fat tree, credit flow control, option-3 buffers\n");
 
     // Each compute node offers 40% of line rate — aggregate 28×0.4 = 11.2
     // cells/slot toward 4 sinks that drain 4 cells/slot: a 2.8× incast.
     let load = 0.4;
-    let mut traffic =
-        CheckpointTraffic::new(hosts, io_nodes.clone(), load, &SeedSequence::new(7));
-    let report = fabric.run(&mut traffic, 1_000, 30_000);
+    let mut traffic = CheckpointTraffic::new(hosts, io_nodes.clone(), load, &SeedSequence::new(7));
+    let report = fabric.run(&mut traffic, &EngineConfig::new(1_000, 30_000));
 
     let io_rate = report.delivered as f64 / 30_000.0 / io_nodes.len() as f64;
-    println!("offered per compute node : {:.0}% of line rate", load * 100.0);
+    println!(
+        "offered per compute node : {:.0}% of line rate",
+        load * 100.0
+    );
     println!(
         "aggregate offered        : {:.1} cells/slot into {} sinks",
         load * compute as f64,
@@ -95,12 +101,15 @@ fn main() {
     println!("reorderings              : {}", report.reordered);
     println!(
         "peak buffer occupancy    : {} cells (capacity {})",
-        report.max_buffer_occupancy, cfg.buffer_cells
+        report.max_queue_depth, cfg.buffer_cells
     );
-    println!("mean fabric latency      : {:.0} cycles (queued behind the incast)", report.mean_latency);
+    println!(
+        "mean fabric latency      : {:.0} cycles (queued behind the incast)",
+        report.mean_delay
+    );
 
     assert_eq!(report.reordered, 0);
-    assert!(report.max_buffer_occupancy <= cfg.buffer_cells);
+    assert!(report.max_queue_depth <= cfg.buffer_cells);
     assert!(
         io_rate > 0.97,
         "the bottleneck links must run at line rate: {io_rate}"

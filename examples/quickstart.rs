@@ -7,7 +7,7 @@
 
 use osmosis_core::Demonstrator;
 use osmosis_sim::SeedSequence;
-use osmosis_switch::RunConfig;
+use osmosis_switch::EngineConfig;
 use osmosis_traffic::BernoulliUniform;
 
 fn main() {
@@ -19,7 +19,10 @@ fn main() {
     println!("  port rate          : {} Gb/s", d.config.port_gbps);
     println!("  cell cycle         : {}", d.cell_cycle());
     println!("  aggregate          : {:.2} Tb/s", d.aggregate_tbps());
-    println!("  user bandwidth     : {:.1}%", d.user_bandwidth_fraction() * 100.0);
+    println!(
+        "  user bandwidth     : {:.1}%",
+        d.user_bandwidth_fraction() * 100.0
+    );
     println!("  power budget closes: {}", d.power_budget_closes());
     println!("  FLPPR depth        : {}", d.scheduler().depth());
 
@@ -28,10 +31,7 @@ fn main() {
     let report = d.run(
         Box::new(d.scheduler()),
         &mut traffic,
-        RunConfig {
-            warmup_slots: 2_000,
-            measure_slots: 20_000,
-        },
+        &EngineConfig::new(2_000, 20_000),
     );
 
     println!("\n80% uniform load, {} measured slots:", 20_000);
@@ -42,7 +42,11 @@ fn main() {
         d.slots_to_ns(report.mean_delay)
     );
     if let Some(p99) = report.p99_delay {
-        println!("  p99 delay       : {:.1} cycles = {:.0} ns", p99, d.slots_to_ns(p99));
+        println!(
+            "  p99 delay       : {:.1} cycles = {:.0} ns",
+            p99,
+            d.slots_to_ns(p99)
+        );
     }
     println!(
         "  request→grant   : {:.2} cycles (FLPPR single-cycle at low load)",

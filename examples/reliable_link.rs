@@ -6,9 +6,7 @@
 //! cargo run --release --example reliable_link
 //! ```
 
-use osmosis_fec::analytics::{
-    block_outcomes, user_ber_fec_only, user_ber_with_retransmission,
-};
+use osmosis_fec::analytics::{block_outcomes, user_ber_fec_only, user_ber_with_retransmission};
 use osmosis_fec::retransmission::{run_reliable_link, LinkConfig};
 
 fn main() {

@@ -1,48 +1,145 @@
 //! Reproducibility: every simulation in the workspace is a pure function
-//! of its seed — reruns are bit-identical, different seeds differ.
+//! of its seed — reruns are bit-identical (same engine fingerprint),
+//! different seeds change the delivered traffic.
+//!
+//! With every simulator on the shared engine, one harness covers all of
+//! them: `EngineReport::fingerprint()` hashes the full report (counters,
+//! f64 bit patterns, histograms, extras), so fingerprint equality is a
+//! much stronger statement than comparing a few fields.
 
 use osmosis::core::{OsmosisFabricConfig, Scale};
+use osmosis::fabric::multilevel::{MultiLevelClos, MultiLevelConfig, MultiLevelFabric};
+use osmosis::fabric::multistage::{FabricConfig, FatTreeFabric};
 use osmosis::sched::Flppr;
-use osmosis::sim::{SeedSequence, SimRng};
-use osmosis::switch::{run_uniform, RunConfig};
+use osmosis::sim::{EngineConfig, EngineReport, SeedSequence, SimRng};
+use osmosis::switch::{
+    run_multicast, run_uniform, BurstSwitch, BvnSwitch, CioqSwitch, DeflectionSwitch, FifoSwitch,
+    OqSwitch, RemoteSchedulerSwitch,
+};
 use osmosis::traffic::BernoulliUniform;
 
-fn cfg() -> RunConfig {
-    RunConfig {
-        warmup_slots: 300,
-        measure_slots: 3_000,
-    }
+fn cfg() -> EngineConfig {
+    EngineConfig::new(300, 3_000)
+}
+
+/// The reproducibility contract every simulator must satisfy: the same
+/// seed gives a bit-identical report (fingerprint over counters, f64
+/// bits, histograms, extras), and a different seed changes the delivered
+/// traffic.
+fn assert_seed_determinism(name: &str, mut run: impl FnMut(u64) -> EngineReport) {
+    let a = run(1234);
+    let b = run(1234);
+    assert_eq!(
+        a.fingerprint(),
+        b.fingerprint(),
+        "{name}: same seed must give a bit-identical report"
+    );
+    let c = run(4321);
+    assert!(
+        a.delivered != c.delivered || a.injected != c.injected,
+        "{name}: different seeds must change the delivered traffic \
+         (delivered {} vs {}, injected {} vs {})",
+        a.delivered,
+        c.delivered,
+        a.injected,
+        c.injected
+    );
+}
+
+fn uniform(n: usize, load: f64, seed: u64) -> BernoulliUniform {
+    BernoulliUniform::new(n, load, &SeedSequence::new(seed))
 }
 
 #[test]
-fn switch_runs_are_bit_identical() {
-    let a = run_uniform(|| Box::new(Flppr::osmosis(16, 2)), 0.7, 1234, cfg());
-    let b = run_uniform(|| Box::new(Flppr::osmosis(16, 2)), 0.7, 1234, cfg());
-    assert_eq!(a.injected, b.injected);
-    assert_eq!(a.delivered, b.delivered);
-    assert_eq!(a.mean_delay.to_bits(), b.mean_delay.to_bits());
-    assert_eq!(a.mean_request_grant.to_bits(), b.mean_request_grant.to_bits());
+fn voq_switch_is_deterministic() {
+    assert_seed_determinism("voq", |s| {
+        run_uniform(|| Box::new(Flppr::osmosis(16, 2)), 0.7, &cfg().with_seed(s))
+    });
 }
 
 #[test]
-fn switch_runs_differ_across_seeds() {
-    let a = run_uniform(|| Box::new(Flppr::osmosis(16, 2)), 0.7, 1, cfg());
-    let b = run_uniform(|| Box::new(Flppr::osmosis(16, 2)), 0.7, 2, cfg());
-    assert_ne!(a.injected, b.injected, "different seeds, different traffic");
+fn fifo_switch_is_deterministic() {
+    assert_seed_determinism("fifo", |s| {
+        FifoSwitch::new(16).run(&mut uniform(16, 0.5, s), &cfg())
+    });
 }
 
 #[test]
-fn fabric_runs_are_bit_identical() {
+fn oq_switch_is_deterministic() {
+    assert_seed_determinism("oq", |s| {
+        OqSwitch::new(16).run(&mut uniform(16, 0.7, s), &cfg())
+    });
+}
+
+#[test]
+fn bvn_switch_is_deterministic() {
+    assert_seed_determinism("bvn", |s| {
+        BvnSwitch::new(16).run(&mut uniform(16, 0.6, s), &cfg())
+    });
+}
+
+#[test]
+fn burst_switch_is_deterministic() {
+    assert_seed_determinism("burst", |s| {
+        BurstSwitch::new(16, 8, 8).run(&mut uniform(16, 0.6, s), &cfg())
+    });
+}
+
+#[test]
+fn deflection_switch_is_deterministic() {
+    // The deflection switch has internal randomness seeded at
+    // construction on top of the traffic seed.
+    assert_seed_determinism("deflection", |s| {
+        DeflectionSwitch::new(16, 4, s).run(&mut uniform(16, 0.6, s), &cfg())
+    });
+}
+
+#[test]
+fn cioq_switch_is_deterministic() {
+    assert_seed_determinism("cioq", |s| {
+        CioqSwitch::new(16, 2, 8).run(&mut uniform(16, 0.8, s), &cfg())
+    });
+}
+
+#[test]
+fn remote_scheduler_switch_is_deterministic() {
+    assert_seed_determinism("remote_sched", |s| {
+        RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), 4)
+            .run(&mut uniform(8, 0.5, s), &cfg())
+    });
+}
+
+#[test]
+fn multicast_workload_is_deterministic() {
+    assert_seed_determinism("multicast", |s| run_multicast(16, 3, 0.2, 3_000, s));
+}
+
+#[test]
+fn fat_tree_fabric_is_deterministic() {
+    assert_seed_determinism("multistage", |s| {
+        let mut fab = FatTreeFabric::new(FabricConfig::small(8, 2));
+        let hosts = fab.topology().hosts();
+        fab.run(&mut uniform(hosts, 0.5, s), &cfg())
+    });
+}
+
+#[test]
+fn multilevel_fabric_is_deterministic() {
+    assert_seed_determinism("multilevel", |s| {
+        let topo = MultiLevelClos::new(4, 3);
+        let mut fab = MultiLevelFabric::new(MultiLevelConfig::standard(topo, 2));
+        fab.run(&mut uniform(topo.hosts(), 0.4, s), &cfg())
+    });
+}
+
+#[test]
+fn fabric_level_config_runs_are_bit_identical() {
     let run = || {
         let f = OsmosisFabricConfig::sim_sized(8);
         let mut tr = BernoulliUniform::new(f.ports(), 0.5, &SeedSequence::new(77));
-        f.run(&mut tr, 300, 3_000)
+        f.run(&mut tr, &cfg())
     };
-    let a = run();
-    let b = run();
-    assert_eq!(a.delivered, b.delivered);
-    assert_eq!(a.mean_latency.to_bits(), b.mean_latency.to_bits());
-    assert_eq!(a.max_buffer_occupancy, b.max_buffer_occupancy);
+    assert_eq!(run().fingerprint(), run().fingerprint());
 }
 
 #[test]

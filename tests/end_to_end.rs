@@ -5,7 +5,7 @@ use osmosis::core::{Demonstrator, OsmosisFabricConfig, Scale};
 use osmosis::fec::{decode_payload, encode_payload, BitErrorChannel, OsmosisCode};
 use osmosis::sched::Flppr;
 use osmosis::sim::SeedSequence;
-use osmosis::switch::RunConfig;
+use osmosis::switch::EngineConfig;
 use osmosis::traffic::{BernoulliUniform, Bimodal};
 
 /// A cell's payload surviving the full FEC + noisy-channel + decode path
@@ -21,10 +21,7 @@ fn cell_payload_survives_the_phy_while_the_switch_routes() {
     let report = d.run(
         Box::new(d.scheduler()),
         &mut tr,
-        RunConfig {
-            warmup_slots: 200,
-            measure_slots: 2_000,
-        },
+        &EngineConfig::new(200, 2_000),
     );
     assert_eq!(report.dropped, 0);
     assert_eq!(report.reordered, 0);
@@ -46,7 +43,10 @@ fn cell_payload_survives_the_phy_while_the_switch_routes() {
             corrected_cells += 1;
         }
     }
-    assert!(corrected_cells > 0, "the channel must have exercised the FEC");
+    assert!(
+        corrected_cells > 0,
+        "the channel must have exercised the FEC"
+    );
 }
 
 #[test]
@@ -64,7 +64,7 @@ fn fabric_carries_bimodal_traffic_in_order() {
     // saturation knee.
     let f = OsmosisFabricConfig::sim_sized(8);
     let mut tr = Bimodal::new(f.ports(), 0.35, 8.0, 0.05, &SeedSequence::new(11));
-    let r = f.run(&mut tr, 1_000, 10_000);
+    let r = f.run(&mut tr, &EngineConfig::new(1_000, 10_000));
     assert_eq!(r.reordered, 0);
     assert!(
         (r.throughput - r.offered_load).abs() < 0.04,
@@ -82,23 +82,17 @@ fn single_stage_vs_fabric_latency_hierarchy() {
     let d = Demonstrator::new();
     let mut tr = BernoulliUniform::new(16, 0.1, &SeedSequence::new(13));
     let one_stage = osmosis::switch::VoqSwitch::new(Box::new(Flppr::osmosis(16, 2)))
-        .run(
-            &mut tr,
-            RunConfig {
-                warmup_slots: 300,
-                measure_slots: 3_000,
-            },
-        );
+        .run(&mut tr, &EngineConfig::new(300, 3_000));
 
     let f = OsmosisFabricConfig::sim_sized(8);
     let mut tr = BernoulliUniform::new(f.ports(), 0.1, &SeedSequence::new(13));
-    let fabric = f.run(&mut tr, 300, 3_000);
+    let fabric = f.run(&mut tr, &EngineConfig::new(300, 3_000));
 
     let pts = osmosis::core::experiments::fig1::run(&[50.0], 16, 13);
     let central_ns = pts[0].simulated_ns;
 
     let one_ns = d.slots_to_ns(one_stage.mean_delay);
-    let fabric_ns = d.slots_to_ns(fabric.mean_latency);
+    let fabric_ns = d.slots_to_ns(fabric.mean_delay);
     assert!(one_ns < fabric_ns, "{one_ns} vs {fabric_ns}");
     assert!(
         fabric_ns < central_ns,

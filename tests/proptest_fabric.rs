@@ -4,7 +4,7 @@
 
 use osmosis::fabric::multilevel::{MultiLevelClos, MultiLevelConfig, MultiLevelFabric};
 use osmosis::fabric::topology::TwoLevelFatTree;
-use osmosis::sim::SeedSequence;
+use osmosis::sim::{EngineConfig, SeedSequence};
 use osmosis::traffic::BernoulliUniform;
 use proptest::prelude::*;
 
@@ -80,9 +80,9 @@ proptest! {
         let mut fab = MultiLevelFabric::new(cfg);
         let mut tr = BernoulliUniform::new(topo.hosts(), load, &SeedSequence::new(seed));
         // Losslessness is asserted inside the simulator.
-        let r = fab.run(&mut tr, 300, 2_000);
+        let r = fab.run(&mut tr, &EngineConfig::new(300, 2_000));
         prop_assert_eq!(r.reordered, 0);
-        prop_assert!(r.max_buffer_occupancy <= cfg.buffer_cells);
+        prop_assert!(r.max_queue_depth <= cfg.buffer_cells);
         prop_assert!(r.throughput <= r.offered_load + 0.05);
     }
 }

@@ -8,10 +8,7 @@ use proptest::prelude::*;
 
 /// An arbitrary arrival trace: per slot, a list of (input, output) pairs
 /// with at most one arrival per input.
-fn arrivals_strategy(
-    n: usize,
-    slots: usize,
-) -> impl Strategy<Value = Vec<Vec<(usize, usize)>>> {
+fn arrivals_strategy(n: usize, slots: usize) -> impl Strategy<Value = Vec<Vec<(usize, usize)>>> {
     prop::collection::vec(
         prop::collection::vec((0..n, 0..n), 0..=n).prop_map(move |mut v| {
             let mut seen = vec![false; n];
@@ -139,8 +136,8 @@ proptest! {
                 reference[idx] = false;
             }
         }
-        for i in 0..n {
-            prop_assert_eq!(set.get(i), reference[i]);
+        for (i, &expect) in reference.iter().enumerate() {
+            prop_assert_eq!(set.get(i), expect);
         }
         prop_assert_eq!(set.count(), reference.iter().filter(|&&b| b).count());
     }
@@ -160,11 +157,11 @@ proptest! {
         let mut in_used = [false; 10];
         let mut out_used = [false; 10];
         let mut greedy = 0;
-        for i in 0..10 {
-            for o in 0..10 {
-                if !in_used[i] && !out_used[o] && occ.get(i, o) > 0 {
-                    in_used[i] = true;
-                    out_used[o] = true;
+        for (i, iu) in in_used.iter_mut().enumerate() {
+            for (o, ou) in out_used.iter_mut().enumerate() {
+                if !*iu && !*ou && occ.get(i, o) > 0 {
+                    *iu = true;
+                    *ou = true;
                     greedy += 1;
                     break;
                 }

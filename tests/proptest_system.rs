@@ -7,7 +7,7 @@ use osmosis::fabric::multistage::{FabricConfig, FatTreeFabric, Placement};
 use osmosis::sched::Flppr;
 use osmosis::sim::stats::{Histogram, Welford};
 use osmosis::sim::SeedSequence;
-use osmosis::switch::{run_uniform, RunConfig};
+use osmosis::switch::{run_uniform, EngineConfig};
 use osmosis::traffic::{BernoulliUniform, Bursty, Hotspot, TrafficGen};
 use proptest::prelude::*;
 
@@ -21,8 +21,7 @@ proptest! {
         let r = run_uniform(
             || Box::new(Flppr::osmosis(8, if dual { 2 } else { 1 })),
             load,
-            seed,
-            RunConfig { warmup_slots: 200, measure_slots: 2_000 },
+            &EngineConfig::new(200, 2_000).with_seed(seed),
         );
         prop_assert_eq!(r.dropped, 0);
         prop_assert_eq!(r.reordered, 0);
@@ -62,9 +61,9 @@ proptest! {
             Box::new(BernoulliUniform::new(hosts, load, &seeds))
         };
         // The sim panics internally on any buffer overflow (losslessness).
-        let r = fab.run(tr.as_mut(), 300, 2_500);
+        let r = fab.run(tr.as_mut(), &EngineConfig::new(300, 2_500));
         prop_assert_eq!(r.reordered, 0);
-        prop_assert!(r.max_buffer_occupancy <= cfg.buffer_cells);
+        prop_assert!(r.max_queue_depth <= cfg.buffer_cells);
         prop_assert!(r.throughput <= r.offered_load + 0.05);
     }
 
@@ -76,9 +75,9 @@ proptest! {
         let mut fab = FatTreeFabric::new(cfg);
         let hosts = fab.topology().hosts();
         let mut tr = Hotspot::new(hosts, 0.5, 3, hot_frac, &SeedSequence::new(seed));
-        let r = fab.run(&mut tr, 300, 2_500);
+        let r = fab.run(&mut tr, &EngineConfig::new(300, 2_500));
         prop_assert_eq!(r.reordered, 0);
-        prop_assert!(r.max_buffer_occupancy <= cfg.buffer_cells);
+        prop_assert!(r.max_queue_depth <= cfg.buffer_cells);
     }
 }
 

@@ -1,0 +1,225 @@
+//! Minimal stand-in for the `criterion` benchmark harness, vendored so the
+//! workspace builds without registry access (see `vendor/README.md`).
+//!
+//! It implements the subset of the criterion 0.5 API the workspace's
+//! benches use — `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! warmup-then-measure timing loop instead of criterion's statistical
+//! machinery. Results are printed as mean wall time per iteration plus
+//! derived throughput; there is no outlier analysis, plotting, or saved
+//! baseline comparison.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from eliding a value or the computation behind it.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group: per-iteration work volume.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier: function name plus parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as in criterion proper.
+    pub fn new<S: Display, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// A parameter-only id (criterion's `from_parameter`).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark id; lets `bench_function` accept
+/// both plain strings and [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// The printable id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    /// Mean wall time per iteration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Time `f`: one untimed warmup call, then enough timed iterations to
+    /// fill a small budget (at least 3 calls).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let budget = Duration::from_millis(300);
+        let mut iters = 0u32;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            if iters >= 3 && start.elapsed() >= budget {
+                break;
+            }
+            if iters >= 1000 {
+                break;
+            }
+        }
+        self.elapsed_per_iter = start.elapsed() / iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with per-iteration work volume.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run a benchmark closure.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(&mut self, id: I, mut f: F) {
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id.into_id(), b.elapsed_per_iter);
+    }
+
+    /// Run a benchmark closure against a borrowed input value.
+    pub fn bench_with_input<I, V: ?Sized, F: FnMut(&mut Bencher, &V)>(
+        &mut self,
+        id: I,
+        input: &V,
+        mut f: F,
+    ) where
+        I: IntoBenchmarkId,
+    {
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id.into_id(), b.elapsed_per_iter);
+    }
+
+    /// Finish the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, per_iter: Duration) {
+        let secs = per_iter.as_secs_f64();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if secs > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / secs)
+            }
+            Some(Throughput::Bytes(n)) if secs > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 / secs)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {per_iter:>12.3?}/iter{rate}", self.name);
+    }
+}
+
+/// Top-level benchmark context (criterion's entry object).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(&mut self, id: I, f: F) {
+        self.benchmark_group("bench").bench_function(id, f);
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        assert!(ran >= 4, "warmup + at least 3 timed iterations, got {ran}");
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("fat_tree", 8).into_id(), "fat_tree/8");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+}

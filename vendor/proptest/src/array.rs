@@ -1,0 +1,42 @@
+//! Fixed-size array strategies (`prop::array::uniform*`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`uniform`].
+#[derive(Debug, Clone)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.sample(rng))
+    }
+}
+
+/// An `[T; N]` of independent `element` samples.
+pub fn uniform<S: Strategy, const N: usize>(element: S) -> UniformArray<S, N> {
+    UniformArray { element }
+}
+
+/// An `[T; 32]` of independent `element` samples.
+pub fn uniform32<S: Strategy>(element: S) -> UniformArray<S, 32> {
+    uniform(element)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrays_have_fixed_length_and_bounded_elements() {
+        let mut rng = TestRng::deterministic("array", 0);
+        let a: [u8; 34] = uniform::<_, 34>(0u8..5).sample(&mut rng);
+        assert!(a.iter().all(|&x| x < 5));
+        let b = uniform32(crate::arbitrary::any::<u8>()).sample(&mut rng);
+        assert_eq!(b.len(), 32);
+    }
+}

@@ -1,0 +1,83 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive length range for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            lo: exact,
+            hi: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo + 1) as u64;
+        let len = self.size.lo + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A `Vec` of `element` samples with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_every_size_range_form() {
+        let mut rng = TestRng::deterministic("vec", 0);
+        for _ in 0..50 {
+            assert_eq!(vec(0u8..5, 3).sample(&mut rng).len(), 3);
+            let l = vec(0u8..5, 1..4).sample(&mut rng).len();
+            assert!((1..4).contains(&l));
+            let l = vec(0u8..5, 0..=2).sample(&mut rng).len();
+            assert!(l <= 2);
+        }
+    }
+}

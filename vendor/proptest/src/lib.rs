@@ -1,0 +1,218 @@
+//! Minimal stand-in for the `proptest` property-testing framework,
+//! vendored so the workspace builds without registry access (see
+//! `vendor/README.md`).
+//!
+//! It implements the subset of the proptest 1.x API the workspace's tests
+//! use: the [`Strategy`] trait with `prop_map`, numeric-range / tuple /
+//! `any` strategies, `prop::collection::vec`, `prop::array::uniform*`,
+//! `prop::sample::select`, the `proptest!` macro with
+//! `#![proptest_config(...)]`, and `prop_assert*` / `prop_assume!`.
+//!
+//! Differences from proptest proper: inputs are drawn from a deterministic
+//! per-test RNG (seeded from the test name and case index, so failures are
+//! reproducible by re-running the test binary), there is **no shrinking**,
+//! and `prop_assume!` skips the current case rather than resampling.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Module-style access to the strategy constructors
+    /// (`prop::collection::vec`, `prop::sample::select`, ...).
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// item expands to a normal `#[test]` that samples the strategies for a
+/// configurable number of cases and runs the body against each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[allow(unused_must_use)]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(
+                        stringify!($name),
+                        case as u64,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )+
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        { $body };
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fail the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fail the current test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+/// Skip the current case when the precondition does not hold. (Proptest
+/// proper resamples; this stand-in simply treats the case as vacuous.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges respect their bounds; tuples and maps compose.
+        #[test]
+        fn strategies_sample_in_bounds(
+            x in 0u32..10,
+            y in 1u8..=3,
+            f in -2.0f64..2.0,
+            pair in (0usize..5, 0usize..7),
+            v in prop::collection::vec(any::<bool>(), 2..6),
+            sel in prop::sample::select(vec![4usize, 6, 8]),
+            arr in prop::array::uniform::<_, 4>(0u8..9),
+            mapped in (0u32..10).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((1..=3).contains(&y));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(pair.0 < 5 && pair.1 < 7);
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!([4usize, 6, 8].contains(&sel));
+            prop_assert!(arr.iter().all(|&b| b < 9));
+            prop_assert_eq!(mapped % 2, 0);
+            prop_assert_ne!(mapped, 1);
+            prop_assume!(x > 0);
+            prop_assert!(x >= 1);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_case() {
+        let strat = (0u64..1000, prop::collection::vec(any::<u8>(), 0..=8));
+        let mut a = crate::test_runner::TestRng::deterministic("t", 3);
+        let mut b = crate::test_runner::TestRng::deterministic("t", 3);
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        let mut c = crate::test_runner::TestRng::deterministic("t", 4);
+        let _ = strat.sample(&mut c); // different case: just must not panic
+    }
+
+    #[test]
+    fn prop_assert_failure_is_reported() {
+        fn inner() -> TestCaseResult {
+            prop_assert!(false, "expected failure {}", 42);
+            Ok(())
+        }
+        let err = inner().unwrap_err();
+        assert!(format!("{err}").contains("expected failure 42"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Test-case configuration, error type, and the deterministic RNG behind
+//! strategy sampling.
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Proptest proper defaults to 256; many of the workspace's
+        // properties run full slotted simulations per case, so the
+        // stand-in default is lower. Tests that need a specific count set
+        // it with `#![proptest_config(ProptestConfig::with_cases(n))]`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// An assertion failure with the given reason.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Alias of [`TestCaseError::fail`] (proptest distinguishes rejects
+    /// from failures; the stand-in does not resample).
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Shorthand for a test-case body result.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// SplitMix64-based sampling RNG, seeded from the test name and case
+/// index so every case is reproducible by rerunning the test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The RNG for `(test, case)`.
+    pub fn deterministic(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, then mix in the case index.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut rng = TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        // One warmup step decorrelates adjacent cases.
+        rng.next_u64();
+        rng
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53-bit resolution.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, span)`; `span` must be nonzero. Debiased by
+    /// rejection from the top of the range.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % span;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_name_and_case() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::deterministic("x", 0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::deterministic("x", 0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut other_case = TestRng::deterministic("x", 1);
+        let mut other_name = TestRng::deterministic("y", 0);
+        assert_ne!(a[0], other_case.next_u64());
+        assert_ne!(a[0], other_name.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = TestRng::deterministic("below", 0);
+        for span in [1u64, 2, 3, 10, 1 << 40] {
+            for _ in 0..50 {
+                assert!(r.below(span) < span);
+            }
+        }
+    }
+}

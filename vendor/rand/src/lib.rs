@@ -1,0 +1,75 @@
+//! Trait-only stand-in for the `rand` crate, vendored so the workspace
+//! builds without registry access (the build environment is fully
+//! offline — see `vendor/README.md`).
+//!
+//! The workspace uses `rand` solely as a *vocabulary*: `osmosis-sim`
+//! implements [`RngCore`] for its own xoshiro256\*\* generator so that it
+//! composes with external code expecting the standard trait. No generator,
+//! distribution, or OS entropy from the real crate is used anywhere, so
+//! this stub only carries the trait definition (API-compatible with
+//! rand 0.9).
+
+#![warn(missing_docs)]
+
+/// The core random-number-generator trait, matching `rand 0.9`'s
+/// `rand_core::RngCore` surface.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_forwards_through_refs() {
+        let mut c = Counter(0);
+        let dynref: &mut dyn RngCore = &mut c;
+        assert_eq!(dynref.next_u64(), 1);
+        let by_ref = &mut c;
+        assert_eq!(by_ref.next_u64(), 2);
+        let mut buf = [0u8; 3];
+        by_ref.fill_bytes(&mut buf);
+        assert_eq!(buf, [3, 4, 5]);
+    }
+}
