@@ -3,6 +3,7 @@
 //! them at [`Scale::Quick`] and assert the paper's qualitative claims.
 
 pub mod ablations;
+pub mod availability;
 pub mod fig1;
 pub mod fig10;
 pub mod fig2;

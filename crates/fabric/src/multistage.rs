@@ -175,6 +175,21 @@ pub struct FatTreeFabric {
     cell_flights: VecDeque<(u64, CellDest, Cell)>,
     /// Credits in flight back to (node, output port) or host.
     credit_flights: VecDeque<(u64, CreditDest)>,
+    /// Per-spine health under an attached fault plane (all true without
+    /// one). A dead spine is a dead wavelength plane: leaves stop
+    /// granting toward it and new flows re-hash onto the survivors.
+    spine_ok: Vec<bool>,
+    /// Cells corrupted on a link, re-arriving after the hop-by-hop NACK +
+    /// resend round trip (constant 2·link_delay, so this queue stays
+    /// FIFO-by-due like `cell_flights`).
+    retransmit_flights: VecDeque<(u64, CellDest, Cell)>,
+    /// Credits whose return was lost, recovered by the periodic credit
+    /// audit (constant link_delay + resync period; FIFO-by-due).
+    resync_credit_flights: VecDeque<(u64, CreditDest)>,
+    /// Per-link go-back-N stall: until this slot, every arrival on the
+    /// link is discarded and resent behind the corrupted cell, keeping
+    /// per-link (hence per-flow) delivery order across retransmissions.
+    link_stall: Vec<u64>,
     stamper: SequenceStamper,
     checker: SequenceChecker,
     next_id: u64,
@@ -261,6 +276,10 @@ impl FatTreeFabric {
             host_credits: vec![cfg.buffer_cells; topo.hosts()],
             cell_flights: VecDeque::new(),
             credit_flights: VecDeque::new(),
+            spine_ok: vec![true; topo.spines()],
+            retransmit_flights: VecDeque::new(),
+            resync_credit_flights: VecDeque::new(),
+            link_stall: vec![0; topo.leaves() + topo.spines() + topo.hosts()],
             stamper: SequenceStamper::new(),
             checker: SequenceChecker::new(),
             next_id: 0,
@@ -290,17 +309,76 @@ impl FatTreeFabric {
                 if dest_leaf == l {
                     self.topo.down_port_of(cell.dst)
                 } else {
-                    self.topo
-                        .up_port(self.topo.spine_of_flow(cell.src, cell.dst))
+                    self.topo.up_port(self.pick_spine(cell.src, cell.dst))
                 }
             }
             NodeId::Spine(_) => self.topo.leaf_of(cell.dst),
         }
     }
 
+    /// The spine carrying (src, dst): the stable flow hash, re-hashed
+    /// across the surviving planes when the hashed one is down. The
+    /// second-level hash uses a different key ordering so a dead plane's
+    /// flows spread over all survivors instead of piling onto one
+    /// neighbour. With every plane dead the cell stalls (losslessly)
+    /// toward its nominal spine until one heals.
+    fn pick_spine(&self, src: usize, dst: usize) -> usize {
+        let s0 = self.topo.spine_of_flow(src, dst);
+        if self.spine_ok[s0] {
+            return s0;
+        }
+        let healthy = self.spine_ok.iter().filter(|&&ok| ok).count();
+        if healthy == 0 {
+            return s0;
+        }
+        let pick = self.topo.spine_of_flow(dst + self.topo.hosts(), src) % healthy;
+        self.spine_ok
+            .iter()
+            .enumerate()
+            .filter(|&(_, &ok)| ok)
+            .nth(pick)
+            .map(|(s, _)| s)
+            .unwrap()
+    }
+
+    /// The link index a cell traverses to reach `dest` — the receiving
+    /// endpoint's global index (leaves, then spines, then hosts) — used
+    /// as the `FaultView::cell_corrupted` key.
+    fn link_of(&self, dest: CellDest) -> usize {
+        match dest {
+            CellDest::SwitchIn(NodeId::Leaf(l), _) => l,
+            CellDest::SwitchIn(NodeId::Spine(s), _) => self.topo.leaves() + s,
+            CellDest::Host(h) => self.topo.leaves() + self.topo.spines() + h,
+        }
+    }
+
+    /// Cells currently inside the fabric (host queues, switch buffers,
+    /// links, retransmission round trips). With `injected == delivered +
+    /// resident_cells()` after a faulted run, no cell was lost.
+    pub fn resident_cells(&self) -> u64 {
+        let mut n = self.cell_flights.len() + self.retransmit_flights.len();
+        n += self.host_queues.iter().map(|q| q.len()).sum::<usize>();
+        for node in self.leaves.iter().chain(self.spines.iter()) {
+            n += node.voq.iter().map(|q| q.len()).sum::<usize>();
+            n += node.egress.iter().map(|q| q.len()).sum::<usize>();
+        }
+        n as u64
+    }
+
     /// Run traffic through the fabric on the shared engine.
     pub fn run(&mut self, traffic: &mut dyn TrafficGen, cfg: &EngineConfig) -> EngineReport {
         run_switch(self, traffic, cfg)
+    }
+
+    /// Run traffic under a fault plane. A vacuous view (empty plan)
+    /// leaves the run bit-identical to [`run`](Self::run).
+    pub fn run_faulted(
+        &mut self,
+        traffic: &mut dyn TrafficGen,
+        cfg: &EngineConfig,
+        faults: &mut dyn osmosis_sim::FaultView,
+    ) -> EngineReport {
+        osmosis_switch::run_switch_faulted(self, traffic, cfg, faults)
     }
 }
 
@@ -311,6 +389,10 @@ impl CellSwitch for FatTreeFabric {
 
     fn configure(&mut self, cfg: &EngineConfig) {
         self.checker = SequenceChecker::new();
+        self.spine_ok.iter_mut().for_each(|ok| *ok = true);
+        self.retransmit_flights.clear();
+        self.resync_credit_flights.clear();
+        self.link_stall.iter_mut().for_each(|s| *s = 0);
         // An engine-level buffer override re-arms every credit loop; only
         // meaningful on a fabric that has not run yet (queues empty).
         if let Some(b) = cfg.buffer_cells {
@@ -328,43 +410,109 @@ impl CellSwitch for FatTreeFabric {
     fn arbitrate<T: TraceSink>(&mut self, t: u64, obs: &mut Observer<'_, T>) {
         let d = self.cfg.link_delay;
         let ports = self.cfg.radix;
+        let half = ports / 2;
         let buffer_cells = self.cfg.buffer_cells;
         let option2_extra = if self.cfg.placement == Placement::OutputOnly {
             2 * d
         } else {
             0
         };
+        let faults_on = obs.faults_attached();
+        // Credit-audit period: a lost credit is recovered after the
+        // downstream's next occupancy audit (a few credit RTTs), not
+        // instantly — the degraded mode throttles, but never deadlocks.
+        let resync = 4 * (2 * d + 1);
+        if faults_on {
+            for s in 0..self.spine_ok.len() {
+                self.spine_ok[s] = !obs.fault_plane_down(s);
+            }
+        }
 
-        // --- Cell arrivals from links.
-        while self.cell_flights.front().is_some_and(|&(at, _, _)| at == t) {
-            let (_, dest, cell) = self.cell_flights.pop_front().unwrap();
-            match dest {
-                CellDest::Host(h) => {
-                    debug_assert_eq!(cell.dst, h);
-                    self.checker.record(cell.src, cell.dst, cell.seq);
-                    obs.cell_delivered(h, cell.inject_slot);
+        // --- Cell arrivals from links. The retransmission path drains
+        // first: a resent cell is older than anything still in the
+        // primary flight queue for the same link, and go-back-N order
+        // requires it to be accepted first.
+        for pass in 0..2 {
+            loop {
+                let popped = {
+                    let q = if pass == 0 {
+                        &mut self.retransmit_flights
+                    } else {
+                        &mut self.cell_flights
+                    };
+                    if q.front().is_some_and(|&(at, _, _)| at == t) {
+                        q.pop_front()
+                    } else {
+                        None
+                    }
+                };
+                let Some((_, dest, cell)) = popped else { break };
+                if faults_on {
+                    let link = self.link_of(dest);
+                    if t < self.link_stall[link] {
+                        // Go-back-N: a predecessor on this link is mid
+                        // retransmission, so this cell is out of sequence
+                        // at the receiver — discard and resend it behind
+                        // the predecessor, extending the stall so cells
+                        // behind *it* queue up in order too.
+                        obs.cell_retransmitted(link);
+                        self.link_stall[link] = t + 2 * d;
+                        self.retransmit_flights.push_back((t + 2 * d, dest, cell));
+                        continue;
+                    }
+                    if obs.fault_cell_corrupted(link) {
+                        // Detected-uncorrectable arrival: NACK upstream
+                        // and resend — one extra link RTT, no loss. The
+                        // sender's credit stays consumed, so buffer
+                        // accounting holds across the round trip.
+                        obs.cell_retransmitted(link);
+                        self.link_stall[link] = t + 2 * d;
+                        self.retransmit_flights.push_back((t + 2 * d, dest, cell));
+                        continue;
+                    }
                 }
-                CellDest::SwitchIn(id, port) => {
-                    let out = self.route(id, &cell);
-                    let node = self.node(id);
-                    node.input_occupancy[port] += 1;
-                    assert!(
-                        node.input_occupancy[port] <= buffer_cells,
-                        "input buffer overflow at {id:?} port {port}: \
-                         credit flow control violated"
-                    );
-                    obs.note_queue_depth(node.input_occupancy[port]);
-                    // A cell arriving in slot t is schedulable at t+1
-                    // (the local request/grant cycle); option 2 adds a
-                    // control RTT on top.
-                    node.voq[port * ports + out].push_back((t + 1 + option2_extra, cell));
+                match dest {
+                    CellDest::Host(h) => {
+                        debug_assert_eq!(cell.dst, h);
+                        self.checker.record(cell.src, cell.dst, cell.seq);
+                        obs.cell_delivered(h, cell.inject_slot);
+                    }
+                    CellDest::SwitchIn(id, port) => {
+                        let out = self.route(id, &cell);
+                        let node = self.node(id);
+                        node.input_occupancy[port] += 1;
+                        assert!(
+                            node.input_occupancy[port] <= buffer_cells,
+                            "input buffer overflow at {id:?} port {port}: \
+                             credit flow control violated"
+                        );
+                        obs.note_queue_depth(node.input_occupancy[port]);
+                        // A cell arriving in slot t is schedulable at t+1
+                        // (the local request/grant cycle); option 2 adds a
+                        // control RTT on top.
+                        node.voq[port * ports + out].push_back((t + 1 + option2_extra, cell));
+                    }
                 }
             }
         }
 
-        // --- Credit returns.
+        // --- Credit returns (normal loop, then audit-recovered credits).
         while self.credit_flights.front().is_some_and(|&(at, _)| at == t) {
             let (_, dest) = self.credit_flights.pop_front().unwrap();
+            match dest {
+                CreditDest::Host(h) => self.host_credits[h] += 1,
+                CreditDest::SwitchOut(id, port) => {
+                    let node = self.node(id);
+                    node.credits[port] += 1;
+                }
+            }
+        }
+        while self
+            .resync_credit_flights
+            .front()
+            .is_some_and(|&(at, _)| at == t)
+        {
+            let (_, dest) = self.resync_credit_flights.pop_front().unwrap();
             match dest {
                 CreditDest::Host(h) => self.host_credits[h] += 1,
                 CreditDest::SwitchOut(id, port) => {
@@ -377,6 +525,16 @@ impl CellSwitch for FatTreeFabric {
         // --- Each switch computes a matching and forwards cells.
         for idx in 0..self.node_ids.len() {
             let id = self.node_ids[idx];
+            // A dead wavelength plane switches nothing: its buffered
+            // cells stall (losslessly — upstream credits stay consumed)
+            // until the plane heals. Leaves stop feeding it below.
+            if faults_on {
+                if let NodeId::Spine(s) = id {
+                    if !self.spine_ok[s] {
+                        continue;
+                    }
+                }
+            }
             // Option 1: egress buffers transmit first (a cell matched in
             // slot t departs the stage in slot t+1), gated by downstream
             // credits.
@@ -425,6 +583,16 @@ impl CellSwitch for FatTreeFabric {
                     let mut any = false;
                     for (o, &o_matched) in out_matched.iter().enumerate() {
                         if o_matched {
+                            continue;
+                        }
+                        // Leaf uplinks toward a dead spine are masked out
+                        // of arbitration; queued cells wait for repair,
+                        // new flows were already re-hashed at routing.
+                        if faults_on
+                            && matches!(id, NodeId::Leaf(_))
+                            && o >= half
+                            && !self.spine_ok[o - half]
+                        {
                             continue;
                         }
                         if needs_credit_at_match && node.credits[o] == 0 {
@@ -490,14 +658,22 @@ impl CellSwitch for FatTreeFabric {
                     }
                     (cell, node.upstream[i], to_egress, node.downstream[o])
                 };
-                // Credit back to whoever feeds this input port.
-                match upstream {
-                    Upstream::Host(h) => {
-                        self.credit_flights.push_back((t + d, CreditDest::Host(h)))
-                    }
-                    Upstream::Switch(up_id, up_port) => self
-                        .credit_flights
-                        .push_back((t + d, CreditDest::SwitchOut(up_id, up_port))),
+                // Credit back to whoever feeds this input port. Under a
+                // credit-drop fault the return is lost on the wire and
+                // recovered later by the periodic credit audit.
+                let credit_dest = match upstream {
+                    Upstream::Host(h) => CreditDest::Host(h),
+                    Upstream::Switch(up_id, up_port) => CreditDest::SwitchOut(up_id, up_port),
+                };
+                let node_index = match id {
+                    NodeId::Leaf(l) => l,
+                    NodeId::Spine(s) => self.topo.leaves() + s,
+                };
+                if faults_on && obs.fault_credit_dropped(node_index, i) {
+                    self.resync_credit_flights
+                        .push_back((t + d + resync, credit_dest));
+                } else {
+                    self.credit_flights.push_back((t + d, credit_dest));
                 }
                 if to_egress {
                     let node = match id {
@@ -715,5 +891,117 @@ mod tests {
         let a = run_fabric(FabricConfig::small(8, 2), 0.5, 11);
         let b = run_fabric(FabricConfig::small(8, 2), 0.5, 11);
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_plain_run() {
+        use osmosis_faults::{FaultInjector, FaultPlan};
+        let plain = run_fabric(FabricConfig::small(8, 2), 0.5, 11);
+        let mut fab = FatTreeFabric::new(FabricConfig::small(8, 2));
+        let hosts = fab.topology().hosts();
+        let mut tr = BernoulliUniform::new(hosts, 0.5, &SeedSequence::new(11));
+        let mut inj = FaultInjector::new(FaultPlan::new());
+        let faulted = fab.run_faulted(&mut tr, &EngineConfig::new(1_000, 8_000), &mut inj);
+        assert_eq!(plain.fingerprint(), faulted.fingerprint());
+    }
+
+    #[test]
+    fn dead_wavelength_plane_reroutes_and_recovers() {
+        use osmosis_faults::{FaultInjector, FaultKind, FaultPlan};
+        // Kill one of the four spines for a window mid-run. Re-hashing
+        // spreads its flows over the survivors; at 0.6 load the three
+        // remaining uplinks per leaf (0.8 each) still carry everything.
+        let cfg = FabricConfig::small(8, 2);
+        let e = EngineConfig::new(0, 10_000).with_seed(21);
+        let run = |plan: FaultPlan| {
+            let mut fab = FatTreeFabric::new(cfg);
+            let hosts = fab.topology().hosts();
+            let mut tr = BernoulliUniform::new(hosts, 0.6, &SeedSequence::new(e.seed));
+            let mut inj = FaultInjector::new(plan);
+            let r = fab.run_faulted(&mut tr, &e, &mut inj);
+            (r, fab.resident_cells())
+        };
+        let (nominal, _) = run(FaultPlan::new());
+        let (degraded, resident) = run(FaultPlan::new().one_shot(
+            FaultKind::WavelengthLoss { plane: 1 },
+            2_000,
+            Some(3_000),
+        ));
+        assert_eq!(degraded.dropped, 0, "re-routing is lossless");
+        assert_eq!(
+            degraded.injected,
+            degraded.delivered + resident,
+            "every cell delivered or still resident"
+        );
+        assert!(
+            degraded.throughput > 0.9 * nominal.throughput,
+            "one dead plane out of four barely dents 0.6 load: {} vs {}",
+            degraded.throughput,
+            nominal.throughput
+        );
+        assert_eq!(degraded.extra("faults_injected"), Some(1.0));
+        assert_eq!(degraded.extra("faults_healed"), Some(1.0));
+    }
+
+    #[test]
+    fn link_ber_burst_retransmits_hop_by_hop() {
+        use osmosis_faults::{FaultInjector, FaultKind, FaultPlan, LINK_ANY};
+        let cfg = FabricConfig::small(8, 2);
+        let e = EngineConfig::new(0, 8_000).with_seed(23);
+        let mut fab = FatTreeFabric::new(cfg);
+        let hosts = fab.topology().hosts();
+        let mut tr = BernoulliUniform::new(hosts, 0.4, &SeedSequence::new(e.seed));
+        let plan = FaultPlan::new().permanent(
+            FaultKind::LinkBerBurst {
+                link: LINK_ANY,
+                cell_error_prob: 0.05,
+            },
+            0,
+        );
+        let mut inj = FaultInjector::new(plan);
+        let r = fab.run_faulted(&mut tr, &e, &mut inj);
+        assert!(
+            r.extra("fault_retransmits").unwrap() > 100.0,
+            "corrupted hops were re-sent"
+        );
+        assert_eq!(r.dropped, 0);
+        assert_eq!(
+            r.reordered, 0,
+            "go-back-N link stall preserves per-flow order"
+        );
+        assert_eq!(
+            r.injected,
+            r.delivered + fab.resident_cells(),
+            "retransmission loses nothing"
+        );
+    }
+
+    #[test]
+    fn dropped_credits_throttle_but_recover_via_resync() {
+        use osmosis_faults::{FaultInjector, FaultKind, FaultPlan};
+        let cfg = FabricConfig::small(8, 2);
+        let e = EngineConfig::new(0, 10_000).with_seed(25);
+        let run = |plan: FaultPlan| {
+            let mut fab = FatTreeFabric::new(cfg);
+            let hosts = fab.topology().hosts();
+            let mut tr = BernoulliUniform::new(hosts, 0.5, &SeedSequence::new(e.seed));
+            let mut inj = FaultInjector::new(plan);
+            let r = fab.run_faulted(&mut tr, &e, &mut inj);
+            (r, fab.resident_cells())
+        };
+        let (faulted, resident) =
+            run(FaultPlan::new().one_shot(FaultKind::CreditDrop { prob: 0.3 }, 1_000, Some(4_000)));
+        assert!(faulted.extra("fault_credits_dropped").unwrap() > 100.0);
+        assert_eq!(faulted.dropped, 0, "lost credits never lose cells");
+        assert_eq!(
+            faulted.injected,
+            faulted.delivered + resident,
+            "credit resync keeps the fabric flowing"
+        );
+        assert!(
+            faulted.throughput > 0.4,
+            "audit recovery bounds the throttling: {}",
+            faulted.throughput
+        );
     }
 }

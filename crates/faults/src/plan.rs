@@ -1,0 +1,233 @@
+//! Fault kinds and schedules — the declarative half of the fault plane.
+
+/// Wildcard link index: a [`FaultKind::LinkBerBurst`] with this link
+/// matches every link traversal in the model.
+pub const LINK_ANY: usize = usize::MAX;
+
+/// What breaks.
+///
+/// The kinds mirror the OSMOSIS reliability surface: the crossbar's SOA
+/// gates, the WDM planes of the multistage fabric, the dual burst-mode
+/// receivers per egress, the SOA-amplified links themselves, and the two
+/// control-message classes (grants and credits) whose loss the
+/// architecture must tolerate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The SOA gate feeding `output` sticks off: nothing can be switched
+    /// to that egress while the fault is active.
+    SoaStuckOff {
+        /// The blocked egress port.
+        output: usize,
+    },
+    /// Wavelength plane (= middle-stage switch) `plane` drops out; the
+    /// fabric must re-route ascending cells around it.
+    WavelengthLoss {
+        /// The dead spine/plane index.
+        plane: usize,
+    },
+    /// One of `output`'s burst-mode receivers dies; the switch fails
+    /// over to the survivor at halved egress acceptance.
+    ReceiverDeath {
+        /// The degraded egress port.
+        output: usize,
+    },
+    /// A BER excursion on `link` (or [`LINK_ANY`]): each traversing cell
+    /// is detected-uncorrectable with probability `cell_error_prob` and
+    /// takes the hop-by-hop retransmission path.
+    LinkBerBurst {
+        /// Link index, model-defined (see each model's docs), or
+        /// [`LINK_ANY`].
+        link: usize,
+        /// Per-cell corruption probability while active.
+        cell_error_prob: f64,
+    },
+    /// Control-channel corruption: each issued grant is lost with
+    /// probability `prob`; the adapter re-requests.
+    GrantLoss {
+        /// Per-grant loss probability while active.
+        prob: f64,
+    },
+    /// Flow-control corruption: each returned credit is lost with
+    /// probability `prob` and recovered by the credit-resync audit.
+    CreditDrop {
+        /// Per-credit loss probability while active.
+        prob: f64,
+    },
+}
+
+/// When it breaks (and heals).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSchedule {
+    /// Fail once at `at`; heal `repair_after` slots later (`None` =
+    /// permanent).
+    OneShot {
+        /// Failure slot.
+        at: u64,
+        /// Repair time in slots, or `None` for a permanent fault.
+        repair_after: Option<u64>,
+    },
+    /// Fail at `phase`, `phase + period`, …, healing `duration` slots
+    /// into each period.
+    Periodic {
+        /// First failure slot.
+        phase: u64,
+        /// Failure period in slots (> `duration`).
+        period: u64,
+        /// Active time per period in slots (≥ 1).
+        duration: u64,
+    },
+    /// Exponentially distributed time-between-failures and time-to-repair
+    /// (means in slots), sampled from the injector's schedule RNG stream
+    /// — same seed, same fault trace.
+    Stochastic {
+        /// Mean slots between repair and the next failure.
+        mtbf: f64,
+        /// Mean slots from failure to repair.
+        mttr: f64,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEntry {
+    /// What breaks.
+    pub kind: FaultKind,
+    /// When it breaks and heals.
+    pub schedule: FaultSchedule,
+}
+
+/// A declarative set of scheduled faults, built fluently and handed to a
+/// [`FaultInjector`](crate::FaultInjector).
+///
+/// An empty plan is *vacuous*: the engine does not attach it, and the run
+/// is bit-identical to a fault-free run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    entries: Vec<FaultEntry>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a one-shot fault at slot `at`, healed after `repair_after`
+    /// slots (`None` = permanent).
+    pub fn one_shot(mut self, kind: FaultKind, at: u64, repair_after: Option<u64>) -> Self {
+        if let Some(r) = repair_after {
+            assert!(r >= 1, "repair time must be at least one slot");
+        }
+        validate_kind(&kind);
+        self.entries.push(FaultEntry {
+            kind,
+            schedule: FaultSchedule::OneShot { at, repair_after },
+        });
+        self
+    }
+
+    /// Add a permanent fault starting at slot `at`.
+    pub fn permanent(self, kind: FaultKind, at: u64) -> Self {
+        self.one_shot(kind, at, None)
+    }
+
+    /// Add a periodic fault: active for `duration` slots out of every
+    /// `period`, first failing at `phase`.
+    pub fn periodic(mut self, kind: FaultKind, phase: u64, period: u64, duration: u64) -> Self {
+        assert!(duration >= 1, "periodic fault needs duration ≥ 1");
+        assert!(period > duration, "period must exceed duration");
+        validate_kind(&kind);
+        self.entries.push(FaultEntry {
+            kind,
+            schedule: FaultSchedule::Periodic {
+                phase,
+                period,
+                duration,
+            },
+        });
+        self
+    }
+
+    /// Add an MTBF/MTTR-sampled fault (means in slots).
+    pub fn stochastic(mut self, kind: FaultKind, mtbf: f64, mttr: f64) -> Self {
+        assert!(mtbf > 0.0 && mttr > 0.0, "MTBF and MTTR must be positive");
+        validate_kind(&kind);
+        self.entries.push(FaultEntry {
+            kind,
+            schedule: FaultSchedule::Stochastic { mtbf, mttr },
+        });
+        self
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn entries(&self) -> &[FaultEntry] {
+        &self.entries
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the plan schedules nothing (vacuous).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn validate_kind(kind: &FaultKind) {
+    match *kind {
+        FaultKind::LinkBerBurst {
+            cell_error_prob, ..
+        } => {
+            assert!(
+                (0.0..=1.0).contains(&cell_error_prob),
+                "cell_error_prob out of [0,1]"
+            );
+        }
+        FaultKind::GrantLoss { prob } | FaultKind::CreditDrop { prob } => {
+            assert!((0.0..=1.0).contains(&prob), "probability out of [0,1]");
+        }
+        FaultKind::SoaStuckOff { .. }
+        | FaultKind::WavelengthLoss { .. }
+        | FaultKind::ReceiverDeath { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_entries_in_order() {
+        let plan = FaultPlan::new()
+            .one_shot(FaultKind::SoaStuckOff { output: 3 }, 100, Some(50))
+            .periodic(FaultKind::ReceiverDeath { output: 1 }, 10, 500, 100)
+            .stochastic(FaultKind::GrantLoss { prob: 0.1 }, 800.0, 200.0);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert!(matches!(
+            plan.entries()[0].schedule,
+            FaultSchedule::OneShot { at: 100, .. }
+        ));
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "period must exceed duration")]
+    fn periodic_duration_must_fit_in_period() {
+        let _ = FaultPlan::new().periodic(FaultKind::SoaStuckOff { output: 0 }, 0, 10, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of [0,1]")]
+    fn probabilities_are_validated() {
+        let _ = FaultPlan::new().permanent(FaultKind::GrantLoss { prob: 1.5 }, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MTBF and MTTR must be positive")]
+    fn stochastic_means_must_be_positive() {
+        let _ = FaultPlan::new().stochastic(FaultKind::CreditDrop { prob: 0.1 }, 0.0, 5.0);
+    }
+}

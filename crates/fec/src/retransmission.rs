@@ -15,6 +15,7 @@
 
 use crate::channel::BitErrorChannel;
 use crate::code::{self, OsmosisCode};
+use osmosis_sim::engine::EngineReport;
 use std::collections::VecDeque;
 
 /// Configuration of a reliable link simulation.
@@ -72,6 +73,38 @@ pub struct LinkReport {
     pub slots: u64,
     /// Delivered cells per slot (goodput; 1.0 = full rate).
     pub goodput: f64,
+}
+
+impl LinkReport {
+    /// Bridge this link study into the unified [`EngineReport`] shape, so
+    /// link-level reliability results fingerprint and compare like every
+    /// other simulator's output. A reliable link is a one-port system:
+    /// `offered_load` is offered cells per slot, `throughput` is the
+    /// goodput, and the protocol counters land in `extra` where the
+    /// engine's fingerprint covers them bit-exactly.
+    pub fn to_engine_report(&self) -> EngineReport {
+        let mut r = EngineReport {
+            offered_load: if self.slots == 0 {
+                0.0
+            } else {
+                self.offered as f64 / self.slots as f64
+            },
+            throughput: self.goodput,
+            injected: self.offered,
+            delivered: self.delivered,
+            measured_slots: self.slots,
+            ..EngineReport::default()
+        };
+        r.set_extra("link_offered", self.offered as f64);
+        r.set_extra("link_corrupted_arrivals", self.corrupted_arrivals as f64);
+        r.set_extra("link_retransmissions", self.retransmissions as f64);
+        r.set_extra("link_fec_corrected_cells", self.fec_corrected_cells as f64);
+        r.set_extra(
+            "link_undetected_corruptions",
+            self.undetected_corruptions as f64,
+        );
+        r
+    }
 }
 
 /// Deterministic payload for cell `seq` (so the receiver can verify
@@ -284,6 +317,32 @@ mod tests {
             );
             last = r.goodput;
         }
+    }
+
+    #[test]
+    fn engine_report_bridge_is_fingerprintable_and_ber_sensitive() {
+        let run = |ber: f64| run_reliable_link(&LinkConfig::osmosis(4, ber, 42), 600);
+
+        let clean = run(0.0).to_engine_report();
+        assert_eq!(clean.injected, 600);
+        assert_eq!(clean.delivered, 600);
+        assert_eq!(clean.extra("link_retransmissions"), Some(0.0));
+        assert_eq!(clean.extra("link_undetected_corruptions"), Some(0.0));
+        assert!(
+            (clean.throughput - clean.delivered as f64 / clean.measured_slots as f64).abs() < 1e-12
+        );
+
+        // Same config twice → bit-identical fingerprint.
+        assert_eq!(
+            clean.fingerprint(),
+            run(0.0).to_engine_report().fingerprint()
+        );
+
+        // A noisy link changes the protocol counters, hence the digest.
+        let noisy = run(3e-4).to_engine_report();
+        assert!(noisy.extra("link_retransmissions").unwrap() > 0.0);
+        assert!(noisy.throughput < clean.throughput);
+        assert_ne!(clean.fingerprint(), noisy.fingerprint());
     }
 
     #[test]

@@ -31,10 +31,21 @@ pub struct Flppr {
     master: Requests,
     subs: Vec<SubScheduler>,
     out_capacity: usize,
+    /// Per-output effective capacity under fault masking.
+    out_cap: Vec<usize>,
+    /// Per-slot issue counts, used only while masked.
+    out_issued: Vec<usize>,
+    /// Whether any output is currently degraded (fast-path gate: the
+    /// unmasked tick does zero extra work).
+    masked: bool,
     scratch: Matching,
     /// Grants dropped at validation because another sub-scheduler already
     /// served the cell (diagnostic).
     pub stale_grants: u64,
+    /// Grants withheld at issue time because fault masking had removed
+    /// the egress capacity; the cell stays queued and is re-granted once
+    /// the output heals (diagnostic).
+    pub masked_grants: u64,
 }
 
 impl Flppr {
@@ -48,8 +59,12 @@ impl Flppr {
                 .map(|_| SubScheduler::new(n, out_capacity))
                 .collect(),
             out_capacity,
+            out_cap: vec![out_capacity; n],
+            out_issued: vec![0; n],
+            masked: false,
             scratch: Matching::new(),
             stale_grants: 0,
+            masked_grants: 0,
         }
     }
 
@@ -103,10 +118,24 @@ impl CellScheduler for Flppr {
         let k = (slot % self.subs.len() as u64) as usize;
         self.subs[k].take(&mut self.scratch);
         let mut issued = Matching::with_capacity(self.scratch.len());
+        if self.masked {
+            self.out_issued.iter_mut().for_each(|c| *c = 0);
+        }
         for &(i, o) in self.scratch.pairs() {
+            // Under fault masking, re-check the effective capacity at
+            // issue time: the sub-scheduler may have accumulated this
+            // pair before the output degraded. The request survives in
+            // every view, so the cell is re-granted after repair.
+            if self.masked && self.out_issued[o] >= self.out_cap[o] {
+                self.masked_grants += 1;
+                continue;
+            }
             // Validate against the master: the cell may have been served
             // by another sub-scheduler in the meantime.
             if self.master.try_dec(i, o) {
+                if self.masked {
+                    self.out_issued[o] += 1;
+                }
                 issued.push(i, o);
                 // Remove the duplicate request everywhere.
                 for s in &mut self.subs {
@@ -117,6 +146,18 @@ impl CellScheduler for Flppr {
             }
         }
         issued
+    }
+
+    fn set_output_capacity(&mut self, output: usize, cap: usize) {
+        let cap = cap.min(self.out_capacity);
+        if self.out_cap[output] == cap {
+            return;
+        }
+        self.out_cap[output] = cap;
+        self.masked = self.out_cap.iter().any(|&c| c < self.out_capacity);
+        for s in &mut self.subs {
+            s.set_output_capacity(output, cap);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -259,5 +300,83 @@ mod tests {
         s.note_arrival(0, 1);
         let m = s.tick(0);
         assert_eq!(m.pairs(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn masked_output_receives_no_grants_until_repair() {
+        let mut s = Flppr::new(8, 3, 1);
+        for i in 0..8 {
+            s.note_arrival(i, 0);
+            s.note_arrival(i, 1);
+        }
+        s.set_output_capacity(0, 0);
+        let mut to_dead = 0usize;
+        let mut to_live = 0usize;
+        for t in 0..40 {
+            for &(_, o) in s.tick(t).pairs() {
+                if o == 0 {
+                    to_dead += 1;
+                } else {
+                    to_live += 1;
+                }
+            }
+        }
+        assert_eq!(to_dead, 0, "dead output must receive nothing");
+        assert_eq!(to_live, 8, "surviving output drains normally");
+        assert_eq!(s.occupancy().total(), 8, "masked cells stay queued");
+        // Repair: the withheld cells drain with no loss.
+        s.set_output_capacity(0, 1);
+        let mut drained = 0usize;
+        for t in 40..120 {
+            drained += s.tick(t).len();
+        }
+        assert_eq!(drained, 8, "every masked cell served after repair");
+        assert!(s.occupancy().is_empty());
+    }
+
+    #[test]
+    fn receiver_failover_halves_hot_output_drain_rate() {
+        let mut s = Flppr::new(8, 3, 2);
+        for i in 0..8 {
+            for _ in 0..6 {
+                s.note_arrival(i, 0);
+            }
+        }
+        // One of the two burst-mode receivers dies: drain rate must drop
+        // to at most one cell per slot, but service continues.
+        s.set_output_capacity(0, 1);
+        let mut drained = 0;
+        for t in 0..60 {
+            let m = s.tick(t);
+            assert!(m.len() <= 1, "failover caps grants at one per slot");
+            drained += m.len();
+        }
+        assert_eq!(drained, 48, "all cells served through the survivor");
+    }
+
+    #[test]
+    fn unmasked_behaviour_is_unchanged_by_the_masking_machinery() {
+        // Degrade then fully repair before any traffic: the subsequent
+        // grant sequence must equal a scheduler that was never touched.
+        let run = |touch: bool| {
+            let mut s = Flppr::new(8, 3, 1);
+            if touch {
+                s.set_output_capacity(2, 0);
+                s.set_output_capacity(2, 1);
+            }
+            let mut grants = Vec::new();
+            for i in 0..8 {
+                for o in 0..8 {
+                    if (i * 3 + o) % 2 == 0 {
+                        s.note_arrival(i, o);
+                    }
+                }
+            }
+            for t in 0..50 {
+                grants.extend(s.tick(t).pairs().to_vec());
+            }
+            grants
+        };
+        assert_eq!(run(false), run(true));
     }
 }

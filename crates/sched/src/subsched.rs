@@ -21,6 +21,9 @@ pub struct SubScheduler {
     /// Cells already claimed by the in-progress matching.
     reserved: Requests,
     out_capacity: usize,
+    /// Per-output *effective* capacity (≤ `out_capacity`), lowered by the
+    /// owner when fault masking degrades an egress.
+    out_cap: Vec<usize>,
     in_matched: Vec<bool>,
     /// Bit i set ⇔ input i is matched (word-parallel mirror of
     /// `in_matched` for the grant stage).
@@ -46,6 +49,7 @@ impl SubScheduler {
             req: Requests::square(n),
             reserved: Requests::square(n),
             out_capacity,
+            out_cap: vec![out_capacity; n],
             in_matched: vec![false; n],
             in_matched_bits: BitSet::new(n),
             subport_used: vec![false; n * out_capacity],
@@ -114,6 +118,32 @@ impl SubScheduler {
         self.pairs.len()
     }
 
+    /// Degrade (or restore) one output's effective capacity. Lowering the
+    /// cap un-matches any in-progress pairs on the now-dead sub-ports so
+    /// their inputs become grantable elsewhere this very iteration.
+    pub fn set_output_capacity(&mut self, output: usize, cap: usize) {
+        let cap = cap.min(self.out_capacity);
+        if self.out_cap[output] == cap {
+            return;
+        }
+        self.out_cap[output] = cap;
+        let r = self.out_capacity;
+        let mut k = 0;
+        while k < self.pairs.len() {
+            let (i, o, sp) = self.pairs[k];
+            if o == output && sp - o * r >= cap {
+                self.pairs.swap_remove(k);
+                self.in_matched[i] = false;
+                self.in_matched_bits.clear(i);
+                self.subport_used[sp] = false;
+                self.reserved.dec(i, o);
+                self.refresh_bit(i, o);
+            } else {
+                k += 1;
+            }
+        }
+    }
+
     /// Perform one grant/accept iteration, extending the partial matching.
     pub fn iterate(&mut self) {
         let n = self.ports();
@@ -123,7 +153,7 @@ impl SubScheduler {
         }
         let mut any = false;
         for o in 0..n {
-            for sub in 0..r {
+            for sub in 0..self.out_cap[o] {
                 let sp = o * r + sub;
                 if self.subport_used[sp] {
                     continue;
@@ -248,5 +278,50 @@ mod tests {
         }
         s.iterate();
         assert_eq!(s.partial_len(), 2, "two receivers on output 0");
+    }
+
+    #[test]
+    fn degraded_output_matches_fewer_and_recovers() {
+        let mut s = SubScheduler::new(4, 2);
+        s.set_output_capacity(0, 1);
+        for i in 0..4 {
+            s.note_arrival(i, 0);
+        }
+        s.iterate();
+        assert_eq!(s.partial_len(), 1, "one surviving receiver on output 0");
+        let mut m = Matching::new();
+        s.take(&mut m);
+        s.set_output_capacity(0, 2);
+        s.iterate();
+        s.iterate();
+        assert_eq!(s.partial_len(), 2, "full capacity after repair");
+    }
+
+    #[test]
+    fn lowering_capacity_unmatches_in_progress_pairs() {
+        let mut s = SubScheduler::new(4, 2);
+        for i in 0..4 {
+            s.note_arrival(i, 0);
+            s.note_arrival(i, 1);
+        }
+        s.iterate();
+        s.iterate();
+        let before = s.partial_len();
+        assert!(before >= 3, "warm matching uses both receivers");
+        // Kill output 0 entirely: its pairs must be released so the
+        // freed inputs can be re-matched toward output 1.
+        s.set_output_capacity(0, 0);
+        let mut m = Matching::new();
+        s.take(&mut m);
+        assert!(
+            m.pairs().iter().all(|&(_, o)| o != 0),
+            "no grant to dead output"
+        );
+        s.iterate();
+        s.iterate();
+        let mut m2 = Matching::new();
+        s.take(&mut m2);
+        assert!(m2.pairs().iter().all(|&(_, o)| o != 0));
+        assert!(!m2.is_empty(), "surviving output still matched");
     }
 }

@@ -30,6 +30,17 @@ pub trait CellScheduler {
     /// Produce the crossbar grants for this slot.
     fn tick(&mut self, slot: u64) -> Matching;
 
+    /// Degrade (or restore) one output's effective grant capacity, in
+    /// receivers per slot. The switch calls this when the fault plane
+    /// kills an egress component: `0` for a stuck-off SOA gate, `1` when
+    /// one of two burst-mode receivers dies, back to
+    /// [`out_capacity`](CellScheduler::out_capacity) on repair. Grants to
+    /// a degraded output must not exceed the effective capacity; cells
+    /// already queued stay queued until capacity returns. The default
+    /// ignores the request (schedulers without fault support simply keep
+    /// granting at full capacity).
+    fn set_output_capacity(&mut self, _output: usize, _cap: usize) {}
+
     /// Short algorithm name for reports.
     fn name(&self) -> &'static str;
 }

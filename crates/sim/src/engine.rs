@@ -29,6 +29,7 @@
 //! within noise of the pre-engine hand-rolled loops (see
 //! `crates/bench/benches/engine.rs`).
 
+use crate::fault::FaultView;
 use crate::stats::{Histogram, Welford};
 
 /// A cycle-level event emitted through a [`TraceSink`].
@@ -75,6 +76,12 @@ pub enum TraceEvent {
         output: u32,
         /// Number of simultaneous contenders.
         contenders: u32,
+    },
+    /// A cell was corrupted by a link fault and re-sent through the
+    /// hop-by-hop recovery path.
+    Retransmit {
+        /// The link/port the retransmission occurred on.
+        port: u32,
     },
 }
 
@@ -131,6 +138,8 @@ pub struct CountingTrace {
     pub credit_stalls: u64,
     /// Receiver conflicts observed.
     pub receiver_conflicts: u64,
+    /// Fault-path retransmissions observed.
+    pub retransmits: u64,
 }
 
 impl TraceSink for CountingTrace {
@@ -143,12 +152,14 @@ impl TraceSink for CountingTrace {
             TraceEvent::Drop { .. } => self.drops += 1,
             TraceEvent::CreditStall { .. } => self.credit_stalls += 1,
             TraceEvent::ReceiverConflict { .. } => self.receiver_conflicts += 1,
+            TraceEvent::Retransmit { .. } => self.retransmits += 1,
         }
     }
 }
 
 /// Optional convergence-based early stop: end the measurement window once
-/// the 95% confidence interval on mean delay is tight enough.
+/// the 95% confidence interval on mean delay — and on the drop fraction —
+/// is tight enough.
 #[derive(Debug, Clone, Copy)]
 pub struct Convergence {
     /// Check cadence, in measured slots.
@@ -157,6 +168,13 @@ pub struct Convergence {
     pub ci_halfwidth: f64,
     /// Never stop before this many delay samples.
     pub min_cells: u64,
+    /// Additionally require the 95% CI halfwidth on the drop *fraction*
+    /// (`1.96·√(p(1−p)/n)` over delivered+dropped outcomes) to be at or
+    /// below this. Drop-heavy runs (bufferless contention, fault plans)
+    /// would otherwise converge on delay alone while the loss estimate is
+    /// still noisy: delay is only sampled on *delivered* cells, so its CI
+    /// tightens regardless of how unsettled the drop rate is.
+    pub drop_ci_halfwidth: f64,
 }
 
 impl Default for Convergence {
@@ -165,6 +183,7 @@ impl Default for Convergence {
             check_every: 1_000,
             ci_halfwidth: 0.05,
             min_cells: 5_000,
+            drop_ci_halfwidth: 0.01,
         }
     }
 }
@@ -264,6 +283,32 @@ pub struct EngineReport {
     pub extra: Vec<(&'static str, f64)>,
 }
 
+impl Default for EngineReport {
+    /// An all-zero report with empty single-bucket histograms — the
+    /// starting point for bridges that fill a report from non-engine
+    /// sources (e.g. the fec link study).
+    fn default() -> Self {
+        EngineReport {
+            offered_load: 0.0,
+            throughput: 0.0,
+            mean_delay: 0.0,
+            p99_delay: None,
+            mean_request_grant: 0.0,
+            injected: 0,
+            delivered: 0,
+            dropped: 0,
+            reordered: 0,
+            max_queue_depth: 0,
+            max_egress_depth: 0,
+            measured_slots: 0,
+            converged_early: false,
+            delay_hist: Histogram::new(1.0, 1),
+            grant_hist: Histogram::new(1.0, 1),
+            extra: Vec::new(),
+        }
+    }
+}
+
 impl EngineReport {
     /// Look up a model-specific metric by name.
     pub fn extra(&self, name: &str) -> Option<f64> {
@@ -349,12 +394,15 @@ impl Fnv {
 /// loops also assumed).
 pub struct Observer<'a, T: TraceSink> {
     sink: &'a mut T,
+    faults: Option<&'a mut dyn FaultView>,
     warmup_slots: u64,
     slot: u64,
     measuring: bool,
     injected: u64,
     delivered: u64,
     dropped: u64,
+    fault_cells_lost: u64,
+    fault_retransmits: u64,
     delay: Welford,
     delay_hist: Histogram,
     grant_hist: Histogram,
@@ -366,12 +414,15 @@ impl<'a, T: TraceSink> Observer<'a, T> {
     fn new(cfg: &EngineConfig, sink: &'a mut T) -> Self {
         Observer {
             sink,
+            faults: None,
             warmup_slots: cfg.warmup_slots,
             slot: 0,
             measuring: cfg.warmup_slots == 0,
             injected: 0,
             delivered: 0,
             dropped: 0,
+            fault_cells_lost: 0,
+            fault_retransmits: 0,
             delay: Welford::new(),
             // Sized to stay cache-resident in the hot loop (32 KB + 8 KB);
             // larger delays land in the overflow bucket, where the mean
@@ -387,6 +438,9 @@ impl<'a, T: TraceSink> Observer<'a, T> {
     fn begin_slot(&mut self, slot: u64) {
         self.slot = slot;
         self.measuring = slot >= self.warmup_slots;
+        if let Some(f) = self.faults.as_mut() {
+            f.begin_slot(slot);
+        }
     }
 
     /// The current slot.
@@ -489,6 +543,92 @@ impl<'a, T: TraceSink> Observer<'a, T> {
         });
     }
 
+    /// Whether a fault plane is attached to this run. Models gate all
+    /// their fault logic on this so no-fault runs pay one branch per
+    /// phase at most.
+    #[inline]
+    pub fn faults_attached(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Fault query: is `output`'s SOA gate stuck off this slot?
+    #[inline]
+    pub fn fault_output_blocked(&self, output: usize) -> bool {
+        match &self.faults {
+            Some(f) => f.output_blocked(output),
+            None => false,
+        }
+    }
+
+    /// Fault query: dead burst-mode receivers at `output` this slot.
+    #[inline]
+    pub fn fault_receivers_down(&self, output: usize) -> usize {
+        match &self.faults {
+            Some(f) => f.receivers_down(output),
+            None => 0,
+        }
+    }
+
+    /// Fault query: is wavelength plane / middle-stage `plane` down?
+    #[inline]
+    pub fn fault_plane_down(&self, plane: usize) -> bool {
+        match &self.faults {
+            Some(f) => f.plane_down(plane),
+            None => false,
+        }
+    }
+
+    /// Fault draw: was this issued grant lost in the control channel?
+    /// Call once per grant.
+    #[inline]
+    pub fn fault_grant_lost(&mut self, input: usize, output: usize) -> bool {
+        match &mut self.faults {
+            Some(f) => f.grant_lost(input, output),
+            None => false,
+        }
+    }
+
+    /// Fault draw: was this credit return toward (`node`, `port`) lost?
+    /// Call once per credit.
+    #[inline]
+    pub fn fault_credit_dropped(&mut self, node: usize, port: usize) -> bool {
+        match &mut self.faults {
+            Some(f) => f.credit_dropped(node, port),
+            None => false,
+        }
+    }
+
+    /// Fault draw: was the cell crossing `link` corrupted? Call once per
+    /// link traversal.
+    #[inline]
+    pub fn fault_cell_corrupted(&mut self, link: usize) -> bool {
+        match &mut self.faults {
+            Some(f) => f.cell_corrupted(link),
+            None => false,
+        }
+    }
+
+    /// A cell was permanently lost to a fault at `port` (counted both as
+    /// a drop and in the fault-loss tally).
+    #[inline]
+    pub fn cell_lost_to_fault(&mut self, port: usize) {
+        if self.measuring {
+            self.dropped += 1;
+            self.fault_cells_lost += 1;
+        }
+        self.trace(TraceEvent::Drop { port: port as u32 });
+    }
+
+    /// A corrupted cell was re-sent over `port`'s hop-by-hop recovery
+    /// path this slot.
+    #[inline]
+    pub fn cell_retransmitted(&mut self, port: usize) {
+        if self.measuring {
+            self.fault_retransmits += 1;
+        }
+        self.trace(TraceEvent::Retransmit { port: port as u32 });
+    }
+
     /// Track the deepest ingress-side queue.
     #[inline]
     pub fn note_queue_depth(&mut self, depth: usize) {
@@ -575,10 +715,40 @@ pub fn run<M: SlottedModel + ?Sized, T: TraceSink>(
     cfg: &EngineConfig,
     sink: &mut T,
 ) -> EngineReport {
+    run_inner(model, cfg, sink, None)
+}
+
+/// Run `model` with a fault plane attached: `faults` is configured from
+/// the run seed, advanced every slot, and consulted by the model through
+/// the observer's `fault_*` methods.
+///
+/// A vacuous view (empty fault plan) is *not* attached, so the run — and
+/// its report fingerprint — is bit-identical to [`run`].
+pub fn run_faulted<M: SlottedModel + ?Sized, T: TraceSink>(
+    model: &mut M,
+    cfg: &EngineConfig,
+    sink: &mut T,
+    faults: &mut dyn FaultView,
+) -> EngineReport {
+    faults.configure(cfg);
+    if faults.is_vacuous() {
+        run_inner(model, cfg, sink, None)
+    } else {
+        run_inner(model, cfg, sink, Some(faults))
+    }
+}
+
+fn run_inner<'a, M: SlottedModel + ?Sized, T: TraceSink>(
+    model: &mut M,
+    cfg: &EngineConfig,
+    sink: &'a mut T,
+    faults: Option<&'a mut dyn FaultView>,
+) -> EngineReport {
     model.configure(cfg);
     let ports = model.ports();
     let total_slots = cfg.warmup_slots + cfg.measure_slots;
     let mut obs = Observer::new(cfg, sink);
+    obs.faults = faults;
     let mut t = 0u64;
     let mut converged_early = false;
     while t < total_slots {
@@ -596,7 +766,17 @@ pub fn run<M: SlottedModel + ?Sized, T: TraceSink>(
             {
                 let n = obs.delay.count() as f64;
                 let halfwidth = 1.96 * obs.delay.std_dev() / n.sqrt();
-                if halfwidth <= cv.ci_halfwidth {
+                // Delay is only sampled on delivered cells; require the
+                // drop-fraction estimate to have settled too, or
+                // drop-heavy runs converge on delay alone.
+                let outcomes = (obs.delivered + obs.dropped) as f64;
+                let drop_halfwidth = if outcomes > 0.0 {
+                    let p = obs.dropped as f64 / outcomes;
+                    1.96 * (p * (1.0 - p) / outcomes).sqrt()
+                } else {
+                    0.0
+                };
+                if halfwidth <= cv.ci_halfwidth && drop_halfwidth <= cv.drop_ci_halfwidth {
                     converged_early = true;
                     break;
                 }
@@ -604,14 +784,31 @@ pub fn run<M: SlottedModel + ?Sized, T: TraceSink>(
         }
     }
     let measured_slots = t.saturating_sub(cfg.warmup_slots);
+    let fault_cells_lost = obs.fault_cells_lost;
+    let fault_retransmits = obs.fault_retransmits;
+    let faults = obs.faults.take();
     let mut report = obs.into_report(ports, measured_slots, converged_early);
     model.finish(&mut report);
+    if let Some(f) = faults {
+        report.set_extra("fault_cells_lost", fault_cells_lost as f64);
+        report.set_extra("fault_retransmits", fault_retransmits as f64);
+        f.finish(&mut report);
+    }
     report
 }
 
 /// Run `model` with tracing disabled — the common case.
 pub fn run_model<M: SlottedModel + ?Sized>(model: &mut M, cfg: &EngineConfig) -> EngineReport {
     run(model, cfg, &mut NullTrace)
+}
+
+/// Run `model` with tracing disabled and a fault plane attached.
+pub fn run_model_faulted<M: SlottedModel + ?Sized>(
+    model: &mut M,
+    cfg: &EngineConfig,
+    faults: &mut dyn FaultView,
+) -> EngineReport {
+    run_faulted(model, cfg, &mut NullTrace, faults)
 }
 
 #[cfg(test)]
@@ -707,6 +904,7 @@ mod tests {
             check_every: 100,
             ci_halfwidth: 0.5,
             min_cells: 50,
+            drop_ci_halfwidth: 1.0,
         });
         let r = run_model(&mut ToyQueue::new(2, 1), &cfg);
         assert!(r.converged_early);
@@ -753,6 +951,152 @@ mod tests {
             vec_sink.events[0],
             (0, TraceEvent::Inject { src: 0, dst: 0 })
         ));
+    }
+
+    /// Inject two cells per slot into a single server: one is served,
+    /// the other dropped — constant delay, drop fraction 1/2.
+    struct DroppyQueue {
+        queue: std::collections::VecDeque<u64>,
+    }
+
+    impl SlottedModel for DroppyQueue {
+        fn ports(&self) -> usize {
+            1
+        }
+
+        fn arbitrate<T: TraceSink>(&mut self, _slot: u64, _obs: &mut Observer<'_, T>) {}
+
+        fn deliver<T: TraceSink>(&mut self, _slot: u64, obs: &mut Observer<'_, T>) {
+            if let Some(inject_slot) = self.queue.pop_front() {
+                obs.cell_delivered(0, inject_slot);
+            }
+        }
+
+        fn inject<T: TraceSink>(&mut self, slot: u64, obs: &mut Observer<'_, T>) {
+            obs.cell_injected(0, 0);
+            self.queue.push_back(slot);
+            obs.cell_injected(0, 0);
+            obs.cell_dropped(0);
+        }
+    }
+
+    #[test]
+    fn drops_gate_convergence_alongside_delay() {
+        // Delay is constant (CI = 0 immediately), but the drop fraction
+        // is 1/2: its Bernoulli CI needs ≈384 outcomes to reach a 0.05
+        // halfwidth. A delay-only check would stop at the first
+        // opportunity (100 measured slots / 200 outcomes).
+        let strict = EngineConfig::new(0, 1_000_000).with_convergence(Convergence {
+            check_every: 100,
+            ci_halfwidth: 0.5,
+            min_cells: 50,
+            drop_ci_halfwidth: 0.05,
+        });
+        let r = run_model(
+            &mut DroppyQueue {
+                queue: Default::default(),
+            },
+            &strict,
+        );
+        assert!(r.converged_early);
+        assert!(
+            r.measured_slots > 100,
+            "drop CI must delay convergence: {}",
+            r.measured_slots
+        );
+
+        let loose = EngineConfig::new(0, 1_000_000).with_convergence(Convergence {
+            check_every: 100,
+            ci_halfwidth: 0.5,
+            min_cells: 50,
+            drop_ci_halfwidth: 1.0,
+        });
+        let r = run_model(
+            &mut DroppyQueue {
+                queue: Default::default(),
+            },
+            &loose,
+        );
+        assert_eq!(r.measured_slots, 100, "loose drop CI stops at first check");
+    }
+
+    #[test]
+    fn vacuous_fault_view_leaves_the_run_bit_identical() {
+        use crate::fault::NullFaults;
+        let cfg = EngineConfig::new(10, 200);
+        let plain = run_model(&mut ToyQueue::new(3, 2), &cfg);
+        let faulted = run_model_faulted(&mut ToyQueue::new(3, 2), &cfg, &mut NullFaults);
+        assert_eq!(plain.fingerprint(), faulted.fingerprint());
+        assert_eq!(faulted.extra("fault_cells_lost"), None, "no fault extras");
+    }
+
+    #[test]
+    fn non_vacuous_fault_view_is_driven_and_surfaces_extras() {
+        use crate::fault::FaultView;
+
+        /// Blocks output 0 from slot 50 and counts the queries it saw.
+        #[derive(Default)]
+        struct Probe {
+            slots_seen: u64,
+            queries: u64,
+            finished: bool,
+        }
+        impl FaultView for Probe {
+            fn begin_slot(&mut self, _slot: u64) {
+                self.slots_seen += 1;
+            }
+            fn is_vacuous(&self) -> bool {
+                false
+            }
+            fn output_blocked(&self, _output: usize) -> bool {
+                true
+            }
+            fn finish(&mut self, report: &mut EngineReport) {
+                report.set_extra("probe_finished", 1.0);
+                self.finished = true;
+            }
+        }
+
+        /// A model that stalls whenever its output is blocked.
+        struct Gated {
+            queue: std::collections::VecDeque<u64>,
+        }
+        impl SlottedModel for Gated {
+            fn ports(&self) -> usize {
+                1
+            }
+            fn arbitrate<T: TraceSink>(&mut self, _slot: u64, _obs: &mut Observer<'_, T>) {}
+            fn deliver<T: TraceSink>(&mut self, _slot: u64, obs: &mut Observer<'_, T>) {
+                if obs.faults_attached() && obs.fault_output_blocked(0) {
+                    return;
+                }
+                if let Some(inject_slot) = self.queue.pop_front() {
+                    obs.cell_delivered(0, inject_slot);
+                }
+            }
+            fn inject<T: TraceSink>(&mut self, slot: u64, obs: &mut Observer<'_, T>) {
+                obs.cell_injected(0, 0);
+                self.queue.push_back(slot);
+            }
+        }
+
+        let cfg = EngineConfig::new(0, 100);
+        let mut probe = Probe::default();
+        let r = run_faulted(
+            &mut Gated {
+                queue: Default::default(),
+            },
+            &cfg,
+            &mut NullTrace,
+            &mut probe,
+        );
+        assert_eq!(probe.slots_seen, 100, "begin_slot driven every slot");
+        assert!(probe.finished);
+        let _ = probe.queries;
+        assert_eq!(r.delivered, 0, "output stayed blocked");
+        assert_eq!(r.extra("probe_finished"), Some(1.0));
+        assert_eq!(r.extra("fault_cells_lost"), Some(0.0));
+        assert_eq!(r.extra("fault_retransmits"), Some(0.0));
     }
 
     #[test]

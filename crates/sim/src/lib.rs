@@ -21,6 +21,7 @@
 
 pub mod engine;
 pub mod events;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod sweep;
@@ -31,6 +32,7 @@ pub use engine::{
     TraceEvent, TraceSink, VecTrace,
 };
 pub use events::{run_until, EventQueue};
+pub use fault::{FaultView, NullFaults};
 pub use rng::{SeedSequence, SimRng};
 pub use stats::{Counter, Histogram, SimSummary, Welford};
 pub use sweep::{linspace, logspace, parallel_sweep};

@@ -16,8 +16,9 @@
 //! switch, whose workload is internal) implement `SlottedModel` directly.
 
 use osmosis_sim::engine::{
-    run, run_model, EngineConfig, EngineReport, Observer, SlottedModel, TraceSink,
+    run, run_faulted, run_model, EngineConfig, EngineReport, Observer, SlottedModel, TraceSink,
 };
+use osmosis_sim::{FaultView, NullTrace};
 use osmosis_traffic::{Arrival, TrafficGen};
 
 /// A slotted simulator driven by an external traffic generator.
@@ -115,4 +116,32 @@ pub fn run_switch_traced<S: CellSwitch + ?Sized, T: TraceSink>(
     sink: &mut T,
 ) -> EngineReport {
     run(&mut Driven::new(switch, traffic), cfg, sink)
+}
+
+/// Run a traffic-driven simulator under a fault plane. A vacuous view
+/// (empty plan) leaves the run bit-identical to [`run_switch`].
+pub fn run_switch_faulted<S: CellSwitch + ?Sized>(
+    switch: &mut S,
+    traffic: &mut dyn TrafficGen,
+    cfg: &EngineConfig,
+    faults: &mut dyn FaultView,
+) -> EngineReport {
+    run_faulted(
+        &mut Driven::new(switch, traffic),
+        cfg,
+        &mut NullTrace,
+        faults,
+    )
+}
+
+/// Run a traffic-driven simulator under a fault plane, streaming trace
+/// events into `sink`.
+pub fn run_switch_faulted_traced<S: CellSwitch + ?Sized, T: TraceSink>(
+    switch: &mut S,
+    traffic: &mut dyn TrafficGen,
+    cfg: &EngineConfig,
+    sink: &mut T,
+    faults: &mut dyn FaultView,
+) -> EngineReport {
+    run_faulted(&mut Driven::new(switch, traffic), cfg, sink, faults)
 }

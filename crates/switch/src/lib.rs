@@ -44,7 +44,10 @@ pub use cell::Cell;
 pub use cioq::CioqSwitch;
 pub use control_protocol::{run_control_channel, ControlProtocol, ControlReport};
 pub use deflection::DeflectionSwitch;
-pub use driven::{run_switch, run_switch_traced, CellSwitch, Driven};
+pub use driven::{
+    run_switch, run_switch_faulted, run_switch_faulted_traced, run_switch_traced, CellSwitch,
+    Driven,
+};
 pub use fifo_switch::FifoSwitch;
 pub use multicast::{run_multicast, MulticastSwitch, MulticastWorkload};
 pub use oq_switch::OqSwitch;

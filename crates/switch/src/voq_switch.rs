@@ -33,6 +33,11 @@ pub struct VoqSwitch {
     stamper: SequenceStamper,
     checker: SequenceChecker,
     next_id: u64,
+    /// Receivers per egress in the fault-free switch.
+    nominal_cap: usize,
+    /// Capacity currently applied to the scheduler per output; updated
+    /// only under an attached fault plane.
+    applied_cap: Vec<usize>,
 }
 
 impl VoqSwitch {
@@ -40,6 +45,7 @@ impl VoqSwitch {
     pub fn new(sched: Box<dyn CellScheduler>) -> Self {
         let n = sched.inputs();
         assert_eq!(n, sched.outputs(), "square switch expected");
+        let nominal_cap = sched.out_capacity();
         VoqSwitch {
             n,
             sched,
@@ -48,6 +54,8 @@ impl VoqSwitch {
             stamper: SequenceStamper::new(),
             checker: SequenceChecker::new(),
             next_id: 0,
+            nominal_cap,
+            applied_cap: vec![nominal_cap; n],
         }
     }
 
@@ -69,11 +77,42 @@ impl CellSwitch for VoqSwitch {
 
     fn configure(&mut self, _cfg: &EngineConfig) {
         self.checker = SequenceChecker::new();
+        // Restore full egress capacity in case a previous faulted run
+        // left a degraded scheduler behind.
+        for o in 0..self.n {
+            if self.applied_cap[o] != self.nominal_cap {
+                self.applied_cap[o] = self.nominal_cap;
+                self.sched.set_output_capacity(o, self.nominal_cap);
+            }
+        }
     }
 
     fn arbitrate<T: TraceSink>(&mut self, slot: u64, obs: &mut Observer<'_, T>) {
+        if obs.faults_attached() {
+            // Reflect this slot's fault state into the scheduler: a
+            // stuck-off SOA gate removes the whole egress, a dead
+            // burst-mode receiver halves it (failover to the survivor).
+            for o in 0..self.n {
+                let cap = if obs.fault_output_blocked(o) {
+                    0
+                } else {
+                    self.nominal_cap.saturating_sub(obs.fault_receivers_down(o))
+                };
+                if cap != self.applied_cap[o] {
+                    self.applied_cap[o] = cap;
+                    self.sched.set_output_capacity(o, cap);
+                }
+            }
+        }
         let matching = self.sched.tick(slot);
         for &(i, o) in matching.pairs() {
+            if obs.faults_attached() && obs.fault_grant_lost(i, o) {
+                // The grant was corrupted in the control channel and never
+                // reached the ingress adapter: the cell stays in its VOQ
+                // and the adapter re-requests it next slot.
+                self.sched.note_arrival(i, o);
+                continue;
+            }
             let q = &mut self.voq[i * self.n + o];
             let mut cell = q
                 .pop_front()
@@ -87,6 +126,13 @@ impl CellSwitch for VoqSwitch {
     fn deliver<T: TraceSink>(&mut self, _slot: u64, obs: &mut Observer<'_, T>) {
         for (o, q) in self.egress.iter_mut().enumerate() {
             obs.note_egress_depth(q.len());
+            if !q.is_empty() && obs.faults_attached() && obs.fault_cell_corrupted(o) {
+                // The egress transmission was corrupted by a link fault;
+                // the cell stays at the queue head and is re-sent next
+                // slot (hop-by-hop retransmission).
+                obs.cell_retransmitted(o);
+                continue;
+            }
             if let Some(cell) = q.pop_front() {
                 debug_assert_eq!(cell.dst, o);
                 self.checker.record(cell.src, cell.dst, cell.seq);
@@ -285,6 +331,141 @@ mod tests {
         let a = run_uniform(|| Box::new(Flppr::osmosis(8, 1)), 0.5, &cfg);
         let b = run_uniform(|| Box::new(Flppr::osmosis(8, 1)), 0.5, &cfg);
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_plain_run() {
+        use crate::driven::run_switch_faulted;
+        use osmosis_faults::{FaultInjector, FaultPlan};
+        let cfg = small_cfg().with_seed(99);
+        let plain = run_uniform(|| Box::new(Flppr::osmosis(8, 1)), 0.5, &cfg);
+        let mut sw = VoqSwitch::new(Box::new(Flppr::osmosis(8, 1)));
+        let mut tr = BernoulliUniform::new(8, 0.5, &SeedSequence::new(cfg.seed));
+        let mut inj = FaultInjector::new(FaultPlan::new());
+        let faulted = run_switch_faulted(&mut sw, &mut tr, &cfg, &mut inj);
+        assert_eq!(plain.fingerprint(), faulted.fingerprint());
+    }
+
+    #[test]
+    fn stuck_off_soa_gate_blocks_its_output_and_heals() {
+        use crate::driven::run_switch_faulted_traced;
+        use osmosis_faults::{FaultInjector, FaultKind, FaultPlan};
+        use osmosis_sim::{TraceEvent, VecTrace};
+        // Output 0's gate sticks off for slots [1000, 2000); the run
+        // measures from slot 0 so the trace shows the outage window.
+        let cfg = EngineConfig::new(0, 5_000).with_seed(3);
+        let mut sw = VoqSwitch::new(Box::new(Flppr::osmosis(8, 1)));
+        let mut tr = BernoulliUniform::new(8, 0.6, &SeedSequence::new(cfg.seed));
+        let plan =
+            FaultPlan::new().one_shot(FaultKind::SoaStuckOff { output: 0 }, 1_000, Some(1_000));
+        let mut inj = FaultInjector::new(plan);
+        let mut sink = VecTrace::default();
+        let r = run_switch_faulted_traced(&mut sw, &mut tr, &cfg, &mut sink, &mut inj);
+        let deliveries_to_0 = |from: u64, to: u64| {
+            sink.events
+                .iter()
+                .filter(|&&(slot, e)| {
+                    (from..to).contains(&slot) && matches!(e, TraceEvent::Deliver { output: 0, .. })
+                })
+                .count()
+        };
+        // One residual egress cell may drain right after the gate dies.
+        assert!(
+            deliveries_to_0(1_001, 2_000) == 0,
+            "no deliveries from a stuck-off gate"
+        );
+        assert!(
+            deliveries_to_0(2_000, 5_000) > 100,
+            "output 0 drains its backlog after repair"
+        );
+        assert_eq!(r.dropped, 0, "masking is lossless");
+        assert_eq!(r.reordered, 0);
+        assert_eq!(r.extra("faults_injected"), Some(1.0));
+        assert_eq!(r.extra("faults_healed"), Some(1.0));
+    }
+
+    #[test]
+    fn receiver_death_degrades_then_recovers_throughput() {
+        use crate::driven::run_switch_faulted;
+        use osmosis_faults::{FaultInjector, FaultKind, FaultPlan};
+        // Dual receivers; hotspot output 0 at 1.5× line rate needs both.
+        // Killing one receiver for a window must not lose or reorder
+        // anything — the backlog drains through the survivor.
+        let cfg = EngineConfig::new(0, 8_000).with_seed(7);
+        let run = |plan: FaultPlan| {
+            let mut sw = VoqSwitch::new(Box::new(Flppr::osmosis(8, 2)));
+            let mut tr = Hotspot::new(8, 0.2, 0, 0.75, &SeedSequence::new(cfg.seed));
+            let mut inj = FaultInjector::new(plan);
+            run_switch_faulted(&mut sw, &mut tr, &cfg, &mut inj)
+        };
+        let nominal = run(FaultPlan::new());
+        let degraded = run(FaultPlan::new().one_shot(
+            FaultKind::ReceiverDeath { output: 0 },
+            1_000,
+            Some(2_000),
+        ));
+        assert_eq!(degraded.dropped, 0);
+        assert_eq!(degraded.reordered, 0);
+        assert!(
+            degraded.mean_delay > nominal.mean_delay,
+            "failover shows up as queueing delay: {} vs {}",
+            degraded.mean_delay,
+            nominal.mean_delay
+        );
+        assert!(
+            degraded.throughput > 0.9 * nominal.throughput,
+            "window is long enough to recover: {} vs {}",
+            degraded.throughput,
+            nominal.throughput
+        );
+    }
+
+    #[test]
+    fn lost_grants_are_reissued_without_loss() {
+        use crate::driven::run_switch_faulted;
+        use osmosis_faults::{FaultInjector, FaultKind, FaultPlan};
+        let cfg = EngineConfig::new(0, 6_000).with_seed(11);
+        let mut sw = VoqSwitch::new(Box::new(Flppr::osmosis(8, 1)));
+        let mut tr = BernoulliUniform::new(8, 0.5, &SeedSequence::new(cfg.seed));
+        let plan = FaultPlan::new().permanent(FaultKind::GrantLoss { prob: 0.2 }, 0);
+        let mut inj = FaultInjector::new(plan);
+        let r = run_switch_faulted(&mut sw, &mut tr, &cfg, &mut inj);
+        assert!(
+            r.extra("fault_grants_lost").unwrap() > 100.0,
+            "the fault actually fired"
+        );
+        assert_eq!(r.dropped, 0, "every lost grant is re-requested");
+        assert_eq!(r.reordered, 0);
+        assert!(
+            (r.throughput - r.offered_load).abs() < 0.03,
+            "20% grant loss costs latency, not throughput: {} vs {}",
+            r.throughput,
+            r.offered_load
+        );
+    }
+
+    #[test]
+    fn link_ber_burst_retransmits_at_egress() {
+        use crate::driven::run_switch_faulted;
+        use osmosis_faults::{FaultInjector, FaultKind, FaultPlan, LINK_ANY};
+        let cfg = EngineConfig::new(0, 6_000).with_seed(13);
+        let mut sw = VoqSwitch::new(Box::new(Flppr::osmosis(8, 1)));
+        let mut tr = BernoulliUniform::new(8, 0.4, &SeedSequence::new(cfg.seed));
+        let plan = FaultPlan::new().permanent(
+            FaultKind::LinkBerBurst {
+                link: LINK_ANY,
+                cell_error_prob: 0.1,
+            },
+            0,
+        );
+        let mut inj = FaultInjector::new(plan);
+        let r = run_switch_faulted(&mut sw, &mut tr, &cfg, &mut inj);
+        assert!(
+            r.extra("fault_retransmits").unwrap() > 100.0,
+            "corrupted egress transmissions were re-sent"
+        );
+        assert_eq!(r.dropped, 0, "retransmission recovers every corruption");
+        assert_eq!(r.reordered, 0, "head-of-line retransmit preserves order");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 pub use osmosis_analysis as analysis;
 pub use osmosis_core as core;
 pub use osmosis_fabric as fabric;
+pub use osmosis_faults as faults;
 pub use osmosis_fec as fec;
 pub use osmosis_phy as phy;
 pub use osmosis_sched as sched;
