@@ -2,20 +2,53 @@
 //! the multistage fabric under the deterministic fault plane.
 //!
 //! Flags: `--quick` runs at test scale; `--smoke` is `--quick` plus a
-//! hard pass/fail on the resilience acceptance bars (for CI).
+//! hard pass/fail on the resilience acceptance bars (for CI);
+//! `--audit` attaches the invariant auditors to every run and fails on
+//! any violation; `--checkpoint <dir>` checkpoints each completed sweep
+//! point to `<dir>` so an interrupted study resumes bit-identically.
 
 use osmosis_bench::{print_table, scale_from_args};
-use osmosis_core::experiments::availability;
+use osmosis_core::experiments::availability::{self, AvailabilityOptions};
 use osmosis_core::Scale;
+use std::path::PathBuf;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let audit = args.iter().any(|a| a == "--audit");
+    let checkpoint_dir =
+        args.iter()
+            .position(|a| a == "--checkpoint")
+            .map(|i| match args.get(i + 1) {
+                Some(dir) => PathBuf::from(dir),
+                None => {
+                    eprintln!("--checkpoint needs a directory argument");
+                    std::process::exit(2);
+                }
+            });
+    if let Some(dir) = &checkpoint_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create checkpoint dir {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
     let scale = if smoke {
         Scale::Quick
     } else {
         scale_from_args()
     };
-    let r = availability::run(scale, 0xFA11);
+    let opts = AvailabilityOptions {
+        audit,
+        checkpoint_dir,
+        ..Default::default()
+    };
+    let r = match availability::run_with(scale, 0xFA11, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("availability sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
 
     print_table(
         &format!(
@@ -97,6 +130,13 @@ fn main() {
             "recovery took {rec} slots, above the configured MTTR {}",
             m.mttr
         );
+    }
+    if audit {
+        assert_eq!(
+            r.audit_violations, 0,
+            "invariant auditors recorded violations"
+        );
+        println!("\naudit: every invariant held across all legs");
     }
 
     println!("\nOne dead wavelength plane costs almost nothing: surviving planes absorb the");

@@ -19,16 +19,28 @@
 //!    fault is the availability delivered by the repair process.
 //!
 //! All fault timelines derive from the run seed, so every number here is
-//! exactly reproducible.
+//! exactly reproducible — including across a crash: the sweeps run under
+//! the supervised sweep runner ([`osmosis_sim::supervised_sweep`]), and
+//! with [`AvailabilityOptions::checkpoint_dir`] set they checkpoint each
+//! completed point to disk and resume bit-identically after an
+//! interruption. [`AvailabilityOptions::audit`] attaches the invariant
+//! auditors (`osmosis-audit`) to every run; a clean audit leaves each
+//! report bit-identical to the unaudited run.
 
 use super::Scale;
+use osmosis_audit::{AuditMode, AuditSet};
 use osmosis_fabric::multistage::{FabricConfig, FatTreeFabric};
 use osmosis_fabric::{EngineConfig, EngineReport};
 use osmosis_faults::{FaultInjector, FaultKind, FaultPlan};
-use osmosis_sim::engine::{TraceEvent, TraceSink};
-use osmosis_sim::SeedSequence;
-use osmosis_switch::driven::run_switch_faulted_traced;
+use osmosis_sim::engine::{run_instrumented, TraceEvent, TraceSink};
+use osmosis_sim::json::Value;
+use osmosis_sim::{
+    checkpointed_sweep, supervised_sweep, FaultView, SeedSequence, SweepCheckpoint, SweepError,
+    SweepOptions, SweepState, SweepSummary,
+};
+use osmosis_switch::driven::Driven;
 use osmosis_traffic::BernoulliUniform;
+use std::path::PathBuf;
 
 /// One point of the throughput-vs-failed-planes sweep.
 #[derive(Debug, Clone)]
@@ -42,7 +54,7 @@ pub struct PlanePoint {
 }
 
 /// One point of the recovery-latency-vs-MTTR sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MttrPoint {
     /// Configured repair time (slots after fault onset).
     pub mttr: u64,
@@ -54,6 +66,41 @@ pub struct MttrPoint {
     /// of nominal (backlog drained). `None` if it never recovered inside
     /// the simulated horizon.
     pub recovery_slots: Option<u64>,
+    /// Invariant violations the audit plane recorded in this leg (always
+    /// 0 unless [`AvailabilityOptions::audit`] was set and the run was
+    /// actually broken).
+    pub audit_violations: u64,
+}
+
+impl SweepState for MttrPoint {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("mttr".into(), Value::u64(self.mttr)),
+            ("nominal_windowed".into(), Value::f64(self.nominal_windowed)),
+            (
+                "degraded_windowed".into(),
+                Value::f64(self.degraded_windowed),
+            ),
+            (
+                "recovery_slots".into(),
+                self.recovery_slots.map_or(Value::Null, Value::u64),
+            ),
+            ("audit_violations".into(), Value::u64(self.audit_violations)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(MttrPoint {
+            mttr: v.get("mttr")?.as_u64()?,
+            nominal_windowed: v.get("nominal_windowed")?.as_f64()?,
+            degraded_windowed: v.get("degraded_windowed")?.as_f64()?,
+            recovery_slots: match v.get("recovery_slots")? {
+                Value::Null => None,
+                other => Some(other.as_u64()?),
+            },
+            audit_violations: v.get("audit_violations")?.as_u64()?,
+        })
+    }
 }
 
 /// Stochastic MTBF/MTTR availability summary.
@@ -89,6 +136,25 @@ pub struct AvailabilityResult {
     pub mttr_sweep: Vec<MttrPoint>,
     /// MTBF/MTTR-driven availability of a single plane.
     pub stochastic: StochasticSummary,
+    /// Total invariant violations across every audited leg (0 when the
+    /// audit plane was off — and when it was on, for a correct fabric).
+    pub audit_violations: u64,
+}
+
+/// Knobs for [`run_with`]: audit plane, crash-safe checkpointing, and
+/// the sweep supervisor's retry/budget policy.
+#[derive(Debug, Clone, Default)]
+pub struct AvailabilityOptions {
+    /// Attach the full invariant-audit battery to every run. Clean runs
+    /// stay bit-identical; violations are counted, never panicked on.
+    pub audit: bool,
+    /// Directory for sweep checkpoint files. When set, interrupted
+    /// experiments resume from completed points with identical results.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Per-job slot budget for the supervisor's watchdog (`None`: off).
+    pub slot_budget: Option<u64>,
+    /// Supervisor retry attempts per job (`None`: the default, 3).
+    pub max_attempts: Option<u32>,
 }
 
 /// Deliveries bucketed into fixed windows of `window` slots — the
@@ -146,26 +212,148 @@ fn traffic(hosts: usize, seed: u64) -> BernoulliUniform {
     BernoulliUniform::new(hosts, LOAD, &SeedSequence::new(seed))
 }
 
-/// Run the experiment.
+/// Run one fabric leg with an optional fault plan and (per `audit`) the
+/// invariant battery attached. Returns the report and the violation
+/// count. A clean audit leaves the report bit-identical to the plain
+/// run, so this single path serves both modes.
+///
+/// `ordered` selects the battery: legs whose fault plan heals a
+/// wavelength plane mid-run re-hash in-flight flows back onto the
+/// repaired plane, overtaking cells still queued on the survivor path —
+/// reordering by design (the paper's resequencer argument), so those
+/// legs run the order-free battery.
+fn run_leg<T: TraceSink>(
+    scale: Scale,
+    seed: u64,
+    cfg: &EngineConfig,
+    sink: &mut T,
+    plan: Option<FaultPlan>,
+    audit: bool,
+    ordered: bool,
+) -> (EngineReport, u64) {
+    let mut fab = fabric(scale);
+    let hosts = fab.topology().hosts();
+    let mut tr = traffic(hosts, seed);
+    let mut driven = Driven::new(&mut fab, &mut tr);
+    let mut inj = plan.map(FaultInjector::new);
+    let faults = inj.as_mut().map(|i| i as &mut dyn FaultView);
+    if audit {
+        let mut set = if ordered {
+            AuditSet::standard(AuditMode::Accumulate)
+        } else {
+            AuditSet::unordered(AuditMode::Accumulate)
+        };
+        let r = run_instrumented(&mut driven, cfg, sink, faults, Some(&mut set));
+        (r, set.total_violations())
+    } else {
+        (run_instrumented(&mut driven, cfg, sink, faults, None), 0)
+    }
+}
+
+/// Checkpoint key: ties a state file to the exact sweep it belongs to,
+/// so a stale file from another seed or scale is ignored, not resumed.
+fn ckpt_key(tag: u64, scale: Scale, seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in [tag, scale.fabric_radix() as u64, seed] {
+        h ^= v;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Run a sweep under the supervisor, checkpointing when a directory is
+/// configured, and unwrap the outputs (propagating the first job that
+/// failed all its retries).
+fn sweep<I, O, F>(
+    inputs: Vec<I>,
+    sweep_opts: &SweepOptions,
+    ckpt: Option<SweepCheckpoint>,
+    f: F,
+) -> Result<Vec<O>, SweepError>
+where
+    I: Send,
+    O: Send + SweepState,
+    F: Fn(&I) -> O + Sync,
+{
+    let summary: SweepSummary<O> = match ckpt {
+        Some(ckpt) => checkpointed_sweep(inputs, sweep_opts, &ckpt, f)?,
+        None => supervised_sweep(inputs, sweep_opts, f),
+    };
+    summary.into_outputs()
+}
+
+/// Run the experiment with default options (no audit, no checkpoints).
 pub fn run(scale: Scale, seed: u64) -> AvailabilityResult {
+    match run_with(scale, seed, &AvailabilityOptions::default()) {
+        Ok(r) => r,
+        Err(e) => panic!("availability sweep failed: {e}"),
+    }
+}
+
+/// Run the experiment under explicit supervisor/audit/checkpoint options.
+pub fn run_with(
+    scale: Scale,
+    seed: u64,
+    opts: &AvailabilityOptions,
+) -> Result<AvailabilityResult, SweepError> {
     let hosts = fabric(scale).topology().hosts();
     let planes = fabric(scale).topology().spines();
     let cfg = EngineConfig::new(500, scale.measure().min(12_000)).with_seed(seed);
 
+    let mut sweep_opts = SweepOptions::seeded(seed).with_backoff_base_ms(0);
+    if let Some(b) = opts.slot_budget {
+        sweep_opts = sweep_opts.with_slot_budget(b);
+    }
+    if let Some(a) = opts.max_attempts {
+        sweep_opts = sweep_opts.with_max_attempts(a);
+    }
+    let ckpt = |tag: u64, name: &str| {
+        opts.checkpoint_dir
+            .as_ref()
+            .map(|dir| SweepCheckpoint::new(dir.join(name), ckpt_key(tag, scale, seed)))
+    };
+
     // Fault-free reference. Each run gets a freshly built fabric so the
     // bit-identical comparison below is over identical starting states.
-    let nominal = fabric(scale).run(&mut traffic(hosts, seed), &cfg);
+    let (nominal, mut violations) = run_leg(
+        scale,
+        seed,
+        &cfg,
+        &mut osmosis_sim::NullTrace,
+        None,
+        opts.audit,
+        true,
+    );
 
     // 1. Throughput vs permanently failed planes. k = 0 runs through an
     // empty FaultPlan: the report must be bit-identical to `nominal`.
+    // Each point is one supervised job; a panicking or budget-exceeding
+    // point is retried and reported without aborting its siblings.
+    let failed_counts: Vec<u64> = (0..=planes as u64 / 2).collect();
+    let reports = sweep(
+        failed_counts,
+        &sweep_opts,
+        ckpt(1, "plane_sweep.json"),
+        |&failed| {
+            let mut plan = FaultPlan::new();
+            for plane in 0..failed as usize {
+                plan = plan.permanent(FaultKind::WavelengthLoss { plane }, 0);
+            }
+            let (report, _) = run_leg(
+                scale,
+                seed,
+                &cfg,
+                &mut osmosis_sim::NullTrace,
+                Some(plan),
+                opts.audit,
+                true,
+            );
+            report
+        },
+    )?;
     let mut plane_sweep = Vec::new();
-    for failed in 0..=planes / 2 {
-        let mut plan = FaultPlan::new();
-        for plane in 0..failed {
-            plan = plan.permanent(FaultKind::WavelengthLoss { plane }, 0);
-        }
-        let mut inj = FaultInjector::new(plan);
-        let report = fabric(scale).run_faulted(&mut traffic(hosts, seed), &cfg, &mut inj);
+    for (failed, report) in reports.into_iter().enumerate() {
+        violations += report.extra("audit_violations").unwrap_or(0.0) as u64;
         plane_sweep.push(PlanePoint {
             failed_planes: failed,
             relative_throughput: report.throughput / nominal.throughput,
@@ -178,27 +366,26 @@ pub fn run(scale: Scale, seed: u64) -> AvailabilityResult {
     // slots and must drain after the repair.
     let outage_planes = planes / 2 + 1;
     let fault_at = 1_000u64;
-    let mttrs: &[u64] = match scale {
-        Scale::Quick => &[600, 1_200],
-        Scale::Full => &[1_500, 3_000],
+    let mttrs: Vec<u64> = match scale {
+        Scale::Quick => vec![600, 1_200],
+        Scale::Full => vec![1_500, 3_000],
     };
-    let mut mttr_sweep = Vec::new();
-    for &mttr in mttrs {
+    let mttr_sweep = sweep(mttrs, &sweep_opts, ckpt(2, "mttr_sweep.json"), |&mttr| {
         let mut plan = FaultPlan::new();
         for plane in 0..outage_planes {
             plan = plan.one_shot(FaultKind::WavelengthLoss { plane }, fault_at, Some(mttr));
         }
         let horizon = fault_at + mttr + 2_000;
         let run_cfg = EngineConfig::new(0, horizon).with_seed(seed);
-        let mut inj = FaultInjector::new(plan);
         let mut windows = DeliveryWindows::new(WINDOW);
-        let mut fab = fabric(scale);
-        run_switch_faulted_traced(
-            &mut fab,
-            &mut traffic(hosts, seed),
+        let (_, audit_violations) = run_leg(
+            scale,
+            seed,
             &run_cfg,
             &mut windows,
-            &mut inj,
+            Some(plan),
+            opts.audit,
+            false,
         );
 
         // Skip the pipe-fill ramp when averaging the nominal phase, and
@@ -214,13 +401,15 @@ pub fn run(scale: Scale, seed: u64) -> AvailabilityResult {
             .find(|&w| windows.count(w as usize) as f64 >= 0.95 * nominal_per_window)
             .map(|w| (w + 1) * WINDOW - repair);
 
-        mttr_sweep.push(MttrPoint {
+        MttrPoint {
             mttr,
             nominal_windowed: nominal_per_window / per_host,
             degraded_windowed: degraded_per_window / per_host,
             recovery_slots,
-        });
-    }
+            audit_violations,
+        }
+    })?;
+    violations += mttr_sweep.iter().map(|m| m.audit_violations).sum::<u64>();
 
     // 3. Stochastic availability of one plane under MTBF/MTTR repair.
     let (mtbf, mttr, slots) = match scale {
@@ -228,9 +417,17 @@ pub fn run(scale: Scale, seed: u64) -> AvailabilityResult {
         Scale::Full => (5_000.0, 600.0, 40_000u64),
     };
     let plan = FaultPlan::new().stochastic(FaultKind::WavelengthLoss { plane: 0 }, mtbf, mttr);
-    let mut inj = FaultInjector::new(plan);
     let run_cfg = EngineConfig::new(0, slots).with_seed(seed);
-    let r = fabric(scale).run_faulted(&mut traffic(hosts, seed), &run_cfg, &mut inj);
+    let (r, v) = run_leg(
+        scale,
+        seed,
+        &run_cfg,
+        &mut osmosis_sim::NullTrace,
+        Some(plan),
+        opts.audit,
+        false,
+    );
+    violations += v;
     let active = r.extra("fault_active_slots").unwrap_or(0.0);
     let stochastic = StochasticSummary {
         faults_injected: r.extra("faults_injected").unwrap_or(0.0) as u64,
@@ -239,7 +436,7 @@ pub fn run(scale: Scale, seed: u64) -> AvailabilityResult {
         throughput: r.throughput,
     };
 
-    AvailabilityResult {
+    Ok(AvailabilityResult {
         planes,
         load: LOAD,
         nominal,
@@ -248,7 +445,8 @@ pub fn run(scale: Scale, seed: u64) -> AvailabilityResult {
         fault_at,
         mttr_sweep,
         stochastic,
-    }
+        audit_violations: violations,
+    })
 }
 
 #[cfg(test)]
@@ -303,5 +501,70 @@ mod tests {
         assert!(r.stochastic.faults_injected > 0);
         assert!(r.stochastic.availability > 0.5);
         assert!(r.stochastic.availability < 1.0);
+    }
+
+    #[test]
+    fn audited_run_is_clean_and_bit_identical() {
+        let plain = run(Scale::Quick, 29);
+        let audited = run_with(
+            Scale::Quick,
+            29,
+            &AvailabilityOptions {
+                audit: true,
+                ..Default::default()
+            },
+        )
+        .expect("audited sweep must complete");
+        assert_eq!(audited.audit_violations, 0, "invariants must hold");
+        assert_eq!(
+            plain.nominal.fingerprint(),
+            audited.nominal.fingerprint(),
+            "a clean audit must not perturb the nominal run"
+        );
+        for (p, a) in plain.plane_sweep.iter().zip(audited.plane_sweep.iter()) {
+            assert_eq!(
+                p.report.fingerprint(),
+                a.report.fingerprint(),
+                "{} failed planes: audited run diverged",
+                p.failed_planes
+            );
+        }
+        assert_eq!(plain.mttr_sweep, audited.mttr_sweep);
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "osmosis-avail-ckpt-{}-{}",
+            std::process::id(),
+            31u64
+        ));
+        std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+        let opts = AvailabilityOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        // First pass populates the checkpoints; the second restores every
+        // point from disk. Both must match an unsupervised reference.
+        let first = run_with(Scale::Quick, 31, &opts).expect("first pass");
+        let resumed = run_with(Scale::Quick, 31, &opts).expect("resumed pass");
+        let reference = run(Scale::Quick, 31);
+        for ((f, s), r) in first
+            .plane_sweep
+            .iter()
+            .zip(resumed.plane_sweep.iter())
+            .zip(reference.plane_sweep.iter())
+        {
+            assert_eq!(f.report.fingerprint(), r.report.fingerprint());
+            assert_eq!(
+                s.report.fingerprint(),
+                r.report.fingerprint(),
+                "restored point diverged at {} failed planes",
+                r.failed_planes
+            );
+        }
+        assert_eq!(first.mttr_sweep, reference.mttr_sweep);
+        assert_eq!(resumed.mttr_sweep, reference.mttr_sweep);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -56,6 +56,11 @@ pub struct RelayReport {
     pub fc_rtt_max: u64,
     /// Idle cells inserted to carry FC when no reverse data flowed.
     pub idle_cells: u64,
+    /// Slots at which the credit-conservation ledger (sender credits +
+    /// forward flights + buffer occupancy + pending FC + reverse flights
+    /// = buffer capacity) failed to balance. Always 0 for a correct
+    /// protocol — exposed so tests and the audit plane can assert it.
+    pub ledger_violations: u64,
 }
 
 /// Run the relay loop for `slots` slots with a saturated sender.
@@ -83,6 +88,7 @@ pub fn run_relay_loop(cfg: &RelayConfig, slots: u64, seed: u64) -> RelayReport {
     let mut cells_sent = 0u64;
     let mut cells_drained = 0u64;
     let mut idle_cells = 0u64;
+    let mut ledger_violations = 0u64;
     let mut rtt_min = u64::MAX;
     let mut rtt_max = 0u64;
 
@@ -99,12 +105,24 @@ pub fn run_relay_loop(cfg: &RelayConfig, slots: u64, seed: u64) -> RelayReport {
         }
 
         // Credits arriving back at the sender.
-        while rev.front().is_some_and(|&(at, _)| at == t) {
-            let (_, freed_at) = rev.pop_front().unwrap();
+        while let Some(&(at, freed_at)) = rev.front() {
+            if at != t {
+                break;
+            }
+            rev.pop_front();
             credits += 1;
             let rtt = t - freed_at;
             rtt_min = rtt_min.min(rtt);
             rtt_max = rtt_max.max(rtt);
+        }
+
+        // Credit conservation: every buffer slot is exactly one of —
+        // a credit at the sender, a cell in forward flight, an occupied
+        // buffer cell, an FC event awaiting its carrier, or a credit in
+        // reverse flight. Checked each slot, at the point where all five
+        // states are quiescent.
+        if credits + fwd.len() + occupancy + pending_fc.len() + rev.len() != cfg.buffer_cells {
+            ledger_violations += 1;
         }
 
         // Receiver: local scheduler grants drain the ingress buffer; each
@@ -145,6 +163,7 @@ pub fn run_relay_loop(cfg: &RelayConfig, slots: u64, seed: u64) -> RelayReport {
         fc_rtt_min: if rtt_min == u64::MAX { 0 } else { rtt_min },
         fc_rtt_max: rtt_max,
         idle_cells,
+        ledger_violations,
     }
 }
 
@@ -241,5 +260,30 @@ mod tests {
         let r = run_relay_loop(&cfg, 5_000, 7);
         assert!(r.cells_sent >= r.cells_drained);
         assert!(r.cells_sent - r.cells_drained <= (cfg.buffer_cells + 2 * 4) as u64);
+    }
+
+    #[test]
+    fn credit_ledger_balances_every_slot() {
+        // The per-slot conservation sum holds across every regime: full
+        // rate, stalled receiver, undersized buffer, no reverse data.
+        for (delay, buffer, drain, rev_rate, seed) in [
+            (5u64, required_buffer_cells(5), 1.0, 0.5, 11u64),
+            (4, 6, 0.1, 0.5, 12),
+            (10, 3, 1.0, 0.5, 13),
+            (3, required_buffer_cells(3), 1.0, 0.0, 14),
+        ] {
+            let cfg = RelayConfig {
+                link_delay: delay,
+                buffer_cells: buffer,
+                drain_rate: drain,
+                reverse_data_rate: rev_rate,
+            };
+            let r = run_relay_loop(&cfg, 20_000, seed);
+            assert_eq!(
+                r.ledger_violations, 0,
+                "d={delay} B={buffer}: ledger broke {} times",
+                r.ledger_violations
+            );
+        }
     }
 }

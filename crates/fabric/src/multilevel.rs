@@ -374,7 +374,7 @@ impl CellSwitch for MultiLevelFabric {
                 Hop::Host(h) => {
                     debug_assert_eq!(cell.dst, h);
                     self.checker.record(cell.src, cell.dst, cell.seq);
-                    obs.cell_delivered(h, cell.inject_slot);
+                    obs.cell_delivered_flow(h, cell.inject_slot, cell.src, cell.seq);
                 }
                 Hop::Switch(level, sw, in_port) => {
                     let out = self.route(level, sw, in_port, &cell);
@@ -512,6 +512,17 @@ impl CellSwitch for MultiLevelFabric {
     fn finish(&mut self, report: &mut EngineReport) {
         report.reordered = self.checker.reordered();
         report.set_extra("stages", self.cfg.topo.stages() as f64);
+    }
+
+    fn resident_cells(&self) -> Option<u64> {
+        let mut n = self.cell_flights.len();
+        n += self.host_queues.iter().map(VecDeque::len).sum::<usize>();
+        for level in &self.nodes {
+            for node in level {
+                n += node.voq.iter().map(VecDeque::len).sum::<usize>();
+            }
+        }
+        Some(n as u64)
     }
 }
 

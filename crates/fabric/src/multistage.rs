@@ -23,6 +23,7 @@
 
 use crate::topology::TwoLevelFatTree;
 use osmosis_sched::arbiter::{BitSet, RoundRobinArbiter};
+use osmosis_sim::audit::CreditLedger;
 use osmosis_sim::engine::{EngineConfig, EngineReport, Observer, TraceSink};
 use osmosis_switch::driven::{run_switch, CellSwitch};
 use osmosis_switch::Cell;
@@ -198,6 +199,40 @@ pub struct FatTreeFabric {
     grants_to_input: Vec<BitSet>,
 }
 
+/// Why a [`FabricConfig`] was rejected by
+/// [`FatTreeFabric::try_new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricError {
+    /// The radix must be an even number ≥ 2 (a two-level fat tree
+    /// splits each leaf's ports evenly between hosts and spines).
+    InvalidRadix {
+        /// The rejected radix.
+        radix: usize,
+    },
+    /// Links need at least one slot of flight time.
+    ZeroLinkDelay,
+    /// Input buffers need at least one cell of capacity.
+    ZeroBuffer,
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::InvalidRadix { radix } => {
+                write!(f, "fabric radix {radix} is not an even number >= 2")
+            }
+            FabricError::ZeroLinkDelay => {
+                write!(f, "links need at least one slot of flight time")
+            }
+            FabricError::ZeroBuffer => {
+                write!(f, "input buffers need at least one cell of capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
 #[derive(Debug, Clone, Copy)]
 enum CellDest {
     SwitchIn(NodeId, usize),
@@ -211,13 +246,28 @@ enum CreditDest {
 }
 
 impl FatTreeFabric {
-    /// Build the fabric.
+    /// Build the fabric. Panics on an invalid configuration; use
+    /// [`try_new`](Self::try_new) where the configuration comes from
+    /// external input (sweep grids, checkpoints, CLI flags).
     pub fn new(cfg: FabricConfig) -> Self {
-        assert!(
-            cfg.link_delay >= 1,
-            "links need at least one slot of flight"
-        );
-        assert!(cfg.buffer_cells >= 1);
+        match Self::try_new(cfg) {
+            Ok(fab) => fab,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build the fabric, rejecting invalid configurations with a typed
+    /// error instead of a panic.
+    pub fn try_new(cfg: FabricConfig) -> Result<Self, FabricError> {
+        if cfg.radix < 2 || !cfg.radix.is_multiple_of(2) {
+            return Err(FabricError::InvalidRadix { radix: cfg.radix });
+        }
+        if cfg.link_delay < 1 {
+            return Err(FabricError::ZeroLinkDelay);
+        }
+        if cfg.buffer_cells < 1 {
+            return Err(FabricError::ZeroBuffer);
+        }
         let topo = TwoLevelFatTree::new(cfg.radix);
         let k = cfg.radix;
         let half = k / 2;
@@ -267,7 +317,7 @@ impl FatTreeFabric {
             .chain((0..topo.spines()).map(NodeId::Spine))
             .collect();
 
-        FatTreeFabric {
+        Ok(FatTreeFabric {
             cfg,
             topo,
             leaves,
@@ -286,7 +336,7 @@ impl FatTreeFabric {
             node_ids,
             requesters: BitSet::new(k),
             grants_to_input: (0..k).map(|_| BitSet::new(k)).collect(),
-        }
+        })
     }
 
     /// Topology descriptor.
@@ -338,7 +388,103 @@ impl FatTreeFabric {
             .filter(|&(_, &ok)| ok)
             .nth(pick)
             .map(|(s, _)| s)
-            .unwrap()
+            // pick < healthy by construction; fall back to the nominal
+            // spine (lossless stall) rather than panic if that ever
+            // stops holding.
+            .unwrap_or(s0)
+    }
+
+    /// Global node index: leaves first, then spines (the fault plane's
+    /// and the audit plane's node keying).
+    fn node_index(&self, id: NodeId) -> usize {
+        match id {
+            NodeId::Leaf(l) => l,
+            NodeId::Spine(s) => self.topo.leaves() + s,
+        }
+    }
+
+    /// Snapshot every credit-controlled link's ledger for the audit
+    /// plane. Taken at the top of `arbitrate`, where the conservation
+    /// sum is quiescent: every state transition (credit consumed ↔ cell
+    /// in flight ↔ buffer occupancy ↔ credit in flight) happens
+    /// atomically inside the arbitrate/deliver phases.
+    fn report_credit_ledgers<T: TraceSink>(&mut self, obs: &mut Observer<'_, T>) {
+        use std::collections::HashMap;
+        // One pass over the flight queues, binned by receiving link.
+        let mut cells_to: HashMap<(usize, usize), u64> = HashMap::new();
+        for &(_, dest, _) in self
+            .cell_flights
+            .iter()
+            .chain(self.retransmit_flights.iter())
+        {
+            if let CellDest::SwitchIn(id, p) = dest {
+                *cells_to.entry((self.node_index(id), p)).or_insert(0) += 1;
+            }
+        }
+        let mut credits_to_out: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut credits_to_host: HashMap<usize, u64> = HashMap::new();
+        for &(_, dest) in self
+            .credit_flights
+            .iter()
+            .chain(self.resync_credit_flights.iter())
+        {
+            match dest {
+                CreditDest::SwitchOut(id, port) => {
+                    *credits_to_out
+                        .entry((self.node_index(id), port))
+                        .or_insert(0) += 1;
+                }
+                CreditDest::Host(h) => *credits_to_host.entry(h).or_insert(0) += 1,
+            }
+        }
+        let capacity = self.cfg.buffer_cells as u64;
+        let ports = self.cfg.radix;
+        for idx in 0..self.node_ids.len() {
+            let id = self.node_ids[idx];
+            for p in 0..ports {
+                let (upstream, occupancy) = {
+                    let node = match id {
+                        NodeId::Leaf(l) => &self.leaves[l],
+                        NodeId::Spine(s) => &self.spines[s],
+                    };
+                    (node.upstream[p], node.input_occupancy[p] as u64)
+                };
+                let (held, credits_in_flight) = match upstream {
+                    Upstream::Host(h) => (
+                        self.host_credits[h] as u64,
+                        credits_to_host.get(&h).copied().unwrap_or(0),
+                    ),
+                    Upstream::Switch(uid, uo) => {
+                        let up = match uid {
+                            NodeId::Leaf(l) => &self.leaves[l],
+                            NodeId::Spine(s) => &self.spines[s],
+                        };
+                        if up.credits[uo] == usize::MAX {
+                            // Host-facing output: not credit-controlled.
+                            continue;
+                        }
+                        (
+                            up.credits[uo] as u64,
+                            credits_to_out
+                                .get(&(self.node_index(uid), uo))
+                                .copied()
+                                .unwrap_or(0),
+                        )
+                    }
+                };
+                let cells_in_flight = cells_to.get(&(idx, p)).copied().unwrap_or(0);
+                obs.audit_credit_link(
+                    idx,
+                    p,
+                    CreditLedger {
+                        held,
+                        in_flight: credits_in_flight + cells_in_flight,
+                        occupancy,
+                        capacity,
+                    },
+                );
+            }
+        }
     }
 
     /// The link index a cell traverses to reach `dest` — the receiving
@@ -422,6 +568,11 @@ impl CellSwitch for FatTreeFabric {
         // downstream's next occupancy audit (a few credit RTTs), not
         // instantly — the degraded mode throttles, but never deadlocks.
         let resync = 4 * (2 * d + 1);
+        // The invariant auditor sees every credit loop's ledger here, at
+        // the top of the slot, where the conservation sum is quiescent.
+        if obs.audit_attached() {
+            self.report_credit_ledgers(obs);
+        }
         if faults_on {
             for s in 0..self.spine_ok.len() {
                 self.spine_ok[s] = !obs.fault_plane_down(s);
@@ -475,7 +626,7 @@ impl CellSwitch for FatTreeFabric {
                     CellDest::Host(h) => {
                         debug_assert_eq!(cell.dst, h);
                         self.checker.record(cell.src, cell.dst, cell.seq);
-                        obs.cell_delivered(h, cell.inject_slot);
+                        obs.cell_delivered_flow(h, cell.inject_slot, cell.src, cell.seq);
                     }
                     CellDest::SwitchIn(id, port) => {
                         let out = self.route(id, &cell);
@@ -497,8 +648,11 @@ impl CellSwitch for FatTreeFabric {
         }
 
         // --- Credit returns (normal loop, then audit-recovered credits).
-        while self.credit_flights.front().is_some_and(|&(at, _)| at == t) {
-            let (_, dest) = self.credit_flights.pop_front().unwrap();
+        while let Some(&(at, dest)) = self.credit_flights.front() {
+            if at != t {
+                break;
+            }
+            self.credit_flights.pop_front();
             match dest {
                 CreditDest::Host(h) => self.host_credits[h] += 1,
                 CreditDest::SwitchOut(id, port) => {
@@ -507,12 +661,11 @@ impl CellSwitch for FatTreeFabric {
                 }
             }
         }
-        while self
-            .resync_credit_flights
-            .front()
-            .is_some_and(|&(at, _)| at == t)
-        {
-            let (_, dest) = self.resync_credit_flights.pop_front().unwrap();
+        while let Some(&(at, dest)) = self.resync_credit_flights.front() {
+            if at != t {
+                break;
+            }
+            self.resync_credit_flights.pop_front();
             match dest {
                 CreditDest::Host(h) => self.host_credits[h] += 1,
                 CreditDest::SwitchOut(id, port) => {
@@ -545,14 +698,13 @@ impl CellSwitch for FatTreeFabric {
                             NodeId::Leaf(l) => &mut self.leaves[l],
                             NodeId::Spine(s) => &mut self.spines[s],
                         };
-                        if node.egress[o].is_empty() {
-                            continue;
-                        }
                         let is_switch = matches!(node.downstream[o], Downstream::Switch(..));
                         if is_switch && node.credits[o] == 0 {
                             continue;
                         }
-                        let cell = node.egress[o].pop_front().unwrap();
+                        let Some(cell) = node.egress[o].pop_front() else {
+                            continue;
+                        };
                         if is_switch {
                             node.credits[o] -= 1;
                         }
@@ -725,6 +877,10 @@ impl CellSwitch for FatTreeFabric {
 
     fn finish(&mut self, report: &mut EngineReport) {
         report.reordered = self.checker.reordered();
+    }
+
+    fn resident_cells(&self) -> Option<u64> {
+        Some(FatTreeFabric::resident_cells(self))
     }
 }
 

@@ -160,6 +160,10 @@ impl CellScheduler for Flppr {
         }
     }
 
+    fn output_capacity(&self, output: usize) -> usize {
+        self.out_cap[output]
+    }
+
     fn name(&self) -> &'static str {
         "FLPPR"
     }

@@ -41,6 +41,16 @@ pub trait CellScheduler {
     /// granting at full capacity).
     fn set_output_capacity(&mut self, _output: usize, _cap: usize) {}
 
+    /// The effective grant capacity currently in force for `output` —
+    /// [`out_capacity`](CellScheduler::out_capacity) unless degraded by
+    /// [`set_output_capacity`](CellScheduler::set_output_capacity). The
+    /// invariant-audit plane reads this to check capacity legality;
+    /// schedulers that ignore degradation report full capacity, which is
+    /// exactly the bound they enforce.
+    fn output_capacity(&self, _output: usize) -> usize {
+        self.out_capacity()
+    }
+
     /// Short algorithm name for reports.
     fn name(&self) -> &'static str;
 }

@@ -29,6 +29,7 @@
 //! within noise of the pre-engine hand-rolled loops (see
 //! `crates/bench/benches/engine.rs`).
 
+use crate::audit::{Auditor, CreditLedger, DropReason};
 use crate::fault::FaultView;
 use crate::stats::{Histogram, Welford};
 
@@ -395,12 +396,15 @@ impl Fnv {
 pub struct Observer<'a, T: TraceSink> {
     sink: &'a mut T,
     faults: Option<&'a mut dyn FaultView>,
+    audit: Option<&'a mut dyn Auditor>,
     warmup_slots: u64,
     slot: u64,
     measuring: bool,
     injected: u64,
     delivered: u64,
     dropped: u64,
+    drops_rejected: u64,
+    drops_buffer_full: u64,
     fault_cells_lost: u64,
     fault_retransmits: u64,
     delay: Welford,
@@ -415,12 +419,15 @@ impl<'a, T: TraceSink> Observer<'a, T> {
         Observer {
             sink,
             faults: None,
+            audit: None,
             warmup_slots: cfg.warmup_slots,
             slot: 0,
             measuring: cfg.warmup_slots == 0,
             injected: 0,
             delivered: 0,
             dropped: 0,
+            drops_rejected: 0,
+            drops_buffer_full: 0,
             fault_cells_lost: 0,
             fault_retransmits: 0,
             delay: Welford::new(),
@@ -441,6 +448,9 @@ impl<'a, T: TraceSink> Observer<'a, T> {
         if let Some(f) = self.faults.as_mut() {
             f.begin_slot(slot);
         }
+        if let Some(a) = self.audit.as_mut() {
+            a.begin_slot(slot);
+        }
     }
 
     /// The current slot.
@@ -460,6 +470,9 @@ impl<'a, T: TraceSink> Observer<'a, T> {
     pub fn cell_injected(&mut self, src: usize, dst: usize) {
         if self.measuring {
             self.injected += 1;
+        }
+        if let Some(a) = self.audit.as_mut() {
+            a.cell_injected(self.slot, src, dst);
         }
         self.trace(TraceEvent::Inject {
             src: src as u32,
@@ -490,6 +503,9 @@ impl<'a, T: TraceSink> Observer<'a, T> {
         if self.measuring && inject_slot >= self.warmup_slots {
             self.grant_hist.record(wait as f64);
         }
+        if let Some(a) = self.audit.as_mut() {
+            a.cell_granted(self.slot, input, output, wait);
+        }
         self.trace(TraceEvent::Grant {
             input: input as u32,
             output: output as u32,
@@ -509,17 +525,51 @@ impl<'a, T: TraceSink> Observer<'a, T> {
                 self.delay.add(delay as f64);
             }
         }
+        if let Some(a) = self.audit.as_mut() {
+            a.cell_delivered(self.slot, output, inject_slot);
+        }
         self.trace(TraceEvent::Deliver {
             output: output as u32,
             delay_slots: delay,
         });
     }
 
-    /// A cell was dropped at `port` this slot.
+    /// Like [`cell_delivered`](Observer::cell_delivered), additionally
+    /// reporting the cell's flow identity `(src, seq)` to an attached
+    /// auditor — the order-preservation feed. Instrumented egress sites
+    /// use this next to their `SequenceChecker::record` call.
+    #[inline]
+    pub fn cell_delivered_flow(&mut self, output: usize, inject_slot: u64, src: usize, seq: u64) {
+        if let Some(a) = self.audit.as_mut() {
+            a.flow_delivered(self.slot, src, output, seq);
+        }
+        self.cell_delivered(output, inject_slot);
+    }
+
+    /// A cell was dropped at `port` this slot (unattributed; equivalent
+    /// to [`cell_dropped_for`](Observer::cell_dropped_for) with
+    /// [`DropReason::Other`]).
     #[inline]
     pub fn cell_dropped(&mut self, port: usize) {
+        self.cell_dropped_for(port, DropReason::Other);
+    }
+
+    /// A cell was dropped at `port` this slot for `reason`. Per-reason
+    /// tallies surface as `drops_*` report extras when non-zero; the
+    /// conservation auditor uses the reason to keep rejected (never
+    /// injected) arrivals off its ledger.
+    #[inline]
+    pub fn cell_dropped_for(&mut self, port: usize, reason: DropReason) {
         if self.measuring {
             self.dropped += 1;
+            match reason {
+                DropReason::Rejected => self.drops_rejected += 1,
+                DropReason::BufferFull => self.drops_buffer_full += 1,
+                DropReason::FaultLoss | DropReason::Other => {}
+            }
+        }
+        if let Some(a) = self.audit.as_mut() {
+            a.cell_dropped(self.slot, port, reason);
         }
         self.trace(TraceEvent::Drop { port: port as u32 });
     }
@@ -616,6 +666,9 @@ impl<'a, T: TraceSink> Observer<'a, T> {
             self.dropped += 1;
             self.fault_cells_lost += 1;
         }
+        if let Some(a) = self.audit.as_mut() {
+            a.cell_dropped(self.slot, port, DropReason::FaultLoss);
+        }
         self.trace(TraceEvent::Drop { port: port as u32 });
     }
 
@@ -626,7 +679,36 @@ impl<'a, T: TraceSink> Observer<'a, T> {
         if self.measuring {
             self.fault_retransmits += 1;
         }
+        if let Some(a) = self.audit.as_mut() {
+            a.cell_retransmitted(self.slot, port);
+        }
         self.trace(TraceEvent::Retransmit { port: port as u32 });
+    }
+
+    /// Whether an audit plane is attached to this run. Models gate their
+    /// state-snapshot reporting (scheduler capacities, credit ledgers)
+    /// on this so un-audited runs pay one branch per phase at most.
+    #[inline]
+    pub fn audit_attached(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    /// Report the scheduler's legal grant capacity for `output` this
+    /// slot to an attached auditor (capacity-legality invariant).
+    #[inline]
+    pub fn audit_output_capacity(&mut self, output: usize, capacity: usize) {
+        if let Some(a) = self.audit.as_mut() {
+            a.output_capacity(self.slot, output, capacity);
+        }
+    }
+
+    /// Report one link's credit-flow-control ledger snapshot to an
+    /// attached auditor (credit-conservation invariant).
+    #[inline]
+    pub fn audit_credit_link(&mut self, node: usize, port: usize, ledger: CreditLedger) {
+        if let Some(a) = self.audit.as_mut() {
+            a.credit_link(self.slot, node, port, ledger);
+        }
     }
 
     /// Track the deepest ingress-side queue.
@@ -707,6 +789,14 @@ pub trait SlottedModel {
     /// Post-run hook: set `reordered`, model-specific `extra` metrics, or
     /// override the engine-computed aggregate fields.
     fn finish(&mut self, _report: &mut EngineReport) {}
+
+    /// Cells still queued or in flight inside the model at the run
+    /// horizon, when the model can count them. Models that report
+    /// `Some` let an attached auditor close the global conservation
+    /// ledger exactly: `injected == delivered + dropped + resident`.
+    fn resident_cells(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Run `model` over `cfg`'s window, streaming trace events into `sink`.
@@ -715,7 +805,7 @@ pub fn run<M: SlottedModel + ?Sized, T: TraceSink>(
     cfg: &EngineConfig,
     sink: &mut T,
 ) -> EngineReport {
-    run_inner(model, cfg, sink, None)
+    run_inner(model, cfg, sink, None, None)
 }
 
 /// Run `model` with a fault plane attached: `faults` is configured from
@@ -730,11 +820,49 @@ pub fn run_faulted<M: SlottedModel + ?Sized, T: TraceSink>(
     sink: &mut T,
     faults: &mut dyn FaultView,
 ) -> EngineReport {
-    faults.configure(cfg);
-    if faults.is_vacuous() {
-        run_inner(model, cfg, sink, None)
-    } else {
-        run_inner(model, cfg, sink, Some(faults))
+    run_instrumented(model, cfg, sink, Some(faults), None)
+}
+
+/// Run `model` with an invariant-audit plane attached: `audit` receives
+/// every accounting event (warm-up included) plus model state snapshots,
+/// and finalizes into the report in `end_run`.
+pub fn run_audited<M: SlottedModel + ?Sized, T: TraceSink>(
+    model: &mut M,
+    cfg: &EngineConfig,
+    sink: &mut T,
+    audit: &mut dyn Auditor,
+) -> EngineReport {
+    run_inner(model, cfg, sink, None, Some(audit))
+}
+
+/// The fully general entry point: optional fault plane, optional audit
+/// plane. A vacuous fault view is not attached (as in [`run_faulted`]);
+/// with both planes `None` this is exactly [`run`].
+pub fn run_instrumented<M: SlottedModel + ?Sized, T: TraceSink>(
+    model: &mut M,
+    cfg: &EngineConfig,
+    sink: &mut T,
+    faults: Option<&mut dyn FaultView>,
+    audit: Option<&mut dyn Auditor>,
+) -> EngineReport {
+    let faults = match faults {
+        Some(f) => {
+            f.configure(cfg);
+            if f.is_vacuous() {
+                None
+            } else {
+                Some(f)
+            }
+        }
+        None => None,
+    };
+    // Rebuild the options at each call so the references reborrow down
+    // to the observer's (shorter) unified lifetime.
+    match (faults, audit) {
+        (Some(f), Some(a)) => run_inner(model, cfg, sink, Some(f), Some(a)),
+        (Some(f), None) => run_inner(model, cfg, sink, Some(f), None),
+        (None, Some(a)) => run_inner(model, cfg, sink, None, Some(a)),
+        (None, None) => run_inner(model, cfg, sink, None, None),
     }
 }
 
@@ -743,12 +871,20 @@ fn run_inner<'a, M: SlottedModel + ?Sized, T: TraceSink>(
     cfg: &EngineConfig,
     sink: &'a mut T,
     faults: Option<&'a mut dyn FaultView>,
+    audit: Option<&'a mut dyn Auditor>,
 ) -> EngineReport {
     model.configure(cfg);
     let ports = model.ports();
     let total_slots = cfg.warmup_slots + cfg.measure_slots;
+    // Supervised sweeps bound each job by a slot budget; an over-budget
+    // window aborts deterministically before the first slot runs.
+    crate::sweep::watchdog::charge(total_slots);
     let mut obs = Observer::new(cfg, sink);
     obs.faults = faults;
+    if let Some(a) = audit {
+        a.configure(cfg, ports);
+        obs.audit = Some(a);
+    }
     let mut t = 0u64;
     let mut converged_early = false;
     while t < total_slots {
@@ -784,15 +920,32 @@ fn run_inner<'a, M: SlottedModel + ?Sized, T: TraceSink>(
         }
     }
     let measured_slots = t.saturating_sub(cfg.warmup_slots);
+    crate::sweep::watchdog::consume(t);
+    let resident = model.resident_cells();
     let fault_cells_lost = obs.fault_cells_lost;
     let fault_retransmits = obs.fault_retransmits;
+    let drops_rejected = obs.drops_rejected;
+    let drops_buffer_full = obs.drops_buffer_full;
     let faults = obs.faults.take();
+    let audit = obs.audit.take();
     let mut report = obs.into_report(ports, measured_slots, converged_early);
     model.finish(&mut report);
+    // Per-reason drop attribution is attachment-independent (set purely
+    // from model behaviour), so audited and un-audited runs fingerprint
+    // identically.
+    if drops_rejected > 0 {
+        report.set_extra("drops_rejected", drops_rejected as f64);
+    }
+    if drops_buffer_full > 0 {
+        report.set_extra("drops_buffer_full", drops_buffer_full as f64);
+    }
     if let Some(f) = faults {
         report.set_extra("fault_cells_lost", fault_cells_lost as f64);
         report.set_extra("fault_retransmits", fault_retransmits as f64);
         f.finish(&mut report);
+    }
+    if let Some(a) = audit {
+        a.end_run(resident, &mut report);
     }
     report
 }
@@ -809,6 +962,15 @@ pub fn run_model_faulted<M: SlottedModel + ?Sized>(
     faults: &mut dyn FaultView,
 ) -> EngineReport {
     run_faulted(model, cfg, &mut NullTrace, faults)
+}
+
+/// Run `model` with tracing disabled and an audit plane attached.
+pub fn run_model_audited<M: SlottedModel + ?Sized>(
+    model: &mut M,
+    cfg: &EngineConfig,
+    audit: &mut dyn Auditor,
+) -> EngineReport {
+    run_audited(model, cfg, &mut NullTrace, audit)
 }
 
 #[cfg(test)]

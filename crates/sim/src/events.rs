@@ -15,6 +15,30 @@ use std::collections::BinaryHeap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
+/// Why a schedule request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The requested timestamp precedes the current simulation time.
+    IntoThePast {
+        /// The requested (past) timestamp.
+        requested: Time,
+        /// The queue's current time.
+        now: Time,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::IntoThePast { requested, now } => {
+                write!(f, "scheduling into the past: {requested:?} < now {now:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 struct Entry<E> {
     time: Time,
     seq: u64,
@@ -93,9 +117,16 @@ impl<E> EventQueue<E> {
         self.len() == 0
     }
 
-    /// Schedule `event` at absolute time `at`. Panics if `at` is in the past.
-    pub fn schedule_at(&mut self, at: Time, event: E) -> EventId {
-        assert!(at >= self.now, "scheduling into the past");
+    /// Schedule `event` at absolute time `at`, refusing timestamps in
+    /// the past. This is the fallible form callers driven by external
+    /// input (fault plans, checkpoints) should use.
+    pub fn try_schedule_at(&mut self, at: Time, event: E) -> Result<EventId, ScheduleError> {
+        if at < self.now {
+            return Err(ScheduleError::IntoThePast {
+                requested: at,
+                now: self.now,
+            });
+        }
         let id = EventId(self.next_id);
         self.next_id += 1;
         let seq = self.next_seq;
@@ -106,7 +137,15 @@ impl<E> EventQueue<E> {
             id,
             event,
         });
-        id
+        Ok(id)
+    }
+
+    /// Schedule `event` at absolute time `at`. Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: Time, event: E) -> EventId {
+        match self.try_schedule_at(at, event) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Schedule `event` after a delay from now.
@@ -141,15 +180,16 @@ impl<E> EventQueue<E> {
 
     /// Timestamp of the next pending event without popping it.
     pub fn peek_time(&mut self) -> Option<Time> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.id) {
-                let e = self.heap.pop().unwrap();
-                self.cancelled.remove(&e.id);
-                continue;
+        loop {
+            let head = self.heap.peek()?;
+            if !self.cancelled.contains(&head.id) {
+                return Some(head.time);
             }
-            return Some(entry.time);
+            // Drop the cancelled head and look again.
+            if let Some(e) = self.heap.pop() {
+                self.cancelled.remove(&e.id);
+            }
         }
-        None
     }
 }
 
@@ -185,7 +225,9 @@ pub fn run_until<E>(
         if t > horizon {
             break;
         }
-        let (t, ev) = q.pop().expect("peeked event vanished");
+        // peek_time just purged cancelled heads, so pop returns the
+        // peeked event; a None here simply ends the run.
+        let Some((t, ev)) = q.pop() else { break };
         handler(q, t, ev);
     }
 }

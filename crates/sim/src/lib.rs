@@ -19,21 +19,27 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod engine;
 pub mod events;
 pub mod fault;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod sweep;
 pub mod time;
 
+pub use audit::{Auditor, CreditLedger, DropReason, NoAudit};
 pub use engine::{
     Convergence, CountingTrace, EngineConfig, EngineReport, NullTrace, Observer, SlottedModel,
     TraceEvent, TraceSink, VecTrace,
 };
-pub use events::{run_until, EventQueue};
+pub use events::{run_until, EventQueue, ScheduleError};
 pub use fault::{FaultView, NullFaults};
 pub use rng::{SeedSequence, SimRng};
 pub use stats::{Counter, Histogram, SimSummary, Welford};
-pub use sweep::{linspace, logspace, parallel_sweep};
+pub use sweep::{
+    checkpointed_sweep, linspace, logspace, parallel_sweep, supervised_sweep, watchdog, JobOutcome,
+    JobRecord, SweepCheckpoint, SweepError, SweepOptions, SweepState, SweepSummary,
+};
 pub use time::{SlotClock, Time, TimeDelta};

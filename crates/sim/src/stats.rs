@@ -144,9 +144,33 @@ impl Histogram {
         }
     }
 
+    /// Reconstruct a histogram from its raw parts (checkpoint restore).
+    /// Panics on the same invalid shapes as [`Histogram::new`].
+    pub fn from_parts(width: f64, counts: Vec<u64>, overflow: u64, total: u64, sum: f64) -> Self {
+        assert!(width > 0.0, "bucket width must be positive");
+        assert!(!counts.is_empty(), "need at least one bucket");
+        Histogram {
+            width,
+            counts,
+            overflow,
+            total,
+            sum,
+        }
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// The bucket width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Exact running sum of all recorded observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
     }
 
     /// Mean of all recorded observations (exact, not bucketed).

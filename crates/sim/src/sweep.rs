@@ -1,78 +1,836 @@
-//! Parallel parameter sweeps.
+//! Parallel parameter sweeps, with a supervisor for long campaigns.
 //!
-//! Figure reproductions sweep offered load, port count, or guard time over
-//! dozens of points, each an independent simulation. [`parallel_sweep`]
-//! fans the points out over `std::thread::scope` workers (the data-parallel
-//! pattern from the Rayon guide, without the dependency) and returns the
-//! results in input order. Determinism is preserved because every point
-//! carries its own seed.
+//! Figure reproductions sweep offered load, port count, or guard time
+//! over dozens of points, each an independent simulation. Three entry
+//! points share one striped `std::thread::scope` worker pool (the
+//! data-parallel pattern from the Rayon guide, without the dependency):
+//!
+//! * [`parallel_sweep`] — the original fire-and-forget fan-out: panics
+//!   propagate, results come back in input order.
+//! * [`supervised_sweep`] — production-grade: each job runs under
+//!   `catch_unwind` with an optional slot-budget [`watchdog`], failed
+//!   jobs retry with seeded (deterministic) backoff, and the
+//!   [`SweepSummary`] reports every job's fate without a single failure
+//!   aborting its siblings.
+//! * [`checkpointed_sweep`] — supervised *and* crash-safe: completed
+//!   jobs persist to a JSON state file (atomic tmp-file + rename) so an
+//!   interrupted sweep resumes from the last completed job. The
+//!   round-trip is bit-exact (see [`SweepState`] and the `json`
+//!   module), so a resumed sweep fingerprints identically to an
+//!   uninterrupted one.
+//!
+//! Determinism is preserved throughout because every point carries its
+//! own seed and workers share no mutable simulation state.
 
-/// Run `f` over every element of `inputs`, in parallel, preserving order.
+use crate::engine::EngineReport;
+use crate::json::Value;
+use crate::stats::Histogram;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The per-thread slot-budget watchdog the engine consults before each
+/// run (see `run_inner` in the engine module).
 ///
-/// `f` must be `Sync` (it is shared by reference across workers); inputs are
-/// consumed by value. The number of workers defaults to available
-/// parallelism, capped by the number of inputs.
-///
-/// Each worker receives an owned contiguous chunk of the inputs and
-/// returns an owned `Vec` of outputs; the chunks are concatenated in
-/// input order after the scope joins. There is no shared mutable state —
-/// no locks, no atomics — so results are deterministic by construction
-/// and the per-item overhead is a move, not two mutex acquisitions.
-///
-/// Chunks are interleaved round-robin (worker `w` takes items `w`,
-/// `w + workers`, `w + 2·workers`, ...) so that a load sweep whose cost
-/// grows monotonically with the parameter still balances across workers.
+/// A supervised job's closure may run many engine windows; the budget
+/// bounds their *total* slot count. The engine charges the configured
+/// window up front — deterministically, before the first slot executes —
+/// so an over-budget run aborts identically on every retry and on every
+/// machine, instead of depending on wall-clock timing. Runs that
+/// converge early consume only the slots they actually executed.
+pub mod watchdog {
+    use std::cell::Cell;
+
+    /// The panic payload thrown when a run would exceed the armed
+    /// budget. The sweep supervisor downcasts it into
+    /// [`SweepError::BudgetExceeded`](super::SweepError::BudgetExceeded).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SlotBudgetExceeded {
+        /// The armed budget, in slots.
+        pub budget: u64,
+        /// Slots already consumed by earlier runs of this job.
+        pub already_used: u64,
+        /// Slots the aborted run asked for.
+        pub requested: u64,
+    }
+
+    impl std::fmt::Display for SlotBudgetExceeded {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "slot budget exceeded: run of {} slots with {} of {} already used",
+                self.requested, self.already_used, self.budget
+            )
+        }
+    }
+
+    thread_local! {
+        static BUDGET: Cell<Option<u64>> = const { Cell::new(None) };
+        static USED: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Arm the watchdog on this thread with a fresh budget.
+    pub fn arm(budget: u64) {
+        BUDGET.with(|b| b.set(Some(budget)));
+        USED.with(|u| u.set(0));
+    }
+
+    /// Disarm the watchdog on this thread.
+    pub fn disarm() {
+        BUDGET.with(|b| b.set(None));
+        USED.with(|u| u.set(0));
+    }
+
+    /// Whether a budget is armed on this thread.
+    pub fn armed() -> bool {
+        BUDGET.with(|b| b.get()).is_some()
+    }
+
+    /// Slots consumed since the watchdog was armed.
+    pub fn used() -> u64 {
+        USED.with(|u| u.get())
+    }
+
+    /// Abort (by panic, caught by the supervisor) if a run of `slots`
+    /// would exceed the armed budget. No-op when disarmed.
+    pub fn charge(slots: u64) {
+        if let Some(budget) = BUDGET.with(|b| b.get()) {
+            let already_used = USED.with(|u| u.get());
+            if already_used.saturating_add(slots) > budget {
+                std::panic::panic_any(SlotBudgetExceeded {
+                    budget,
+                    already_used,
+                    requested: slots,
+                });
+            }
+        }
+    }
+
+    /// Record `slots` actually executed. No-op when disarmed.
+    pub fn consume(slots: u64) {
+        if armed() {
+            USED.with(|u| u.set(u.get().saturating_add(slots)));
+        }
+    }
+}
+
+/// Why a supervised job ultimately failed (after exhausting retries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// The job panicked; `message` is the panic payload when it was a
+    /// string (model invariants panic with messages).
+    Panicked {
+        /// The panic message.
+        message: String,
+    },
+    /// The job's simulation window exceeded the armed slot budget.
+    BudgetExceeded {
+        /// The armed budget, in slots.
+        budget: u64,
+        /// Slots the aborted run asked for (on top of what earlier runs
+        /// of the job had already consumed).
+        requested: u64,
+    },
+    /// The checkpoint file could not be read, parsed, or written.
+    Checkpoint {
+        /// Description of the I/O or parse failure.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Panicked { message } => write!(f, "job panicked: {message}"),
+            SweepError::BudgetExceeded { budget, requested } => {
+                write!(f, "slot budget {budget} exceeded by a {requested}-slot run")
+            }
+            SweepError::Checkpoint { message } => write!(f, "checkpoint failure: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// How one supervised job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job ran (possibly after retries) and produced its output.
+    Completed,
+    /// The output was restored from the checkpoint file; the job did
+    /// not run in this process.
+    Restored,
+    /// The job failed on every attempt; its output slot is `None`.
+    Failed(SweepError),
+}
+
+/// Supervision record for one job of a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Attempts made in this process (0 for restored jobs).
+    pub attempts: u32,
+    /// The job's fate.
+    pub outcome: JobOutcome,
+}
+
+/// The result of a supervised sweep: per-job outputs (in input order,
+/// `None` where the job failed) and per-job supervision records.
+#[derive(Debug, Clone)]
+pub struct SweepSummary<O> {
+    /// `outputs[i]` is job `i`'s output, or `None` if it failed.
+    pub outputs: Vec<Option<O>>,
+    /// `jobs[i]` records how job `i` ended.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl<O> SweepSummary<O> {
+    /// Whether every job produced an output.
+    pub fn is_complete(&self) -> bool {
+        self.outputs.iter().all(Option::is_some)
+    }
+
+    /// The failed jobs, as `(index, error)` pairs.
+    pub fn failures(&self) -> Vec<(usize, &SweepError)> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, j)| match &j.outcome {
+                JobOutcome::Failed(e) => Some((i, e)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total attempts across all jobs (restored jobs contribute 0).
+    pub fn total_attempts(&self) -> u64 {
+        self.jobs.iter().map(|j| j.attempts as u64).sum()
+    }
+
+    /// Unwrap into plain outputs, or the first job failure.
+    pub fn into_outputs(self) -> Result<Vec<O>, SweepError> {
+        let mut first_failure = None;
+        for job in &self.jobs {
+            if let JobOutcome::Failed(e) = &job.outcome {
+                first_failure = Some(e.clone());
+                break;
+            }
+        }
+        match first_failure {
+            Some(e) => Err(e),
+            None => self
+                .outputs
+                .into_iter()
+                .map(|o| {
+                    o.ok_or(SweepError::Panicked {
+                        message: "missing output without a recorded failure".into(),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Supervision policy for [`supervised_sweep`] / [`checkpointed_sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Sweep seed; the retry backoff is a pure function of
+    /// `(seed, job index, attempt)` so reruns sleep identically.
+    pub seed: u64,
+    /// Attempts per job before recording a failure (minimum 1).
+    pub max_attempts: u32,
+    /// Per-job slot budget enforced by the [`watchdog`]; `None` leaves
+    /// jobs unbounded.
+    pub slot_budget: Option<u64>,
+    /// Base retry backoff in milliseconds (doubles per attempt, plus
+    /// seeded jitter). 0 disables sleeping — tests use this.
+    pub backoff_base_ms: u64,
+    /// Worker-thread count; `None` uses available parallelism.
+    pub workers: Option<usize>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            seed: 0,
+            max_attempts: 3,
+            slot_budget: None,
+            backoff_base_ms: 10,
+            workers: None,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Options seeded for a deterministic campaign.
+    pub fn seeded(seed: u64) -> Self {
+        SweepOptions {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Set the per-job slot budget.
+    pub fn with_slot_budget(mut self, slots: u64) -> Self {
+        self.slot_budget = Some(slots);
+        self
+    }
+
+    /// Set the attempt limit.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Set the base backoff (0 disables sleeping).
+    pub fn with_backoff_base_ms(mut self, ms: u64) -> Self {
+        self.backoff_base_ms = ms;
+        self
+    }
+
+    /// Pin the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+}
+
+fn default_workers(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+}
+
+/// The shared striped worker pool: deal `inputs` round-robin over
+/// `workers` scoped threads, run `run(index, input)` on each, return the
+/// results in input order. Worker `w` takes items `w`, `w + workers`,
+/// `w + 2·workers`, … so a load sweep whose cost grows monotonically
+/// with the parameter still balances. A panic escaping `run` propagates
+/// (supervised callers catch inside `run`, so only [`parallel_sweep`]
+/// exposes this).
+fn striped<I, R, F>(inputs: Vec<I>, workers: usize, run: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, I) -> R + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| run(i, x))
+            .collect();
+    }
+
+    let mut stripes: Vec<Vec<(usize, I)>> = (0..workers)
+        .map(|w| Vec::with_capacity(n / workers + usize::from(w < n % workers)))
+        .collect();
+    for (idx, input) in inputs.into_iter().enumerate() {
+        stripes[idx % workers].push((idx, input));
+    }
+
+    let stripe_outputs: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stripes
+            .into_iter()
+            .map(|stripe| {
+                let run = &run;
+                scope.spawn(move || {
+                    stripe
+                        .into_iter()
+                        .map(|(idx, input)| run(idx, input))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(outputs) => outputs,
+                // Re-raise the worker's panic on the caller thread with
+                // its original payload instead of a generic join error.
+                Err(payload) => resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    // Un-deal: item idx was the (idx / workers)-th element of stripe
+    // (idx % workers); the placement below is that bijection inverted.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (w, outputs) in stripe_outputs.into_iter().enumerate() {
+        for (j, r) in outputs.into_iter().enumerate() {
+            slots[w + j * workers] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|r| match r {
+            Some(r) => r,
+            None => unreachable!("stripe dealing is a bijection over 0..n"),
+        })
+        .collect()
+}
+
+/// Run `f` over every element of `inputs`, in parallel, preserving
+/// order. Panics propagate to the caller (use [`supervised_sweep`] for
+/// isolation). `f` is shared by reference across workers; inputs are
+/// consumed by value.
 pub fn parallel_sweep<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,
     O: Send,
     F: Fn(I) -> O + Sync,
 {
+    let workers = default_workers(inputs.len());
+    striped(inputs, workers, |_idx, input| f(input))
+}
+
+fn classify_panic(payload: Box<dyn std::any::Any + Send>) -> SweepError {
+    match payload.downcast::<watchdog::SlotBudgetExceeded>() {
+        Ok(e) => SweepError::BudgetExceeded {
+            budget: e.budget,
+            requested: e.requested,
+        },
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            SweepError::Panicked { message }
+        }
+    }
+}
+
+/// Sleep before retrying `job`'s attempt number `attempt` — exponential
+/// in the attempt with jitter drawn from a stream derived from the sweep
+/// seed and the job index, so the backoff schedule is a pure function of
+/// `(seed, job, attempt)`.
+fn retry_backoff(opts: &SweepOptions, job: usize, attempt: u32) {
+    if opts.backoff_base_ms == 0 {
+        return;
+    }
+    let mut rng = crate::rng::SeedSequence::new(opts.seed).stream("sweep-retry", job as u64);
+    let mut jitter = 0;
+    for _ in 0..attempt {
+        jitter = rng.below(opts.backoff_base_ms + 1);
+    }
+    let scaled = opts
+        .backoff_base_ms
+        .saturating_mul(1u64 << (attempt - 1).min(6));
+    std::thread::sleep(std::time::Duration::from_millis(scaled + jitter));
+}
+
+fn supervise_one<I, O, F>(
+    idx: usize,
+    input: &I,
+    opts: &SweepOptions,
+    f: &F,
+) -> (Option<O>, JobRecord)
+where
+    F: Fn(&I) -> O,
+{
+    let max_attempts = opts.max_attempts.max(1);
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        if let Some(budget) = opts.slot_budget {
+            watchdog::arm(budget);
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| f(input)));
+        if opts.slot_budget.is_some() {
+            watchdog::disarm();
+        }
+        match result {
+            Ok(output) => {
+                return (
+                    Some(output),
+                    JobRecord {
+                        attempts,
+                        outcome: JobOutcome::Completed,
+                    },
+                )
+            }
+            Err(payload) => {
+                let err = classify_panic(payload);
+                if attempts >= max_attempts {
+                    return (
+                        None,
+                        JobRecord {
+                            attempts,
+                            outcome: JobOutcome::Failed(err),
+                        },
+                    );
+                }
+                retry_backoff(opts, idx, attempts);
+            }
+        }
+    }
+}
+
+/// Run `f` over every element of `inputs` in parallel under supervision:
+/// each job is isolated by `catch_unwind`, bounded by the optional slot
+/// budget, retried up to `opts.max_attempts` times with deterministic
+/// seeded backoff, and reported in the [`SweepSummary`] — a panicking or
+/// over-budget job never aborts its siblings.
+///
+/// `f` takes the input by reference so retries can re-run it.
+pub fn supervised_sweep<I, O, F>(inputs: Vec<I>, opts: &SweepOptions, f: F) -> SweepSummary<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
     let n = inputs.len();
-    if n == 0 {
-        return Vec::new();
+    let workers = opts.workers.unwrap_or_else(|| default_workers(n));
+    let results = striped(inputs, workers, |idx, input| {
+        supervise_one(idx, &input, opts, &f)
+    });
+    let mut outputs = Vec::with_capacity(n);
+    let mut jobs = Vec::with_capacity(n);
+    for (output, record) in results {
+        outputs.push(output);
+        jobs.push(record);
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if workers <= 1 {
-        return inputs.into_iter().map(f).collect();
+    SweepSummary { outputs, jobs }
+}
+
+/// A sweep output that can round-trip through the JSON checkpoint file
+/// **exactly** — `from_json(to_json(x))` must reproduce `x` bit for bit,
+/// or a resumed sweep would fingerprint differently from an
+/// uninterrupted one.
+pub trait SweepState: Sized {
+    /// Serialize for the checkpoint file.
+    fn to_json(&self) -> Value;
+    /// Deserialize; `None` on a malformed entry (the job reruns).
+    fn from_json(v: &Value) -> Option<Self>;
+}
+
+impl SweepState for f64 {
+    fn to_json(&self) -> Value {
+        Value::f64(*self)
+    }
+    fn from_json(v: &Value) -> Option<Self> {
+        v.as_f64()
+    }
+}
+
+impl SweepState for u64 {
+    fn to_json(&self) -> Value {
+        Value::u64(*self)
+    }
+    fn from_json(v: &Value) -> Option<Self> {
+        v.as_u64()
+    }
+}
+
+/// Intern an extra-metric name loaded from a checkpoint into the
+/// `&'static str` the report schema requires. Known engine-produced
+/// names resolve without allocating; genuinely new names leak once per
+/// distinct string per process (checkpoints carry a handful of names,
+/// so the leak is bounded and intentional).
+fn intern_extra_name(name: &str) -> &'static str {
+    static CACHE: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut cache = CACHE.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(known) = cache.iter().find(|k| **k == name) {
+        return known;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    cache.push(leaked);
+    leaked
+}
+
+fn hist_to_json(h: &Histogram) -> Value {
+    Value::Obj(vec![
+        ("width".into(), Value::f64(h.width())),
+        (
+            "counts".into(),
+            Value::Arr(h.bucket_counts().iter().map(|&c| Value::u64(c)).collect()),
+        ),
+        ("overflow".into(), Value::u64(h.overflow_count())),
+        ("total".into(), Value::u64(h.count())),
+        ("sum".into(), Value::f64(h.sum())),
+    ])
+}
+
+fn hist_from_json(v: &Value) -> Option<Histogram> {
+    let width = v.get("width")?.as_f64()?;
+    let counts: Vec<u64> = v
+        .get("counts")?
+        .items()?
+        .iter()
+        .map(Value::as_u64)
+        .collect::<Option<_>>()?;
+    let overflow = v.get("overflow")?.as_u64()?;
+    let total = v.get("total")?.as_u64()?;
+    let sum = v.get("sum")?.as_f64()?;
+    if width <= 0.0 || counts.is_empty() {
+        return None;
+    }
+    Some(Histogram::from_parts(width, counts, overflow, total, sum))
+}
+
+impl SweepState for EngineReport {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("offered_load".into(), Value::f64(self.offered_load)),
+            ("throughput".into(), Value::f64(self.throughput)),
+            ("mean_delay".into(), Value::f64(self.mean_delay)),
+            (
+                "p99_delay".into(),
+                self.p99_delay.map_or(Value::Null, Value::f64),
+            ),
+            (
+                "mean_request_grant".into(),
+                Value::f64(self.mean_request_grant),
+            ),
+            ("injected".into(), Value::u64(self.injected)),
+            ("delivered".into(), Value::u64(self.delivered)),
+            ("dropped".into(), Value::u64(self.dropped)),
+            ("reordered".into(), Value::u64(self.reordered)),
+            (
+                "max_queue_depth".into(),
+                Value::u64(self.max_queue_depth as u64),
+            ),
+            (
+                "max_egress_depth".into(),
+                Value::u64(self.max_egress_depth as u64),
+            ),
+            ("measured_slots".into(), Value::u64(self.measured_slots)),
+            ("converged_early".into(), Value::Bool(self.converged_early)),
+            ("delay_hist".into(), hist_to_json(&self.delay_hist)),
+            ("grant_hist".into(), hist_to_json(&self.grant_hist)),
+            (
+                "extra".into(),
+                Value::Arr(
+                    self.extra
+                        .iter()
+                        .map(|&(name, value)| Value::Arr(vec![Value::str(name), Value::f64(value)]))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 
-    // Deal the inputs round-robin into one owned stripe per worker.
-    let mut stripes: Vec<Vec<I>> = (0..workers)
-        .map(|w| Vec::with_capacity(n / workers + usize::from(w < n % workers)))
-        .collect();
-    for (idx, input) in inputs.into_iter().enumerate() {
-        stripes[idx % workers].push(input);
-    }
-
-    let mut stripe_outputs: Vec<Vec<O>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = stripes
-            .into_iter()
-            .map(|stripe| {
-                let f = &f;
-                scope.spawn(move || stripe.into_iter().map(f).collect::<Vec<O>>())
+    fn from_json(v: &Value) -> Option<Self> {
+        let fu = |k: &str| v.get(k).and_then(Value::as_u64);
+        let ff = |k: &str| v.get(k).and_then(Value::as_f64);
+        let extra = v
+            .get("extra")?
+            .items()?
+            .iter()
+            .map(|pair| {
+                let items = pair.items()?;
+                let name = items.first()?.as_str()?;
+                let value = items.get(1)?.as_f64()?;
+                Some((intern_extra_name(name), value))
             })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
+            .collect::<Option<Vec<_>>>()?;
+        Some(EngineReport {
+            offered_load: ff("offered_load")?,
+            throughput: ff("throughput")?,
+            mean_delay: ff("mean_delay")?,
+            p99_delay: match v.get("p99_delay")? {
+                Value::Null => None,
+                p => Some(p.as_f64()?),
+            },
+            mean_request_grant: ff("mean_request_grant")?,
+            injected: fu("injected")?,
+            delivered: fu("delivered")?,
+            dropped: fu("dropped")?,
+            reordered: fu("reordered")?,
+            max_queue_depth: v.get("max_queue_depth").and_then(Value::as_usize)?,
+            max_egress_depth: v.get("max_egress_depth").and_then(Value::as_usize)?,
+            measured_slots: fu("measured_slots")?,
+            converged_early: v.get("converged_early").and_then(Value::as_bool)?,
+            delay_hist: hist_from_json(v.get("delay_hist")?)?,
+            grant_hist: hist_from_json(v.get("grant_hist")?)?,
+            extra,
+        })
+    }
+}
+
+/// Identity of a sweep's checkpoint file: the path plus a caller-chosen
+/// key (hash the sweep's parameters and seed into it). A file whose key
+/// or job count disagrees is ignored rather than resumed — resuming a
+/// *different* sweep's state would silently corrupt results.
+#[derive(Debug, Clone)]
+pub struct SweepCheckpoint {
+    path: PathBuf,
+    key: u64,
+}
+
+impl SweepCheckpoint {
+    /// A checkpoint at `path` identified by `key`.
+    pub fn new(path: impl Into<PathBuf>, key: u64) -> Self {
+        SweepCheckpoint {
+            path: path.into(),
+            key,
+        }
+    }
+
+    /// The state-file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+struct CheckpointStore {
+    entries: Vec<(usize, Value)>,
+    write_error: Option<SweepError>,
+}
+
+fn checkpoint_io_err(what: &str, path: &Path, e: impl std::fmt::Display) -> SweepError {
+    SweepError::Checkpoint {
+        message: format!("{what} {}: {e}", path.display()),
+    }
+}
+
+fn write_checkpoint(
+    ckpt: &SweepCheckpoint,
+    total: usize,
+    entries: &[(usize, Value)],
+) -> Result<(), SweepError> {
+    let mut sorted: Vec<_> = entries.to_vec();
+    sorted.sort_by_key(|&(idx, _)| idx);
+    let doc = Value::Obj(vec![
+        ("version".into(), Value::u64(1)),
+        ("key".into(), Value::u64(ckpt.key)),
+        ("total".into(), Value::u64(total as u64)),
+        (
+            "completed".into(),
+            Value::Arr(
+                sorted
+                    .into_iter()
+                    .map(|(idx, v)| Value::Arr(vec![Value::u64(idx as u64), v]))
+                    .collect(),
+            ),
+        ),
+    ]);
+    // Atomic replace: a crash mid-write leaves the previous checkpoint
+    // intact, never a torn file.
+    let tmp = ckpt.path.with_extension("json.tmp");
+    std::fs::write(&tmp, doc.encode()).map_err(|e| checkpoint_io_err("write", &tmp, e))?;
+    std::fs::rename(&tmp, &ckpt.path).map_err(|e| checkpoint_io_err("rename to", &ckpt.path, e))
+}
+
+fn load_checkpoint<O: SweepState>(
+    ckpt: &SweepCheckpoint,
+    total: usize,
+) -> Result<Vec<Option<O>>, SweepError> {
+    let mut restored: Vec<Option<O>> = (0..total).map(|_| None).collect();
+    let text = match std::fs::read_to_string(&ckpt.path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(restored),
+        Err(e) => return Err(checkpoint_io_err("read", &ckpt.path, e)),
+    };
+    let doc = Value::parse(&text).map_err(|e| checkpoint_io_err("parse", &ckpt.path, e))?;
+    let matches = doc.get("version").and_then(Value::as_u64) == Some(1)
+        && doc.get("key").and_then(Value::as_u64) == Some(ckpt.key)
+        && doc.get("total").and_then(Value::as_usize) == Some(total);
+    if !matches {
+        // A different sweep's (or a stale) state file: start fresh.
+        return Ok(restored);
+    }
+    for entry in doc.get("completed").and_then(Value::items).unwrap_or(&[]) {
+        let Some(items) = entry.items() else { continue };
+        let Some(idx) = items.first().and_then(Value::as_usize) else {
+            continue;
+        };
+        let Some(payload) = items.get(1) else {
+            continue;
+        };
+        if idx < total {
+            restored[idx] = O::from_json(payload);
+        }
+    }
+    Ok(restored)
+}
+
+/// [`supervised_sweep`] with crash-safe progress persistence: completed
+/// jobs are written to `ckpt`'s JSON state file (atomically, after each
+/// completion), jobs already present in a matching state file are
+/// restored instead of re-run, and the merged summary is identical —
+/// bit for bit, via the exact [`SweepState`] round-trip — to what an
+/// uninterrupted run would have produced.
+///
+/// Only checkpoint I/O failures surface as `Err`; job failures are
+/// reported per-job in the summary, like [`supervised_sweep`].
+pub fn checkpointed_sweep<I, O, F>(
+    inputs: Vec<I>,
+    opts: &SweepOptions,
+    ckpt: &SweepCheckpoint,
+    f: F,
+) -> Result<SweepSummary<O>, SweepError>
+where
+    I: Send,
+    O: Send + SweepState,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    let mut outputs: Vec<Option<O>> = load_checkpoint(ckpt, n)?;
+    let mut jobs: Vec<JobRecord> = outputs
+        .iter()
+        .map(|o| JobRecord {
+            attempts: 0,
+            outcome: if o.is_some() {
+                JobOutcome::Restored
+            } else {
+                // Placeholder; overwritten when the job runs below.
+                JobOutcome::Completed
+            },
+        })
+        .collect();
+
+    let pending: Vec<(usize, I)> = inputs
+        .into_iter()
+        .enumerate()
+        .filter(|&(idx, _)| outputs[idx].is_none())
+        .collect();
+
+    let store = Mutex::new(CheckpointStore {
+        entries: outputs
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, o)| o.as_ref().map(|o| (idx, o.to_json())))
+            .collect(),
+        write_error: None,
     });
 
-    // Un-deal: output idx lives at stripes[idx % workers][idx / workers].
-    let mut cursors: Vec<_> = stripe_outputs.iter_mut().map(|v| v.drain(..)).collect();
-    let mut out = Vec::with_capacity(n);
-    for idx in 0..n {
-        out.push(
-            cursors[idx % workers]
-                .next()
-                .expect("stripe exhausted early"),
-        );
+    let workers = opts
+        .workers
+        .unwrap_or_else(|| default_workers(pending.len()));
+    let results: Vec<(usize, Option<O>, JobRecord)> =
+        striped(pending, workers, |_stripe_idx, (idx, input)| {
+            let (output, record) = supervise_one(idx, &input, opts, &f);
+            if let Some(o) = &output {
+                let json = o.to_json();
+                let mut guard = store.lock().unwrap_or_else(|e| e.into_inner());
+                guard.entries.push((idx, json));
+                if guard.write_error.is_none() {
+                    if let Err(e) = write_checkpoint(ckpt, n, &guard.entries) {
+                        guard.write_error = Some(e);
+                    }
+                }
+            }
+            (idx, output, record)
+        });
+
+    for (idx, output, record) in results {
+        outputs[idx] = output;
+        jobs[idx] = record;
     }
-    out
+    let store = store.into_inner().unwrap_or_else(|e| e.into_inner());
+    if let Some(e) = store.write_error {
+        return Err(e);
+    }
+    Ok(SweepSummary { outputs, jobs })
 }
 
 /// Generate `count` evenly spaced points in `[lo, hi]` inclusive.
@@ -132,6 +890,115 @@ mod tests {
         for (i, &(x, _)) in out.iter().enumerate() {
             assert_eq!(x, i as u64);
         }
+    }
+
+    fn quiet_opts() -> SweepOptions {
+        SweepOptions::seeded(7).with_backoff_base_ms(0)
+    }
+
+    #[test]
+    fn supervised_sweep_isolates_a_panicking_job() {
+        let summary = supervised_sweep(
+            vec![1u64, 2, 3, 4],
+            &quiet_opts().with_max_attempts(2),
+            |&x| {
+                assert!(x != 3, "job three always dies");
+                x * 10
+            },
+        );
+        assert!(!summary.is_complete());
+        assert_eq!(summary.outputs[0], Some(10));
+        assert_eq!(summary.outputs[1], Some(20));
+        assert_eq!(summary.outputs[2], None);
+        assert_eq!(summary.outputs[3], Some(40));
+        let failures = summary.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, 2);
+        assert_eq!(summary.jobs[2].attempts, 2);
+        assert!(matches!(
+            summary.jobs[2].outcome,
+            JobOutcome::Failed(SweepError::Panicked { .. })
+        ));
+    }
+
+    #[test]
+    fn supervised_sweep_retries_deterministically() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        // Fails on the first attempt, succeeds on the second.
+        let tries = AtomicU32::new(0);
+        let summary = supervised_sweep(vec![0u64], &quiet_opts().with_max_attempts(3), |_| {
+            if tries.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            99u64
+        });
+        assert!(summary.is_complete());
+        assert_eq!(summary.jobs[0].attempts, 2);
+        assert_eq!(summary.into_outputs().unwrap(), vec![99]);
+    }
+
+    #[test]
+    fn watchdog_budget_aborts_before_the_run_starts() {
+        use crate::engine::{run_model, EngineConfig, Observer, SlottedModel, TraceSink};
+        struct Idle;
+        impl SlottedModel for Idle {
+            fn ports(&self) -> usize {
+                1
+            }
+            fn arbitrate<T: TraceSink>(&mut self, _: u64, _: &mut Observer<'_, T>) {}
+            fn deliver<T: TraceSink>(&mut self, _: u64, _: &mut Observer<'_, T>) {}
+            fn inject<T: TraceSink>(&mut self, _: u64, _: &mut Observer<'_, T>) {}
+        }
+        let opts = quiet_opts().with_slot_budget(150).with_max_attempts(2);
+        let summary = supervised_sweep(vec![100u64, 400], &opts, |&slots| {
+            run_model(&mut Idle, &EngineConfig::new(0, slots)).measured_slots
+        });
+        assert_eq!(summary.outputs[0], Some(100));
+        assert_eq!(summary.outputs[1], None);
+        match &summary.jobs[1].outcome {
+            JobOutcome::Failed(SweepError::BudgetExceeded { budget, requested }) => {
+                assert_eq!(*budget, 150);
+                assert_eq!(*requested, 400);
+            }
+            other => panic!("expected a budget failure, got {other:?}"),
+        }
+        assert!(!watchdog::armed(), "watchdog must be disarmed after a job");
+    }
+
+    #[test]
+    fn engine_report_json_round_trip_is_bit_exact() {
+        use crate::engine::{run_model, EngineConfig, EngineReport};
+        use crate::SlottedModel;
+        // A run with real histogram contents and extras.
+        struct Loopy(std::collections::VecDeque<u64>);
+        impl SlottedModel for Loopy {
+            fn ports(&self) -> usize {
+                2
+            }
+            fn arbitrate<T: crate::TraceSink>(&mut self, _: u64, obs: &mut crate::Observer<'_, T>) {
+                if let Some(&s) = self.0.front() {
+                    obs.cell_granted(0, 1, s);
+                }
+            }
+            fn deliver<T: crate::TraceSink>(&mut self, _: u64, obs: &mut crate::Observer<'_, T>) {
+                if let Some(s) = self.0.pop_front() {
+                    obs.cell_delivered(1, s);
+                }
+            }
+            fn inject<T: crate::TraceSink>(&mut self, slot: u64, obs: &mut crate::Observer<'_, T>) {
+                if !slot.is_multiple_of(3) {
+                    self.0.push_back(slot);
+                    obs.cell_injected(0, 1);
+                }
+            }
+            fn finish(&mut self, report: &mut EngineReport) {
+                report.set_extra("loopy_marker", 0.125);
+            }
+        }
+        let r = run_model(&mut Loopy(Default::default()), &EngineConfig::new(10, 500));
+        let back = EngineReport::from_json(&Value::parse(&r.to_json().encode()).unwrap()).unwrap();
+        assert_eq!(r.fingerprint(), back.fingerprint());
+        assert_eq!(back.extra("loopy_marker"), Some(0.125));
     }
 
     #[test]

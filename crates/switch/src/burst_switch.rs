@@ -177,7 +177,7 @@ impl CellSwitch for BurstSwitch {
             if let Some(cell) = q.pop_front() {
                 debug_assert_eq!(cell.dst, o);
                 self.checker.record(cell.src, cell.dst, cell.seq);
-                obs.cell_delivered(o, cell.inject_slot);
+                obs.cell_delivered_flow(o, cell.inject_slot, cell.src, cell.seq);
             }
         }
     }
@@ -196,6 +196,12 @@ impl CellSwitch for BurstSwitch {
 
     fn finish(&mut self, report: &mut EngineReport) {
         report.reordered = self.checker.reordered();
+    }
+
+    fn resident_cells(&self) -> Option<u64> {
+        let queued: usize = self.voq.iter().map(VecDeque::len).sum::<usize>()
+            + self.egress.iter().map(VecDeque::len).sum::<usize>();
+        Some(queued as u64)
     }
 }
 

@@ -71,7 +71,7 @@ impl CellSwitch for BvnSwitch {
             obs.note_queue_depth(q.len());
             if let Some(cell) = q.pop_front() {
                 self.checker.record(cell.src, cell.dst, cell.seq);
-                obs.cell_delivered(o, cell.inject_slot);
+                obs.cell_delivered_flow(o, cell.inject_slot, cell.src, cell.seq);
             }
         }
     }
@@ -92,6 +92,10 @@ impl CellSwitch for BvnSwitch {
 
     fn finish(&mut self, report: &mut EngineReport) {
         report.reordered = self.checker.reordered();
+    }
+
+    fn resident_cells(&self) -> Option<u64> {
+        Some(self.mid.iter().map(VecDeque::len).sum::<usize>() as u64)
     }
 }
 

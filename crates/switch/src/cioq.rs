@@ -146,7 +146,7 @@ impl CellSwitch for CioqSwitch {
                     if obs.measuring() {
                         self.busy_slots += 1;
                     }
-                    obs.cell_delivered(o, cell.inject_slot);
+                    obs.cell_delivered_flow(o, cell.inject_slot, cell.src, cell.seq);
                 }
                 None => {
                     if obs.measuring() && self.pending_for[o] {
@@ -180,6 +180,12 @@ impl CellSwitch for CioqSwitch {
             self.violations as f64 / self.busy_slots as f64
         };
         report.set_extra("violation_fraction", fraction);
+    }
+
+    fn resident_cells(&self) -> Option<u64> {
+        let queued: usize = self.voq.iter().map(VecDeque::len).sum::<usize>()
+            + self.egress.iter().map(VecDeque::len).sum::<usize>();
+        Some(queued as u64)
     }
 }
 

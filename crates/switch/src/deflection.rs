@@ -17,6 +17,7 @@
 
 use crate::cell::Cell;
 use crate::driven::{run_switch, CellSwitch};
+use osmosis_sim::audit::DropReason;
 use osmosis_sim::engine::{EngineConfig, EngineReport, Observer, TraceSink};
 use osmosis_sim::rng::SimRng;
 use osmosis_traffic::{Arrival, SequenceChecker, SequenceStamper, TrafficGen};
@@ -95,7 +96,7 @@ impl CellSwitch for DeflectionSwitch {
             let winner = self.contenders[o][k];
             let cell = self.loops[winner].pop_front().unwrap();
             self.checker.record(cell.src, cell.dst, cell.seq);
-            obs.cell_delivered(o, cell.inject_slot);
+            obs.cell_delivered_flow(o, cell.inject_slot, cell.src, cell.seq);
             // Losers: rotate to the back of their loop — they lost a slot
             // in the ring (the deflection penalty).
             for idx in 0..self.contenders[o].len() {
@@ -115,7 +116,9 @@ impl CellSwitch for DeflectionSwitch {
         // "limited throughput per port" mechanism.
         for a in arrivals {
             if self.loops[a.src].len() >= self.loop_capacity {
-                obs.cell_dropped(a.src);
+                // The arrival never entered the ring: a rejection, not a
+                // loss of an admitted cell (the host retries).
+                obs.cell_dropped_for(a.src, DropReason::Rejected);
                 continue;
             }
             let seq = self.stamper.stamp(a.src, a.dst);
@@ -129,6 +132,10 @@ impl CellSwitch for DeflectionSwitch {
 
     fn finish(&mut self, report: &mut EngineReport) {
         report.reordered = self.checker.reordered();
+    }
+
+    fn resident_cells(&self) -> Option<u64> {
+        Some(self.loops.iter().map(VecDeque::len).sum::<usize>() as u64)
     }
 }
 

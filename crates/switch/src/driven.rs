@@ -16,9 +16,10 @@
 //! switch, whose workload is internal) implement `SlottedModel` directly.
 
 use osmosis_sim::engine::{
-    run, run_faulted, run_model, EngineConfig, EngineReport, Observer, SlottedModel, TraceSink,
+    run, run_faulted, run_instrumented, run_model, EngineConfig, EngineReport, Observer,
+    SlottedModel, TraceSink,
 };
-use osmosis_sim::{FaultView, NullTrace};
+use osmosis_sim::{Auditor, FaultView, NullTrace};
 use osmosis_traffic::{Arrival, TrafficGen};
 
 /// A slotted simulator driven by an external traffic generator.
@@ -44,6 +45,14 @@ pub trait CellSwitch {
 
     /// Post-run hook: set `reordered` and model-specific `extra` metrics.
     fn finish(&mut self, _report: &mut EngineReport) {}
+
+    /// Cells still queued or in flight inside the switch, when it can
+    /// count them. `Some` lets an attached invariant auditor close the
+    /// global conservation ledger exactly:
+    /// `injected == delivered + dropped + resident`.
+    fn resident_cells(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Pairs a [`CellSwitch`] with its traffic generator to form a
@@ -97,6 +106,10 @@ impl<S: CellSwitch + ?Sized> SlottedModel for Driven<'_, S> {
     fn finish(&mut self, report: &mut EngineReport) {
         self.switch.finish(report);
     }
+
+    fn resident_cells(&self) -> Option<u64> {
+        self.switch.resident_cells()
+    }
 }
 
 /// Run a traffic-driven simulator on the engine with tracing disabled.
@@ -144,4 +157,42 @@ pub fn run_switch_faulted_traced<S: CellSwitch + ?Sized, T: TraceSink>(
     faults: &mut dyn FaultView,
 ) -> EngineReport {
     run_faulted(&mut Driven::new(switch, traffic), cfg, sink, faults)
+}
+
+/// Run a traffic-driven simulator with an invariant-audit plane
+/// attached. A clean audit leaves the report — and its fingerprint —
+/// bit-identical to [`run_switch`].
+pub fn run_switch_audited<S: CellSwitch + ?Sized>(
+    switch: &mut S,
+    traffic: &mut dyn TrafficGen,
+    cfg: &EngineConfig,
+    audit: &mut dyn Auditor,
+) -> EngineReport {
+    let mut sink = NullTrace;
+    run_instrumented(
+        &mut Driven::new(switch, traffic),
+        cfg,
+        &mut sink,
+        None,
+        Some(audit),
+    )
+}
+
+/// The fully general entry point: optional fault plane, optional audit
+/// plane. This is how the acceptance suites audit faulted runs.
+pub fn run_switch_instrumented<'a, S: CellSwitch + ?Sized>(
+    switch: &mut S,
+    traffic: &mut dyn TrafficGen,
+    cfg: &EngineConfig,
+    faults: Option<&'a mut dyn FaultView>,
+    audit: Option<&'a mut dyn Auditor>,
+) -> EngineReport {
+    let mut sink = NullTrace;
+    run_instrumented(
+        &mut Driven::new(switch, traffic),
+        cfg,
+        &mut sink,
+        faults,
+        audit,
+    )
 }

@@ -97,7 +97,7 @@ impl CellSwitch for FifoSwitch {
             if let Some(cell) = q.pop_front() {
                 debug_assert_eq!(cell.dst, o);
                 self.checker.record(cell.src, cell.dst, cell.seq);
-                obs.cell_delivered(o, cell.inject_slot);
+                obs.cell_delivered_flow(o, cell.inject_slot, cell.src, cell.seq);
             }
         }
     }
@@ -115,6 +115,12 @@ impl CellSwitch for FifoSwitch {
 
     fn finish(&mut self, report: &mut EngineReport) {
         report.reordered = self.checker.reordered();
+    }
+
+    fn resident_cells(&self) -> Option<u64> {
+        let queued: usize = self.fifos.iter().map(VecDeque::len).sum::<usize>()
+            + self.egress.iter().map(VecDeque::len).sum::<usize>();
+        Some(queued as u64)
     }
 }
 

@@ -61,7 +61,7 @@ impl CellSwitch for OqSwitch {
             if let Some(cell) = q.pop_front() {
                 debug_assert_eq!(cell.dst, o);
                 self.checker.record(cell.src, cell.dst, cell.seq);
-                obs.cell_delivered(o, cell.inject_slot);
+                obs.cell_delivered_flow(o, cell.inject_slot, cell.src, cell.seq);
             }
         }
     }
@@ -80,6 +80,10 @@ impl CellSwitch for OqSwitch {
 
     fn finish(&mut self, report: &mut EngineReport) {
         report.reordered = self.checker.reordered();
+    }
+
+    fn resident_cells(&self) -> Option<u64> {
+        Some(self.egress.iter().map(VecDeque::len).sum::<usize>() as u64)
     }
 }
 

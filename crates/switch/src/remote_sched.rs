@@ -141,7 +141,7 @@ impl CellSwitch for RemoteSchedulerSwitch {
         for (o, q) in self.egress.iter_mut().enumerate() {
             if let Some(cell) = q.pop_front() {
                 self.checker.record(cell.src, cell.dst, cell.seq);
-                obs.cell_delivered(o, cell.inject_slot);
+                obs.cell_delivered_flow(o, cell.inject_slot, cell.src, cell.seq);
             }
         }
     }
@@ -161,6 +161,13 @@ impl CellSwitch for RemoteSchedulerSwitch {
 
     fn finish(&mut self, report: &mut EngineReport) {
         report.reordered = self.checker.reordered();
+    }
+
+    fn resident_cells(&self) -> Option<u64> {
+        let queued: usize = self.voq.iter().map(VecDeque::len).sum::<usize>()
+            + self.egress.iter().map(VecDeque::len).sum::<usize>()
+            + self.data_in_flight.len();
+        Some(queued as u64)
     }
 }
 

@@ -104,6 +104,14 @@ impl CellSwitch for VoqSwitch {
                 }
             }
         }
+        if obs.audit_attached() {
+            // Tell the audit plane what each output may legally absorb
+            // this slot (as degraded by the fault reflection above), so
+            // the capacity-legality auditor can police the matching.
+            for o in 0..self.n {
+                obs.audit_output_capacity(o, self.sched.output_capacity(o));
+            }
+        }
         let matching = self.sched.tick(slot);
         for &(i, o) in matching.pairs() {
             if obs.faults_attached() && obs.fault_grant_lost(i, o) {
@@ -136,7 +144,7 @@ impl CellSwitch for VoqSwitch {
             if let Some(cell) = q.pop_front() {
                 debug_assert_eq!(cell.dst, o);
                 self.checker.record(cell.src, cell.dst, cell.seq);
-                obs.cell_delivered(o, cell.inject_slot);
+                obs.cell_delivered_flow(o, cell.inject_slot, cell.src, cell.seq);
             }
         }
     }
@@ -156,6 +164,12 @@ impl CellSwitch for VoqSwitch {
 
     fn finish(&mut self, report: &mut EngineReport) {
         report.reordered = self.checker.reordered();
+    }
+
+    fn resident_cells(&self) -> Option<u64> {
+        let queued: usize = self.voq.iter().map(VecDeque::len).sum::<usize>()
+            + self.egress.iter().map(VecDeque::len).sum::<usize>();
+        Some(queued as u64)
     }
 }
 

@@ -12,10 +12,11 @@ use osmosis::sched::Flppr;
 use osmosis::sim::{EngineConfig, SeedSequence};
 use osmosis::switch::driven::CellSwitch;
 use osmosis::switch::{
-    run_switch, run_switch_faulted, BurstSwitch, BvnSwitch, CioqSwitch, DeflectionSwitch,
-    FifoSwitch, OqSwitch, RemoteSchedulerSwitch, VoqSwitch,
+    run_switch, run_switch_faulted, run_switch_instrumented, BurstSwitch, BvnSwitch, CioqSwitch,
+    DeflectionSwitch, FifoSwitch, OqSwitch, RemoteSchedulerSwitch, VoqSwitch,
 };
 use osmosis::traffic::BernoulliUniform;
+use osmosis_audit::{AuditMode, AuditSet};
 
 fn cfg(seed: u64) -> EngineConfig {
     EngineConfig::new(200, 2_500).with_seed(seed)
@@ -44,13 +45,30 @@ fn plan() -> FaultPlan {
 /// 1. same seed ⇒ bit-identical fault trace *and* bit-identical report;
 /// 2. a different seed changes the run (traffic and/or fault timeline);
 /// 3. an empty plan is invisible: `run_faulted` == plain `run`, bit for
-///    bit.
+///    bit;
+/// 4. the full invariant battery on the clean run finds nothing and
+///    leaves the report bit-identical to the plain run;
+/// 5. (`audit_faulted` models) the battery also passes on the *faulted*
+///    run — every drop is accounted, every credit conserved, per-flow
+///    order held through retransmissions.
+///
+/// `ordered` selects the battery: BVN load balancing and deflection
+/// routing reorder by design, so they run without the order auditor.
 fn assert_fault_determinism<S: CellSwitch>(
     name: &str,
     hosts: usize,
     load: f64,
+    ordered: bool,
+    audit_faulted: bool,
     mk: impl Fn() -> S,
 ) {
+    let battery = || {
+        if ordered {
+            AuditSet::standard(AuditMode::FailFast)
+        } else {
+            AuditSet::unordered(AuditMode::FailFast)
+        }
+    };
     let faulted = |seed: u64| {
         let mut sw = mk();
         let mut tr = BernoulliUniform::new(hosts, load, &SeedSequence::new(seed));
@@ -92,55 +110,98 @@ fn assert_fault_determinism<S: CellSwitch>(
         empty.fingerprint(),
         "{name}: an empty fault plan must be bit-identical to the plain run"
     );
+
+    // 4. Audited clean run: zero violations (fail-fast would panic), and
+    // the report — fingerprint included — matches the plain run exactly.
+    let audited = {
+        let mut sw = mk();
+        let mut tr = BernoulliUniform::new(hosts, load, &SeedSequence::new(1234));
+        let mut set = battery();
+        let r = run_switch_instrumented(&mut sw, &mut tr, &cfg(1234), None, Some(&mut set));
+        assert_eq!(
+            set.total_violations(),
+            0,
+            "{name}: clean run must audit clean"
+        );
+        r
+    };
+    assert_eq!(
+        plain.fingerprint(),
+        audited.fingerprint(),
+        "{name}: a clean audit must not perturb the run"
+    );
+
+    // 5. Audited faulted run, where the model supports it.
+    if audit_faulted {
+        let mut sw = mk();
+        let mut tr = BernoulliUniform::new(hosts, load, &SeedSequence::new(1234));
+        let mut inj = FaultInjector::new(plan());
+        let mut set = battery();
+        let r =
+            run_switch_instrumented(&mut sw, &mut tr, &cfg(1234), Some(&mut inj), Some(&mut set));
+        assert_eq!(
+            set.total_violations(),
+            0,
+            "{name}: invariants must hold under faults: {}",
+            set.report()
+        );
+        assert_eq!(
+            a.fingerprint(),
+            r.fingerprint(),
+            "{name}: auditing the faulted run must not perturb it"
+        );
+    }
 }
 
 #[test]
 fn voq_switch_faults_are_deterministic() {
-    assert_fault_determinism("voq", 16, 0.7, || {
+    assert_fault_determinism("voq", 16, 0.7, true, true, || {
         VoqSwitch::new(Box::new(Flppr::osmosis(16, 2)))
     });
 }
 
 #[test]
 fn fifo_switch_faults_are_deterministic() {
-    assert_fault_determinism("fifo", 16, 0.5, || FifoSwitch::new(16));
+    assert_fault_determinism("fifo", 16, 0.5, true, true, || FifoSwitch::new(16));
 }
 
 #[test]
 fn oq_switch_faults_are_deterministic() {
-    assert_fault_determinism("oq", 16, 0.7, || OqSwitch::new(16));
+    assert_fault_determinism("oq", 16, 0.7, true, true, || OqSwitch::new(16));
 }
 
 #[test]
 fn bvn_switch_faults_are_deterministic() {
-    assert_fault_determinism("bvn", 16, 0.6, || BvnSwitch::new(16));
+    assert_fault_determinism("bvn", 16, 0.6, false, true, || BvnSwitch::new(16));
 }
 
 #[test]
 fn burst_switch_faults_are_deterministic() {
-    assert_fault_determinism("burst", 16, 0.6, || BurstSwitch::new(16, 8, 8));
+    assert_fault_determinism("burst", 16, 0.6, true, true, || BurstSwitch::new(16, 8, 8));
 }
 
 #[test]
 fn deflection_switch_faults_are_deterministic() {
-    assert_fault_determinism("deflection", 16, 0.6, || DeflectionSwitch::new(16, 4, 7));
+    assert_fault_determinism("deflection", 16, 0.6, false, true, || {
+        DeflectionSwitch::new(16, 4, 7)
+    });
 }
 
 #[test]
 fn cioq_switch_faults_are_deterministic() {
-    assert_fault_determinism("cioq", 16, 0.8, || CioqSwitch::new(16, 2, 8));
+    assert_fault_determinism("cioq", 16, 0.8, true, true, || CioqSwitch::new(16, 2, 8));
 }
 
 #[test]
 fn remote_scheduler_switch_faults_are_deterministic() {
-    assert_fault_determinism("remote_sched", 8, 0.5, || {
+    assert_fault_determinism("remote_sched", 8, 0.5, true, true, || {
         RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), 4)
     });
 }
 
 #[test]
 fn fat_tree_fabric_faults_are_deterministic() {
-    assert_fault_determinism("multistage", 32, 0.5, || {
+    assert_fault_determinism("multistage", 32, 0.5, true, true, || {
         FatTreeFabric::new(FabricConfig::small(8, 2))
     });
 }
@@ -148,7 +209,7 @@ fn fat_tree_fabric_faults_are_deterministic() {
 #[test]
 fn multilevel_fabric_faults_are_deterministic() {
     let topo = MultiLevelClos::new(4, 3);
-    assert_fault_determinism("multilevel", topo.hosts(), 0.4, move || {
+    assert_fault_determinism("multilevel", topo.hosts(), 0.4, true, true, move || {
         MultiLevelFabric::new(MultiLevelConfig::standard(topo, 2))
     });
 }

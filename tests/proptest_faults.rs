@@ -3,11 +3,48 @@
 //! fault plans — random credit-drop probabilities, random MTBF/MTTR
 //! repair processes, and random link-corruption bursts on top.
 
+use osmosis::fabric::multilevel::{MultiLevelClos, MultiLevelConfig, MultiLevelFabric};
 use osmosis::fabric::multistage::{FabricConfig, FatTreeFabric};
 use osmosis::faults::{FaultInjector, FaultKind, FaultPlan, LINK_ANY};
+use osmosis::sched::Flppr;
 use osmosis::sim::{EngineConfig, SeedSequence};
+use osmosis::switch::driven::CellSwitch;
+use osmosis::switch::{
+    run_switch_instrumented, BurstSwitch, BvnSwitch, CioqSwitch, DeflectionSwitch, FifoSwitch,
+    OqSwitch, RemoteSchedulerSwitch, VoqSwitch,
+};
 use osmosis::traffic::BernoulliUniform;
+use osmosis_audit::{AuditMode, AuditSet};
 use proptest::prelude::*;
+
+/// Run one simulator under `plan` with the invariant battery attached and
+/// return the violation report rendered, or `None` if it audited clean.
+/// `ordered` drops the order auditor for the models that reorder by
+/// design (BVN load balancing, deflection routing).
+fn audit_under<S: CellSwitch>(
+    hosts: usize,
+    load: f64,
+    seed: u64,
+    ordered: bool,
+    plan: &FaultPlan,
+    mk: impl FnOnce() -> S,
+) -> Option<String> {
+    let mut sw = mk();
+    let mut tr = BernoulliUniform::new(hosts, load, &SeedSequence::new(seed));
+    let mut inj = FaultInjector::new(plan.clone());
+    let mut set = if ordered {
+        AuditSet::standard(AuditMode::Accumulate)
+    } else {
+        AuditSet::unordered(AuditMode::Accumulate)
+    };
+    let cfg = EngineConfig::new(100, 1_500).with_seed(seed);
+    run_switch_instrumented(&mut sw, &mut tr, &cfg, Some(&mut inj), Some(&mut set));
+    if set.total_violations() == 0 {
+        None
+    } else {
+        Some(set.report().to_string())
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
@@ -71,5 +108,59 @@ proptest! {
         prop_assert_eq!(r.injected, r.delivered + fab.resident_cells());
         // The engine's loss ledger agrees: nothing was charged to faults.
         prop_assert_eq!(r.extra("fault_cells_lost").unwrap_or(0.0), 0.0);
+    }
+
+    /// The invariant battery holds for *every* simulator in the workspace
+    /// under arbitrary seeded credit-drop + link-BER plans: cell
+    /// conservation (drops accounted by reason), credit conservation
+    /// (resync included), capacity legality, and — for the models that
+    /// preserve order by design — per-flow order at egress.
+    #[test]
+    fn all_simulators_audit_clean_under_random_fault_plans(
+        load in 0.1f64..0.5,
+        drop_p in 0.01f64..0.3,
+        ber in 0.005f64..0.1,
+        fault_at in 50u64..600,
+        repair in 100u64..800,
+        seed in any::<u64>(),
+    ) {
+        let plan = FaultPlan::new()
+            .one_shot(FaultKind::CreditDrop { prob: drop_p }, fault_at, Some(repair))
+            .one_shot(
+                FaultKind::LinkBerBurst { link: LINK_ANY, cell_error_prob: ber },
+                fault_at,
+                Some(repair),
+            );
+        let mut dirty: Vec<(&str, String)> = Vec::new();
+        let mut check = |name: &'static str, found: Option<String>| {
+            if let Some(report) = found {
+                dirty.push((name, report));
+            }
+        };
+        check("voq", audit_under(8, load, seed, true, &plan, || {
+            VoqSwitch::new(Box::new(Flppr::osmosis(8, 1)))
+        }));
+        check("fifo", audit_under(8, load, seed, true, &plan, || FifoSwitch::new(8)));
+        check("oq", audit_under(8, load, seed, true, &plan, || OqSwitch::new(8)));
+        check("bvn", audit_under(8, load, seed, false, &plan, || BvnSwitch::new(8)));
+        check("burst", audit_under(8, load, seed, true, &plan, || BurstSwitch::new(8, 8, 8)));
+        check("deflection", audit_under(8, load, seed, false, &plan, || {
+            DeflectionSwitch::new(8, 4, 7)
+        }));
+        check("cioq", audit_under(8, load, seed, true, &plan, || CioqSwitch::new(8, 2, 8)));
+        check("remote_sched", audit_under(8, load, seed, true, &plan, || {
+            RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), 4)
+        }));
+        check("fat-tree", audit_under(8, load, seed, true, &plan, || {
+            FatTreeFabric::new(FabricConfig::small(4, 2))
+        }));
+        let topo = MultiLevelClos::new(4, 3);
+        check("multilevel", audit_under(topo.hosts(), load, seed, true, &plan, move || {
+            MultiLevelFabric::new(MultiLevelConfig::standard(topo, 2))
+        }));
+        prop_assert!(
+            dirty.is_empty(),
+            "violations under plan drop_p={drop_p:.3} ber={ber:.3} seed={seed}: {dirty:?}"
+        );
     }
 }
