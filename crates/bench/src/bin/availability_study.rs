@@ -5,7 +5,11 @@
 //! hard pass/fail on the resilience acceptance bars (for CI);
 //! `--audit` attaches the invariant auditors to every run and fails on
 //! any violation; `--checkpoint <dir>` checkpoints each completed sweep
-//! point to `<dir>` so an interrupted study resumes bit-identically.
+//! point to `<dir>` so an interrupted study resumes bit-identically;
+//! `--telemetry <path.jsonl>` streams the telemetry plane (metrics
+//! registry, spans, snapshots — see DESIGN.md for the record schema)
+//! from the nominal and stochastic legs; `--progress` reports live
+//! per-job sweep progress on stderr.
 
 use osmosis_bench::{print_table, scale_from_args};
 use osmosis_core::experiments::availability::{self, AvailabilityOptions};
@@ -32,6 +36,17 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let telemetry = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .map(|i| match args.get(i + 1) {
+            Some(path) => PathBuf::from(path),
+            None => {
+                eprintln!("--telemetry needs a .jsonl path argument");
+                std::process::exit(2);
+            }
+        });
+    let progress = args.iter().any(|a| a == "--progress");
     let scale = if smoke {
         Scale::Quick
     } else {
@@ -40,6 +55,8 @@ fn main() {
     let opts = AvailabilityOptions {
         audit,
         checkpoint_dir,
+        telemetry: telemetry.clone(),
+        progress,
         ..Default::default()
     };
     let r = match availability::run_with(scale, 0xFA11, &opts) {
@@ -137,6 +154,29 @@ fn main() {
             "invariant auditors recorded violations"
         );
         println!("\naudit: every invariant held across all legs");
+    }
+
+    if let Some(path) = &telemetry {
+        // The stream was already flushed and error-checked inside
+        // run_with; validate the document end to end before telling the
+        // user it is trustworthy.
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read back telemetry file {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        match osmosis_telemetry::validate_jsonl(&text) {
+            Ok(stats) => println!(
+                "\ntelemetry: {} -> {} runs, {} snapshots, {} spans (schema valid)",
+                path.display(),
+                stats.metas,
+                stats.snapshots,
+                stats.spans
+            ),
+            Err(e) => {
+                eprintln!("telemetry file failed schema validation: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     println!("\nOne dead wavelength plane costs almost nothing: surviving planes absorb the");

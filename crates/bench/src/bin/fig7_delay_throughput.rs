@@ -1,12 +1,62 @@
 //! Regenerates Fig. 7: delay vs. throughput for the OSMOSIS switch with
 //! FLPPR - single receiver vs. the dual-receiver datapath.
+//!
+//! `--telemetry <path.jsonl>` reruns both arms sequentially under the
+//! telemetry plane, streaming metrics/spans/snapshots to `path` (see
+//! DESIGN.md for the record schema). The table is identical either way:
+//! telemetry only observes.
 
 use osmosis_bench::{print_table, scale_from_args};
-use osmosis_core::experiments::fig7;
+use osmosis_core::experiments::{fig7, latency_decomposition};
+use osmosis_telemetry::TelemetrySink;
+use std::path::PathBuf;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let telemetry = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .map(|i| match args.get(i + 1) {
+            Some(path) => PathBuf::from(path),
+            None => {
+                eprintln!("--telemetry needs a .jsonl path argument");
+                std::process::exit(2);
+            }
+        });
     let scale = scale_from_args();
-    let pts = fig7::run(scale, 0xF167);
+    let seed = 0xF167;
+
+    let pts = if let Some(path) = &telemetry {
+        // The telemetered sweep is sequential (one sink, one stream);
+        // rebuild the Fig. 7 points from the two decomposed arms.
+        let mut sink = TelemetrySink::new()
+            .with_label("fig7")
+            .stream_to_path(path)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot open telemetry stream {}: {e}", path.display());
+                std::process::exit(1);
+            });
+        let single = latency_decomposition::run_with_sink(scale, seed, 1, &mut sink);
+        let dual = latency_decomposition::run_with_sink(scale, seed, 2, &mut sink);
+        if let Err(e) = sink.finish_stream() {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        single
+            .iter()
+            .zip(dual.iter())
+            .map(|(s, d)| fig7::Fig7Point {
+                load: s.load,
+                throughput_single: s.throughput,
+                delay_single: s.mean_delay,
+                throughput_dual: d.throughput,
+                delay_dual: d.mean_delay,
+            })
+            .collect()
+    } else {
+        fig7::run(scale, seed)
+    };
+
     let rows: Vec<Vec<String>> = pts
         .iter()
         .map(|p| {
@@ -33,6 +83,25 @@ fn main() {
         ],
         &rows,
     );
+    if let Some(path) = &telemetry {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read back telemetry file {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        match osmosis_telemetry::validate_jsonl(&text) {
+            Ok(stats) => println!(
+                "\ntelemetry: {} -> {} runs, {} snapshots, {} spans (schema valid)",
+                path.display(),
+                stats.metas,
+                stats.snapshots,
+                stats.spans
+            ),
+            Err(e) => {
+                eprintln!("telemetry file failed validation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     println!("\nDelays in cell cycles (51.2 ns each). The dual-receiver curve stays nearly");
     println!("flat over a wide load range and rises only near saturation - the paper's");
     println!("\"Dual Receiver\" curve. Both arms sustain >95% throughput.");

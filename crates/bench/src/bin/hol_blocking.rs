@@ -1,12 +1,45 @@
 //! Ablation A3: head-of-line blocking - what VOQ buys over single-FIFO
 //! input queues (SIII's motivation for VOQ).
+//!
+//! `--telemetry <path.jsonl>` observes both saturated runs (FIFO, then
+//! VOQ) with the telemetry plane and streams the two-run JSONL document
+//! to `path`. The printed numbers are bit-identical either way.
 
 use osmosis_bench::{print_table, scale_from_args};
-use osmosis_core::experiments::ablations::hol_blocking;
+use osmosis_core::experiments::ablations::{hol_blocking, hol_blocking_with_sink};
+use osmosis_telemetry::TelemetrySink;
+use std::path::PathBuf;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let telemetry = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .map(|i| match args.get(i + 1) {
+            Some(path) => PathBuf::from(path),
+            None => {
+                eprintln!("--telemetry needs a .jsonl path argument");
+                std::process::exit(2);
+            }
+        });
     let scale = scale_from_args();
-    let r = hol_blocking(scale, 0xA3);
+    let r = if let Some(path) = &telemetry {
+        let mut sink = TelemetrySink::new()
+            .with_label("hol_blocking")
+            .stream_to_path(path)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot open telemetry stream {}: {e}", path.display());
+                std::process::exit(1);
+            });
+        let r = hol_blocking_with_sink(scale, 0xA3, &mut sink);
+        if let Err(e) = sink.finish_stream() {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        r
+    } else {
+        hol_blocking(scale, 0xA3)
+    };
     print_table(
         "A3: saturated uniform throughput",
         &["architecture", "throughput"],
@@ -22,6 +55,25 @@ fn main() {
             ],
         ],
     );
+    if let Some(path) = &telemetry {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read back telemetry file {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        match osmosis_telemetry::validate_jsonl(&text) {
+            Ok(stats) => println!(
+                "\ntelemetry: {} -> {} runs, {} snapshots, {} spans (schema valid)",
+                path.display(),
+                stats.metas,
+                stats.snapshots,
+                stats.spans
+            ),
+            Err(e) => {
+                eprintln!("telemetry file failed validation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     println!("\nFIFO input queues saturate near 58.6%; VOQ restores full throughput -");
     println!("the well-known result the paper builds on (ref. [17]).");
 }

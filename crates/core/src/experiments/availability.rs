@@ -39,6 +39,7 @@ use osmosis_sim::{
     SweepOptions, SweepState, SweepSummary,
 };
 use osmosis_switch::driven::Driven;
+use osmosis_telemetry::TelemetrySink;
 use osmosis_traffic::BernoulliUniform;
 use std::path::PathBuf;
 
@@ -155,6 +156,12 @@ pub struct AvailabilityOptions {
     pub slot_budget: Option<u64>,
     /// Supervisor retry attempts per job (`None`: the default, 3).
     pub max_attempts: Option<u32>,
+    /// Stream telemetry (metrics registry, spans, snapshots) from the
+    /// nominal and stochastic legs to this JSONL file. Telemetry only
+    /// observes: every report stays bit-identical to an unobserved run.
+    pub telemetry: Option<PathBuf>,
+    /// Report per-job sweep progress live on stderr.
+    pub progress: bool,
 }
 
 /// Deliveries bucketed into fixed windows of `window` slots — the
@@ -307,6 +314,24 @@ pub fn run_with(
     if let Some(a) = opts.max_attempts {
         sweep_opts = sweep_opts.with_max_attempts(a);
     }
+    if opts.progress {
+        sweep_opts = sweep_opts.with_progress(osmosis_telemetry::stderr_progress("availability"));
+    }
+
+    // One telemetry sink observes both sequential legs (nominal +
+    // stochastic), streaming a two-run JSONL document. The parallel
+    // sweeps stay unobserved: a shared sink would serialize them.
+    let mut telemetry = match &opts.telemetry {
+        Some(path) => Some(
+            TelemetrySink::new()
+                .with_label("availability")
+                .stream_to_path(path)
+                .map_err(|e| SweepError::Io {
+                    message: format!("open telemetry stream {}: {e}", path.display()),
+                })?,
+        ),
+        None => None,
+    };
     let ckpt = |tag: u64, name: &str| {
         opts.checkpoint_dir
             .as_ref()
@@ -315,15 +340,18 @@ pub fn run_with(
 
     // Fault-free reference. Each run gets a freshly built fabric so the
     // bit-identical comparison below is over identical starting states.
-    let (nominal, mut violations) = run_leg(
-        scale,
-        seed,
-        &cfg,
-        &mut osmosis_sim::NullTrace,
-        None,
-        opts.audit,
-        true,
-    );
+    let (nominal, mut violations) = match telemetry.as_mut() {
+        Some(sink) => run_leg(scale, seed, &cfg, sink, None, opts.audit, true),
+        None => run_leg(
+            scale,
+            seed,
+            &cfg,
+            &mut osmosis_sim::NullTrace,
+            None,
+            opts.audit,
+            true,
+        ),
+    };
 
     // 1. Throughput vs permanently failed planes. k = 0 runs through an
     // empty FaultPlan: the report must be bit-identical to `nominal`.
@@ -418,15 +446,18 @@ pub fn run_with(
     };
     let plan = FaultPlan::new().stochastic(FaultKind::WavelengthLoss { plane: 0 }, mtbf, mttr);
     let run_cfg = EngineConfig::new(0, slots).with_seed(seed);
-    let (r, v) = run_leg(
-        scale,
-        seed,
-        &run_cfg,
-        &mut osmosis_sim::NullTrace,
-        Some(plan),
-        opts.audit,
-        false,
-    );
+    let (r, v) = match telemetry.as_mut() {
+        Some(sink) => run_leg(scale, seed, &run_cfg, sink, Some(plan), opts.audit, false),
+        None => run_leg(
+            scale,
+            seed,
+            &run_cfg,
+            &mut osmosis_sim::NullTrace,
+            Some(plan),
+            opts.audit,
+            false,
+        ),
+    };
     violations += v;
     let active = r.extra("fault_active_slots").unwrap_or(0.0);
     let stochastic = StochasticSummary {
@@ -435,6 +466,11 @@ pub fn run_with(
         availability: 1.0 - active / slots as f64,
         throughput: r.throughput,
     };
+
+    if let Some(mut sink) = telemetry {
+        sink.finish_stream()
+            .map_err(|message| SweepError::Io { message })?;
+    }
 
     Ok(AvailabilityResult {
         planes,
@@ -530,6 +566,40 @@ mod tests {
             );
         }
         assert_eq!(plain.mttr_sweep, audited.mttr_sweep);
+    }
+
+    #[test]
+    fn telemetered_run_streams_valid_jsonl_and_stays_bit_identical() {
+        let path = std::env::temp_dir().join(format!(
+            "osmosis-avail-telemetry-{}.jsonl",
+            std::process::id()
+        ));
+        let plain = run(Scale::Quick, 37);
+        let telemetered = run_with(
+            Scale::Quick,
+            37,
+            &AvailabilityOptions {
+                telemetry: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .expect("telemetered run");
+        assert_eq!(
+            plain.nominal.fingerprint(),
+            telemetered.nominal.fingerprint(),
+            "telemetry must not perturb the nominal leg"
+        );
+        assert_eq!(
+            plain.stochastic.throughput.to_bits(),
+            telemetered.stochastic.throughput.to_bits(),
+            "telemetry must not perturb the stochastic leg"
+        );
+        let text = std::fs::read_to_string(&path).expect("stream file");
+        let stats = osmosis_telemetry::validate_jsonl(&text).expect("schema-valid stream");
+        assert_eq!(stats.metas, 2, "nominal + stochastic legs");
+        assert_eq!(stats.summaries, 2);
+        assert!(stats.snapshots > 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

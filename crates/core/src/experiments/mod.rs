@@ -12,6 +12,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig9;
+pub mod latency_decomposition;
 pub mod sec4c;
 pub mod sec6c;
 pub mod sec6d;

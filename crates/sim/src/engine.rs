@@ -97,6 +97,20 @@ pub trait TraceSink {
 
     /// Receive one event, stamped with the slot it occurred in.
     fn event(&mut self, slot: u64, event: TraceEvent);
+
+    /// Called once before the first slot with the run's configuration and
+    /// the model's edge-port count. Sinks that need the warmup boundary or
+    /// seed (e.g. the telemetry plane's span sampler) learn it here.
+    fn run_begin(&mut self, _cfg: &EngineConfig, _ports: usize) {}
+
+    /// Called at the top of every slot, before the model's phases.
+    fn begin_slot(&mut self, _slot: u64) {}
+
+    /// Called once after the report is finalized (model `finish`, fault
+    /// and audit extras included). The report is read-only: a sink can
+    /// never influence the run it observed, which is why *any* sink —
+    /// not just a disabled one — leaves the fingerprint bit-identical.
+    fn run_end(&mut self, _report: &EngineReport) {}
 }
 
 /// The disabled sink: all tracing compiles to nothing.
@@ -120,6 +134,61 @@ pub struct VecTrace {
 impl TraceSink for VecTrace {
     fn event(&mut self, slot: u64, event: TraceEvent) {
         self.events.push((slot, event));
+    }
+}
+
+/// A bounded sink that keeps only the most recent events: when `cap` is
+/// reached, recording a new event evicts the oldest. Long runs capture a
+/// recent window for post-mortems without [`VecTrace`]'s unbounded
+/// growth; `seen()` still counts every event ever offered.
+#[derive(Debug, Default, Clone)]
+pub struct RingTrace {
+    cap: usize,
+    events: std::collections::VecDeque<(u64, TraceEvent)>,
+    seen: u64,
+}
+
+impl RingTrace {
+    /// A ring holding at most `cap` events (0 records nothing).
+    pub fn new(cap: usize) -> Self {
+        RingTrace {
+            cap,
+            events: std::collections::VecDeque::with_capacity(cap.min(4_096)),
+            seen: 0,
+        }
+    }
+
+    /// The retained window, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(u64, TraceEvent)> {
+        self.events.iter()
+    }
+
+    /// Events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events offered to the sink, evicted ones included.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl TraceSink for RingTrace {
+    fn event(&mut self, slot: u64, event: TraceEvent) {
+        self.seen += 1;
+        if self.cap == 0 {
+            return;
+        }
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+        }
+        self.events.push_back((slot, event));
     }
 }
 
@@ -445,6 +514,9 @@ impl<'a, T: TraceSink> Observer<'a, T> {
     fn begin_slot(&mut self, slot: u64) {
         self.slot = slot;
         self.measuring = slot >= self.warmup_slots;
+        if T::ENABLED {
+            self.sink.begin_slot(slot);
+        }
         if let Some(f) = self.faults.as_mut() {
             f.begin_slot(slot);
         }
@@ -736,9 +808,16 @@ impl<'a, T: TraceSink> Observer<'a, T> {
         }
     }
 
-    fn into_report(self, ports: usize, measured_slots: u64, converged_early: bool) -> EngineReport {
+    /// Finalize into a report, handing the sink borrow back so the caller
+    /// can deliver the [`TraceSink::run_end`] notification.
+    fn into_report(
+        self,
+        ports: usize,
+        measured_slots: u64,
+        converged_early: bool,
+    ) -> (EngineReport, &'a mut T) {
         let denom = (measured_slots as f64 * ports as f64).max(1.0);
-        EngineReport {
+        let mut report = EngineReport {
             offered_load: (self.injected + self.dropped) as f64 / denom,
             throughput: self.delivered as f64 / denom,
             mean_delay: self.delay_hist.mean(),
@@ -755,7 +834,21 @@ impl<'a, T: TraceSink> Observer<'a, T> {
             delay_hist: self.delay_hist,
             grant_hist: self.grant_hist,
             extra: Vec::new(),
+        };
+        // Full tail quantiles as extras (the `p99_delay` field predates
+        // them and stays). Derived purely from the delay histogram, so
+        // they are identical across plain/faulted/audited/traced runs.
+        for (name, q) in [
+            ("delay_p50", 0.5),
+            ("delay_p95", 0.95),
+            ("delay_p99", 0.99),
+            ("delay_p999", 0.999),
+        ] {
+            if let Some(v) = report.delay_hist.quantile(q) {
+                report.set_extra(name, v);
+            }
         }
+        (report, self.sink)
     }
 }
 
@@ -879,6 +972,9 @@ fn run_inner<'a, M: SlottedModel + ?Sized, T: TraceSink>(
     // Supervised sweeps bound each job by a slot budget; an over-budget
     // window aborts deterministically before the first slot runs.
     crate::sweep::watchdog::charge(total_slots);
+    if T::ENABLED {
+        sink.run_begin(cfg, ports);
+    }
     let mut obs = Observer::new(cfg, sink);
     obs.faults = faults;
     if let Some(a) = audit {
@@ -928,7 +1024,7 @@ fn run_inner<'a, M: SlottedModel + ?Sized, T: TraceSink>(
     let drops_buffer_full = obs.drops_buffer_full;
     let faults = obs.faults.take();
     let audit = obs.audit.take();
-    let mut report = obs.into_report(ports, measured_slots, converged_early);
+    let (mut report, sink) = obs.into_report(ports, measured_slots, converged_early);
     model.finish(&mut report);
     // Per-reason drop attribution is attachment-independent (set purely
     // from model behaviour), so audited and un-audited runs fingerprint
@@ -946,6 +1042,9 @@ fn run_inner<'a, M: SlottedModel + ?Sized, T: TraceSink>(
     }
     if let Some(a) = audit {
         a.end_run(resident, &mut report);
+    }
+    if T::ENABLED {
+        sink.run_end(&report);
     }
     report
 }
@@ -1281,5 +1380,75 @@ mod tests {
         let cfg = EngineConfig::new(0, 1).with_seed(7).with_buffer_cells(16);
         run_model(&mut p, &cfg);
         assert_eq!(p.seen, Some((7, Some(16))));
+    }
+
+    #[test]
+    fn ring_trace_keeps_only_the_recent_window() {
+        let cfg = EngineConfig::new(5, 50);
+        let mut full = VecTrace::default();
+        run(&mut ToyQueue::new(2, 1), &cfg, &mut full);
+
+        let mut ring = RingTrace::new(10);
+        let quiet = run_model(&mut ToyQueue::new(2, 1), &cfg);
+        let ringed = run(&mut ToyQueue::new(2, 1), &cfg, &mut ring);
+        assert_eq!(quiet.fingerprint(), ringed.fingerprint());
+        assert_eq!(ring.seen() as usize, full.events.len());
+        assert_eq!(ring.len(), 10);
+        // The window is exactly the tail of the full trace.
+        let tail = &full.events[full.events.len() - 10..];
+        let window: Vec<_> = ring.events().copied().collect();
+        assert_eq!(window, tail);
+
+        let mut empty = RingTrace::new(0);
+        run(&mut ToyQueue::new(2, 1), &cfg, &mut empty);
+        assert!(empty.is_empty());
+        assert_eq!(empty.seen() as usize, full.events.len());
+    }
+
+    #[test]
+    fn sink_lifecycle_hooks_fire_in_order() {
+        #[derive(Default)]
+        struct Lifecycle {
+            began: Option<(u64, usize)>,
+            slots: u64,
+            events_before_begin: bool,
+            ended: Option<u64>,
+        }
+        impl TraceSink for Lifecycle {
+            fn event(&mut self, _slot: u64, _event: TraceEvent) {
+                if self.began.is_none() {
+                    self.events_before_begin = true;
+                }
+            }
+            fn run_begin(&mut self, cfg: &EngineConfig, ports: usize) {
+                self.began = Some((cfg.warmup_slots, ports));
+            }
+            fn begin_slot(&mut self, _slot: u64) {
+                self.slots += 1;
+            }
+            fn run_end(&mut self, report: &EngineReport) {
+                self.ended = Some(report.delivered);
+            }
+        }
+        let cfg = EngineConfig::new(5, 50);
+        let mut sink = Lifecycle::default();
+        let r = run(&mut ToyQueue::new(2, 1), &cfg, &mut sink);
+        assert_eq!(sink.began, Some((5, 1)));
+        assert!(!sink.events_before_begin, "run_begin precedes all events");
+        assert_eq!(sink.slots, 55, "begin_slot fires warmup slots included");
+        assert_eq!(sink.ended, Some(r.delivered), "run_end sees final report");
+    }
+
+    #[test]
+    fn tail_quantile_extras_cover_the_delay_distribution() {
+        let cfg = EngineConfig::new(10, 200);
+        let r = run_model(&mut ToyQueue::new(2, 1), &cfg);
+        // Constant delay 1: every quantile of the distribution sits in
+        // the first bucket above it.
+        for name in ["delay_p50", "delay_p95", "delay_p99", "delay_p999"] {
+            let v = r.extra(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!((1.0..=2.0).contains(&v), "{name} = {v}");
+        }
+        assert_eq!(r.extra("delay_p99"), r.p99_delay, "extra matches field");
     }
 }

@@ -31,8 +31,8 @@ pub mod time;
 
 pub use audit::{Auditor, CreditLedger, DropReason, NoAudit};
 pub use engine::{
-    Convergence, CountingTrace, EngineConfig, EngineReport, NullTrace, Observer, SlottedModel,
-    TraceEvent, TraceSink, VecTrace,
+    Convergence, CountingTrace, EngineConfig, EngineReport, NullTrace, Observer, RingTrace,
+    SlottedModel, TraceEvent, TraceSink, VecTrace,
 };
 pub use events::{run_until, EventQueue, ScheduleError};
 pub use fault::{FaultView, NullFaults};
@@ -40,6 +40,7 @@ pub use rng::{SeedSequence, SimRng};
 pub use stats::{Counter, Histogram, SimSummary, Welford};
 pub use sweep::{
     checkpointed_sweep, linspace, logspace, parallel_sweep, supervised_sweep, watchdog, JobOutcome,
-    JobRecord, SweepCheckpoint, SweepError, SweepOptions, SweepState, SweepSummary,
+    JobRecord, ProgressHook, ProgressOutcome, SweepCheckpoint, SweepError, SweepOptions,
+    SweepProgress, SweepState, SweepSummary,
 };
 pub use time::{SlotClock, Time, TimeDelta};

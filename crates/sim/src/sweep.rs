@@ -136,6 +136,12 @@ pub enum SweepError {
         /// Description of the I/O or parse failure.
         message: String,
     },
+    /// An auxiliary I/O channel of the experiment failed (e.g. a
+    /// telemetry export stream).
+    Io {
+        /// Description of the I/O failure.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SweepError {
@@ -146,6 +152,7 @@ impl std::fmt::Display for SweepError {
                 write!(f, "slot budget {budget} exceeded by a {requested}-slot run")
             }
             SweepError::Checkpoint { message } => write!(f, "checkpoint failure: {message}"),
+            SweepError::Io { message } => write!(f, "i/o failure: {message}"),
         }
     }
 }
@@ -230,6 +237,63 @@ impl<O> SweepSummary<O> {
     }
 }
 
+/// The terse per-job outcome carried by a [`SweepProgress`] event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressOutcome {
+    /// The job ran to completion in this process.
+    Completed,
+    /// The job was restored from a checkpoint file without running.
+    Restored,
+    /// The job failed all its retry attempts.
+    Failed,
+}
+
+/// A progress event delivered to a [`ProgressHook`] each time a job of a
+/// supervised or checkpointed sweep finishes (or is restored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepProgress {
+    /// Index of the job this event reports on.
+    pub job: usize,
+    /// Total jobs in the sweep.
+    pub total: usize,
+    /// Jobs finished so far — completed, restored, or failed — this one
+    /// included. Monotone, though concurrent workers may observe the
+    /// shared counter slightly stale relative to their own event.
+    pub finished: usize,
+    /// Jobs that have failed all retries so far.
+    pub failed: usize,
+    /// Attempts this job made in this process (0 for restored jobs).
+    pub attempts: u32,
+    /// How the job ended.
+    pub outcome: ProgressOutcome,
+}
+
+/// A shareable observer invoked once per finished job. Purely advisory:
+/// hooks see progress, they never influence results, retries, or job
+/// order. Cloned into [`SweepOptions`]; the telemetry crate provides a
+/// ready-made stderr reporter.
+#[derive(Clone)]
+pub struct ProgressHook(std::sync::Arc<dyn Fn(SweepProgress) + Send + Sync>);
+
+impl ProgressHook {
+    /// Wrap a callback. It must be `Send + Sync`: workers invoke it
+    /// concurrently from the sweep's threads.
+    pub fn new(f: impl Fn(SweepProgress) + Send + Sync + 'static) -> Self {
+        ProgressHook(std::sync::Arc::new(f))
+    }
+
+    /// Deliver one progress event.
+    pub fn notify(&self, progress: SweepProgress) {
+        (self.0)(progress)
+    }
+}
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
+}
+
 /// Supervision policy for [`supervised_sweep`] / [`checkpointed_sweep`].
 #[derive(Debug, Clone)]
 pub struct SweepOptions {
@@ -246,6 +310,9 @@ pub struct SweepOptions {
     pub backoff_base_ms: u64,
     /// Worker-thread count; `None` uses available parallelism.
     pub workers: Option<usize>,
+    /// Optional live progress observer, notified once per finished (or
+    /// checkpoint-restored) job.
+    pub progress: Option<ProgressHook>,
 }
 
 impl Default for SweepOptions {
@@ -256,6 +323,7 @@ impl Default for SweepOptions {
             slot_budget: None,
             backoff_base_ms: 10,
             workers: None,
+            progress: None,
         }
     }
 }
@@ -290,6 +358,12 @@ impl SweepOptions {
     /// Pin the worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Attach a live progress observer.
+    pub fn with_progress(mut self, hook: ProgressHook) -> Self {
+        self.progress = Some(hook);
         self
     }
 }
@@ -474,6 +548,49 @@ where
     }
 }
 
+/// Shared progress counters for one sweep, notified through the
+/// options' optional [`ProgressHook`].
+struct ProgressLedger<'a> {
+    hook: Option<&'a ProgressHook>,
+    total: usize,
+    finished: std::sync::atomic::AtomicUsize,
+    failed: std::sync::atomic::AtomicUsize,
+}
+
+impl<'a> ProgressLedger<'a> {
+    fn new(opts: &'a SweepOptions, total: usize) -> Self {
+        ProgressLedger {
+            hook: opts.progress.as_ref(),
+            total,
+            finished: std::sync::atomic::AtomicUsize::new(0),
+            failed: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    fn note(&self, job: usize, record: &JobRecord) {
+        use std::sync::atomic::Ordering;
+        let Some(hook) = self.hook else { return };
+        let outcome = match record.outcome {
+            JobOutcome::Completed => ProgressOutcome::Completed,
+            JobOutcome::Restored => ProgressOutcome::Restored,
+            JobOutcome::Failed(_) => ProgressOutcome::Failed,
+        };
+        let failed = if outcome == ProgressOutcome::Failed {
+            self.failed.fetch_add(1, Ordering::SeqCst) + 1
+        } else {
+            self.failed.load(Ordering::SeqCst)
+        };
+        hook.notify(SweepProgress {
+            job,
+            total: self.total,
+            finished: self.finished.fetch_add(1, Ordering::SeqCst) + 1,
+            failed,
+            attempts: record.attempts,
+            outcome,
+        });
+    }
+}
+
 /// Run `f` over every element of `inputs` in parallel under supervision:
 /// each job is isolated by `catch_unwind`, bounded by the optional slot
 /// budget, retried up to `opts.max_attempts` times with deterministic
@@ -489,8 +606,11 @@ where
 {
     let n = inputs.len();
     let workers = opts.workers.unwrap_or_else(|| default_workers(n));
+    let ledger = ProgressLedger::new(opts, n);
     let results = striped(inputs, workers, |idx, input| {
-        supervise_one(idx, &input, opts, &f)
+        let (output, record) = supervise_one(idx, &input, opts, &f);
+        ledger.note(idx, &record);
+        (output, record)
     });
     let mut outputs = Vec::with_capacity(n);
     let mut jobs = Vec::with_capacity(n);
@@ -794,6 +914,14 @@ where
         .filter(|&(idx, _)| outputs[idx].is_none())
         .collect();
 
+    // Restored jobs count toward progress before any worker starts.
+    let ledger = ProgressLedger::new(opts, n);
+    for (idx, job) in jobs.iter().enumerate() {
+        if job.outcome == JobOutcome::Restored {
+            ledger.note(idx, job);
+        }
+    }
+
     let store = Mutex::new(CheckpointStore {
         entries: outputs
             .iter()
@@ -809,6 +937,7 @@ where
     let results: Vec<(usize, Option<O>, JobRecord)> =
         striped(pending, workers, |_stripe_idx, (idx, input)| {
             let (output, record) = supervise_one(idx, &input, opts, &f);
+            ledger.note(idx, &record);
             if let Some(o) = &output {
                 let json = o.to_json();
                 let mut guard = store.lock().unwrap_or_else(|e| e.into_inner());
@@ -963,6 +1092,64 @@ mod tests {
             other => panic!("expected a budget failure, got {other:?}"),
         }
         assert!(!watchdog::armed(), "watchdog must be disarmed after a job");
+    }
+
+    #[test]
+    fn progress_hook_sees_every_job_without_perturbing_results() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Arc, Mutex};
+        let events: Arc<Mutex<Vec<SweepProgress>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let opts = quiet_opts()
+            .with_max_attempts(2)
+            .with_progress(ProgressHook::new(move |p| {
+                sink.lock().unwrap().push(p);
+            }));
+        let summary = supervised_sweep(vec![1u64, 2, 3, 4], &opts, |&x| {
+            assert!(x != 3, "job three always dies");
+            x * 10
+        });
+        assert_eq!(summary.outputs[0], Some(10));
+        let seen = events.lock().unwrap();
+        assert_eq!(seen.len(), 4, "one event per job");
+        let mut jobs: Vec<usize> = seen.iter().map(|p| p.job).collect();
+        jobs.sort_unstable();
+        assert_eq!(jobs, vec![0, 1, 2, 3]);
+        let failed: Vec<_> = seen
+            .iter()
+            .filter(|p| p.outcome == ProgressOutcome::Failed)
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].job, 2);
+        assert_eq!(failed[0].attempts, 2);
+        for p in seen.iter() {
+            assert_eq!(p.total, 4);
+            assert!(p.finished >= 1 && p.finished <= 4);
+        }
+        drop(seen);
+
+        // Checkpointed restore reports Restored events.
+        let dir = std::env::temp_dir().join(format!("osmosis-progress-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = SweepCheckpoint::new(dir.join("progress.json"), 99);
+        let first = AtomicUsize::new(0);
+        let _ = checkpointed_sweep(vec![5u64, 6], &quiet_opts(), &ckpt, |&x| {
+            first.fetch_add(1, Ordering::SeqCst);
+            x
+        })
+        .unwrap();
+        let events: Arc<Mutex<Vec<SweepProgress>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let opts = quiet_opts().with_progress(ProgressHook::new(move |p| {
+            sink.lock().unwrap().push(p);
+        }));
+        let resumed = checkpointed_sweep(vec![5u64, 6], &opts, &ckpt, |&x| x).unwrap();
+        assert!(resumed.is_complete());
+        let seen = events.lock().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert!(seen.iter().all(|p| p.outcome == ProgressOutcome::Restored));
+        drop(seen);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -196,3 +196,18 @@ pub fn run_switch_instrumented<'a, S: CellSwitch + ?Sized>(
         audit,
     )
 }
+
+/// [`run_switch_instrumented`] with a caller-supplied trace sink — the
+/// entry point the telemetry plane attaches through. Because sinks only
+/// observe, the report stays bit-identical to [`run_switch`] for any
+/// sink when the fault view is vacuous and the audit is clean.
+pub fn run_switch_instrumented_traced<'a, S: CellSwitch + ?Sized, T: TraceSink>(
+    switch: &mut S,
+    traffic: &mut dyn TrafficGen,
+    cfg: &EngineConfig,
+    sink: &mut T,
+    faults: Option<&'a mut dyn FaultView>,
+    audit: Option<&'a mut dyn Auditor>,
+) -> EngineReport {
+    run_instrumented(&mut Driven::new(switch, traffic), cfg, sink, faults, audit)
+}

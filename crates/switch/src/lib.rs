@@ -46,13 +46,13 @@ pub use control_protocol::{run_control_channel, ControlProtocol, ControlReport};
 pub use deflection::DeflectionSwitch;
 pub use driven::{
     run_switch, run_switch_audited, run_switch_faulted, run_switch_faulted_traced,
-    run_switch_instrumented, run_switch_traced, CellSwitch, Driven,
+    run_switch_instrumented, run_switch_instrumented_traced, run_switch_traced, CellSwitch, Driven,
 };
 pub use fifo_switch::FifoSwitch;
 pub use multicast::{run_multicast, MulticastSwitch, MulticastWorkload};
 pub use oq_switch::OqSwitch;
 pub use remote_sched::RemoteSchedulerSwitch;
-pub use voq_switch::{run_uniform, VoqSwitch};
+pub use voq_switch::{run_uniform, run_uniform_traced, VoqSwitch};
 
 // The engine types every consumer of this crate needs alongside the
 // simulators.

@@ -189,6 +189,23 @@ pub fn run_uniform(
     sw.run(&mut tr, cfg)
 }
 
+/// [`run_uniform`] with a caller-supplied trace sink (telemetry,
+/// ring-buffer capture, ...). Identical report for any sink.
+pub fn run_uniform_traced<T: osmosis_sim::TraceSink>(
+    make_sched: impl FnOnce() -> Box<dyn CellScheduler>,
+    load: f64,
+    cfg: &EngineConfig,
+    sink: &mut T,
+) -> EngineReport {
+    use osmosis_sim::SeedSequence;
+    use osmosis_traffic::BernoulliUniform;
+    let sched = make_sched();
+    let n = sched.inputs();
+    let mut sw = VoqSwitch::new(sched);
+    let mut tr = BernoulliUniform::new(n, load, &SeedSequence::new(cfg.seed));
+    crate::driven::run_switch_traced(&mut sw, &mut tr, cfg, sink)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,376 @@
+//! Streaming JSONL export: record builders and a schema validator.
+//!
+//! A telemetry export is a JSON-Lines stream with four record types,
+//! discriminated by the `"type"` field:
+//!
+//! * `meta` — one per engine run: schema version, run index, label,
+//!   seed, ports, warmup/measure windows, sampling cadences.
+//! * `snapshot` — periodic time series: interval deltas of injected /
+//!   delivered / dropped / grants / credit_stalls / retransmits /
+//!   receiver_conflicts plus the instantaneous in-flight count.
+//! * `span` — one sampled cell lifecycle with its four delay segments.
+//! * `summary` — end of run: an engine-report digest, the cumulative
+//!   registry (counters, gauges, histograms with tail quantiles), and
+//!   the aggregate span decomposition.
+//!
+//! The stream always starts with a `meta` record, and every run that
+//! opens with `meta` closes with a `summary`.
+//! [`validate_jsonl`] enforces that shape; CI runs it over the output
+//! of `telemetry_study --smoke`.
+
+use crate::registry::MetricsRegistry;
+use crate::spans::{CellSpan, Decomposition};
+use crate::{RunMeta, Snapshot};
+use osmosis_sim::engine::EngineReport;
+use osmosis_sim::json::Value;
+
+/// Schema version stamped into every `meta` record.
+pub const SCHEMA_VERSION: u64 = 1;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Build a `meta` record.
+pub fn meta_record(run: u64, label: &str, meta: &RunMeta) -> Value {
+    obj(vec![
+        ("type", Value::Str("meta".into())),
+        ("version", Value::u64(SCHEMA_VERSION)),
+        ("run", Value::u64(run)),
+        ("label", Value::Str(label.into())),
+        ("seed", Value::u64(meta.seed)),
+        ("ports", Value::u64(meta.ports as u64)),
+        ("warmup_slots", Value::u64(meta.warmup_slots)),
+        ("measure_slots", Value::u64(meta.measure_slots)),
+        ("sample_every", Value::u64(meta.sample_every)),
+        ("snapshot_every", Value::u64(meta.snapshot_every)),
+    ])
+}
+
+/// Build a `snapshot` record.
+pub fn snapshot_record(s: &Snapshot) -> Value {
+    obj(vec![
+        ("type", Value::Str("snapshot".into())),
+        ("run", Value::u64(s.run)),
+        ("slot", Value::u64(s.slot)),
+        ("interval_slots", Value::u64(s.interval_slots)),
+        ("injected", Value::u64(s.injected)),
+        ("delivered", Value::u64(s.delivered)),
+        ("dropped", Value::u64(s.dropped)),
+        ("grants", Value::u64(s.grants)),
+        ("credit_stalls", Value::u64(s.credit_stalls)),
+        ("retransmits", Value::u64(s.retransmits)),
+        ("receiver_conflicts", Value::u64(s.receiver_conflicts)),
+        ("in_flight", Value::u64(s.in_flight)),
+    ])
+}
+
+/// Build a `span` record.
+pub fn span_record(run: u64, span: &CellSpan) -> Value {
+    obj(vec![
+        ("type", Value::Str("span".into())),
+        ("run", Value::u64(run)),
+        ("output", Value::u64(span.output as u64)),
+        ("inject_slot", Value::u64(span.inject_slot)),
+        ("deliver_slot", Value::u64(span.deliver_slot)),
+        ("queueing", Value::u64(span.queueing)),
+        ("request_grant", Value::u64(span.request_grant)),
+        ("crossbar", Value::u64(span.crossbar)),
+        ("egress", Value::u64(span.egress)),
+        ("granted", Value::Bool(span.granted)),
+    ])
+}
+
+/// Build a `summary` record. Registry and decomposition are cumulative
+/// across every run the sink has observed; the report digest is for the
+/// run just ended.
+pub fn summary_record(
+    run: u64,
+    report: &EngineReport,
+    registry: &MetricsRegistry,
+    decomposition: &Decomposition,
+) -> Value {
+    let report_digest = obj(vec![
+        ("throughput", Value::f64(report.throughput)),
+        ("offered_load", Value::f64(report.offered_load)),
+        ("mean_delay", Value::f64(report.mean_delay)),
+        (
+            "p99_delay",
+            report.p99_delay.map_or(Value::Null, Value::f64),
+        ),
+        ("delivered", Value::u64(report.delivered)),
+        ("dropped", Value::u64(report.dropped)),
+    ]);
+    let spans = obj(vec![
+        ("completed", Value::u64(decomposition.completed)),
+        ("sampled", Value::u64(decomposition.sampled)),
+        ("matched", Value::u64(decomposition.matched)),
+        ("reordered", Value::u64(decomposition.reordered)),
+        ("ungranted", Value::u64(decomposition.ungranted)),
+        ("mean_queueing", Value::f64(decomposition.mean_queueing)),
+        (
+            "mean_request_grant",
+            Value::f64(decomposition.mean_request_grant),
+        ),
+        ("mean_crossbar", Value::f64(decomposition.mean_crossbar)),
+        ("mean_egress", Value::f64(decomposition.mean_egress)),
+        ("mean_total", Value::f64(decomposition.mean_total)),
+    ]);
+    obj(vec![
+        ("type", Value::Str("summary".into())),
+        ("run", Value::u64(run)),
+        ("report", report_digest),
+        ("registry", registry.to_json()),
+        ("spans", spans),
+    ])
+}
+
+/// Counts of each record type seen by [`validate_jsonl`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JsonlStats {
+    /// `meta` records (one per engine run).
+    pub metas: u64,
+    /// `snapshot` records.
+    pub snapshots: u64,
+    /// `span` records.
+    pub spans: u64,
+    /// `summary` records.
+    pub summaries: u64,
+}
+
+fn require_u64(v: &Value, line: usize, field: &str) -> Result<u64, String> {
+    v.get(field)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("line {line}: missing or non-integer field `{field}`"))
+}
+
+fn require_f64(v: &Value, line: usize, field: &str) -> Result<f64, String> {
+    v.get(field)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("line {line}: missing or non-numeric field `{field}`"))
+}
+
+/// Validate a telemetry JSONL document against the record schema.
+///
+/// Checks that every line parses, that `"type"` is one of the four
+/// record kinds with its required fields, that the stream starts with a
+/// `meta` record, that span segments sum to the span delay, and that
+/// every run closes with a `summary`. Returns the per-type record
+/// counts on success.
+pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
+    let mut stats = JsonlStats::default();
+    let mut open_run: Option<u64> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = Value::parse(raw).map_err(|e| format!("line {line}: parse error: {e}"))?;
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {line}: missing `type` field"))?;
+        let run = require_u64(&v, line, "run")?;
+        match ty {
+            "meta" => {
+                if open_run.is_some() {
+                    return Err(format!("line {line}: meta while run is still open"));
+                }
+                let version = require_u64(&v, line, "version")?;
+                if version != SCHEMA_VERSION {
+                    return Err(format!("line {line}: unsupported schema version {version}"));
+                }
+                v.get("label")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line}: missing `label`"))?;
+                for f in [
+                    "seed",
+                    "ports",
+                    "warmup_slots",
+                    "measure_slots",
+                    "sample_every",
+                    "snapshot_every",
+                ] {
+                    require_u64(&v, line, f)?;
+                }
+                open_run = Some(run);
+                stats.metas += 1;
+            }
+            "snapshot" => {
+                if open_run != Some(run) {
+                    return Err(format!("line {line}: snapshot outside its run"));
+                }
+                for f in [
+                    "slot",
+                    "interval_slots",
+                    "injected",
+                    "delivered",
+                    "dropped",
+                    "grants",
+                    "credit_stalls",
+                    "retransmits",
+                    "receiver_conflicts",
+                    "in_flight",
+                ] {
+                    require_u64(&v, line, f)?;
+                }
+                stats.snapshots += 1;
+            }
+            "span" => {
+                if open_run != Some(run) {
+                    return Err(format!("line {line}: span outside its run"));
+                }
+                let segs: Vec<u64> = ["queueing", "request_grant", "crossbar", "egress"]
+                    .iter()
+                    .map(|f| require_u64(&v, line, f))
+                    .collect::<Result<_, _>>()?;
+                let inject = require_u64(&v, line, "inject_slot")?;
+                let deliver = require_u64(&v, line, "deliver_slot")?;
+                if inject + segs.iter().sum::<u64>() != deliver {
+                    return Err(format!(
+                        "line {line}: span segments do not sum to the delay"
+                    ));
+                }
+                require_u64(&v, line, "output")?;
+                stats.spans += 1;
+            }
+            "summary" => {
+                if open_run != Some(run) {
+                    return Err(format!("line {line}: summary outside its run"));
+                }
+                let report = v
+                    .get("report")
+                    .ok_or_else(|| format!("line {line}: missing `report`"))?;
+                for f in ["throughput", "offered_load", "mean_delay"] {
+                    require_f64(report, line, f)?;
+                }
+                let registry = v
+                    .get("registry")
+                    .ok_or_else(|| format!("line {line}: missing `registry`"))?;
+                MetricsRegistry::from_json(registry)
+                    .ok_or_else(|| format!("line {line}: malformed registry"))?;
+                let spans = v
+                    .get("spans")
+                    .ok_or_else(|| format!("line {line}: missing `spans`"))?;
+                for f in ["completed", "sampled", "matched", "reordered", "ungranted"] {
+                    require_u64(spans, line, f)?;
+                }
+                for f in [
+                    "mean_queueing",
+                    "mean_request_grant",
+                    "mean_crossbar",
+                    "mean_egress",
+                    "mean_total",
+                ] {
+                    require_f64(spans, line, f)?;
+                }
+                open_run = None;
+                stats.summaries += 1;
+            }
+            other => return Err(format!("line {line}: unknown record type `{other}`")),
+        }
+    }
+    if stats.metas == 0 {
+        return Err("no meta record found".into());
+    }
+    if open_run.is_some() {
+        return Err("stream ended with an unclosed run (no summary)".into());
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            seed: 42,
+            ports: 16,
+            warmup_slots: 100,
+            measure_slots: 1000,
+            sample_every: 4,
+            snapshot_every: 250,
+        }
+    }
+
+    fn sample_stream() -> String {
+        let snap = Snapshot {
+            run: 0,
+            slot: 250,
+            interval_slots: 250,
+            injected: 900,
+            delivered: 880,
+            dropped: 2,
+            grants: 885,
+            credit_stalls: 0,
+            retransmits: 0,
+            receiver_conflicts: 3,
+            in_flight: 18,
+        };
+        let span = CellSpan {
+            output: 3,
+            inject_slot: 400,
+            deliver_slot: 407,
+            queueing: 4,
+            request_grant: 1,
+            crossbar: 1,
+            egress: 1,
+            granted: true,
+        };
+        let report = EngineReport::default();
+        let reg = MetricsRegistry::new();
+        let dec = Decomposition::default();
+        [
+            meta_record(0, "unit", &meta()).encode(),
+            snapshot_record(&snap).encode(),
+            span_record(0, &span).encode(),
+            summary_record(0, &report, &reg, &dec).encode(),
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn well_formed_stream_validates_with_exact_counts() {
+        let stats = validate_jsonl(&sample_stream()).expect("valid");
+        assert_eq!(
+            stats,
+            JsonlStats {
+                metas: 1,
+                snapshots: 1,
+                spans: 1,
+                summaries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn validator_rejects_malformed_streams() {
+        // Unknown type.
+        let err = validate_jsonl("{\"type\":\"bogus\",\"run\":0}").unwrap_err();
+        assert!(err.contains("unknown record type"), "{err}");
+        // Span before any meta.
+        let stream = sample_stream();
+        let span_line = stream.lines().nth(2).unwrap();
+        let err = validate_jsonl(span_line).unwrap_err();
+        assert!(err.contains("outside its run"), "{err}");
+        // Segments that do not sum to the delay.
+        let bad = span_line.replace("\"queueing\":4", "\"queueing\":5");
+        let with_meta = format!("{}\n{}", meta_record(0, "unit", &meta()).encode(), bad);
+        let err = validate_jsonl(&with_meta).unwrap_err();
+        assert!(err.contains("do not sum"), "{err}");
+        // Unclosed run.
+        let meta_only = meta_record(0, "unit", &meta()).encode();
+        let err = validate_jsonl(&meta_only).unwrap_err();
+        assert!(err.contains("unclosed run"), "{err}");
+        // Garbage line.
+        assert!(validate_jsonl("not json").is_err());
+        // Empty document.
+        assert!(validate_jsonl("").is_err());
+    }
+}

@@ -9,4 +9,5 @@ pub use osmosis_phy as phy;
 pub use osmosis_sched as sched;
 pub use osmosis_sim as sim;
 pub use osmosis_switch as switch;
+pub use osmosis_telemetry as telemetry;
 pub use osmosis_traffic as traffic;
