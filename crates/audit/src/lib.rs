@@ -41,11 +41,12 @@
 //! run's report extras — only when violations exist, so a clean audited
 //! run fingerprints bit-identically to an un-audited one.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use osmosis_sim::audit::{Auditor, CreditLedger, DropReason};
 use osmosis_sim::engine::{EngineConfig, EngineReport};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How an [`AuditSet`] reacts to a violation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -436,7 +437,7 @@ impl InvariantAuditor for CreditConservation {
 /// [`AuditSet::unordered`] for those.
 #[derive(Debug, Default)]
 pub struct OrderPreservation {
-    last_seq: HashMap<(usize, usize), u64>,
+    last_seq: BTreeMap<(usize, usize), u64>,
     rec: Recorder,
 }
 
@@ -504,8 +505,8 @@ impl InvariantAuditor for OrderPreservation {
 #[derive(Debug, Default)]
 pub struct CapacityLegality {
     slot: u64,
-    caps: HashMap<usize, u64>,
-    grants: HashMap<usize, u64>,
+    caps: BTreeMap<usize, u64>,
+    grants: BTreeMap<usize, u64>,
     rec: Recorder,
 }
 
@@ -780,7 +781,12 @@ impl AuditSet {
                     .last()
                     .cloned();
                 match latest {
+                    // lint:allow(panic-free): FailFast mode panics by
+                    // contract — the sweep supervisor catches it so one
+                    // violating job fails loudly without killing siblings
                     Some(v) => panic!("invariant violation: {v}"),
+                    // lint:allow(panic-free): same FailFast contract for
+                    // auditors that count but do not store violations
                     None => panic!("invariant violation (not stored)"),
                 }
             }

@@ -14,7 +14,8 @@
 //!
 //! Every binary accepts `--quick` to run at test scale.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 /// Print a fixed-width table: a header row then data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

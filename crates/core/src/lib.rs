@@ -15,7 +15,8 @@
 //! assert!(d.power_budget_closes());
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod demonstrator;
 pub mod experiments;

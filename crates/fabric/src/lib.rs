@@ -26,7 +26,8 @@
 //! assert!(map.saturation_load(1.0) > 0.7);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod baselines;
 pub mod flow_control;

@@ -13,10 +13,10 @@
 //! analyzer's prediction matched the simulator within 2%.
 
 use crate::multilevel::MultiLevelClos;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A directed link in the fabric: between (level, switch) pairs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Link {
     /// Source (level, switch).
     pub from: (u32, usize),
@@ -28,7 +28,7 @@ pub struct Link {
 #[derive(Debug, Clone)]
 pub struct LoadMap {
     /// Expected load per link, in cells/slot at the given traffic matrix.
-    pub loads: HashMap<Link, f64>,
+    pub loads: BTreeMap<Link, f64>,
     /// Mean over links that carry anything.
     pub mean: f64,
     /// The hottest link's load.
@@ -40,6 +40,8 @@ pub struct LoadMap {
 impl LoadMap {
     /// Max-to-mean imbalance ratio (1.0 = perfectly balanced).
     pub fn imbalance(&self) -> f64 {
+        // lint:allow(float-eq): exact zero sentinel — an empty load map
+        // divides by mean below, and 0.0 is the only value to guard
         if self.mean == 0.0 {
             1.0
         } else {
@@ -51,6 +53,7 @@ impl LoadMap {
     /// hottest link reaches 1 cell/slot, given the map was computed at
     /// `offered` per host.
     pub fn saturation_load(&self, offered: f64) -> f64 {
+        // lint:allow(float-eq): exact zero sentinel guarding the division
         if self.max == 0.0 {
             1.0
         } else {
@@ -65,7 +68,7 @@ impl LoadMap {
 pub fn uniform_load_map(topo: &MultiLevelClos, offered: f64) -> LoadMap {
     let hosts = topo.hosts();
     let per_flow = offered / (hosts - 1).max(1) as f64;
-    let mut loads: HashMap<Link, f64> = HashMap::new();
+    let mut loads: BTreeMap<Link, f64> = BTreeMap::new();
     for src in 0..hosts {
         for dst in 0..hosts {
             if src == dst {
@@ -90,10 +93,12 @@ pub fn uniform_load_map(topo: &MultiLevelClos, offered: f64) -> LoadMap {
 pub fn load_map(topo: &MultiLevelClos, rate: &[Vec<f64>]) -> LoadMap {
     let hosts = topo.hosts();
     assert_eq!(rate.len(), hosts);
-    let mut loads: HashMap<Link, f64> = HashMap::new();
+    let mut loads: BTreeMap<Link, f64> = BTreeMap::new();
     for (src, row) in rate.iter().enumerate() {
         assert_eq!(row.len(), hosts);
         for (dst, &r) in row.iter().enumerate() {
+            // lint:allow(float-eq): skip exactly-zero matrix entries —
+            // near-zero rates must still contribute to link loads
             if src == dst || r == 0.0 {
                 continue;
             }
@@ -111,7 +116,7 @@ pub fn load_map(topo: &MultiLevelClos, rate: &[Vec<f64>]) -> LoadMap {
     summarize(loads)
 }
 
-fn summarize(loads: HashMap<Link, f64>) -> LoadMap {
+fn summarize(loads: BTreeMap<Link, f64>) -> LoadMap {
     let (mut max, mut sum, mut argmax) = (0.0f64, 0.0f64, None);
     for (&l, &v) in &loads {
         sum += v;

@@ -369,7 +369,9 @@ impl CellSwitch for MultiLevelFabric {
             .front()
             .is_some_and(|&(at, _, _)| at == slot)
         {
-            let (_, hop, cell) = self.cell_flights.pop_front().unwrap();
+            let Some((_, hop, cell)) = self.cell_flights.pop_front() else {
+                break;
+            };
             match hop {
                 Hop::Host(h) => {
                     debug_assert_eq!(cell.dst, h);
@@ -397,7 +399,10 @@ impl CellSwitch for MultiLevelFabric {
             .front()
             .is_some_and(|&(at, _)| at == slot)
         {
-            match self.credit_flights.pop_front().unwrap().1 {
+            let Some((_, credit)) = self.credit_flights.pop_front() else {
+                break;
+            };
+            match credit {
                 CreditTo::Host(h) => self.host_credits[h] += 1,
                 CreditTo::Switch(level, sw, port) => {
                     self.nodes[level as usize][sw].credits[port] += 1;
@@ -459,7 +464,11 @@ impl CellSwitch for MultiLevelFabric {
                 for (i, o) in matched {
                     let cell = {
                         let node = &mut self.nodes[level as usize][sw];
-                        let mut cell = node.voq[i * ports + o].pop_front().unwrap();
+                        let mut cell = node.voq[i * ports + o]
+                            .pop_front()
+                            // lint:allow(panic-free): the maximal matching
+                            // only pairs ports with a queued cell
+                            .expect("matched pair without a queued cell");
                         cell.grant_slot = slot;
                         node.input_occupancy[i] -= 1;
                         node.credits[o] -= 1;

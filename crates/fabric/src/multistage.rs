@@ -252,6 +252,8 @@ impl FatTreeFabric {
     pub fn new(cfg: FabricConfig) -> Self {
         match Self::try_new(cfg) {
             Ok(fab) => fab,
+            // lint:allow(panic-free): documented panic contract of the
+            // infallible constructor; `try_new` is the checked form
             Err(e) => panic!("{e}"),
         }
     }
@@ -409,9 +411,9 @@ impl FatTreeFabric {
     /// in flight ↔ buffer occupancy ↔ credit in flight) happens
     /// atomically inside the arbitrate/deliver phases.
     fn report_credit_ledgers<T: TraceSink>(&mut self, obs: &mut Observer<'_, T>) {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         // One pass over the flight queues, binned by receiving link.
-        let mut cells_to: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut cells_to: BTreeMap<(usize, usize), u64> = BTreeMap::new();
         for &(_, dest, _) in self
             .cell_flights
             .iter()
@@ -421,8 +423,8 @@ impl FatTreeFabric {
                 *cells_to.entry((self.node_index(id), p)).or_insert(0) += 1;
             }
         }
-        let mut credits_to_out: HashMap<(usize, usize), u64> = HashMap::new();
-        let mut credits_to_host: HashMap<usize, u64> = HashMap::new();
+        let mut credits_to_out: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        let mut credits_to_host: BTreeMap<usize, u64> = BTreeMap::new();
         for &(_, dest) in self
             .credit_flights
             .iter()
@@ -798,6 +800,8 @@ impl CellSwitch for FatTreeFabric {
                     };
                     let (_, mut cell) = node.voq[i * ports + o]
                         .pop_front()
+                        // lint:allow(panic-free): the per-node matching is
+                        // validated against VOQ occupancy before use
                         .expect("matched pair without a cell");
                     cell.grant_slot = t;
                     node.input_occupancy[i] -= 1;

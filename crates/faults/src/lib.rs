@@ -29,7 +29,8 @@
 //! assert!(!inj.plane_down(2), "healed after the repair time");
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod injector;
 pub mod plan;

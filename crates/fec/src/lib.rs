@@ -26,7 +26,8 @@
 //! assert_eq!(code.decode(&mut block), Decode::Detected); // ...is detected
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod analytics;
 pub mod channel;

@@ -167,7 +167,9 @@ pub fn run_reliable_link(cfg: &LinkConfig, total_cells: u64) -> LinkReport {
     while expected < total_cells && t < horizon {
         // Receiver side: process arrivals scheduled for this slot.
         while fwd.front().is_some_and(|(at, _)| *at == t) {
-            let (_, Fwd::Cell { seq, mut coded }) = fwd.pop_front().unwrap();
+            let Some((_, Fwd::Cell { seq, mut coded })) = fwd.pop_front() else {
+                break;
+            };
             // Decode all blocks of the cell.
             let out = code::decode_payload(&code, &coded);
             if out.corrected_blocks > 0 {
@@ -203,7 +205,10 @@ pub fn run_reliable_link(cfg: &LinkConfig, total_cells: u64) -> LinkReport {
 
         // Sender side: process control arrivals.
         while rev.front().is_some_and(|(at, _)| *at == t) {
-            match rev.pop_front().unwrap().1 {
+            let Some((_, ctl)) = rev.pop_front() else {
+                break;
+            };
+            match ctl {
                 Rev::Ack { next } => {
                     if next > base {
                         base = next;

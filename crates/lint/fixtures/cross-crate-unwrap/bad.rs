@@ -1,0 +1,9 @@
+// Fixture: crate `sim` unwrapping crate `fec`'s fallible API across the
+// crate boundary (analyzed as crates/sim/src/bad.rs). Note this file
+// suppresses the plain panic-free hit so the cross-crate rule is what
+// the fixture isolates.
+pub fn consume(raw: &[u8]) -> usize {
+    // lint:allow(panic-free): fixture isolates the cross-crate rule
+    let cells = decode_payload(raw).unwrap();
+    cells.len()
+}

@@ -1,0 +1,8 @@
+// Fixture: a fallible pub API exported by crate `fec` (analyzed as
+// crates/fec/src/def.rs).
+pub fn decode_payload(raw: &[u8]) -> Result<Vec<u8>, &'static str> {
+    if raw.is_empty() {
+        return Err("empty payload");
+    }
+    Ok(raw.to_vec())
+}

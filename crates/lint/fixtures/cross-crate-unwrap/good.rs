@@ -1,0 +1,5 @@
+// Fixture: the error is propagated across the crate boundary instead.
+pub fn consume(raw: &[u8]) -> Result<usize, &'static str> {
+    let cells = decode_payload(raw)?;
+    Ok(cells.len())
+}

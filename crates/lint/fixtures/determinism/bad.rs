@@ -1,0 +1,10 @@
+// Fixture: wall-clock, entropy, and environment reads in a
+// fingerprint-feeding crate.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    let _flag = std::env::var("OSMOSIS_FAST").is_ok();
+    t0.elapsed().as_nanos()
+}

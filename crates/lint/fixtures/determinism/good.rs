@@ -1,0 +1,13 @@
+// Fixture: all randomness flows from an explicit seed; simulated time
+// comes from the slot counter, never the host clock.
+pub fn stamp(slot: u64, seed: u64) -> u64 {
+    slot.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn temp_dir_in_tests_is_fine() {
+        let _dir = std::env::temp_dir();
+    }
+}

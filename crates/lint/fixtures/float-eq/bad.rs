@@ -1,0 +1,8 @@
+// Fixture: exact float-literal comparison in live code.
+pub fn at_half(x: f64) -> bool {
+    x == 0.5
+}
+
+pub fn not_one(x: f64) -> bool {
+    1.0 != x
+}

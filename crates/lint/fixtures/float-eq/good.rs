@@ -1,0 +1,15 @@
+// Fixture: tolerance comparison in live code; exact comparison is fine
+// inside tests, where bit-identity is often the point.
+pub fn at_half(x: f64) -> bool {
+    (x - 0.5).abs() < 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_compare_in_tests_is_fine() {
+        assert!(super::at_half(0.5) == true);
+        let y = 0.25 + 0.25;
+        assert!(y == 0.5);
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root (analyzed as src/lib.rs) missing
+//! `#![forbid(unsafe_code)]`.
+#![deny(missing_docs)]
+
+pub mod something;

@@ -1,0 +1,5 @@
+//! Fixture: a crate root carrying the whole-crate unsafe ban.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod something;

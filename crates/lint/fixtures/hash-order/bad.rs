@@ -1,0 +1,7 @@
+// Fixture: HashMap/HashSet in a model crate (analyzed as crates/switch).
+use std::collections::{HashMap, HashSet};
+
+pub struct PortState {
+    pending: HashMap<(usize, usize), u64>,
+    seen: HashSet<u64>,
+}

@@ -1,0 +1,7 @@
+// Fixture: ordered collections keep iteration deterministic.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct PortState {
+    pending: BTreeMap<(usize, usize), u64>,
+    seen: BTreeSet<u64>,
+}

@@ -1,0 +1,7 @@
+// Fixture: stdout writes from library code corrupt machine-parsed
+// exports (JSONL streams share the process's stdout).
+pub fn report(total: u64) {
+    println!("total = {total}");
+    print!("done");
+    let _echo = dbg!(total);
+}

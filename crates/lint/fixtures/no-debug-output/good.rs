@@ -1,0 +1,9 @@
+// Fixture: libraries return data; progress goes to stderr, which no
+// exporter parses.
+pub fn report(total: u64) -> String {
+    format!("total = {total}")
+}
+
+pub fn progress(done: usize, of: usize) {
+    eprintln!("sweep {done}/{of}");
+}

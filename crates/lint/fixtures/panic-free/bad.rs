@@ -1,0 +1,16 @@
+// Fixture: four panic paths in non-test library code.
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().expect("empty input")
+}
+
+pub fn explode() {
+    panic!("unconditional");
+}
+
+pub fn later() {
+    todo!()
+}

@@ -1,0 +1,13 @@
+// Fixture: typed errors in live code; unwrap confined to #[cfg(test)].
+pub fn first(v: &[u64]) -> Result<u64, &'static str> {
+    v.first().copied().ok_or("empty input")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = [1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

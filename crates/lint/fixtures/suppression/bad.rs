@@ -1,0 +1,16 @@
+// Fixture: three invalid suppressions — missing reason, unknown rule,
+// and an allow that silences nothing.
+pub fn first(v: &[u64]) -> u64 {
+    // lint:allow(panic-free)
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u64]) -> u64 {
+    // lint:allow(no-such-rule): the rule id has a typo
+    *v.first().unwrap()
+}
+
+// lint:allow(panic-free): nothing below violates anything
+pub fn third(v: &[u64]) -> Option<u64> {
+    v.first().copied()
+}

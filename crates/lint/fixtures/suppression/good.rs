@@ -1,0 +1,10 @@
+// Fixture: a well-formed suppression — names a real rule, carries a
+// reason, and covers an actual violation on the next line.
+pub fn first(v: &[u64]) -> u64 {
+    // lint:allow(panic-free): fixture demonstrates a justified allow
+    *v.first().unwrap()
+}
+
+pub fn trailing(v: &[u64]) -> u64 {
+    *v.first().unwrap() // lint:allow(panic-free): trailing form, also justified
+}

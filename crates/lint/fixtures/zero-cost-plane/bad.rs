@@ -1,0 +1,11 @@
+// Fixture: allocation inside a null-plane impl — the "zero-cost when
+// disabled" claim would silently become false.
+pub struct NoAudit;
+
+impl Auditor for NoAudit {
+    fn flow_delivered(&mut self, slot: u64, src: usize, dst: usize, seq: u64) {
+        let mut log = Vec::new();
+        log.push((slot, src, dst, seq));
+        let _line = format!("{slot}");
+    }
+}

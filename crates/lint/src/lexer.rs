@@ -1,0 +1,476 @@
+//! A hand-rolled, dependency-free Rust lexer.
+//!
+//! The build environment is offline (no `syn`, no `proc-macro2`), so the
+//! analyzer works at the token level: identifiers, literals, punctuation,
+//! lifetimes, and — kept separately because suppressions live there —
+//! comments. The lexer is deliberately forgiving: it never fails, it just
+//! produces the best token stream it can, because a lint pass must not be
+//! more fragile than the compiler that follows it.
+//!
+//! What matters for rule quality is that *strings and comments are never
+//! mistaken for code*: `"call .unwrap() here"` in a message or doc
+//! comment must not trip the panic-safety rule. Everything else (exact
+//! numeric suffix parsing, raw-identifier edge cases) only needs to be
+//! good enough to keep token boundaries honest.
+
+/// The coarse classification a rule needs to reason about a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e9`, `0.5f32`).
+    Float,
+    /// String, raw-string, byte-string, or char literal (contents opaque).
+    Str,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-char operators (`::`, `->`, `==`, …) are fused.
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim source text (for `Str` this includes the quotes).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in chars).
+    pub col: u32,
+}
+
+/// One comment, kept out of the token stream so rules never see it, but
+/// available to the suppression parser.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based source line of the comment start.
+    pub line: u32,
+    /// 1-based source column of the comment start.
+    pub col: u32,
+}
+
+/// Result of lexing one file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order (doc comments included).
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-char punctuation, longest first so matching is greedy.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Lex `src` into tokens and comments. Never fails; unterminated
+/// constructs simply run to end of file.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if c == '"' {
+                self.string(line, col);
+            } else if (c == 'r' || c == 'b') && self.raw_or_byte_prefix() {
+                self.raw_or_byte(line, col);
+            } else if c == '\'' {
+                self.char_or_lifetime(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if c == '_' || c.is_alphanumeric() {
+                self.ident(line, col);
+            } else {
+                self.punct(line, col);
+            }
+        }
+        self.out
+    }
+
+    /// Does the cursor sit on `r"`, `r#"`, `b"`, `b'`, `br"`, `br#"`?
+    fn raw_or_byte_prefix(&self) -> bool {
+        let mut i = 1;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            i = 2;
+        }
+        let mut j = i;
+        while self.peek(j) == Some('#') {
+            j += 1;
+        }
+        matches!(self.peek(j), Some('"'))
+            || (i == 1 && self.peek(0) == Some('b') && self.peek(1) == Some('\''))
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.comments.push(Comment { text, line, col });
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.comments.push(Comment { text, line, col });
+    }
+
+    fn string(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push_span(TokKind::Str, start, line, col);
+    }
+
+    /// Raw strings (`r"…"`, `r#"…"#`), byte strings (`b"…"`, `br#"…"#`),
+    /// and byte chars (`b'x'`).
+    fn raw_or_byte(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('\'') {
+            self.bump(); // b
+            self.bump(); // '
+            while let Some(c) = self.bump() {
+                if c == '\\' {
+                    self.bump();
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            self.push_span(TokKind::Str, start, line, col);
+            return;
+        }
+        // Consume optional b, the r is optional for b"…".
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        let raw = self.peek(0) == Some('r');
+        if raw {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek(0) != Some('"') {
+            // `r#ident` raw identifier: rewind conceptually by lexing the
+            // rest as an identifier (the consumed `r#` stays in the text).
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_span(TokKind::Ident, start, line, col);
+            return;
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(c) = self.bump() {
+            if !raw && c == '\\' {
+                self.bump();
+            } else if c == '"' {
+                if hashes == 0 {
+                    break;
+                }
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break 'scan;
+                }
+            }
+        }
+        self.push_span(TokKind::Str, start, line, col);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        // 'a followed by another ' is a char literal; 'a followed by
+        // anything else is a lifetime. '\… is always a char literal.
+        let is_lifetime = match (self.peek(1), self.peek(2)) {
+            (Some('\\'), _) => false,
+            (Some(c), Some('\'')) if c != '\'' => false,
+            (Some(c), _) if c == '_' || c.is_alphanumeric() => true,
+            _ => false,
+        };
+        self.bump(); // '
+        if is_lifetime {
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_span(TokKind::Lifetime, start, line, col);
+        } else {
+            while let Some(c) = self.bump() {
+                if c == '\\' {
+                    self.bump();
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            self.push_span(TokKind::Str, start, line, col);
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        let mut float = false;
+        let radix_prefix = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('X') | Some('b') | Some('o'));
+        // Leading digits (covers 0x/0b/0o bodies too: hex digits and `_`
+        // are alphanumeric, so the ident-char loop swallows them).
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                // `e`/`E` exponents (with or without sign) make a float —
+                // except inside hex bodies where `e` is a digit.
+                if (c == 'e' || c == 'E') && !radix_prefix {
+                    if matches!(self.peek(1), Some('+') | Some('-'))
+                        && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        float = true;
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    if self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                        float = true;
+                    }
+                }
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                float = true;
+                self.bump();
+            } else if c == '.'
+                && self.peek(1) != Some('.')
+                && !self.peek(1).is_some_and(|d| d == '_' || d.is_alphabetic())
+            {
+                // Trailing-dot float like `1.` (but not `1..` or `1.foo`).
+                float = true;
+                self.bump();
+                break;
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let float = float || text.ends_with("f32") || text.ends_with("f64");
+        self.push(
+            if float { TokKind::Float } else { TokKind::Int },
+            text,
+            line,
+            col,
+        );
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_span(TokKind::Ident, start, line, col);
+    }
+
+    fn punct(&mut self, line: u32, col: u32) {
+        for op in MULTI_PUNCT {
+            if self.matches(op) {
+                for _ in 0..op.chars().count() {
+                    self.bump();
+                }
+                self.push(TokKind::Punct, (*op).to_string(), line, col);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokKind::Punct, c.to_string(), line, col);
+        }
+    }
+
+    fn matches(&self, s: &str) -> bool {
+        s.chars().enumerate().all(|(i, c)| self.peek(i) == Some(c))
+    }
+
+    fn push_span(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(kind, text, line, col);
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        let _ = self.src;
+        self.out.tokens.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let l = lex("let x = \"call .unwrap() now\"; // and .unwrap() here");
+        assert!(l.tokens.iter().all(|t| t.text != "unwrap"));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let l = lex("r#\"a \" unwrap b\"# /* outer /* inner */ unwrap */ done");
+        assert!(l.tokens.iter().any(|t| t.text == "done"));
+        assert!(l.tokens.iter().all(|t| t.text != "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ks = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+            2,
+            "both char literals lex as Str"
+        );
+    }
+
+    #[test]
+    fn float_classification() {
+        for (src, want) in [
+            ("1.0", TokKind::Float),
+            ("2e9", TokKind::Float),
+            ("1e-3", TokKind::Float),
+            ("0.5f32", TokKind::Float),
+            ("3f64", TokKind::Float),
+            ("42", TokKind::Int),
+            ("0xFF", TokKind::Int),
+            ("1_000u64", TokKind::Int),
+        ] {
+            assert_eq!(kinds(src)[0].0, want, "{src}");
+        }
+        // Ranges must not fuse into floats.
+        let ks = kinds("0..10");
+        assert_eq!(ks[0], (TokKind::Int, "0".into()));
+        assert_eq!(ks[1], (TokKind::Punct, "..".into()));
+    }
+
+    #[test]
+    fn multichar_punct_fuses() {
+        let ks = kinds("a == b != c -> d :: e");
+        let ops: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, ["==", "!=", "->", "::"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let l = lex("a\n  bb");
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+}

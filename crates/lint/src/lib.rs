@@ -1,0 +1,98 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! `osmosis-lint`: an in-repo static analyzer that enforces the
+//! workspace's determinism, panic-safety, and zero-cost-plane contracts.
+//!
+//! rustc and clippy cannot check the contracts this reproduction rests
+//! on: bit-exact replay of every simulator (PR 1 fingerprints, PR 2
+//! fault timelines, PR 4 byte-identical JSONL) and observation planes
+//! that are provably free when disabled. This crate makes those
+//! invariants an executable spec: a dependency-free, token-level
+//! analyzer (hand-rolled lexer — the build is offline, so no `syn`)
+//! with a fixed rule set, `file:line:col` diagnostics in human and JSON
+//! form, and an explicit suppression syntax
+//! `// lint:allow(rule-id): reason` whose reason string is mandatory.
+//!
+//! See [`rules::RULES`] for the rule set and DESIGN.md "Static
+//! invariants" for each rule's rationale.
+
+pub mod context;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+
+use context::SourceFile;
+use diag::LintReport;
+use std::path::Path;
+
+/// Analyze every tracked `.rs` file under `root` (a workspace checkout)
+/// and return the report. IO failures surface as `Err`; lint findings
+/// are data, not errors.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let raw = context::walk_workspace(root)?;
+    let files: Vec<SourceFile> = raw
+        .iter()
+        .map(|(rel, text)| SourceFile::new(rel, text))
+        .collect();
+    Ok(analyze_files(files))
+}
+
+/// Analyze an in-memory set of files — the workspace pass and the
+/// fixture tests share this path.
+pub fn analyze_files(files: Vec<SourceFile>) -> LintReport {
+    let idx = rules::build_index(&files);
+    let known = rules::known_rule_ids();
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        ..LintReport::default()
+    };
+    for f in &files {
+        let findings = rules::check_file(f, &idx);
+        let (sups, mut sup_errors) = suppress::parse_suppressions(f);
+        let (mut kept, mut suppressed) = suppress::apply_suppressions(f, sups, findings, &known);
+        report.diagnostics.append(&mut kept);
+        report.diagnostics.append(&mut sup_errors);
+        report.suppressed.append(&mut suppressed);
+    }
+    // Deterministic output order: path, then position, then rule.
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    report
+}
+
+/// Analyze a single (path, source) pair — convenience for fixture tests.
+pub fn analyze_one(rel_path: &str, text: &str) -> LintReport {
+    analyze_files(vec![SourceFile::new(rel_path, text)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_source_is_clean() {
+        let r = analyze_one("crates/sim/src/x.rs", "pub fn f(x: u8) -> u8 { x + 1 }\n");
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn suppressed_finding_moves_to_suppressed() {
+        let r = analyze_one(
+            "crates/sim/src/x.rs",
+            "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(panic-free): caller checked is_some\n    x.unwrap()\n}\n",
+        );
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn output_order_is_deterministic() {
+        let src = "fn f(a: Option<u8>, b: Option<u8>) -> u8 { a.unwrap() + b.unwrap() }\n";
+        let a = analyze_one("crates/sim/src/x.rs", src);
+        let b = analyze_one("crates/sim/src/x.rs", src);
+        assert_eq!(a.render_json(), b.render_json());
+        assert_eq!(a.diagnostics.len(), 2);
+    }
+}

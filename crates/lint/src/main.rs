@@ -1,0 +1,75 @@
+//! CLI for `osmosis-lint`.
+//!
+//! ```text
+//! cargo run -p osmosis-lint                   # human diagnostics, exit 1 on findings
+//! cargo run -p osmosis-lint -- --format=json  # machine-readable, same exit contract
+//! cargo run -p osmosis-lint -- --list-rules   # rule table
+//! cargo run -p osmosis-lint -- --root ../..   # lint another checkout
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut format_json = false;
+    let mut list_rules = false;
+    let mut quiet = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format=json" | "--json" => format_json = true,
+            "--format=human" => format_json = false,
+            "--list-rules" => list_rules = true,
+            "--quiet" | "-q" => quiet = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("osmosis-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "osmosis-lint — static analysis for the OSMOSIS workspace\n\n\
+                     USAGE: osmosis-lint [--format=json|human] [--root PATH] [--list-rules] [-q]\n\n\
+                     Enforces the determinism / panic-safety / zero-cost-plane contracts.\n\
+                     Suppress a finding with `// lint:allow(rule-id): reason` (reason required).\n\
+                     Exit codes: 0 clean, 1 findings, 2 usage or IO error."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("osmosis-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for r in osmosis_lint::rules::RULES {
+            println!("{:<20} {:<8} {}", r.id, r.severity.label(), r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match osmosis_lint::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("osmosis-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if format_json {
+        print!("{}", report.render_json());
+    } else if !quiet || !report.is_clean() {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,283 @@
+//! Suppression comments: `// lint:allow(rule-id): reason`.
+//!
+//! A suppression must name the rule it silences and must carry a
+//! non-empty reason — a reasonless suppression is itself a diagnostic
+//! (`suppression` rule), as is one that silences nothing (stale allows
+//! rot fast once the underlying code is fixed). A suppression applies to
+//! findings on its own line (trailing comment) or on the next line that
+//! contains code (standalone comment above the offending line).
+
+use crate::context::SourceFile;
+use crate::diag::{Diagnostic, Severity};
+
+/// One parsed suppression comment.
+#[derive(Debug)]
+pub struct Suppression {
+    /// Rules this comment silences (comma-separated in the source).
+    pub rules: Vec<String>,
+    /// Required justification text.
+    pub reason: String,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Column the comment starts on.
+    pub col: u32,
+    /// Lines this suppression covers (own line + next code line).
+    pub covers: (u32, u32),
+    /// Set during matching: did this suppression silence anything?
+    pub used: bool,
+}
+
+/// Result of scanning one file for suppressions: the parse errors are
+/// diagnostics in their own right.
+pub fn parse_suppressions(file: &SourceFile) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut diags = Vec::new();
+    for c in &file.lexed.comments {
+        let body = c
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim();
+        let Some(rest) = body.strip_prefix("lint:allow") else {
+            // Catch near-misses like `lint: allow` or `lint-allow` so a
+            // typo cannot silently fail to suppress.
+            if body.starts_with("lint:") || body.starts_with("lint-") {
+                diags.push(Diagnostic {
+                    rule: "suppression",
+                    severity: Severity::Error,
+                    file: file.rel_path.clone(),
+                    line: c.line,
+                    col: c.col,
+                    message: format!(
+                        "malformed lint comment `{}` — expected `lint:allow(rule-id): reason`",
+                        body.chars().take(40).collect::<String>()
+                    ),
+                    snippet: file.snippet(c.line).to_string(),
+                });
+            }
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (rules_part, after) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+            Some((inside, after)) => (inside, after),
+            None => {
+                diags.push(Diagnostic {
+                    rule: "suppression",
+                    severity: Severity::Error,
+                    file: file.rel_path.clone(),
+                    line: c.line,
+                    col: c.col,
+                    message: "suppression must name a rule: `lint:allow(rule-id): reason`".into(),
+                    snippet: file.snippet(c.line).to_string(),
+                });
+                continue;
+            }
+        };
+        let rules: Vec<String> = rules_part
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let reason = after.trim_start().strip_prefix(':').map(str::trim);
+        let reason = match reason {
+            Some(r) if !r.is_empty() => r.to_string(),
+            _ => {
+                diags.push(Diagnostic {
+                    rule: "suppression",
+                    severity: Severity::Error,
+                    file: file.rel_path.clone(),
+                    line: c.line,
+                    col: c.col,
+                    message: format!(
+                        "suppression of `{}` is missing its reason — write \
+                         `lint:allow({}): <why this is sound>`",
+                        rules.join(", "),
+                        rules.join(", ")
+                    ),
+                    snippet: file.snippet(c.line).to_string(),
+                });
+                continue;
+            }
+        };
+        if rules.is_empty() {
+            diags.push(Diagnostic {
+                rule: "suppression",
+                severity: Severity::Error,
+                file: file.rel_path.clone(),
+                line: c.line,
+                col: c.col,
+                message: "suppression names no rule".into(),
+                snippet: file.snippet(c.line).to_string(),
+            });
+            continue;
+        }
+        let next_code = next_code_line(file, c.line);
+        sups.push(Suppression {
+            rules,
+            reason,
+            line: c.line,
+            col: c.col,
+            covers: (c.line, next_code),
+            used: false,
+        });
+    }
+    (sups, diags)
+}
+
+/// The next line strictly after `line` that carries a code token; used so
+/// a standalone suppression comment covers the statement below it.
+fn next_code_line(file: &SourceFile, line: u32) -> u32 {
+    file.tokens()
+        .iter()
+        .map(|t| t.line)
+        .filter(|&l| l > line)
+        .min()
+        .unwrap_or(line)
+}
+
+/// Partition findings into (kept, suppressed) and flag unused or
+/// unknown-rule suppressions as fresh diagnostics.
+pub fn apply_suppressions(
+    file: &SourceFile,
+    mut sups: Vec<Suppression>,
+    findings: Vec<Diagnostic>,
+    known_rules: &[&str],
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    for d in findings {
+        let mut hit = false;
+        for s in sups.iter_mut() {
+            if (d.line == s.covers.0 || d.line == s.covers.1) && s.rules.iter().any(|r| r == d.rule)
+            {
+                s.used = true;
+                hit = true;
+                break;
+            }
+        }
+        if hit {
+            suppressed.push(d);
+        } else {
+            kept.push(d);
+        }
+    }
+    for s in &sups {
+        for r in &s.rules {
+            if !known_rules.contains(&r.as_str()) {
+                kept.push(Diagnostic {
+                    rule: "suppression",
+                    severity: Severity::Error,
+                    file: file.rel_path.clone(),
+                    line: s.line,
+                    col: s.col,
+                    message: format!("suppression names unknown rule `{r}`"),
+                    snippet: file.snippet(s.line).to_string(),
+                });
+            }
+        }
+        if !s.used {
+            kept.push(Diagnostic {
+                rule: "suppression",
+                severity: Severity::Error,
+                file: file.rel_path.clone(),
+                line: s.line,
+                col: s.col,
+                message: format!(
+                    "unused suppression of `{}` — the code below no longer \
+                     violates it; delete the allow",
+                    s.rules.join(", ")
+                ),
+                snippet: file.snippet(s.line).to_string(),
+            });
+        }
+    }
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SourceFile;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("crates/sim/src/x.rs", src)
+    }
+
+    #[test]
+    fn parses_rule_and_reason() {
+        let f = file("// lint:allow(panic-free): index is bounds-checked above\nlet x = 1;\n");
+        let (sups, errs) = parse_suppressions(&f);
+        assert!(errs.is_empty());
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].rules, ["panic-free"]);
+        assert_eq!(sups[0].reason, "index is bounds-checked above");
+        assert_eq!(sups[0].covers, (1, 2));
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        for bad in [
+            "// lint:allow(panic-free)\n",
+            "// lint:allow(panic-free):\n",
+            "// lint:allow(panic-free):   \n",
+        ] {
+            let (sups, errs) = parse_suppressions(&file(bad));
+            assert!(sups.is_empty(), "{bad:?} must not parse");
+            assert_eq!(errs.len(), 1, "{bad:?}");
+            assert!(errs[0].message.contains("reason"), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_lint_comments_are_flagged() {
+        let (sups, errs) = parse_suppressions(&file("// lint: allow(panic-free): x\n"));
+        assert!(sups.is_empty());
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("malformed"));
+    }
+
+    #[test]
+    fn unused_suppression_is_flagged() {
+        let f = file("// lint:allow(panic-free): stale\nlet x = 1;\n");
+        let (sups, _) = parse_suppressions(&f);
+        let (kept, supd) = apply_suppressions(&f, sups, Vec::new(), &["panic-free"]);
+        assert!(supd.is_empty());
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].message.contains("unused suppression"));
+    }
+
+    #[test]
+    fn unknown_rule_is_flagged() {
+        let f = file("// lint:allow(no-such-rule): whatever\nlet x = 1;\n");
+        let (sups, _) = parse_suppressions(&f);
+        let (kept, _) = apply_suppressions(&f, sups, Vec::new(), &["panic-free"]);
+        assert!(kept.iter().any(|d| d.message.contains("unknown rule")));
+    }
+
+    #[test]
+    fn trailing_and_standalone_suppressions_cover() {
+        use crate::diag::Severity;
+        let f = file("let a = x.unwrap(); // lint:allow(panic-free): trailing\n");
+        let (sups, _) = parse_suppressions(&f);
+        let d = Diagnostic {
+            rule: "panic-free",
+            severity: Severity::Error,
+            file: f.rel_path.clone(),
+            line: 1,
+            col: 11,
+            message: "m".into(),
+            snippet: String::new(),
+        };
+        let (kept, supd) = apply_suppressions(&f, sups, vec![d], &["panic-free"]);
+        assert!(kept.is_empty());
+        assert_eq!(supd.len(), 1);
+    }
+
+    #[test]
+    fn comma_separated_rules() {
+        let f = file("// lint:allow(panic-free, float-eq): two reasons in one\nlet x = 1;\n");
+        let (sups, errs) = parse_suppressions(&f);
+        assert!(errs.is_empty());
+        assert_eq!(sups[0].rules, ["panic-free", "float-eq"]);
+    }
+}

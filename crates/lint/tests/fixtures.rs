@@ -1,0 +1,184 @@
+//! The lint engine tested against its fixture corpus: for every rule,
+//! one known-bad file that must fire and one known-clean file that must
+//! not. The fixtures live in `crates/lint/fixtures/` (skipped by the
+//! workspace walker — they are bad on purpose) and are analyzed under
+//! synthetic workspace paths so each rule's crate/file scoping applies
+//! exactly as it would live.
+
+use osmosis_lint::context::SourceFile;
+use osmosis_lint::diag::LintReport;
+use osmosis_lint::{analyze_files, analyze_one};
+
+fn fixture(rule: &str, name: &str) -> String {
+    let path = format!("{}/fixtures/{rule}/{name}", env!("CARGO_MANIFEST_DIR"));
+    match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => panic!("missing fixture {path}: {e}"),
+    }
+}
+
+fn count(report: &LintReport, rule: &str) -> usize {
+    report.diagnostics.iter().filter(|d| d.rule == rule).count()
+}
+
+/// Rules whose fixtures are a single (bad, good) pair analyzed under one
+/// synthetic path: (rule, path, expected bad-findings of that rule).
+const SINGLE_FILE_RULES: &[(&str, &str, usize)] = &[
+    // 2 idents in the use plus 2 field types.
+    ("hash-order", "crates/switch/src/fixture.rs", 4),
+    // unwrap, expect, panic!, todo!.
+    ("panic-free", "crates/sim/src/fixture.rs", 4),
+    // Instant (use + call), SystemTime (use + call), env::var.
+    ("determinism", "crates/faults/src/fixture.rs", 5),
+    // One missing attribute.
+    ("forbid-unsafe", "crates/sim/src/lib.rs", 1),
+    // Vec::new, push, format!.
+    ("zero-cost-plane", "crates/audit/src/fixture.rs", 3),
+    // == and !=.
+    ("float-eq", "crates/analysis/src/fixture.rs", 2),
+    // println!, print!, dbg!.
+    ("no-debug-output", "crates/telemetry/src/fixture.rs", 3),
+];
+
+#[test]
+fn every_single_file_rule_fires_on_bad_and_stays_quiet_on_good() {
+    for &(rule, path, expected) in SINGLE_FILE_RULES {
+        let bad = analyze_one(path, &fixture(rule, "bad.rs"));
+        assert_eq!(
+            count(&bad, rule),
+            expected,
+            "{rule}: bad fixture must fire {expected}× — got {:#?}",
+            bad.diagnostics
+        );
+        let good = analyze_one(path, &fixture(rule, "good.rs"));
+        assert_eq!(
+            count(&good, rule),
+            0,
+            "{rule}: good fixture must be clean — got {:#?}",
+            good.diagnostics
+        );
+    }
+}
+
+#[test]
+fn diagnostics_carry_position_and_snippet() {
+    let bad = analyze_one(
+        "crates/sim/src/fixture.rs",
+        &fixture("panic-free", "bad.rs"),
+    );
+    let d = &bad.diagnostics[0];
+    assert_eq!(d.file, "crates/sim/src/fixture.rs");
+    assert!(d.line > 0 && d.col > 0);
+    assert!(
+        d.snippet.contains("unwrap"),
+        "snippet shows the offending line: {:?}",
+        d.snippet
+    );
+}
+
+#[test]
+fn cross_crate_unwrap_fires_only_across_crates() {
+    let def = || {
+        SourceFile::new(
+            "crates/fec/src/def.rs",
+            &fixture("cross-crate-unwrap", "def.rs"),
+        )
+    };
+    let bad = analyze_files(vec![
+        def(),
+        SourceFile::new(
+            "crates/sim/src/bad.rs",
+            &fixture("cross-crate-unwrap", "bad.rs"),
+        ),
+    ]);
+    assert_eq!(
+        count(&bad, "cross-crate-unwrap"),
+        1,
+        "{:#?}",
+        bad.diagnostics
+    );
+
+    let good = analyze_files(vec![
+        def(),
+        SourceFile::new(
+            "crates/sim/src/good.rs",
+            &fixture("cross-crate-unwrap", "good.rs"),
+        ),
+    ]);
+    assert_eq!(
+        count(&good, "cross-crate-unwrap"),
+        0,
+        "{:#?}",
+        good.diagnostics
+    );
+
+    // Same crate: the plain panic-free rule governs, not this one.
+    let same = analyze_files(vec![
+        def(),
+        SourceFile::new(
+            "crates/fec/src/caller.rs",
+            &fixture("cross-crate-unwrap", "bad.rs"),
+        ),
+    ]);
+    assert_eq!(
+        count(&same, "cross-crate-unwrap"),
+        0,
+        "{:#?}",
+        same.diagnostics
+    );
+}
+
+#[test]
+fn suppression_fixture_rejects_all_three_abuses() {
+    let bad = analyze_one(
+        "crates/sim/src/fixture.rs",
+        &fixture("suppression", "bad.rs"),
+    );
+    let msgs: Vec<&str> = bad
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "suppression")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("missing its reason")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("unknown rule `no-such-rule`")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("unused suppression")),
+        "{msgs:?}"
+    );
+    // The unwraps the broken suppressions failed to cover still surface.
+    assert_eq!(count(&bad, "panic-free"), 2, "{:#?}", bad.diagnostics);
+}
+
+#[test]
+fn suppression_fixture_good_is_fully_clean() {
+    let good = analyze_one(
+        "crates/sim/src/fixture.rs",
+        &fixture("suppression", "good.rs"),
+    );
+    assert!(good.is_clean(), "{:#?}", good.diagnostics);
+    assert_eq!(good.suppressed.len(), 2, "both allows silence one finding");
+}
+
+#[test]
+fn bad_fixtures_do_not_leak_into_other_rules_unsuppressed() {
+    // Each bad fixture is crafted to violate its own rule; any finding it
+    // raises must belong to that rule (or `suppression` for that corpus).
+    for &(rule, path, _) in SINGLE_FILE_RULES {
+        let bad = analyze_one(path, &fixture(rule, "bad.rs"));
+        for d in &bad.diagnostics {
+            assert_eq!(
+                d.rule, rule,
+                "{rule}/bad.rs unexpectedly also fires {}: {}",
+                d.rule, d.message
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Meta-test: `osmosis-lint` runs clean on the live workspace. This is
+//! the same pass CI runs as a hard gate — if this test fails, a
+//! determinism / panic-safety / zero-cost-plane contract was broken (or
+//! a suppression lost its justification).
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_has_zero_unsuppressed_diagnostics() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = match osmosis_lint::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => panic!("cannot scan workspace: {e}"),
+    };
+    assert!(
+        report.files_scanned > 100,
+        "walker found only {} files — wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace must lint clean; findings:\n{}",
+        report.render_human()
+    );
+    assert!(
+        !report.suppressed.is_empty(),
+        "the workspace carries reasoned allows; zero suppressed findings \
+         means suppression matching silently broke"
+    );
+}
+
+#[test]
+fn json_output_is_stable_across_runs() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let a = osmosis_lint::analyze_workspace(&root).map(|r| r.render_json());
+    let b = osmosis_lint::analyze_workspace(&root).map(|r| r.render_json());
+    match (a, b) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "lint output must be deterministic"),
+        (a, b) => panic!("scan failed: {a:?} {b:?}"),
+    }
+}

@@ -27,7 +27,8 @@
 //! let _ = GuardBudget::osmosis_default();
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod burst;
 pub mod cable;

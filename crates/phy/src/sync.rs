@@ -64,7 +64,7 @@ impl SyncPlan {
             .iter()
             .map(|&m| TimeDelta::fiber_flight(m))
             .max()
-            .unwrap();
+            .unwrap_or_default();
         let ports = cable_lengths_m
             .iter()
             .map(|&m| {
@@ -92,7 +92,10 @@ impl SyncPlan {
             .iter()
             .map(|p| TimeDelta::fiber_flight(p.cable_m))
             .collect();
-        let spread = *flights.iter().max().unwrap() - *flights.iter().min().unwrap();
+        let spread = match (flights.iter().max(), flights.iter().min()) {
+            (Some(&max), Some(&min)) => max - min,
+            _ => TimeDelta::default(),
+        };
         spread + self.clock.skew()
     }
 

@@ -27,7 +27,8 @@
 //! assert_eq!(waited, 6);                          // log2(64) cycles
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod arbiter;
 pub mod flppr;

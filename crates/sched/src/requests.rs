@@ -156,7 +156,7 @@ impl Matching {
     pub fn validate(&self, occ: &Requests, out_capacity: usize) -> Result<(), String> {
         let mut in_used = vec![false; occ.inputs()];
         let mut out_used = vec![0usize; occ.outputs()];
-        let mut granted = std::collections::HashMap::new();
+        let mut granted = std::collections::BTreeMap::new();
         for &(i, o) in &self.pairs {
             if i >= occ.inputs() || o >= occ.outputs() {
                 return Err(format!("grant ({i},{o}) out of range"));

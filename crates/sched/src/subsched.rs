@@ -103,6 +103,8 @@ impl SubScheduler {
                 .pairs
                 .iter()
                 .position(|&(i, o, _)| i == input && o == output)
+                // lint:allow(panic-free): `reserved` is only incremented
+                // when a pair is pushed, so a surplus implies a match
                 .expect("reserved count implies a matched pair");
             let (_, _, sp) = self.pairs.swap_remove(pos);
             self.in_matched[input] = false;

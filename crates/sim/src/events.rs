@@ -12,7 +12,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Handle to a scheduled event, usable for cancellation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(u64);
 
 /// Why a schedule request was refused.
@@ -74,7 +74,7 @@ pub struct EventQueue<E> {
     now: Time,
     next_seq: u64,
     next_id: u64,
-    cancelled: std::collections::HashSet<EventId>,
+    cancelled: std::collections::BTreeSet<EventId>,
     processed: u64,
 }
 
@@ -92,7 +92,7 @@ impl<E> EventQueue<E> {
             now: Time::ZERO,
             next_seq: 0,
             next_id: 0,
-            cancelled: std::collections::HashSet::new(),
+            cancelled: std::collections::BTreeSet::new(),
             processed: 0,
         }
     }
@@ -144,6 +144,8 @@ impl<E> EventQueue<E> {
     pub fn schedule_at(&mut self, at: Time, event: E) -> EventId {
         match self.try_schedule_at(at, event) {
             Ok(id) => id,
+            // lint:allow(panic-free): documented panic contract;
+            // `try_schedule_at` is the checked form for external input
             Err(e) => panic!("{e}"),
         }
     }

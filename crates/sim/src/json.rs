@@ -232,7 +232,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, b: u8, msg: &'static str) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -293,7 +293,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"', "expected string")?;
+        self.expect_byte(b'"', "expected string")?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -343,7 +343,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'[', "expected array")?;
+        self.expect_byte(b'[', "expected array")?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -366,7 +366,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'{', "expected object")?;
+        self.expect_byte(b'{', "expected object")?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -377,7 +377,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':', "expected ':'")?;
+            self.expect_byte(b':', "expected ':'")?;
             self.skip_ws();
             let val = self.value()?;
             pairs.push((key, val));

@@ -17,7 +17,8 @@
 //! [`rng::SeedSequence`], so every figure in `EXPERIMENTS.md` is exactly
 //! reproducible.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod audit;
 pub mod engine;

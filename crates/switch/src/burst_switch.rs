@@ -152,7 +152,9 @@ impl CellSwitch for BurstSwitch {
                         let q = &mut self.voq[i * n + o];
                         let take = (q.len() as u64).min(self.burst);
                         for k in 0..take {
-                            let mut cell = q.pop_front().unwrap();
+                            let Some(mut cell) = q.pop_front() else {
+                                break;
+                            };
                             cell.grant_slot = t + k;
                             obs.cell_granted_with_wait(
                                 i,

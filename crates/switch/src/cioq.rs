@@ -125,7 +125,12 @@ impl CellSwitch for CioqSwitch {
                 if let Some(o) = self.accept_arb[i].arbitrate(&self.grants_to_input[i]) {
                     self.grant_arb[o].advance_past(i);
                     self.accept_arb[i].advance_past(o);
-                    let mut cell = self.voq[i * n + o].pop_front().unwrap();
+                    let mut cell = self.voq[i * n + o]
+                        .pop_front()
+                        // lint:allow(panic-free): grants are issued from
+                        // this slot's occupancy snapshot, so an accepted
+                        // grant always has its cell still queued
+                        .expect("accepted grant with an empty VOQ");
                     cell.grant_slot = slot;
                     obs.cell_granted(i, o, cell.inject_slot);
                     *used = true;

@@ -94,7 +94,11 @@ impl CellSwitch for DeflectionSwitch {
             }
             let k = self.rng.index(self.contenders[o].len());
             let winner = self.contenders[o][k];
-            let cell = self.loops[winner].pop_front().unwrap();
+            let cell = self.loops[winner]
+                .pop_front()
+                // lint:allow(panic-free): contenders are collected from
+                // non-empty ring slots this same arbitration pass
+                .expect("contender with an empty loop queue");
             self.checker.record(cell.src, cell.dst, cell.seq);
             obs.cell_delivered_flow(o, cell.inject_slot, cell.src, cell.seq);
             // Losers: rotate to the back of their loop — they lost a slot
@@ -102,8 +106,9 @@ impl CellSwitch for DeflectionSwitch {
             for idx in 0..self.contenders[o].len() {
                 let loser = self.contenders[o][idx];
                 if loser != winner {
-                    let c = self.loops[loser].pop_front().unwrap();
-                    self.loops[loser].push_back(c);
+                    if let Some(c) = self.loops[loser].pop_front() {
+                        self.loops[loser].push_back(c);
+                    }
                 }
             }
         }

@@ -83,7 +83,12 @@ impl CellSwitch for FifoSwitch {
             if let Some(i) = self.out_arb[o].arbitrate(&self.requesters) {
                 self.out_arb[o].advance_past(i);
                 self.input_won[i] = true;
-                let mut cell = self.fifos[i].pop_front().unwrap();
+                let mut cell = self.fifos[i]
+                    .pop_front()
+                    // lint:allow(panic-free): the output arbiter only
+                    // considers inputs whose FIFO head requests this
+                    // output, so a winner's FIFO is never empty
+                    .expect("arbitration winner with an empty FIFO");
                 cell.grant_slot = slot;
                 obs.cell_granted(i, o, cell.inject_slot);
                 self.egress[o].push_back(cell);

@@ -122,13 +122,19 @@ impl MulticastSwitch {
             if outs.is_empty() {
                 continue;
             }
-            let head = self.queues[i].front_mut().unwrap();
+            let head = self.queues[i]
+                .front_mut()
+                // lint:allow(panic-free): `served` only lists inputs whose
+                // head cell won at least one output this slot
+                .expect("served input with an empty queue");
             for &o in outs {
                 head.residue[o] = false;
             }
             self.tx_count[i] += 1;
             if head.residue.iter().all(|&r| !r) {
-                completions.push(self.queues[i].pop_front().unwrap());
+                if let Some(done) = self.queues[i].pop_front() {
+                    completions.push(done);
+                }
             }
         }
         (copies, completions)

@@ -90,7 +90,9 @@ impl CellSwitch for RemoteSchedulerSwitch {
             .front()
             .is_some_and(|&(due, _, _)| due <= t)
         {
-            let (_, i, o) = self.requests_in_flight.pop_front().unwrap();
+            let Some((_, i, o)) = self.requests_in_flight.pop_front() else {
+                break;
+            };
             self.sched.note_arrival(i, o);
         }
 
@@ -108,7 +110,9 @@ impl CellSwitch for RemoteSchedulerSwitch {
             .front()
             .is_some_and(|&(due, _, _)| due <= t)
         {
-            let (_, i, o) = self.grants_in_flight.pop_front().unwrap();
+            let Some((_, i, o)) = self.grants_in_flight.pop_front() else {
+                break;
+            };
             if obs.faults_attached() && obs.fault_grant_lost(i, o) {
                 // The grant was corrupted on the way back: the adapter
                 // times out and re-requests; the cell stays queued. The
@@ -119,6 +123,9 @@ impl CellSwitch for RemoteSchedulerSwitch {
             }
             let mut cell = self.voq[i * n + o]
                 .pop_front()
+                // lint:allow(panic-free): a grant is only issued for a
+                // request filed by a queued cell, and grant-loss re-queues
+                // the request rather than dropping the cell
                 .expect("grant for missing cell");
             cell.grant_slot = t;
             obs.cell_granted(i, o, cell.inject_slot);
@@ -131,7 +138,9 @@ impl CellSwitch for RemoteSchedulerSwitch {
             .front()
             .is_some_and(|&(due, _)| due <= t)
         {
-            let (_, cell) = self.data_in_flight.pop_front().unwrap();
+            let Some((_, cell)) = self.data_in_flight.pop_front() else {
+                break;
+            };
             self.egress[cell.dst].push_back(cell);
         }
     }

@@ -32,7 +32,8 @@
 //! <path.jsonl>` on the bench bins), validated by
 //! [`validate_jsonl`](export::validate_jsonl).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod export;
 pub mod registry;

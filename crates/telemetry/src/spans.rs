@@ -294,7 +294,11 @@ impl SpanPlane {
                     .take(SCAN_LIMIT)
                     .position(|&(exp, _)| exp == inject)
                 {
-                    let (_, wait) = q.remove(pos).unwrap();
+                    let (_, wait) = q
+                        .remove(pos)
+                        // lint:allow(panic-free): `pos` comes from
+                        // `position` over this same queue a line above
+                        .expect("position() returned an out-of-range index");
                     self.reordered += 1;
                     (wait, true)
                 } else {

@@ -9,7 +9,8 @@
 //! evaluates throughput under uniform and adversarial (hotspot,
 //! permutation, bursty) patterns, as its references [10][17][22] do.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod generators;
 pub mod order;

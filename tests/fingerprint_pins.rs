@@ -1,0 +1,105 @@
+//! Pinned engine fingerprints for all ten simulators.
+//!
+//! These literal values were captured before the HashMap→BTreeMap and
+//! unwrap burn-down refactor (PR 5) and prove that the refactor left
+//! every simulator's report bit-identical. Any future change that
+//! perturbs a fingerprint must consciously update the pin and explain
+//! why in the commit message.
+
+use osmosis::fabric::multilevel::{MultiLevelClos, MultiLevelConfig, MultiLevelFabric};
+use osmosis::fabric::multistage::{FabricConfig, FatTreeFabric};
+use osmosis::sched::Flppr;
+use osmosis::sim::{EngineConfig, EngineReport, SeedSequence};
+use osmosis::switch::{
+    run_multicast, run_uniform, BurstSwitch, BvnSwitch, CioqSwitch, DeflectionSwitch, FifoSwitch,
+    OqSwitch, RemoteSchedulerSwitch,
+};
+use osmosis::traffic::BernoulliUniform;
+
+fn cfg() -> EngineConfig {
+    EngineConfig::new(300, 3_000)
+}
+
+fn uniform(n: usize, load: f64, seed: u64) -> BernoulliUniform {
+    BernoulliUniform::new(n, load, &SeedSequence::new(seed))
+}
+
+fn capture() -> Vec<(&'static str, u64)> {
+    let s = 1234u64;
+    let mut out: Vec<(&'static str, EngineReport)> = Vec::new();
+    out.push((
+        "voq",
+        run_uniform(|| Box::new(Flppr::osmosis(16, 2)), 0.7, &cfg().with_seed(s)),
+    ));
+    out.push((
+        "fifo",
+        FifoSwitch::new(16).run(&mut uniform(16, 0.5, s), &cfg()),
+    ));
+    out.push((
+        "oq",
+        OqSwitch::new(16).run(&mut uniform(16, 0.7, s), &cfg()),
+    ));
+    out.push((
+        "bvn",
+        BvnSwitch::new(16).run(&mut uniform(16, 0.6, s), &cfg()),
+    ));
+    out.push((
+        "burst",
+        BurstSwitch::new(16, 8, 8).run(&mut uniform(16, 0.6, s), &cfg()),
+    ));
+    out.push((
+        "deflection",
+        DeflectionSwitch::new(16, 4, s).run(&mut uniform(16, 0.6, s), &cfg()),
+    ));
+    out.push((
+        "cioq",
+        CioqSwitch::new(16, 2, 8).run(&mut uniform(16, 0.8, s), &cfg()),
+    ));
+    out.push((
+        "remote_sched",
+        RemoteSchedulerSwitch::new(Box::new(Flppr::osmosis(8, 1)), 4)
+            .run(&mut uniform(8, 0.5, s), &cfg()),
+    ));
+    out.push(("multicast", run_multicast(16, 3, 0.2, 3_000, s)));
+    out.push(("multistage", {
+        let mut fab = FatTreeFabric::new(FabricConfig::small(8, 2));
+        let hosts = fab.topology().hosts();
+        fab.run(&mut uniform(hosts, 0.5, s), &cfg())
+    }));
+    out.push(("multilevel", {
+        let topo = MultiLevelClos::new(4, 3);
+        let mut fab = MultiLevelFabric::new(MultiLevelConfig::standard(topo, 2));
+        fab.run(&mut uniform(topo.hosts(), 0.4, s), &cfg())
+    }));
+    out.into_iter().map(|(n, r)| (n, r.fingerprint())).collect()
+}
+
+/// Fingerprints captured on the commit preceding the static-analysis
+/// refactor. The HashMap→BTreeMap conversions and the unwrap burn-down
+/// must not perturb a single bit of any report.
+const PINS: &[(&str, u64)] = &[
+    ("voq", 0xbcfe_ba06_2d0e_ba76),
+    ("fifo", 0xda3c_b239_af7b_f740),
+    ("oq", 0x8d41_1187_2c49_8762),
+    ("bvn", 0x316f_0339_2850_4561),
+    ("burst", 0x0426_93ee_8fda_1e8d),
+    ("deflection", 0x7c6a_2fd4_bd22_a98c),
+    ("cioq", 0x8b8d_a37f_b734_d1f3),
+    ("remote_sched", 0x8b25_4860_27ab_953e),
+    ("multicast", 0x9cbd_4359_dfb6_1abf),
+    ("multistage", 0x7cdd_391d_75c3_0074),
+    ("multilevel", 0x18ca_f1b3_5fc3_e739),
+];
+
+#[test]
+fn fingerprints_match_pre_refactor_pins() {
+    let got = capture();
+    assert_eq!(got.len(), PINS.len());
+    for ((name, fp), (pin_name, pin)) in got.iter().zip(PINS) {
+        assert_eq!(name, pin_name);
+        assert_eq!(
+            *fp, *pin,
+            "{name}: fingerprint {fp:#018x} drifted from pinned {pin:#018x}"
+        );
+    }
+}

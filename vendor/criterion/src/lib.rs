@@ -10,7 +10,8 @@
 //! derived throughput; there is no outlier analysis, plotting, or saved
 //! baseline comparison.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

@@ -13,7 +13,8 @@
 //! reproducible by re-running the test binary), there is **no shrinking**,
 //! and `prop_assume!` skips the current case rather than resampling.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod arbitrary;
 pub mod array;

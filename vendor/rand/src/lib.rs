@@ -9,7 +9,8 @@
 //! this stub only carries the trait definition (API-compatible with
 //! rand 0.9).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 /// The core random-number-generator trait, matching `rand 0.9`'s
 /// `rand_core::RngCore` surface.
