@@ -1,0 +1,151 @@
+//! Topology-compiler performance snapshot: wall-clock expansion time and
+//! simulation slot rate at 2048 / 8192 / 32768 ports, written to
+//! `BENCH_topology.json` at the repo root for drift tracking.
+//!
+//! Modes:
+//!
+//! * default — measure and rewrite the snapshot;
+//! * `--smoke` — measure the two 32768-port expansions only and fail
+//!   (exit 1) if either exceeds the CI time budget; writes nothing.
+
+use std::time::Instant;
+
+use osmosis_bench::print_table;
+use osmosis_core::experiments::fig1::CELL_NS;
+use osmosis_fabric::{CompiledFabric, EngineConfig, ExpandedFabric, TopologySpec};
+use osmosis_sim::json::Value;
+use osmosis_sim::SeedSequence;
+use osmosis_traffic::BernoulliUniform;
+
+/// Per-expansion CI budget for the 32K instances, generous enough for a
+/// loaded shared runner (release builds expand these in well under a
+/// second).
+const SMOKE_BUDGET_S: f64 = 30.0;
+
+struct Measurement {
+    spec: TopologySpec,
+    hosts: u64,
+    switches: u64,
+    expand_ms: f64,
+    slot_rate: Option<f64>,
+}
+
+fn measure(spec: TopologySpec, sim_slots: u64) -> Measurement {
+    let t0 = Instant::now();
+    let fab = match ExpandedFabric::expand(spec) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("expand {spec} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let expand_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let hosts = fab.hosts.len() as u64;
+    let switches = fab.switches.len() as u64;
+    let slot_rate = (sim_slots > 0).then(|| {
+        let mut sim = CompiledFabric::over(fab);
+        let mut tr = BernoulliUniform::new(hosts as usize, 0.1, &SeedSequence::new(0xBE2C));
+        let t1 = Instant::now();
+        let _ = sim.run(&mut tr, &EngineConfig::new(0, sim_slots));
+        sim_slots as f64 / t1.elapsed().as_secs_f64()
+    });
+    Measurement {
+        spec,
+        hosts,
+        switches,
+        expand_ms,
+        slot_rate,
+    }
+}
+
+fn snapshot(points: &[Measurement]) -> String {
+    let entries: Vec<Value> = points
+        .iter()
+        .map(|m| {
+            Value::Obj(vec![
+                ("spec".into(), Value::str(m.spec.to_string())),
+                ("hosts".into(), Value::u64(m.hosts)),
+                ("switches".into(), Value::u64(m.switches)),
+                ("expand_ms".into(), Value::f64(m.expand_ms)),
+                (
+                    "slot_rate_per_s".into(),
+                    m.slot_rate.map_or(Value::Null, Value::f64),
+                ),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("bench".into(), Value::str("topology-compiler")),
+        ("cell_ns".into(), Value::f64(CELL_NS)),
+        ("points".into(), Value::Arr(entries)),
+    ])
+    .encode()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        // The CI gate: both 32768-port families must expand inside the
+        // budget on a cold runner.
+        let mut failed = false;
+        for spec in [
+            TopologySpec::fat_tree(8, 7),
+            TopologySpec::dragonfly(64, 64),
+        ] {
+            let m = measure(spec, 0);
+            let ok = m.expand_ms / 1e3 <= SMOKE_BUDGET_S;
+            println!(
+                "smoke: {} -> {} hosts, {} switches, expanded in {:.1} ms ({})",
+                m.spec,
+                m.hosts,
+                m.switches,
+                m.expand_ms,
+                if ok { "ok" } else { "OVER BUDGET" }
+            );
+            if m.hosts < 32_768 {
+                println!("smoke: {} reaches only {} hosts", m.spec, m.hosts);
+                failed = true;
+            }
+            failed |= !ok;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // The snapshot ladder: exact 2048 / 8192 / 32768-port instances.
+    let points = vec![
+        measure(TopologySpec::two_level(64), 2_000),
+        measure(TopologySpec::fat_tree(32, 3), 500),
+        measure(TopologySpec::fat_tree(8, 7), 100),
+        measure(TopologySpec::dragonfly(64, 64), 100),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|m| {
+            vec![
+                m.spec.to_string(),
+                format!("{}", m.hosts),
+                format!("{}", m.switches),
+                format!("{:.2}", m.expand_ms),
+                m.slot_rate
+                    .map_or_else(|| "-".to_string(), |r| format!("{r:.0}")),
+            ]
+        })
+        .collect();
+    print_table(
+        "Topology compiler: expansion time and simulation slot rate",
+        &["topology", "hosts", "switches", "expand (ms)", "slots/s"],
+        &rows,
+    );
+    let json = snapshot(&points);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_topology.json");
+    match std::fs::write(path, json + "\n") {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

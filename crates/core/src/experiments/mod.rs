@@ -18,6 +18,7 @@ pub mod sec6c;
 pub mod sec6d;
 pub mod sec7;
 pub mod table1;
+pub mod topology_budget;
 
 /// How big to run an experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -30,21 +30,32 @@
 #![deny(missing_docs)]
 
 pub mod baselines;
+pub mod compiled;
+pub mod expand;
 pub mod flow_control;
+pub mod ids;
 pub mod loadmap;
 pub mod multilevel;
 pub mod multistage;
+pub mod spec;
 pub mod topology;
 
 pub use baselines::{compare, section_6c_table, FabricAlternative, FabricComparison};
+pub use compiled::CompiledFabric;
+pub use expand::{ExpandedFabric, Peer};
 pub use flow_control::{required_buffer_cells, run_relay_loop, RelayConfig, RelayReport};
-pub use loadmap::{load_map, uniform_load_map, LoadMap};
+pub use ids::{EntityId, EntityVec, HostId, LinkId, PortId, StageId, SwitchId};
+pub use loadmap::{
+    expanded_uniform_load_map, load_map, uniform_load_map, ExpandedLoadMap, LoadMap,
+};
 pub use multilevel::{MultiLevelClos, MultiLevelConfig, MultiLevelFabric};
 pub use multistage::{FabricConfig, FatTreeFabric, Placement};
+pub use spec::{BufferSizing, DragonflyShape, TopologyError, TopologyFamily, TopologySpec};
 
 // The engine types every consumer of this crate needs alongside the
 // fabrics.
 pub use osmosis_sim::engine::{EngineConfig, EngineReport};
 pub use topology::{
-    levels_for_ports, max_ports, stages_for_levels, stages_for_ports, TwoLevelFatTree,
+    levels_for_ports, max_ports, stages_for_levels, stages_for_ports, try_levels_for_ports,
+    try_max_ports, TwoLevelFatTree,
 };

@@ -12,6 +12,8 @@
 //! on a few uplinks, capping a radix-4 six-level fabric at 11% — the
 //! analyzer's prediction matched the simulator within 2%.
 
+use crate::expand::{ExpandedFabric, Peer};
+use crate::ids::{EntityId as _, HostId, PortId};
 use crate::multilevel::MultiLevelClos;
 use std::collections::BTreeMap;
 
@@ -116,6 +118,96 @@ pub fn load_map(topo: &MultiLevelClos, rate: &[Vec<f64>]) -> LoadMap {
     summarize(loads)
 }
 
+/// A load map over an [`ExpandedFabric`], keyed by the typed egress
+/// port driving each cable direction — so it works for every topology
+/// family the compiler expands, not just folded Clos.
+#[derive(Debug, Clone)]
+pub struct ExpandedLoadMap {
+    /// Expected load per cable direction (keyed by the transmitting
+    /// port), in cells/slot at the given traffic matrix.
+    pub loads: BTreeMap<PortId, f64>,
+    /// Mean over directions that carry anything.
+    pub mean: f64,
+    /// The hottest direction's load.
+    pub max: f64,
+    /// The hottest direction's transmitting port.
+    pub argmax: Option<PortId>,
+}
+
+impl ExpandedLoadMap {
+    /// Max-to-mean imbalance ratio (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        // lint:allow(float-eq): exact zero sentinel guarding the division
+        if self.mean == 0.0 {
+            1.0
+        } else {
+            self.max / self.mean
+        }
+    }
+
+    /// Saturation offered-load estimate, as [`LoadMap::saturation_load`].
+    pub fn saturation_load(&self, offered: f64) -> f64 {
+        // lint:allow(float-eq): exact zero sentinel guarding the division
+        if self.max == 0.0 {
+            1.0
+        } else {
+            (offered / self.max).min(1.0)
+        }
+    }
+}
+
+/// Compute the switch-to-switch link loads of an expanded fabric under
+/// uniform traffic at `offered` cells/slot per host, by walking every
+/// flow's route on the graph itself. Quadratic in hosts — meant for
+/// analysis-scale instances, not the 32K-port ones.
+pub fn expanded_uniform_load_map(fab: &ExpandedFabric, offered: f64) -> ExpandedLoadMap {
+    let hosts = fab.hosts.len();
+    let per_flow = offered / (hosts - 1).max(1) as f64;
+    let mut loads: BTreeMap<PortId, f64> = BTreeMap::new();
+    for src in 0..hosts {
+        for dst in 0..hosts {
+            if src == dst {
+                continue;
+            }
+            let (s, d) = (HostId::from_index(src), HostId::from_index(dst));
+            let (mut sw, mut in_port) = fab.host_attach(s);
+            loop {
+                let out = fab.route(sw, in_port, s, d);
+                let pid = fab.port_id(sw, out);
+                match fab.ports[pid].peer {
+                    // Host delivery is the NIC's own link, not fabric
+                    // cabling — same accounting as the Clos analyzer.
+                    Peer::Host(_) | Peer::Unconnected => break,
+                    Peer::Port(far) => {
+                        *loads.entry(pid).or_insert(0.0) += per_flow;
+                        sw = fab.ports[far].switch;
+                        in_port = fab.ports[far].local;
+                    }
+                }
+            }
+        }
+    }
+    let (mut max, mut sum, mut argmax) = (0.0f64, 0.0f64, None);
+    for (&p, &v) in &loads {
+        sum += v;
+        if v > max {
+            max = v;
+            argmax = Some(p);
+        }
+    }
+    let mean = if loads.is_empty() {
+        0.0
+    } else {
+        sum / loads.len() as f64
+    };
+    ExpandedLoadMap {
+        loads,
+        mean,
+        max,
+        argmax,
+    }
+}
+
 fn summarize(loads: BTreeMap<Link, f64>) -> LoadMap {
     let (mut max, mut sum, mut argmax) = (0.0f64, 0.0f64, None);
     for (&l, &v) in &loads {
@@ -207,6 +299,36 @@ mod tests {
             "max {} vs fair share {fair_share}",
             m.max
         );
+    }
+
+    #[test]
+    fn expanded_map_agrees_with_the_clos_analyzer() {
+        // planes = 1 expansion routes exactly like MultiLevelClos, so
+        // the per-direction load profile must match the legacy map's.
+        use crate::spec::TopologySpec;
+        let (radix, levels) = (4usize, 3u32);
+        let topo = MultiLevelClos::new(radix, levels);
+        let legacy = uniform_load_map(&topo, 1.0);
+        let fab = ExpandedFabric::expand(TopologySpec::m_ary_fat_tree(radix, levels)).unwrap();
+        let typed = expanded_uniform_load_map(&fab, 1.0);
+        assert_eq!(typed.loads.len(), legacy.loads.len());
+        assert!((typed.max - legacy.max).abs() < 1e-9);
+        assert!((typed.mean - legacy.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expanded_map_covers_all_families() {
+        use crate::spec::TopologySpec;
+        // A full mesh under uniform traffic is perfectly balanced.
+        let mesh = ExpandedFabric::expand(TopologySpec::full_mesh(8, 5)).unwrap();
+        let m = expanded_uniform_load_map(&mesh, 1.0);
+        assert!(m.imbalance() < 1.01, "mesh imbalance {}", m.imbalance());
+        // A dragonfly's flow-hashed global channels stay within a small
+        // constant of the mean.
+        let df = ExpandedFabric::expand(TopologySpec::dragonfly(8, 4)).unwrap();
+        let d = expanded_uniform_load_map(&df, 1.0);
+        assert!(d.max > 0.0);
+        assert!(d.imbalance() < 3.0, "dragonfly imbalance {}", d.imbalance());
     }
 
     #[test]

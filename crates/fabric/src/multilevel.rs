@@ -23,6 +23,7 @@
 //! and reports the unified [`EngineReport`]; the stage count (2L−1) of
 //! the simulated topology rides along as `extra("stages")`.
 
+use crate::spec::TopologyError;
 use osmosis_sched::arbiter::{BitSet, RoundRobinArbiter};
 use osmosis_sim::engine::{EngineConfig, EngineReport, Observer, TraceSink};
 use osmosis_switch::driven::{run_switch, CellSwitch};
@@ -40,11 +41,31 @@ pub struct MultiLevelClos {
 }
 
 impl MultiLevelClos {
-    /// Build a descriptor. `radix` must be even ≥ 4, `levels ≥ 1`.
+    /// Build a descriptor. `radix` must be even ≥ 4, `levels ≥ 1`;
+    /// panics otherwise — use [`try_new`](Self::try_new) where the
+    /// parameters come from external input.
     pub fn new(radix: usize, levels: u32) -> Self {
-        assert!(radix >= 4 && radix.is_multiple_of(2));
-        assert!(levels >= 1);
-        MultiLevelClos { radix, levels }
+        match Self::try_new(radix, levels) {
+            Ok(t) => t,
+            // lint:allow(panic-free): documented panic contract of the
+            // infallible constructor; `try_new` is the checked form
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build a descriptor, rejecting bad parameters with a typed error.
+    pub fn try_new(radix: usize, levels: u32) -> Result<Self, TopologyError> {
+        if radix < 4 || !radix.is_multiple_of(2) {
+            return Err(TopologyError::InvalidRadix {
+                radix,
+                min: 4,
+                even: true,
+            });
+        }
+        if !(1..=16).contains(&levels) {
+            return Err(TopologyError::InvalidLevels { levels });
+        }
+        Ok(MultiLevelClos { radix, levels })
     }
 
     /// Down/up ports per switch (m = k/2).
@@ -121,25 +142,12 @@ impl MultiLevelClos {
         out
     }
 
-    /// Deterministic per-flow up-port choice at ascent step `level`.
+    /// Deterministic per-flow up-port choice at ascent step `level` —
+    /// the shared [`crate::spec::up_choice`] hash, single-sourced so the
+    /// spec-expanded fabrics route identically.
     pub fn up_choice(&self, src: usize, dst: usize, level: u32) -> usize {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for v in [src as u64, dst as u64, level as u64] {
-            h ^= v;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        ((mix(h) >> 32) % self.m() as u64) as usize
+        crate::spec::up_choice(src, dst, level, self.m())
     }
-}
-
-/// Finalize a raw FNV accumulation: FNV's low bits are poorly mixed for
-/// tiny moduli (with m = 2 the raw low bit concentrates 4× the average
-/// load on some links); one SplitMix64 round fixes the distribution.
-fn mix(mut h: u64) -> u64 {
-    h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    h ^ (h >> 31)
 }
 
 /// Configuration for a multilevel fabric run.
@@ -167,13 +175,19 @@ impl MultiLevelConfig {
     }
 }
 
-/// Per-switch state: ports 0..m−1 down, m..2m−1 up.
+/// Per-switch state: ports 0..m−1 down, m..2m−1 up. The wiring tables
+/// (`down`, `up`) are read off the compiled expansion at construction —
+/// `None` marks the unused up-side of the top level.
 struct Node {
     voq: Vec<VecDeque<Cell>>,
     input_occupancy: Vec<usize>,
     credits: Vec<usize>,
     grant_arb: Vec<RoundRobinArbiter>,
     accept_arb: Vec<RoundRobinArbiter>,
+    /// Where each output port's cable leads.
+    down: Vec<Option<Hop>>,
+    /// Where each input port's credits return to.
+    up: Vec<Option<CreditTo>>,
 }
 
 /// Destination of a sent cell.
@@ -213,15 +227,60 @@ impl MultiLevelFabric {
         assert!(cfg.link_delay >= 1);
         let t = cfg.topo;
         let ports = 2 * t.m();
+        let width = t.switches_per_level();
+        // The wiring is the 1-plane expansion of the same spec; reading
+        // the tables off the compiled graph keeps this simulator and the
+        // topology compiler in provable agreement (see the equivalence
+        // test below).
+        let expanded = match crate::expand::ExpandedFabric::expand(
+            crate::spec::TopologySpec::m_ary_fat_tree(t.radix, t.levels),
+        ) {
+            Ok(fab) => fab,
+            // lint:allow(panic-free): MultiLevelClos::new already
+            // validated radix and levels; kept as the infallible
+            // constructor's documented contract
+            Err(e) => panic!("{e}"),
+        };
+        use crate::expand::Peer;
+        use crate::ids::{EntityId, SwitchId};
         let nodes = (0..t.levels)
-            .map(|_| {
-                (0..t.switches_per_level())
-                    .map(|_| Node {
-                        voq: (0..ports * ports).map(|_| VecDeque::new()).collect(),
-                        input_occupancy: vec![0; ports],
-                        credits: vec![cfg.buffer_cells; ports],
-                        grant_arb: (0..ports).map(|_| RoundRobinArbiter::new(ports)).collect(),
-                        accept_arb: (0..ports).map(|_| RoundRobinArbiter::new(ports)).collect(),
+            .map(|level| {
+                (0..width)
+                    .map(|sw| {
+                        let swid = SwitchId::from_index(level as usize * width + sw);
+                        let mut down = Vec::with_capacity(ports);
+                        let mut up = Vec::with_capacity(ports);
+                        for local in 0..ports {
+                            let peer = expanded.ports[expanded.port_id(swid, local as u32)].peer;
+                            let far = match peer {
+                                Peer::Host(h) => {
+                                    down.push(Some(Hop::Host(h.index())));
+                                    up.push(Some(CreditTo::Host(h.index())));
+                                    continue;
+                                }
+                                Peer::Port(far) => far,
+                                Peer::Unconnected => {
+                                    down.push(None);
+                                    up.push(None);
+                                    continue;
+                                }
+                            };
+                            let fsw = expanded.ports[far].switch;
+                            let flevel = expanded.level_of(fsw);
+                            let fpos = expanded.switches[fsw].pos as usize;
+                            let flocal = expanded.ports[far].local as usize;
+                            down.push(Some(Hop::Switch(flevel, fpos, flocal)));
+                            up.push(Some(CreditTo::Switch(flevel, fpos, flocal)));
+                        }
+                        Node {
+                            voq: (0..ports * ports).map(|_| VecDeque::new()).collect(),
+                            input_occupancy: vec![0; ports],
+                            credits: vec![cfg.buffer_cells; ports],
+                            grant_arb: (0..ports).map(|_| RoundRobinArbiter::new(ports)).collect(),
+                            accept_arb: (0..ports).map(|_| RoundRobinArbiter::new(ports)).collect(),
+                            down,
+                            up,
+                        }
                     })
                     .collect()
             })
@@ -270,8 +329,9 @@ impl MultiLevelFabric {
         }
     }
 
-    /// Where an output port of (level, switch) leads, and where credits
-    /// for an input port return to.
+    /// Where an output port of (level, switch) leads — the closed-form
+    /// digit rule the expansion-derived tables are checked against.
+    #[cfg(test)]
     fn downstream(&self, level: u32, switch: usize, port: usize) -> Hop {
         let t = self.cfg.topo;
         let m = t.m();
@@ -299,6 +359,9 @@ impl MultiLevelFabric {
         }
     }
 
+    /// Where an input port's credits return to — closed form, kept as
+    /// the test oracle for the expansion-derived tables.
+    #[cfg(test)]
     fn upstream(&self, level: u32, switch: usize, in_port: usize) -> CreditTo {
         let t = self.cfg.topo;
         let m = t.m();
@@ -477,11 +540,21 @@ impl CellSwitch for MultiLevelFabric {
                     // Credit for hosts feeding leaf down-ports: a host
                     // sink never consumes switch credits, so restore
                     // the decrement for host-bound ports.
-                    let hop = self.downstream(level, sw, o);
+                    let Some(hop) = self.nodes[level as usize][sw].down[o] else {
+                        // lint:allow(panic-free): routing never selects
+                        // the top level's unused up-side, so a matched
+                        // pair always has a cable
+                        panic!("matched cell bound for an unwired port")
+                    };
                     if matches!(hop, Hop::Host(_)) {
                         self.nodes[level as usize][sw].credits[o] += 1;
                     }
-                    let credit_to = self.upstream(level, sw, i);
+                    let Some(credit_to) = self.nodes[level as usize][sw].up[i] else {
+                        // lint:allow(panic-free): cells only arrive on
+                        // wired inputs, so the credit return is always
+                        // defined
+                        panic!("credit return for an unwired input")
+                    };
                     self.credit_flights.push_back((slot + d, credit_to));
                     self.cell_flights.push_back((slot + d, hop, cell));
                 }
@@ -615,5 +688,43 @@ mod tests {
         let a = run_clos(8, 2, 0.4, 9);
         let b = run_clos(8, 2, 0.4, 9);
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn expansion_tables_match_digit_formulas() {
+        // The wiring tables read off the compiled expansion must equal
+        // the closed-form digit rules this simulator historically
+        // computed inline — port for port, switch for switch.
+        for (radix, levels) in [(4usize, 1u32), (4, 3), (6, 2), (8, 2)] {
+            let topo = MultiLevelClos::new(radix, levels);
+            let fab = MultiLevelFabric::new(MultiLevelConfig::standard(topo, 2));
+            let ports = 2 * topo.m();
+            for level in 0..levels {
+                for sw in 0..topo.switches_per_level() {
+                    for port in 0..ports {
+                        let table = fab.nodes[level as usize][sw].down[port];
+                        let top_up = level == levels - 1 && port >= topo.m();
+                        if top_up {
+                            assert!(table.is_none(), "top up-side must be unwired");
+                            assert!(fab.nodes[level as usize][sw].up[port].is_none());
+                            continue;
+                        }
+                        let formula = fab.downstream(level, sw, port);
+                        assert_eq!(
+                            format!("{table:?}"),
+                            format!("{:?}", Some(formula)),
+                            "down r{radix} L{levels} ({level},{sw},{port})"
+                        );
+                        let table_up = fab.nodes[level as usize][sw].up[port];
+                        let formula_up = fab.upstream(level, sw, port);
+                        assert_eq!(
+                            format!("{table_up:?}"),
+                            format!("{:?}", Some(formula_up)),
+                            "up r{radix} L{levels} ({level},{sw},{port})"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -21,6 +21,9 @@
 //! `max_queue_depth`. Host credit stalls are emitted as
 //! `TraceEvent::CreditStall` for trace consumers.
 
+use crate::expand::{ExpandedFabric, Peer};
+use crate::ids::{EntityId, HostId, SwitchId};
+use crate::spec::{TopologyError, TopologySpec};
 use crate::topology::TwoLevelFatTree;
 use osmosis_sched::arbiter::{BitSet, RoundRobinArbiter};
 use osmosis_sim::audit::CreditLedger;
@@ -166,6 +169,9 @@ impl SwitchNode {
 pub struct FatTreeFabric {
     cfg: FabricConfig,
     topo: TwoLevelFatTree,
+    /// The expanded graph the wiring tables and host attachments were
+    /// compiled from (stage 0 = leaves, stage 1 = spines, in id order).
+    graph: ExpandedFabric,
     leaves: Vec<SwitchNode>,
     spines: Vec<SwitchNode>,
     /// Host injection queues (the source VOQs; unbounded).
@@ -199,40 +205,6 @@ pub struct FatTreeFabric {
     grants_to_input: Vec<BitSet>,
 }
 
-/// Why a [`FabricConfig`] was rejected by
-/// [`FatTreeFabric::try_new`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FabricError {
-    /// The radix must be an even number ≥ 2 (a two-level fat tree
-    /// splits each leaf's ports evenly between hosts and spines).
-    InvalidRadix {
-        /// The rejected radix.
-        radix: usize,
-    },
-    /// Links need at least one slot of flight time.
-    ZeroLinkDelay,
-    /// Input buffers need at least one cell of capacity.
-    ZeroBuffer,
-}
-
-impl std::fmt::Display for FabricError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            FabricError::InvalidRadix { radix } => {
-                write!(f, "fabric radix {radix} is not an even number >= 2")
-            }
-            FabricError::ZeroLinkDelay => {
-                write!(f, "links need at least one slot of flight time")
-            }
-            FabricError::ZeroBuffer => {
-                write!(f, "input buffers need at least one cell of capacity")
-            }
-        }
-    }
-}
-
-impl std::error::Error for FabricError {}
-
 #[derive(Debug, Clone, Copy)]
 enum CellDest {
     SwitchIn(NodeId, usize),
@@ -259,59 +231,61 @@ impl FatTreeFabric {
     }
 
     /// Build the fabric, rejecting invalid configurations with a typed
-    /// error instead of a panic.
-    pub fn try_new(cfg: FabricConfig) -> Result<Self, FabricError> {
-        if cfg.radix < 2 || !cfg.radix.is_multiple_of(2) {
-            return Err(FabricError::InvalidRadix { radix: cfg.radix });
-        }
-        if cfg.link_delay < 1 {
-            return Err(FabricError::ZeroLinkDelay);
-        }
-        if cfg.buffer_cells < 1 {
-            return Err(FabricError::ZeroBuffer);
-        }
-        let topo = TwoLevelFatTree::new(cfg.radix);
+    /// error instead of a panic. The wiring tables are read off the
+    /// compiled expansion of the equivalent [`TopologySpec::two_level`]
+    /// spec, not recomputed from closed forms — the simulator consumes
+    /// exactly the graph the topology compiler produces.
+    pub fn try_new(cfg: FabricConfig) -> Result<Self, TopologyError> {
+        let spec = TopologySpec {
+            placement: cfg.placement,
+            iterations: cfg.iterations,
+            ..TopologySpec::two_level(cfg.radix)
+                .with_link_delay(cfg.link_delay)
+                .with_buffer_cells(cfg.buffer_cells)
+        };
+        let graph = ExpandedFabric::expand(spec)?;
+        let topo = TwoLevelFatTree::try_new(cfg.radix)?;
         let k = cfg.radix;
-        let half = k / 2;
+        let leaf_count = topo.leaves();
 
-        let leaves = (0..topo.leaves())
-            .map(|l| {
-                let downstream = (0..k)
-                    .map(|p| {
-                        if p < half {
-                            Downstream::Host(l * half + p)
-                        } else {
-                            // Up port toward spine p−half; our input there
-                            // is port l.
-                            Downstream::Switch(NodeId::Spine(p - half), l)
-                        }
-                    })
-                    .collect();
-                let upstream = (0..k)
-                    .map(|p| {
-                        if p < half {
-                            Upstream::Host(l * half + p)
-                        } else {
-                            // Spine p−half sends to us from its output l.
-                            Upstream::Switch(NodeId::Spine(p - half), l)
-                        }
-                    })
-                    .collect();
-                SwitchNode::new(k, downstream, upstream, cfg.buffer_cells)
-            })
+        // Switch ids are stage-major: 0..k leaves, then the spines.
+        let node_of = |sw: SwitchId| -> NodeId {
+            if sw.index() < leaf_count {
+                NodeId::Leaf(sw.index())
+            } else {
+                NodeId::Spine(sw.index() - leaf_count)
+            }
+        };
+        let build = |sw: SwitchId| -> SwitchNode {
+            let mut downstream = Vec::with_capacity(k);
+            let mut upstream = Vec::with_capacity(k);
+            for local in 0..k {
+                match graph.ports[graph.port_id(sw, local as u32)].peer {
+                    Peer::Host(h) => {
+                        downstream.push(Downstream::Host(h.index()));
+                        upstream.push(Upstream::Host(h.index()));
+                    }
+                    // Cables are full duplex: the far port both receives
+                    // our cells and returns our credits.
+                    Peer::Port(far) => {
+                        let far = graph.ports[far];
+                        downstream
+                            .push(Downstream::Switch(node_of(far.switch), far.local as usize));
+                        upstream.push(Upstream::Switch(node_of(far.switch), far.local as usize));
+                    }
+                    // lint:allow(panic-free): a 2-plane 2-level expansion
+                    // uses every port; an unconnected one is a compiler bug
+                    Peer::Unconnected => panic!("unwired port in a two-level expansion"),
+                }
+            }
+            SwitchNode::new(k, downstream, upstream, cfg.buffer_cells)
+        };
+
+        let leaves = (0..leaf_count)
+            .map(|l| build(SwitchId::from_index(l)))
             .collect();
-
         let spines = (0..topo.spines())
-            .map(|s| {
-                // Spine port l ↔ leaf l (leaf's up port half+s).
-                let downstream = (0..k)
-                    .map(|l| Downstream::Switch(NodeId::Leaf(l), half + s))
-                    .collect();
-                let upstream = (0..k)
-                    .map(|l| Upstream::Switch(NodeId::Leaf(l), half + s))
-                    .collect();
-                SwitchNode::new(k, downstream, upstream, cfg.buffer_cells)
-            })
+            .map(|s| build(SwitchId::from_index(leaf_count + s)))
             .collect();
 
         let node_ids = (0..topo.leaves())
@@ -322,6 +296,7 @@ impl FatTreeFabric {
         Ok(FatTreeFabric {
             cfg,
             topo,
+            graph,
             leaves,
             spines,
             host_queues: (0..topo.hosts()).map(|_| VecDeque::new()).collect(),
@@ -346,6 +321,11 @@ impl FatTreeFabric {
         self.topo
     }
 
+    /// The expanded graph the simulator was compiled from.
+    pub fn expanded(&self) -> &ExpandedFabric {
+        &self.graph
+    }
+
     fn node(&mut self, id: NodeId) -> &mut SwitchNode {
         match id {
             NodeId::Leaf(l) => &mut self.leaves[l],
@@ -353,18 +333,24 @@ impl FatTreeFabric {
         }
     }
 
-    /// Output port a cell takes at the given switch.
+    /// Output port a cell takes at the given switch: the expanded
+    /// graph's host attachment drives every descent; the ascent picks a
+    /// spine through [`pick_spine`](Self::pick_spine) so a dead plane
+    /// re-hashes flows (the healthy case agrees with
+    /// [`ExpandedFabric::route`], which the tests pin).
     fn route(&self, id: NodeId, cell: &Cell) -> usize {
+        let (dst_sw, dst_port) = self.graph.host_attach(HostId::from_index(cell.dst));
         match id {
             NodeId::Leaf(l) => {
-                let dest_leaf = self.topo.leaf_of(cell.dst);
-                if dest_leaf == l {
-                    self.topo.down_port_of(cell.dst)
+                if dst_sw.index() == l {
+                    dst_port as usize
                 } else {
                     self.topo.up_port(self.pick_spine(cell.src, cell.dst))
                 }
             }
-            NodeId::Spine(_) => self.topo.leaf_of(cell.dst),
+            // Spine port l is cabled to leaf l: descend to the
+            // destination's edge switch.
+            NodeId::Spine(_) => dst_sw.index(),
         }
     }
 
@@ -852,19 +838,18 @@ impl CellSwitch for FatTreeFabric {
         // --- Hosts inject one cell per slot when they hold a credit.
         let d = self.cfg.link_delay;
         for h in 0..self.topo.hosts() {
+            let (leaf, port) = self.graph.host_attach(HostId::from_index(h));
             if self.host_credits[h] > 0 {
                 if let Some(cell) = self.host_queues[h].pop_front() {
                     self.host_credits[h] -= 1;
-                    let leaf = self.topo.leaf_of(h);
-                    let port = self.topo.down_port_of(h);
                     self.cell_flights.push_back((
                         t + d,
-                        CellDest::SwitchIn(NodeId::Leaf(leaf), port),
+                        CellDest::SwitchIn(NodeId::Leaf(leaf.index()), port as usize),
                         cell,
                     ));
                 }
             } else if !self.host_queues[h].is_empty() {
-                obs.credit_stall(self.topo.leaf_of(h), self.topo.down_port_of(h));
+                obs.credit_stall(leaf.index(), port as usize);
             }
         }
     }
@@ -898,6 +883,70 @@ mod tests {
         let mut fab = FatTreeFabric::new(cfg);
         let mut tr = BernoulliUniform::new(fab.topology().hosts(), load, &SeedSequence::new(seed));
         fab.run(&mut tr, &EngineConfig::new(1_000, 8_000))
+    }
+
+    #[test]
+    fn expansion_wiring_matches_hand_built_rule() {
+        // The tables compiled from the expanded graph must equal the §V
+        // closed forms: leaf l port p < k/2 faces host l·(k/2)+p; up
+        // port k/2+s reaches spine s at input l; spine port l mirrors
+        // leaf l's up port.
+        let fab = FatTreeFabric::new(FabricConfig::small(8, 2));
+        let (k, half) = (8usize, 4usize);
+        for l in 0..fab.topo.leaves() {
+            for p in 0..k {
+                match fab.leaves[l].downstream[p] {
+                    Downstream::Host(h) if p < half => assert_eq!(h, l * half + p),
+                    Downstream::Switch(NodeId::Spine(s), port) if p >= half => {
+                        assert_eq!(s, p - half);
+                        assert_eq!(port, l);
+                    }
+                    other => panic!("leaf {l} port {p}: {other:?}"),
+                }
+                match fab.leaves[l].upstream[p] {
+                    Upstream::Host(h) if p < half => assert_eq!(h, l * half + p),
+                    Upstream::Switch(NodeId::Spine(s), port) if p >= half => {
+                        assert_eq!(s, p - half);
+                        assert_eq!(port, l);
+                    }
+                    other => panic!("leaf {l} port {p}: {other:?}"),
+                }
+            }
+        }
+        for s in 0..fab.topo.spines() {
+            for l in 0..k {
+                match fab.spines[s].downstream[l] {
+                    Downstream::Switch(NodeId::Leaf(leaf), port) => {
+                        assert_eq!(leaf, l);
+                        assert_eq!(port, half + s);
+                    }
+                    other => panic!("spine {s} port {l}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_with_typed_errors() {
+        use crate::spec::TopologyError;
+        let mut odd = FabricConfig::small(8, 2);
+        odd.radix = 7;
+        assert!(matches!(
+            FatTreeFabric::try_new(odd),
+            Err(TopologyError::InvalidRadix { .. })
+        ));
+        let mut frozen = FabricConfig::small(8, 2);
+        frozen.link_delay = 0;
+        assert!(matches!(
+            FatTreeFabric::try_new(frozen),
+            Err(TopologyError::ZeroLinkDelay)
+        ));
+        let mut bufferless = FabricConfig::small(8, 2);
+        bufferless.buffer_cells = 0;
+        assert!(matches!(
+            FatTreeFabric::try_new(bufferless),
+            Err(TopologyError::ZeroBuffer)
+        ));
     }
 
     #[test]

@@ -7,23 +7,60 @@
 //! switch radixes: 3 OSMOSIS stages vs. 5 high-end-electronic vs. 9
 //! commodity stages for 2048 ports.
 
+use crate::spec::{top_choice, TopologyError};
+
 /// Levels needed to reach at least `ports` hosts with radix-k switches.
+/// Panics on an invalid radix or an unreachable port count; use
+/// [`try_levels_for_ports`] where the inputs come from external input.
 pub fn levels_for_ports(radix: usize, ports: u64) -> u32 {
-    let mut l = 1;
-    while max_ports(radix, l) < ports {
-        l += 1;
-        assert!(l < 32, "unreachable port count");
+    match try_levels_for_ports(radix, ports) {
+        Ok(l) => l,
+        // lint:allow(panic-free): documented panic contract of the
+        // infallible form; `try_levels_for_ports` is the checked one
+        Err(e) => panic!("{e}"),
     }
-    l
+}
+
+/// Levels needed to reach at least `ports` hosts with radix-k switches,
+/// rejecting invalid inputs with a typed error.
+pub fn try_levels_for_ports(radix: usize, ports: u64) -> Result<u32, TopologyError> {
+    let mut l = 1;
+    while try_max_ports(radix, l)? < ports {
+        l += 1;
+        if l >= 32 {
+            return Err(TopologyError::UnreachablePortCount { radix, ports });
+        }
+    }
+    Ok(l)
 }
 
 /// Maximum host count of an L-level fat tree of radix-k switches:
 /// a single switch at L=1 (k ports), k·(k/2)/1... in general
-/// 2·(k/2)^L.
+/// 2·(k/2)^L. Panics on an odd or tiny radix; see [`try_max_ports`].
 pub fn max_ports(radix: usize, levels: u32) -> u64 {
-    assert!(radix >= 2 && radix.is_multiple_of(2));
+    match try_max_ports(radix, levels) {
+        Ok(p) => p,
+        // lint:allow(panic-free): documented panic contract of the
+        // infallible form; `try_max_ports` is the checked one
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Maximum host count of an L-level fat tree of radix-k switches,
+/// rejecting invalid radixes with a typed error.
+pub fn try_max_ports(radix: usize, levels: u32) -> Result<u64, TopologyError> {
+    if radix < 2 || !radix.is_multiple_of(2) {
+        return Err(TopologyError::InvalidRadix {
+            radix,
+            min: 2,
+            even: true,
+        });
+    }
     let half = (radix / 2) as u64;
-    2 * half.pow(levels)
+    Ok(half
+        .checked_pow(levels)
+        .and_then(|n| n.checked_mul(2))
+        .unwrap_or(u64::MAX))
 }
 
 /// Switch *stages* a packet traverses end-to-end in an L-level fat tree:
@@ -47,13 +84,29 @@ pub struct TwoLevelFatTree {
 }
 
 impl TwoLevelFatTree {
-    /// Build the descriptor. Radix must be even and ≥ 4.
+    /// Build the descriptor. Radix must be even and ≥ 4; panics
+    /// otherwise — use [`try_new`](Self::try_new) where the radix comes
+    /// from external input.
     pub fn new(radix: usize) -> Self {
-        assert!(
-            radix >= 4 && radix.is_multiple_of(2),
-            "radix must be even ≥ 4"
-        );
-        TwoLevelFatTree { radix }
+        match Self::try_new(radix) {
+            Ok(t) => t,
+            // lint:allow(panic-free): documented panic contract of the
+            // infallible constructor; `try_new` is the checked form
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build the descriptor, rejecting an odd or too-small radix with a
+    /// typed error.
+    pub fn try_new(radix: usize) -> Result<Self, TopologyError> {
+        if radix < 4 || !radix.is_multiple_of(2) {
+            return Err(TopologyError::InvalidRadix {
+                radix,
+                min: 4,
+                even: true,
+            });
+        }
+        Ok(TwoLevelFatTree { radix })
     }
 
     /// Hosts per leaf switch (= down ports = up ports = k/2).
@@ -91,21 +144,12 @@ impl TwoLevelFatTree {
     /// a flow takes the same path and per-flow order survives the
     /// multipath (Table 1's ordering requirement).
     pub fn spine_of_flow(&self, src: usize, dst: usize) -> usize {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for v in [src as u64, dst as u64] {
-            h ^= v;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        // SplitMix finalizer: raw FNV low bits are poorly mixed for the
-        // small spine counts used here.
-        h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        h ^= h >> 31;
-        ((h >> 32) % self.spines() as u64) as usize
+        top_choice(src, dst, self.spines())
     }
 
     /// Leaf up-port toward a given spine.
+    // lint:allow(typed-ids): the §V hand-built descriptor predates the
+    // typed arenas; its raw indices are pinned by the fingerprint suite
     pub fn up_port(&self, spine: usize) -> usize {
         assert!(spine < self.spines());
         self.hosts_per_leaf() + spine

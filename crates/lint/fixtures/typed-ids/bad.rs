@@ -1,0 +1,13 @@
+//! Fixture: raw usize entity indices on fabric public surface.
+
+pub fn up_port(spine: usize) -> usize {
+    spine + 1
+}
+
+pub struct Occupancy;
+
+impl Occupancy {
+    pub fn at(&self, port: usize, switch: usize) -> usize {
+        port + switch
+    }
+}

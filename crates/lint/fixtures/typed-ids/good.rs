@@ -1,0 +1,17 @@
+//! Fixture: typed entity ids on the public surface; raw indices stay
+//! private or carry non-entity names.
+
+pub struct PortId(pub u32);
+pub struct SwitchId(pub u32);
+
+pub fn up_port(spine: SwitchId) -> PortId {
+    PortId(spine.0)
+}
+
+fn fold(port: usize) -> usize {
+    port
+}
+
+pub fn stages_for(radix: usize) -> usize {
+    fold(radix)
+}

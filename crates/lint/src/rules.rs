@@ -81,6 +81,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no dbg!/println!/print! in library crates (binaries exempt)",
     },
     RuleInfo {
+        id: "typed-ids",
+        severity: Severity::Error,
+        summary: "fabric pub fns must take typed entity ids (PortId/SwitchId/…), not raw usize port/switch indices",
+    },
+    RuleInfo {
         id: "suppression",
         severity: Severity::Error,
         summary: "lint:allow comments must parse, name a known rule, carry a reason, and actually suppress something",
@@ -190,6 +195,7 @@ pub fn check_file(file: &SourceFile, idx: &WorkspaceIndex) -> Vec<Diagnostic> {
     rule_float_eq(file, &mut out);
     rule_cross_crate_unwrap(file, idx, &mut out);
     rule_no_debug_output(file, &mut out);
+    rule_typed_ids(file, &mut out);
     out
 }
 
@@ -544,6 +550,95 @@ fn rule_no_debug_output(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Entity-index parameter names and the typed id each should carry.
+const TYPED_PARAMS: &[(&str, &str)] = &[
+    ("port", "PortId"),
+    ("switch", "SwitchId"),
+    ("spine", "SwitchId"),
+    ("leaf", "SwitchId"),
+    ("link", "LinkId"),
+    ("stage", "StageId"),
+];
+
+/// Rule `typed-ids`: a `pub fn` in the fabric crate taking a raw
+/// `usize` parameter named like an entity index (`port`, `switch`,
+/// `spine`, `leaf`, `link`, `stage`). The topology compiler gives every
+/// fabric entity a dense typed id; public surface added after it must
+/// speak those types so index spaces cannot be crossed silently. The
+/// compiler internals that *build* the arenas (`expand.rs`, `ids.rs`)
+/// are exempt, as is non-public code.
+fn rule_typed_ids(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.kind != FileKind::Lib || file.crate_name != "fabric" {
+        return;
+    }
+    if file.rel_path.ends_with("/expand.rs") || file.rel_path.ends_with("/ids.rs") {
+        return;
+    }
+    let toks = file.tokens();
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if toks[i].text != "pub" {
+            i += 1;
+            continue;
+        }
+        // Skip pub(crate) / pub(super) qualifiers.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.text == "(") {
+            while j < toks.len() && toks[j].text != ")" {
+                j += 1;
+            }
+            j += 1;
+        }
+        if toks.get(j).map(|t| t.text.as_str()) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        // Find the parameter list (first `(` after the name/generics).
+        let mut k = j + 1;
+        while k < toks.len() && !matches!(toks[k].text.as_str(), "(" | "{" | ";") {
+            k += 1;
+        }
+        if toks.get(k).map(|t| t.text.as_str()) != Some("(") {
+            i = k;
+            continue;
+        }
+        let mut depth = 0i32;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            let t = &toks[k];
+            if t.kind == TokKind::Ident && !file.in_test_code(t.line) {
+                if let Some((name, typed)) = TYPED_PARAMS.iter().find(|(n, _)| *n == t.text) {
+                    if toks.get(k + 1).is_some_and(|n| n.text == ":")
+                        && toks.get(k + 2).is_some_and(|n| n.text == "usize")
+                    {
+                        out.push(mk(
+                            file,
+                            "typed-ids",
+                            t,
+                            format!(
+                                "`{name}: usize` in a fabric pub fn: entity indices carry \
+                                 typed ids — take `{typed}`, or justify the raw index with \
+                                 `lint:allow(typed-ids)`"
+                            ),
+                        ));
+                    }
+                }
+            }
+            k += 1;
+        }
+        i = k + 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -670,6 +765,30 @@ mod tests {
         let hits: Vec<_> = d.iter().filter(|d| d.rule == "determinism").collect();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].line, 1);
+    }
+
+    #[test]
+    fn typed_ids_scopes_to_fabric_pub_fns() {
+        let src = "pub fn up_port(spine: usize) -> usize { spine }\n\
+                   fn private(port: usize) -> usize { port }\n\
+                   pub fn radix_of(radix: usize) -> usize { radix }\n";
+        let idx = WorkspaceIndex::default();
+        let fabric = SourceFile::new("crates/fabric/src/topology.rs", src);
+        let hits: Vec<_> = check_file(&fabric, &idx)
+            .into_iter()
+            .filter(|d| d.rule == "typed-ids")
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:#?}");
+        assert_eq!(hits[0].line, 1);
+        // Other crates and the compiler internals are out of scope.
+        let other = SourceFile::new("crates/sim/src/x.rs", src);
+        assert!(check_file(&other, &idx)
+            .iter()
+            .all(|d| d.rule != "typed-ids"));
+        let internals = SourceFile::new("crates/fabric/src/ids.rs", src);
+        assert!(check_file(&internals, &idx)
+            .iter()
+            .all(|d| d.rule != "typed-ids"));
     }
 
     #[test]

@@ -38,6 +38,8 @@ const SINGLE_FILE_RULES: &[(&str, &str, usize)] = &[
     ("float-eq", "crates/analysis/src/fixture.rs", 2),
     // println!, print!, dbg!.
     ("no-debug-output", "crates/telemetry/src/fixture.rs", 3),
+    // spine, port, switch params.
+    ("typed-ids", "crates/fabric/src/fixture.rs", 3),
 ];
 
 #[test]

@@ -103,3 +103,67 @@ fn fingerprints_match_pre_refactor_pins() {
         );
     }
 }
+
+/// Structural fingerprints of the topology compiler's expansions,
+/// captured when the compiler landed (PR 6). The §V two-level pin also
+/// asserts that the multistage simulator's internal expansion is the
+/// very same graph — the declarative spec reproduces the hand-built
+/// 2048-port fabric exactly.
+const EXPANSION_PINS: &[(&str, u64)] = &[
+    ("fat-tree:radix=64,levels=2,planes=2", 0xbe1a_8a40_048e_3cf4),
+    ("dragonfly:radix=8,groups=4", 0xe28a_f9f4_81c0_596d),
+    ("full-mesh:radix=8,switches=5", 0x649e_aa38_4a0c_285c),
+];
+
+#[test]
+fn expansion_fingerprints_match_pins() {
+    use osmosis::fabric::expand::ExpandedFabric;
+    use osmosis::fabric::spec::TopologySpec;
+
+    for (text, pin) in EXPANSION_PINS {
+        let spec: TopologySpec = text.parse().unwrap();
+        let fp = ExpandedFabric::expand(spec)
+            .unwrap()
+            .structural_fingerprint();
+        assert_eq!(
+            fp, *pin,
+            "{text}: structural fingerprint {fp:#018x} drifted from {pin:#018x}"
+        );
+    }
+    // The 2048-port §V fabric the multistage simulator wires itself from
+    // is the pinned expansion, bit for bit.
+    let fab = FatTreeFabric::new(FabricConfig::small(64, 2));
+    assert_eq!(
+        fab.expanded().structural_fingerprint(),
+        EXPANSION_PINS[0].1,
+        "multistage internal expansion drifted from the §V pin"
+    );
+}
+
+/// Engine-report fingerprints of the compiled simulator over the two
+/// non-fat-tree families, pinning routing and flow control end to end.
+const COMPILED_PINS: &[(&str, u64)] = &[
+    ("dragonfly:radix=8,groups=4", 0x30d9_f2a1_3616_bb8b),
+    ("full-mesh:radix=8,switches=5", 0x4209_01b9_e65a_9686),
+];
+
+#[test]
+fn compiled_family_fingerprints_match_pins() {
+    use osmosis::fabric::expand::ExpandedFabric;
+    use osmosis::fabric::spec::TopologySpec;
+    use osmosis::fabric::CompiledFabric;
+
+    for (text, pin) in COMPILED_PINS {
+        let spec: TopologySpec = text.parse().unwrap();
+        let fab = ExpandedFabric::expand(spec).unwrap();
+        let hosts = fab.hosts.len();
+        let mut sim = CompiledFabric::over(fab);
+        let r = sim.run(&mut uniform(hosts, 0.4, 1234), &cfg());
+        assert_eq!(
+            r.fingerprint(),
+            *pin,
+            "{text}: report fingerprint {:#018x} drifted from {pin:#018x}",
+            r.fingerprint()
+        );
+    }
+}
