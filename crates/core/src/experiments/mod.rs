@@ -13,6 +13,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig9;
 pub mod latency_decomposition;
+pub mod ocs_study;
 pub mod sec4c;
 pub mod sec6c;
 pub mod sec6d;

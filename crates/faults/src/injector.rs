@@ -44,6 +44,7 @@ pub struct FaultInjector {
     blocked: Vec<bool>,
     recv_down: Vec<usize>,
     planes_down: Vec<bool>,
+    circuits_stuck: Vec<bool>,
     grant_loss_p: f64,
     credit_drop_p: f64,
     link_any_p: f64,
@@ -74,6 +75,7 @@ impl FaultInjector {
             blocked: Vec::new(),
             recv_down: Vec::new(),
             planes_down: Vec::new(),
+            circuits_stuck: Vec::new(),
             grant_loss_p: 0.0,
             credit_drop_p: 0.0,
             link_any_p: 0.0,
@@ -120,6 +122,7 @@ impl FaultInjector {
         self.blocked.iter_mut().for_each(|b| *b = false);
         self.recv_down.iter_mut().for_each(|r| *r = 0);
         self.planes_down.iter_mut().for_each(|p| *p = false);
+        self.circuits_stuck.iter_mut().for_each(|c| *c = false);
         self.link_p.iter_mut().for_each(|p| *p = 0.0);
         self.grant_loss_p = 0.0;
         self.credit_drop_p = 0.0;
@@ -140,6 +143,10 @@ impl FaultInjector {
                 FaultKind::WavelengthLoss { plane } => {
                     grow(&mut self.planes_down, plane, false);
                     self.planes_down[plane] = true;
+                }
+                FaultKind::CircuitStuck { input } => {
+                    grow(&mut self.circuits_stuck, input, false);
+                    self.circuits_stuck[input] = true;
                 }
                 FaultKind::GrantLoss { prob } => {
                     self.grant_loss_p = combine(self.grant_loss_p, prob);
@@ -279,6 +286,10 @@ impl FaultView for FaultInjector {
         self.planes_down.get(plane).copied().unwrap_or(false)
     }
 
+    fn circuit_stuck(&self, input: usize) -> bool {
+        self.circuits_stuck.get(input).copied().unwrap_or(false)
+    }
+
     fn grant_lost(&mut self, _input: usize, _output: usize) -> bool {
         if self.grant_loss_p <= 0.0 {
             return false;
@@ -337,6 +348,23 @@ mod tests {
     fn empty_plan_is_vacuous() {
         let inj = FaultInjector::new(FaultPlan::new());
         assert!(inj.is_vacuous());
+    }
+
+    #[test]
+    fn circuit_stuck_tracks_its_schedule() {
+        let plan = FaultPlan::new().one_shot(FaultKind::CircuitStuck { input: 2 }, 50, Some(20));
+        let mut inj = FaultInjector::new(plan);
+        inj.configure(&cfg(1));
+        assert!(!inj.is_vacuous());
+
+        inj.begin_slot(49);
+        assert!(!inj.circuit_stuck(2));
+        inj.begin_slot(50);
+        assert!(inj.circuit_stuck(2));
+        assert!(!inj.circuit_stuck(1), "other inputs unaffected");
+        assert!(!inj.output_blocked(2), "orthogonal to packet-mode faults");
+        inj.begin_slot(70);
+        assert!(!inj.circuit_stuck(2), "healed at at + repair_after");
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub enum FaultKind {
         /// Per-cell corruption probability while active.
         cell_error_prob: f64,
     },
+    /// The circuit element feeding `input` fails to reconfigure: while
+    /// active, an OCS datapath keeps the input's *previously applied*
+    /// circuit lit (stale, possibly colliding) instead of the scheduled
+    /// one. Packet-mode models ignore it.
+    CircuitStuck {
+        /// The input whose circuit element is stuck.
+        input: usize,
+    },
     /// Control-channel corruption: each issued grant is lost with
     /// probability `prob`; the adapter re-requests.
     GrantLoss {
@@ -190,7 +198,8 @@ fn validate_kind(kind: &FaultKind) {
         }
         FaultKind::SoaStuckOff { .. }
         | FaultKind::WavelengthLoss { .. }
-        | FaultKind::ReceiverDeath { .. } => {}
+        | FaultKind::ReceiverDeath { .. }
+        | FaultKind::CircuitStuck { .. } => {}
     }
 }
 

@@ -16,17 +16,25 @@ use std::collections::BTreeMap;
 
 /// Crates whose per-slot state feeds engine fingerprints; iteration-order
 /// nondeterminism here leaks straight into a report.
-pub const MODEL_CRATES: &[&str] = &["sim", "switch", "sched", "fabric", "faults", "traffic"];
+pub const MODEL_CRATES: &[&str] = &[
+    "sim", "switch", "sched", "fabric", "faults", "traffic", "ocs",
+];
 
 /// Crates exempt from the determinism-sources and debug-output rules:
 /// `bench` is the figure-printing harness (stdout *is* its output and it
 /// parses CLI args), `lint` is this tool.
 pub const HARNESS_CRATES: &[&str] = &["bench", "lint"];
 
-/// Null-object types of the three observation planes plus the engine's
-/// built-in no-op sink. Their impls are the zero-cost claim: nothing in
-/// them may allocate.
-pub const NULL_PLANE_TYPES: &[&str] = &["NullTelemetry", "NullTrace", "NoAudit", "NullFaults"];
+/// Null-object types of the observation and circuit planes plus the
+/// engine's built-in no-op sink. Their impls are the zero-cost claim:
+/// nothing in them may allocate.
+pub const NULL_PLANE_TYPES: &[&str] = &[
+    "NullTelemetry",
+    "NullTrace",
+    "NoAudit",
+    "NullFaults",
+    "NullCircuits",
+];
 
 /// Static description of one rule, for `--list-rules` and the docs.
 pub struct RuleInfo {

@@ -184,3 +184,49 @@ fn bad_fixtures_do_not_leak_into_other_rules_unsuppressed() {
         }
     }
 }
+
+#[test]
+fn ocs_is_scoped_as_a_model_crate() {
+    // The circuit-mode crate feeds engine fingerprints like any other
+    // model crate: the model-only rules must fire under its paths and
+    // stay quiet under a harness path for the very same source.
+    let bad = fixture("hash-order", "bad.rs");
+    let in_ocs = analyze_one("crates/ocs/src/fixture.rs", &bad);
+    assert!(
+        count(&in_ocs, "hash-order") > 0,
+        "hash-order must fire inside crates/ocs: {:#?}",
+        in_ocs.diagnostics
+    );
+    let in_bench = analyze_one("crates/bench/src/fixture.rs", &bad);
+    assert_eq!(
+        count(&in_bench, "hash-order"),
+        0,
+        "hash-order is model-crate-scoped: {:#?}",
+        in_bench.diagnostics
+    );
+    let nondet = fixture("determinism", "bad.rs");
+    let det_in_ocs = analyze_one("crates/ocs/src/fixture.rs", &nondet);
+    assert!(
+        count(&det_in_ocs, "determinism") > 0,
+        "determinism must fire inside crates/ocs: {:#?}",
+        det_in_ocs.diagnostics
+    );
+}
+
+#[test]
+fn null_circuits_impl_is_held_to_the_zero_cost_bar() {
+    // NullCircuits joined NULL_PLANE_TYPES with the OCS plane: an
+    // allocating hook in its impl must fire, a no-op impl must not.
+    let bad = "impl CircuitView for NullCircuits {\n\
+               \tfn begin_slot(&mut self, _slot: u64) {\n\
+               \t\tlet _scratch: Vec<u64> = Vec::new();\n\
+               \t}\n\
+               }\n";
+    let r = analyze_one("crates/sim/src/circuit.rs", bad);
+    assert_eq!(count(&r, "zero-cost-plane"), 1, "{:#?}", r.diagnostics);
+    let good = "impl CircuitView for NullCircuits {\n\
+                \tfn begin_slot(&mut self, _slot: u64) {}\n\
+                }\n";
+    let r = analyze_one("crates/sim/src/circuit.rs", good);
+    assert_eq!(count(&r, "zero-cost-plane"), 0, "{:#?}", r.diagnostics);
+}

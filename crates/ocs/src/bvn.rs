@@ -1,0 +1,317 @@
+//! Solver-free Birkhoff–von Neumann decomposition of an integer demand
+//! matrix into weighted permutations.
+//!
+//! The classic OCS scheduling result: any non-negative matrix whose rows
+//! and columns all sum to the same value `M` is a sum of at most
+//! `nnz − n + 1` permutation matrices with positive integer weights
+//! (Birkhoff's theorem, applied to the integer polytope). The scheduler
+//! provisions each permutation as one circuit configuration and holds it
+//! for a number of epochs proportional to its weight.
+//!
+//! Arbitrary demand matrices are first *padded* up to doubly-balanced
+//! form: `M` is the largest row or column sum, and a northwest-corner
+//! sweep distributes each row's deficit over the columns that still have
+//! deficit. Padded entries are dummy demand — circuits scheduled for
+//! them simply idle.
+//!
+//! Extraction uses Kuhn's augmenting-path matching over the positive
+//! entries, with *incremental repair*: after subtracting a term only the
+//! inputs whose matched entry hit zero are re-augmented, so a full
+//! decomposition costs `O(terms · n · nnz)` only in the worst case and
+//! far less in practice. Everything is integer and iteration order is
+//! fixed (ascending ports), so the decomposition is deterministic.
+
+/// One term of the decomposition: `weight ×` a permutation matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BvnTerm {
+    /// Positive integer coefficient (epochs-worth of demand).
+    pub weight: u64,
+    /// `perm[input] = output`; a true permutation of `0..n`.
+    pub perm: Vec<usize>,
+}
+
+/// The full decomposition of a padded demand matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BvnDecomposition {
+    /// Edge port count.
+    pub n: usize,
+    /// The common row/column sum after padding (`0` for an empty TM).
+    pub target: u64,
+    /// Extracted terms; weights sum to `target` when extraction
+    /// completed (it always does for a correctly padded matrix).
+    pub terms: Vec<BvnTerm>,
+    /// The dummy demand added to balance the matrix, row-major.
+    pub padding: Vec<u64>,
+}
+
+impl BvnDecomposition {
+    /// Sum of the term weights. Equals `target` for a complete
+    /// decomposition.
+    pub fn total_weight(&self) -> u64 {
+        self.terms.iter().map(|t| t.weight).sum()
+    }
+
+    /// Re-sum the terms into a matrix; equals `tm + padding` element by
+    /// element (the property the proptest suite pins).
+    pub fn reconstruct(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.n * self.n];
+        for t in &self.terms {
+            for (i, &j) in t.perm.iter().enumerate() {
+                if j < self.n {
+                    out[i * self.n + j] += t.weight;
+                }
+            }
+        }
+        out
+    }
+}
+
+const UNMATCHED: usize = usize::MAX;
+
+/// Kuhn augmenting path from `input` over positive entries of `work`.
+fn augment(
+    input: usize,
+    n: usize,
+    work: &[u64],
+    match_in: &mut [usize],
+    match_out: &mut [usize],
+    visited: &mut [bool],
+) -> bool {
+    for j in 0..n {
+        if work[input * n + j] > 0 && !visited[j] {
+            visited[j] = true;
+            let holder = match_out[j];
+            if holder == UNMATCHED || augment(holder, n, work, match_in, match_out, visited) {
+                match_in[input] = j;
+                match_out[j] = input;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Decompose the row-major `n × n` demand matrix `tm`.
+///
+/// An all-zero (or empty) matrix yields `target == 0` and no terms —
+/// the caller falls back to a cold-start rotor schedule.
+pub fn decompose(n: usize, tm: &[u64]) -> BvnDecomposition {
+    let mut padding = vec![0u64; n * n];
+    if n == 0 || tm.len() != n * n {
+        return BvnDecomposition {
+            n,
+            target: 0,
+            terms: Vec::new(),
+            padding,
+        };
+    }
+    let mut row = vec![0u64; n];
+    let mut col = vec![0u64; n];
+    for i in 0..n {
+        for j in 0..n {
+            row[i] += tm[i * n + j];
+            col[j] += tm[i * n + j];
+        }
+    }
+    let target = row.iter().chain(col.iter()).copied().max().unwrap_or(0);
+    if target == 0 {
+        return BvnDecomposition {
+            n,
+            target,
+            terms: Vec::new(),
+            padding,
+        };
+    }
+
+    // Northwest-corner padding: spread each row's deficit over columns
+    // that still need mass. Row and column deficits have equal totals
+    // (both are n·target − Σtm), so the sweep balances exactly.
+    let mut cdef: Vec<u64> = col.iter().map(|&c| target - c).collect();
+    for i in 0..n {
+        let mut need = target - row[i];
+        for (j, cd) in cdef.iter_mut().enumerate() {
+            if need == 0 {
+                break;
+            }
+            let take = need.min(*cd);
+            if take > 0 {
+                padding[i * n + j] += take;
+                *cd -= take;
+                need -= take;
+            }
+        }
+    }
+
+    let mut work: Vec<u64> = tm.iter().zip(padding.iter()).map(|(a, b)| a + b).collect();
+    let mut match_in = vec![UNMATCHED; n];
+    let mut match_out = vec![UNMATCHED; n];
+    let mut visited = vec![false; n];
+
+    // Initial perfect matching (exists: the padded matrix is doubly
+    // balanced, so Hall's condition holds on its positive entries).
+    let mut complete = true;
+    for i in 0..n {
+        visited.iter_mut().for_each(|v| *v = false);
+        if !augment(i, n, &work, &mut match_in, &mut match_out, &mut visited) {
+            complete = false;
+            break;
+        }
+    }
+
+    let mut terms = Vec::new();
+    let mut extracted = 0u64;
+    while complete && extracted < target {
+        // Bottleneck weight along the current matching.
+        let mut w = u64::MAX;
+        for (i, &j) in match_in.iter().enumerate() {
+            w = w.min(work[i * n + j]);
+        }
+        if w == 0 || w == u64::MAX {
+            break; // defensive: a stale matching ends extraction cleanly
+        }
+        terms.push(BvnTerm {
+            weight: w,
+            perm: match_in.clone(),
+        });
+        extracted += w;
+        // Subtract the term and remember which inputs lost their edge.
+        let mut freed: Vec<usize> = Vec::new();
+        for i in 0..n {
+            let j = match_in[i];
+            work[i * n + j] -= w;
+            if work[i * n + j] == 0 {
+                match_in[i] = UNMATCHED;
+                match_out[j] = UNMATCHED;
+                freed.push(i);
+            }
+        }
+        if extracted == target {
+            break;
+        }
+        // Incremental repair: re-augment only the freed inputs. The
+        // residual matrix is still doubly balanced (every line lost
+        // exactly w), so each augmentation succeeds.
+        for i in freed {
+            if match_in[i] == UNMATCHED {
+                visited.iter_mut().for_each(|v| *v = false);
+                if !augment(i, n, &work, &mut match_in, &mut match_out, &mut visited) {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+    }
+
+    BvnDecomposition {
+        n,
+        target,
+        terms,
+        padding,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(perm: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        perm.len() == n
+            && perm.iter().all(|&j| {
+                if j < n && !seen[j] {
+                    seen[j] = true;
+                    true
+                } else {
+                    false
+                }
+            })
+    }
+
+    #[test]
+    fn empty_matrix_has_no_terms() {
+        let d = decompose(4, &[0; 16]);
+        assert_eq!(d.target, 0);
+        assert!(d.terms.is_empty());
+        assert_eq!(d.padding, vec![0; 16]);
+    }
+
+    #[test]
+    fn permutation_matrix_is_a_single_term() {
+        // 3-cycle with weight 7.
+        let mut tm = vec![0u64; 9];
+        tm[1] = 7; // 0→1
+        tm[3 + 2] = 7; // 1→2
+        tm[6] = 7; // 2→0
+        let d = decompose(3, &tm);
+        assert_eq!(d.target, 7);
+        assert_eq!(d.terms.len(), 1);
+        assert_eq!(d.terms[0].weight, 7);
+        assert_eq!(d.terms[0].perm, vec![1, 2, 0]);
+        assert_eq!(d.reconstruct(), tm);
+    }
+
+    #[test]
+    fn doubly_balanced_matrix_decomposes_exactly() {
+        // Rows and columns all sum to 5 already — no padding needed.
+        let tm = vec![
+            3, 2, 0, //
+            0, 3, 2, //
+            2, 0, 3,
+        ];
+        let d = decompose(3, &tm);
+        assert_eq!(d.target, 5);
+        assert_eq!(d.padding, vec![0; 9]);
+        assert_eq!(d.total_weight(), 5);
+        assert_eq!(d.reconstruct(), tm);
+        for t in &d.terms {
+            assert!(is_permutation(&t.perm, 3));
+            assert!(t.weight > 0);
+        }
+    }
+
+    #[test]
+    fn skewed_matrix_is_padded_then_covered() {
+        // Hotspot: everyone sends to output 0.
+        let tm = vec![
+            0, 0, 0, 0, //
+            9, 0, 0, 0, //
+            9, 0, 0, 0, //
+            9, 0, 0, 0,
+        ];
+        let d = decompose(4, &tm);
+        assert_eq!(d.target, 27); // column 0 dominates
+        assert_eq!(d.total_weight(), 27);
+        // reconstruct == tm + padding, elementwise.
+        let rebuilt = d.reconstruct();
+        for (k, &v) in rebuilt.iter().enumerate() {
+            assert_eq!(v, tm[k] + d.padding[k], "entry {k}");
+        }
+    }
+
+    #[test]
+    fn term_count_stays_small() {
+        // Dense 8×8 with distinct entries: terms ≤ nnz − n + 1.
+        let n = 8;
+        let tm: Vec<u64> = (0..n * n).map(|k| (k as u64 * 13 + 5) % 17).collect();
+        let d = decompose(n, &tm);
+        assert_eq!(d.total_weight(), d.target);
+        let nnz = tm
+            .iter()
+            .zip(d.padding.iter())
+            .filter(|(a, b)| **a + **b > 0)
+            .count();
+        assert!(
+            d.terms.len() <= nnz - n + 1,
+            "{} terms for nnz {nnz}",
+            d.terms.len()
+        );
+    }
+
+    #[test]
+    fn decomposition_is_deterministic() {
+        let tm = vec![4, 1, 0, 2, 0, 3, 1, 5, 0];
+        let a = decompose(3, &tm);
+        let b = decompose(3, &tm);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,121 @@
+//! # osmosis-ocs
+//!
+//! The optical **circuit-switched** operating mode — the road the paper
+//! did *not* take, built on the same physical layer it did. OSMOSIS
+//! switches packets: a central electronic scheduler computes a fresh
+//! crossbar matching every 51.2 ns cell cycle. The recurring
+//! counter-proposal for optical HPC fabrics (rostam-style OCS planes,
+//! PULSE/RotorNet nanosecond-epoch switching) is to hold *circuits* for
+//! many cycles and amortize the optical guard time over an epoch instead
+//! of paying scheduling latency per cell. This crate makes that mode a
+//! first-class citizen of the workspace so the two can be compared
+//! head-to-head on identical traffic, topologies and fault plans:
+//!
+//! * [`TmEstimator`] — integer-EWMA demand estimation from the engine's
+//!   per-cell observation stream;
+//! * [`bvn::decompose`] — solver-free Birkhoff–von Neumann decomposition
+//!   of the estimate into weighted permutations;
+//! * [`EpochConfig`] — epoch/frame cadence with guard-time accounting
+//!   derived from the `osmosis-phy` power-penalty budget;
+//! * [`OcsScheduler`] — the [`CircuitView`](osmosis_sim::CircuitView)
+//!   implementation that plans a frame of permutations per TM roll and
+//!   charges guard slots only on actual reconfigurations;
+//! * [`OcsSwitch`] — the circuit-switched edge datapath (VOQ ingress,
+//!   one cell per lit circuit per slot, deterministic collision
+//!   resolution under stuck-circuit faults).
+//!
+//! The mode rides the engine's fourth observation plane: attaching a
+//! scheduler costs nothing when absent, and an absent plan leaves every
+//! packet-mode fingerprint bit-identical (pinned in
+//! `tests/fingerprint_pins.rs`).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod bvn;
+pub mod epoch;
+pub mod sched;
+pub mod switch;
+pub mod tm;
+
+pub use bvn::{BvnDecomposition, BvnTerm};
+pub use epoch::{guard_slots_for, EpochConfig};
+pub use sched::{EpochRecord, OcsScheduler};
+pub use switch::OcsSwitch;
+pub use tm::{TmEstimator, TmRecorder};
+
+use osmosis_sim::engine::{EngineConfig, EngineReport};
+use osmosis_sim::{Auditor, FaultView};
+use osmosis_switch::run_switch_circuit;
+use osmosis_traffic::TrafficGen;
+
+/// Run `traffic` through a fresh circuit switch under a fresh scheduler
+/// at the given cadence. The switch's port count is taken from the
+/// generator.
+pub fn run_ocs(
+    traffic: &mut dyn TrafficGen,
+    epoch: EpochConfig,
+    cfg: &EngineConfig,
+) -> EngineReport {
+    run_ocs_instrumented(traffic, epoch, cfg, None, None)
+}
+
+/// [`run_ocs`] with optional fault and audit planes — the entry point
+/// the acceptance suites drive faulted/audited OCS runs through.
+pub fn run_ocs_instrumented<'a>(
+    traffic: &mut dyn TrafficGen,
+    epoch: EpochConfig,
+    cfg: &EngineConfig,
+    faults: Option<&'a mut dyn FaultView>,
+    audit: Option<&'a mut dyn Auditor>,
+) -> EngineReport {
+    let mut sw = OcsSwitch::new(traffic.ports());
+    let mut sched = OcsScheduler::new(epoch);
+    run_switch_circuit(&mut sw, traffic, cfg, &mut sched, faults, audit)
+}
+
+/// Like [`run_ocs`], returning the scheduler's per-epoch log alongside
+/// the report (for telemetry export and the bench tables).
+pub fn run_ocs_logged(
+    traffic: &mut dyn TrafficGen,
+    epoch: EpochConfig,
+    cfg: &EngineConfig,
+) -> (EngineReport, Vec<EpochRecord>) {
+    let mut sw = OcsSwitch::new(traffic.ports());
+    let mut sched = OcsScheduler::new(epoch);
+    let report = run_switch_circuit(&mut sw, traffic, cfg, &mut sched, None, None);
+    let log = sched.epoch_log().to_vec();
+    (report, log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osmosis_sim::SeedSequence;
+    use osmosis_traffic::BernoulliUniform;
+
+    #[test]
+    fn run_ocs_produces_epoch_extras() {
+        let mut tr = BernoulliUniform::new(8, 0.4, &SeedSequence::new(2));
+        let r = run_ocs(
+            &mut tr,
+            EpochConfig::osmosis_default(),
+            &EngineConfig::new(500, 5_000).with_seed(2),
+        );
+        let epochs = r.extra("ocs_epochs").unwrap_or(0.0);
+        // 5500 slots / 64-slot epochs ⇒ 86 epochs.
+        assert!(epochs > 80.0, "epochs {epochs}");
+        assert!(r.extra("ocs_reconfigurations").is_some());
+        assert!(r.extra("ocs_mean_utilization").is_some());
+    }
+
+    #[test]
+    fn logged_run_matches_plain_run() {
+        let mk = || BernoulliUniform::new(8, 0.4, &SeedSequence::new(7));
+        let cfg = EngineConfig::new(500, 5_000).with_seed(7);
+        let plain = run_ocs(&mut mk(), EpochConfig::osmosis_default(), &cfg);
+        let (logged, log) = run_ocs_logged(&mut mk(), EpochConfig::osmosis_default(), &cfg);
+        assert_eq!(plain.fingerprint(), logged.fingerprint());
+        assert_eq!(log.len() as f64, logged.extra("ocs_epochs").unwrap_or(-1.0));
+    }
+}

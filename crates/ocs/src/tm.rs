@@ -1,0 +1,191 @@
+//! Traffic-matrix estimation from the engine's observation stream.
+//!
+//! An OCS scheduler cannot see queue occupancies the way the paper's
+//! electronic central scheduler does — circuits are provisioned ahead of
+//! the traffic from a *demand estimate*. The estimator here consumes the
+//! same per-cell observation stream every other plane sees (the
+//! `Inject` events a `TraceSink` receives, fed to the circuit plane
+//! through [`CircuitView::note_arrival`](osmosis_sim::CircuitView)):
+//! it accumulates a per-epoch arrival window and folds closed windows
+//! into an integer exponentially-weighted moving average.
+//!
+//! Everything is integer arithmetic on deterministic inputs, so the
+//! estimate — and every schedule derived from it — is a pure function of
+//! the experiment seed.
+
+use osmosis_sim::engine::{TraceEvent, TraceSink};
+
+/// Online estimator of the ingress→egress demand matrix.
+///
+/// `note` records one arrival into the current window; `roll` closes the
+/// window into the EWMA estimate (`estimate = estimate/2 + window`) and
+/// clears it. The halving keeps the estimate bounded (it converges to at
+/// most twice the per-window arrival count) while still reacting to a
+/// demand shift within a couple of windows.
+#[derive(Debug, Clone)]
+pub struct TmEstimator {
+    n: usize,
+    window: Vec<u64>,
+    estimate: Vec<u64>,
+    cells_seen: u64,
+    windows_rolled: u64,
+}
+
+impl TmEstimator {
+    /// A fresh estimator for an `n`-port edge; estimate starts empty.
+    pub fn new(n: usize) -> Self {
+        TmEstimator {
+            n,
+            window: vec![0; n * n],
+            estimate: vec![0; n * n],
+            cells_seen: 0,
+            windows_rolled: 0,
+        }
+    }
+
+    /// Edge port count.
+    pub fn ports(&self) -> usize {
+        self.n
+    }
+
+    /// Record one cell arrival `src → dst` into the open window.
+    /// Out-of-range ports are ignored (benign under misconfiguration).
+    pub fn note(&mut self, src: usize, dst: usize) {
+        if src < self.n && dst < self.n {
+            self.window[src * self.n + dst] += 1;
+            self.cells_seen += 1;
+        }
+    }
+
+    /// Close the current window: fold it into the EWMA estimate and
+    /// clear it for the next epoch.
+    pub fn roll(&mut self) {
+        for (e, w) in self.estimate.iter_mut().zip(self.window.iter_mut()) {
+            *e = *e / 2 + *w;
+            *w = 0;
+        }
+        self.windows_rolled += 1;
+    }
+
+    /// The current demand estimate, row-major `[src * n + dst]`.
+    pub fn estimate(&self) -> &[u64] {
+        &self.estimate
+    }
+
+    /// Arrivals recorded in the currently open window.
+    pub fn window(&self) -> &[u64] {
+        &self.window
+    }
+
+    /// Total cells recorded over the estimator's lifetime.
+    pub fn cells_seen(&self) -> u64 {
+        self.cells_seen
+    }
+
+    /// Number of windows folded into the estimate so far.
+    pub fn windows_rolled(&self) -> u64 {
+        self.windows_rolled
+    }
+
+    /// Reset to the freshly-constructed state (new run, same ports).
+    pub fn reset(&mut self) {
+        self.window.iter_mut().for_each(|w| *w = 0);
+        self.estimate.iter_mut().for_each(|e| *e = 0);
+        self.cells_seen = 0;
+        self.windows_rolled = 0;
+    }
+}
+
+/// A [`TraceSink`] that feeds a [`TmEstimator`] from `Inject` events.
+///
+/// The circuit plane normally observes arrivals in-band (through
+/// `CircuitView::note_arrival`); this recorder proves the equivalence —
+/// attached as a trace sink it sees the *same* stream, so an estimator
+/// fed either way ends in the same state. Useful for offline TM capture
+/// from a traced run.
+#[derive(Debug, Clone)]
+pub struct TmRecorder {
+    /// The estimator being fed.
+    pub tm: TmEstimator,
+}
+
+impl TmRecorder {
+    /// Record arrivals for an `n`-port edge.
+    pub fn new(n: usize) -> Self {
+        TmRecorder {
+            tm: TmEstimator::new(n),
+        }
+    }
+}
+
+impl TraceSink for TmRecorder {
+    fn event(&mut self, _slot: u64, event: TraceEvent) {
+        if let TraceEvent::Inject { src, dst } = event {
+            self.tm.note(src as usize, dst as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_accumulates_and_rolls_into_ewma() {
+        let mut tm = TmEstimator::new(2);
+        tm.note(0, 1);
+        tm.note(0, 1);
+        tm.note(1, 0);
+        assert_eq!(tm.window(), &[0, 2, 1, 0]);
+        tm.roll();
+        assert_eq!(tm.estimate(), &[0, 2, 1, 0]);
+        assert_eq!(tm.window(), &[0, 0, 0, 0]);
+        // Second identical window: estimate = estimate/2 + window.
+        tm.note(0, 1);
+        tm.note(0, 1);
+        tm.roll();
+        assert_eq!(tm.estimate(), &[0, 3, 0, 0]);
+        assert_eq!(tm.windows_rolled(), 2);
+    }
+
+    #[test]
+    fn ewma_is_bounded_by_twice_the_window_rate() {
+        let mut tm = TmEstimator::new(1);
+        for _ in 0..60 {
+            for _ in 0..10 {
+                tm.note(0, 0);
+            }
+            tm.roll();
+        }
+        // Geometric series: 10 + 5 + 2 + 1 ... < 20.
+        assert!(tm.estimate()[0] < 20, "estimate {}", tm.estimate()[0]);
+    }
+
+    #[test]
+    fn out_of_range_ports_are_ignored() {
+        let mut tm = TmEstimator::new(2);
+        tm.note(5, 0);
+        tm.note(0, 9);
+        assert_eq!(tm.cells_seen(), 0);
+        assert_eq!(tm.window(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn recorder_matches_directly_fed_estimator() {
+        let mut direct = TmEstimator::new(4);
+        let mut rec = TmRecorder::new(4);
+        let stream = [(0usize, 1usize), (2, 3), (0, 1), (3, 0)];
+        for (slot, &(s, d)) in stream.iter().enumerate() {
+            direct.note(s, d);
+            rec.event(
+                slot as u64,
+                TraceEvent::Inject {
+                    src: s as u32,
+                    dst: d as u32,
+                },
+            );
+        }
+        assert_eq!(direct.window(), rec.tm.window());
+        assert_eq!(direct.cells_seen(), rec.tm.cells_seen());
+    }
+}

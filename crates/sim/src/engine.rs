@@ -30,6 +30,7 @@
 //! `crates/bench/benches/engine.rs`).
 
 use crate::audit::{Auditor, CreditLedger, DropReason};
+use crate::circuit::CircuitView;
 use crate::fault::FaultView;
 use crate::stats::{Histogram, Welford};
 
@@ -465,6 +466,7 @@ impl Fnv {
 pub struct Observer<'a, T: TraceSink> {
     sink: &'a mut T,
     faults: Option<&'a mut dyn FaultView>,
+    circuits: Option<&'a mut dyn CircuitView>,
     audit: Option<&'a mut dyn Auditor>,
     warmup_slots: u64,
     slot: u64,
@@ -488,6 +490,7 @@ impl<'a, T: TraceSink> Observer<'a, T> {
         Observer {
             sink,
             faults: None,
+            circuits: None,
             audit: None,
             warmup_slots: cfg.warmup_slots,
             slot: 0,
@@ -520,6 +523,9 @@ impl<'a, T: TraceSink> Observer<'a, T> {
         if let Some(f) = self.faults.as_mut() {
             f.begin_slot(slot);
         }
+        if let Some(c) = self.circuits.as_mut() {
+            c.begin_slot(slot);
+        }
         if let Some(a) = self.audit.as_mut() {
             a.begin_slot(slot);
         }
@@ -542,6 +548,9 @@ impl<'a, T: TraceSink> Observer<'a, T> {
     pub fn cell_injected(&mut self, src: usize, dst: usize) {
         if self.measuring {
             self.injected += 1;
+        }
+        if let Some(c) = self.circuits.as_mut() {
+            c.note_arrival(src, dst);
         }
         if let Some(a) = self.audit.as_mut() {
             a.cell_injected(self.slot, src, dst);
@@ -574,6 +583,9 @@ impl<'a, T: TraceSink> Observer<'a, T> {
     ) {
         if self.measuring && inject_slot >= self.warmup_slots {
             self.grant_hist.record(wait as f64);
+        }
+        if let Some(c) = self.circuits.as_mut() {
+            c.note_transfer(input, output);
         }
         if let Some(a) = self.audit.as_mut() {
             a.cell_granted(self.slot, input, output, wait);
@@ -726,6 +738,46 @@ impl<'a, T: TraceSink> Observer<'a, T> {
     pub fn fault_cell_corrupted(&mut self, link: usize) -> bool {
         match &mut self.faults {
             Some(f) => f.cell_corrupted(link),
+            None => false,
+        }
+    }
+
+    /// Fault query: is `input`'s circuit element stuck on its previous
+    /// configuration (mis-reconfigured) this slot? Circuit-switched
+    /// models keep the stale circuit lit instead of applying the
+    /// scheduled one.
+    #[inline]
+    pub fn fault_circuit_stuck(&self, input: usize) -> bool {
+        match &self.faults {
+            Some(f) => f.circuit_stuck(input),
+            None => false,
+        }
+    }
+
+    /// Whether a circuit plane (an OCS plan) is attached to this run.
+    /// Circuit-switched models gate all their circuit logic on this so
+    /// plan-free runs pay one branch per phase at most.
+    #[inline]
+    pub fn circuits_attached(&self) -> bool {
+        self.circuits.is_some()
+    }
+
+    /// Circuit query: the output `input`'s circuit illuminates this
+    /// slot, or `None` with no plan attached / no circuit this epoch.
+    #[inline]
+    pub fn circuit_for(&self, input: usize) -> Option<usize> {
+        match &self.circuits {
+            Some(c) => c.circuit(input),
+            None => None,
+        }
+    }
+
+    /// Circuit query: is the fabric dark because a reconfiguration guard
+    /// time is running this slot?
+    #[inline]
+    pub fn circuit_guard(&self) -> bool {
+        match &self.circuits {
+            Some(c) => c.in_guard(),
             None => false,
         }
     }
@@ -898,7 +950,7 @@ pub fn run<M: SlottedModel + ?Sized, T: TraceSink>(
     cfg: &EngineConfig,
     sink: &mut T,
 ) -> EngineReport {
-    run_inner(model, cfg, sink, None, None)
+    run_inner(model, cfg, sink, None, None, None)
 }
 
 /// Run `model` with a fault plane attached: `faults` is configured from
@@ -925,7 +977,7 @@ pub fn run_audited<M: SlottedModel + ?Sized, T: TraceSink>(
     sink: &mut T,
     audit: &mut dyn Auditor,
 ) -> EngineReport {
-    run_inner(model, cfg, sink, None, Some(audit))
+    run_inner(model, cfg, sink, None, None, Some(audit))
 }
 
 /// The fully general entry point: optional fault plane, optional audit
@@ -952,10 +1004,57 @@ pub fn run_instrumented<M: SlottedModel + ?Sized, T: TraceSink>(
     // Rebuild the options at each call so the references reborrow down
     // to the observer's (shorter) unified lifetime.
     match (faults, audit) {
-        (Some(f), Some(a)) => run_inner(model, cfg, sink, Some(f), Some(a)),
-        (Some(f), None) => run_inner(model, cfg, sink, Some(f), None),
-        (None, Some(a)) => run_inner(model, cfg, sink, None, Some(a)),
-        (None, None) => run_inner(model, cfg, sink, None, None),
+        (Some(f), Some(a)) => run_inner(model, cfg, sink, Some(f), None, Some(a)),
+        (Some(f), None) => run_inner(model, cfg, sink, Some(f), None, None),
+        (None, Some(a)) => run_inner(model, cfg, sink, None, None, Some(a)),
+        (None, None) => run_inner(model, cfg, sink, None, None, None),
+    }
+}
+
+/// Run `model` with a circuit plane (an OCS plan) attached, plus optional
+/// fault and audit planes — the circuit-switched operating mode's entry
+/// point.
+///
+/// A vacuous circuit view (empty plan) is *not* attached, and a vacuous
+/// fault view is dropped as in [`run_faulted`]; with a vacuous circuit
+/// plan and both other planes `None` this is bit-identical to [`run`]
+/// (pinned by `tests/fingerprint_pins.rs`).
+pub fn run_circuit_switched<M: SlottedModel + ?Sized, T: TraceSink>(
+    model: &mut M,
+    cfg: &EngineConfig,
+    sink: &mut T,
+    circuits: &mut dyn CircuitView,
+    faults: Option<&mut dyn FaultView>,
+    audit: Option<&mut dyn Auditor>,
+) -> EngineReport {
+    circuits.configure(cfg, model.ports());
+    let circuits = if circuits.is_vacuous() {
+        None
+    } else {
+        Some(circuits)
+    };
+    let faults = match faults {
+        Some(f) => {
+            f.configure(cfg);
+            if f.is_vacuous() {
+                None
+            } else {
+                Some(f)
+            }
+        }
+        None => None,
+    };
+    // As in `run_instrumented`: rebuild the options so the references
+    // reborrow down to the observer's unified lifetime.
+    match (faults, circuits, audit) {
+        (Some(f), Some(c), Some(a)) => run_inner(model, cfg, sink, Some(f), Some(c), Some(a)),
+        (Some(f), Some(c), None) => run_inner(model, cfg, sink, Some(f), Some(c), None),
+        (Some(f), None, Some(a)) => run_inner(model, cfg, sink, Some(f), None, Some(a)),
+        (Some(f), None, None) => run_inner(model, cfg, sink, Some(f), None, None),
+        (None, Some(c), Some(a)) => run_inner(model, cfg, sink, None, Some(c), Some(a)),
+        (None, Some(c), None) => run_inner(model, cfg, sink, None, Some(c), None),
+        (None, None, Some(a)) => run_inner(model, cfg, sink, None, None, Some(a)),
+        (None, None, None) => run_inner(model, cfg, sink, None, None, None),
     }
 }
 
@@ -964,6 +1063,7 @@ fn run_inner<'a, M: SlottedModel + ?Sized, T: TraceSink>(
     cfg: &EngineConfig,
     sink: &'a mut T,
     faults: Option<&'a mut dyn FaultView>,
+    circuits: Option<&'a mut dyn CircuitView>,
     audit: Option<&'a mut dyn Auditor>,
 ) -> EngineReport {
     model.configure(cfg);
@@ -977,6 +1077,7 @@ fn run_inner<'a, M: SlottedModel + ?Sized, T: TraceSink>(
     }
     let mut obs = Observer::new(cfg, sink);
     obs.faults = faults;
+    obs.circuits = circuits;
     if let Some(a) = audit {
         a.configure(cfg, ports);
         obs.audit = Some(a);
@@ -1023,6 +1124,7 @@ fn run_inner<'a, M: SlottedModel + ?Sized, T: TraceSink>(
     let drops_rejected = obs.drops_rejected;
     let drops_buffer_full = obs.drops_buffer_full;
     let faults = obs.faults.take();
+    let circuits = obs.circuits.take();
     let audit = obs.audit.take();
     let (mut report, sink) = obs.into_report(ports, measured_slots, converged_early);
     model.finish(&mut report);
@@ -1039,6 +1141,9 @@ fn run_inner<'a, M: SlottedModel + ?Sized, T: TraceSink>(
         report.set_extra("fault_cells_lost", fault_cells_lost as f64);
         report.set_extra("fault_retransmits", fault_retransmits as f64);
         f.finish(&mut report);
+    }
+    if let Some(c) = circuits {
+        c.finish(&mut report);
     }
     if let Some(a) = audit {
         a.end_run(resident, &mut report);

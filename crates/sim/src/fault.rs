@@ -93,6 +93,13 @@ pub trait FaultView {
         false
     }
 
+    /// Input `input`'s circuit element failed to reconfigure this slot:
+    /// an OCS model keeps the previous epoch's circuit lit (stale,
+    /// mis-reconfigured) instead of applying the scheduled one.
+    fn circuit_stuck(&self, _input: usize) -> bool {
+        false
+    }
+
     /// Post-run hook: surface injector counters (faults injected/healed,
     /// repair times, lost control messages) as report extras so they
     /// land in the fingerprint.
@@ -119,5 +126,6 @@ mod tests {
         assert!(!f.grant_lost(0, 1));
         assert!(!f.credit_dropped(2, 3));
         assert!(!f.cell_corrupted(usize::MAX));
+        assert!(!f.circuit_stuck(0));
     }
 }

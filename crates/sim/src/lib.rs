@@ -21,6 +21,7 @@
 #![deny(missing_docs)]
 
 pub mod audit;
+pub mod circuit;
 pub mod engine;
 pub mod events;
 pub mod fault;
@@ -31,6 +32,7 @@ pub mod sweep;
 pub mod time;
 
 pub use audit::{Auditor, CreditLedger, DropReason, NoAudit};
+pub use circuit::{CircuitView, NullCircuits};
 pub use engine::{
     Convergence, CountingTrace, EngineConfig, EngineReport, NullTrace, Observer, RingTrace,
     SlottedModel, TraceEvent, TraceSink, VecTrace,

@@ -16,10 +16,10 @@
 //! switch, whose workload is internal) implement `SlottedModel` directly.
 
 use osmosis_sim::engine::{
-    run, run_faulted, run_instrumented, run_model, EngineConfig, EngineReport, Observer,
-    SlottedModel, TraceSink,
+    run, run_circuit_switched, run_faulted, run_instrumented, run_model, EngineConfig,
+    EngineReport, Observer, SlottedModel, TraceSink,
 };
-use osmosis_sim::{Auditor, FaultView, NullTrace};
+use osmosis_sim::{Auditor, CircuitView, FaultView, NullTrace};
 use osmosis_traffic::{Arrival, TrafficGen};
 
 /// A slotted simulator driven by an external traffic generator.
@@ -192,6 +192,54 @@ pub fn run_switch_instrumented<'a, S: CellSwitch + ?Sized>(
         &mut Driven::new(switch, traffic),
         cfg,
         &mut sink,
+        faults,
+        audit,
+    )
+}
+
+/// Run a traffic-driven simulator in circuit-switched mode: `circuits`
+/// (an OCS plan) is configured for the run, advanced every slot, fed the
+/// arrival/transfer stream, and consulted by the model through the
+/// observer's `circuit_*` methods. Optional fault and audit planes
+/// compose as in [`run_switch_instrumented`].
+///
+/// A vacuous circuit view (empty plan) is *not* attached, so the run —
+/// and its report fingerprint — is bit-identical to [`run_switch`].
+pub fn run_switch_circuit<'a, S: CellSwitch + ?Sized>(
+    switch: &mut S,
+    traffic: &mut dyn TrafficGen,
+    cfg: &EngineConfig,
+    circuits: &mut dyn CircuitView,
+    faults: Option<&'a mut dyn FaultView>,
+    audit: Option<&'a mut dyn Auditor>,
+) -> EngineReport {
+    let mut sink = NullTrace;
+    run_circuit_switched(
+        &mut Driven::new(switch, traffic),
+        cfg,
+        &mut sink,
+        circuits,
+        faults,
+        audit,
+    )
+}
+
+/// [`run_switch_circuit`] with a caller-supplied trace sink (telemetry,
+/// ring-buffer capture, ...). Identical report for any sink.
+pub fn run_switch_circuit_traced<'a, S: CellSwitch + ?Sized, T: TraceSink>(
+    switch: &mut S,
+    traffic: &mut dyn TrafficGen,
+    cfg: &EngineConfig,
+    sink: &mut T,
+    circuits: &mut dyn CircuitView,
+    faults: Option<&'a mut dyn FaultView>,
+    audit: Option<&'a mut dyn Auditor>,
+) -> EngineReport {
+    run_circuit_switched(
+        &mut Driven::new(switch, traffic),
+        cfg,
+        sink,
+        circuits,
         faults,
         audit,
     )

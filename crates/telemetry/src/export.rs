@@ -13,6 +13,14 @@
 //!   registry (counters, gauges, histograms with tail quantiles), and
 //!   the aggregate span decomposition.
 //!
+//! Circuit-switched (OCS) runs add two more record types between a
+//! run's `meta` and `summary`:
+//!
+//! * `epoch` — one per scheduler epoch: start slot, guard slots
+//!   charged, cells transferred, and circuit utilization.
+//! * `reconfig` — one per actual reconfiguration: the epoch it opened,
+//!   how many circuits changed, and the guard slots paid.
+//!
 //! The stream always starts with a `meta` record, and every run that
 //! opens with `meta` closes with a `summary`.
 //! [`validate_jsonl`] enforces that shape; CI runs it over the output
@@ -130,6 +138,49 @@ pub fn summary_record(
     ])
 }
 
+/// Build an `epoch` record (circuit-switched runs): one scheduler epoch
+/// with its guard charge, transfer count and utilization.
+#[allow(clippy::too_many_arguments)]
+pub fn epoch_record(
+    run: u64,
+    epoch: u64,
+    start_slot: u64,
+    reconfigured: bool,
+    guard_slots: u64,
+    transfers: u64,
+    utilization: f64,
+) -> Value {
+    obj(vec![
+        ("type", Value::Str("epoch".into())),
+        ("run", Value::u64(run)),
+        ("epoch", Value::u64(epoch)),
+        ("start_slot", Value::u64(start_slot)),
+        ("reconfigured", Value::Bool(reconfigured)),
+        ("guard_slots", Value::u64(guard_slots)),
+        ("transfers", Value::u64(transfers)),
+        ("utilization", Value::f64(utilization)),
+    ])
+}
+
+/// Build a `reconfig` record (circuit-switched runs): one actual
+/// circuit reconfiguration and its guard-time cost.
+pub fn reconfig_record(
+    run: u64,
+    epoch: u64,
+    slot: u64,
+    changed_circuits: u64,
+    guard_slots: u64,
+) -> Value {
+    obj(vec![
+        ("type", Value::Str("reconfig".into())),
+        ("run", Value::u64(run)),
+        ("epoch", Value::u64(epoch)),
+        ("slot", Value::u64(slot)),
+        ("changed_circuits", Value::u64(changed_circuits)),
+        ("guard_slots", Value::u64(guard_slots)),
+    ])
+}
+
 /// Counts of each record type seen by [`validate_jsonl`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JsonlStats {
@@ -141,6 +192,10 @@ pub struct JsonlStats {
     pub spans: u64,
     /// `summary` records.
     pub summaries: u64,
+    /// `epoch` records (circuit-switched runs).
+    pub epochs: u64,
+    /// `reconfig` records (circuit-switched runs).
+    pub reconfigs: u64,
 }
 
 fn require_u64(v: &Value, line: usize, field: &str) -> Result<u64, String> {
@@ -239,6 +294,28 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
                 require_u64(&v, line, "output")?;
                 stats.spans += 1;
             }
+            "epoch" => {
+                if open_run != Some(run) {
+                    return Err(format!("line {line}: epoch outside its run"));
+                }
+                for f in ["epoch", "start_slot", "guard_slots", "transfers"] {
+                    require_u64(&v, line, f)?;
+                }
+                require_f64(&v, line, "utilization")?;
+                v.get("reconfigured")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| format!("line {line}: missing or non-bool `reconfigured`"))?;
+                stats.epochs += 1;
+            }
+            "reconfig" => {
+                if open_run != Some(run) {
+                    return Err(format!("line {line}: reconfig outside its run"));
+                }
+                for f in ["epoch", "slot", "changed_circuits", "guard_slots"] {
+                    require_u64(&v, line, f)?;
+                }
+                stats.reconfigs += 1;
+            }
             "summary" => {
                 if open_run != Some(run) {
                     return Err(format!("line {line}: summary outside its run"));
@@ -330,6 +407,8 @@ mod tests {
             meta_record(0, "unit", &meta()).encode(),
             snapshot_record(&snap).encode(),
             span_record(0, &span).encode(),
+            epoch_record(0, 0, 0, true, 1, 60, 0.94).encode(),
+            reconfig_record(0, 0, 0, 16, 1).encode(),
             summary_record(0, &report, &reg, &dec).encode(),
         ]
         .join("\n")
@@ -344,9 +423,32 @@ mod tests {
                 metas: 1,
                 snapshots: 1,
                 spans: 1,
-                summaries: 1
+                summaries: 1,
+                epochs: 1,
+                reconfigs: 1
             }
         );
+    }
+
+    #[test]
+    fn epoch_records_are_policed() {
+        let meta_line = meta_record(0, "unit", &meta()).encode();
+        // Epoch outside a run.
+        let loose = epoch_record(1, 0, 0, false, 0, 0, 0.0).encode();
+        let err = validate_jsonl(&format!("{meta_line}\n{loose}")).unwrap_err();
+        assert!(err.contains("outside its run"), "{err}");
+        // Missing reconfigured flag.
+        let bad = epoch_record(0, 0, 0, true, 1, 60, 0.5)
+            .encode()
+            .replace("\"reconfigured\":true,", "");
+        let err = validate_jsonl(&format!("{meta_line}\n{bad}")).unwrap_err();
+        assert!(err.contains("reconfigured"), "{err}");
+        // Reconfig missing a required count.
+        let bad = reconfig_record(0, 0, 0, 4, 1)
+            .encode()
+            .replace("\"changed_circuits\":4,", "");
+        let err = validate_jsonl(&format!("{meta_line}\n{bad}")).unwrap_err();
+        assert!(err.contains("changed_circuits"), "{err}");
     }
 
     #[test]

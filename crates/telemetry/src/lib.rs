@@ -39,7 +39,7 @@ pub mod export;
 pub mod registry;
 pub mod spans;
 
-pub use export::{validate_jsonl, JsonlStats, SCHEMA_VERSION};
+pub use export::{epoch_record, reconfig_record, validate_jsonl, JsonlStats, SCHEMA_VERSION};
 pub use registry::{Component, LogHistogram, MetricId, MetricsRegistry, LOG_BUCKETS};
 pub use spans::{CellSpan, Decomposition, SpanConfig, SpanPlane, SEGMENTS};
 
@@ -211,6 +211,14 @@ pub mod metrics {
     pub const MAX_QUEUE_DEPTH: MetricId = MetricId::new(Component::Voq, "max_queue_depth");
     /// Deepest egress queue gauge.
     pub const MAX_EGRESS_DEPTH: MetricId = MetricId::new(Component::Egress, "max_egress_depth");
+    /// Epochs opened by the circuit scheduler.
+    pub const OCS_EPOCHS: MetricId = MetricId::new(Component::Ocs, "epochs");
+    /// Circuit reconfigurations performed.
+    pub const OCS_RECONFIGURATIONS: MetricId = MetricId::new(Component::Ocs, "reconfigurations");
+    /// Guard slots paid across all reconfigurations.
+    pub const OCS_GUARD_SLOTS: MetricId = MetricId::new(Component::Ocs, "guard_slots");
+    /// Mean per-epoch circuit utilization gauge.
+    pub const OCS_UTILIZATION: MetricId = MetricId::new(Component::Ocs, "utilization");
 }
 
 /// The telemetry sink: a [`TraceSink`] that populates the registry,

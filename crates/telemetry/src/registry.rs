@@ -27,6 +27,8 @@ pub enum Component {
     LinkFc,
     /// Whole-engine aggregates that belong to no single stage.
     Engine,
+    /// The optical circuit-switched plane (epoch scheduler, circuits).
+    Ocs,
 }
 
 impl Component {
@@ -39,6 +41,7 @@ impl Component {
             Component::Egress => "egress",
             Component::LinkFc => "link_fc",
             Component::Engine => "engine",
+            Component::Ocs => "ocs",
         }
     }
 
@@ -51,6 +54,7 @@ impl Component {
             "egress" => Component::Egress,
             "link_fc" => Component::LinkFc,
             "engine" => Component::Engine,
+            "ocs" => Component::Ocs,
             _ => return None,
         })
     }

@@ -13,9 +13,11 @@
 #![deny(missing_docs)]
 
 pub mod generators;
+pub mod ml;
 pub mod order;
 
 pub use generators::{
     Arrival, BernoulliUniform, Bimodal, Bursty, Class, Hotspot, Permutation, Replay, TrafficGen,
 };
+pub use ml::{AllreduceRing, AllreduceTree, Diurnal, HotspotSkew, Incast};
 pub use order::{SequenceChecker, SequenceStamper};

@@ -140,6 +140,45 @@ fn expansion_fingerprints_match_pins() {
     );
 }
 
+/// The OCS mode hook is zero-cost: running packet simulators through
+/// the circuit-switched entry point with the null circuit plane must
+/// reproduce the pre-OCS pins bit for bit — the plane is dropped before
+/// the slot loop ever sees it.
+#[test]
+fn null_circuit_plane_reproduces_pins() {
+    use osmosis::sched::CellScheduler;
+    use osmosis::sim::NullCircuits;
+    use osmosis::switch::{run_switch_circuit, VoqSwitch};
+
+    let s = 1234u64;
+    let pin = |name: &str| {
+        PINS.iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, fp)| fp)
+            .expect("pinned simulator")
+    };
+    {
+        let sched: Box<dyn CellScheduler> = Box::new(Flppr::osmosis(16, 2));
+        let mut sw = VoqSwitch::new(sched);
+        let cfg = cfg().with_seed(s);
+        let mut tr = uniform(16, 0.7, cfg.seed);
+        let r = run_switch_circuit(&mut sw, &mut tr, &cfg, &mut NullCircuits, None, None);
+        assert_eq!(r.fingerprint(), pin("voq"), "voq drifted under the hook");
+    }
+    {
+        let mut sw = FifoSwitch::new(16);
+        let mut tr = uniform(16, 0.5, s);
+        let r = run_switch_circuit(&mut sw, &mut tr, &cfg(), &mut NullCircuits, None, None);
+        assert_eq!(r.fingerprint(), pin("fifo"), "fifo drifted under the hook");
+    }
+    {
+        let mut sw = BvnSwitch::new(16);
+        let mut tr = uniform(16, 0.6, s);
+        let r = run_switch_circuit(&mut sw, &mut tr, &cfg(), &mut NullCircuits, None, None);
+        assert_eq!(r.fingerprint(), pin("bvn"), "bvn drifted under the hook");
+    }
+}
+
 /// Engine-report fingerprints of the compiled simulator over the two
 /// non-fat-tree families, pinning routing and flow control end to end.
 const COMPILED_PINS: &[(&str, u64)] = &[

@@ -1,0 +1,86 @@
+//! Property-based tests of the Birkhoff–von-Neumann decomposition: for
+//! arbitrary non-negative traffic matrices the extracted permutation
+//! terms must reconstruct the demand exactly (up to the deterministic
+//! padding that balances rows and columns), with every term a genuine
+//! permutation and the weights summing to the balancing target.
+
+use osmosis::ocs::bvn::decompose;
+use proptest::prelude::*;
+
+fn tm_strategy() -> impl Strategy<Value = (usize, Vec<u64>)> {
+    // Draw the largest matrix and truncate to n×n: the vendored
+    // proptest has no flat-map, so sizes are fixed at sample time.
+    (2usize..=8, prop::collection::vec(0u64..64, 64..=64))
+        .prop_map(|(n, entries)| (n, entries[..n * n].to_vec()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reconstruction conserves every row and column sum: the summed
+    /// permutation terms equal the input plus padding, and padding only
+    /// ever tops deficits up to the common target — so each row and
+    /// column of the reconstruction sums to exactly `max(row, col sums)`.
+    #[test]
+    fn decomposition_conserves_row_and_column_sums(case in tm_strategy()) {
+        let (n, tm) = case;
+        let d = decompose(n, &tm);
+        let rebuilt = d.reconstruct();
+
+        // Elementwise: never below demand (padding is additive only).
+        for (i, (&want, &got)) in tm.iter().zip(rebuilt.iter()).enumerate() {
+            prop_assert!(got >= want, "entry {i}: rebuilt {got} < demand {want}");
+        }
+
+        // The balancing target is the max row/column sum of the input.
+        let mut target = 0u64;
+        for i in 0..n {
+            let row: u64 = (0..n).map(|j| tm[i * n + j]).sum();
+            let col: u64 = (0..n).map(|j| tm[j * n + i]).sum();
+            target = target.max(row).max(col);
+        }
+
+        // Every row and column of the reconstruction hits the target
+        // exactly — row/column sums are conserved and balanced.
+        for i in 0..n {
+            let row: u64 = (0..n).map(|j| rebuilt[i * n + j]).sum();
+            let col: u64 = (0..n).map(|j| rebuilt[j * n + i]).sum();
+            prop_assert_eq!(row, target, "row {} sum", i);
+            prop_assert_eq!(col, target, "col {} sum", i);
+        }
+
+        // Weights sum to the target (each term covers every row once).
+        prop_assert_eq!(d.total_weight(), target);
+    }
+
+    /// Every extracted term is a strictly positive-weight permutation of
+    /// the full port set.
+    #[test]
+    fn terms_are_positive_permutations(case in tm_strategy()) {
+        let (n, tm) = case;
+        let d = decompose(n, &tm);
+        for (k, term) in d.terms.iter().enumerate() {
+            prop_assert!(term.weight > 0, "term {k} has zero weight");
+            prop_assert_eq!(term.perm.len(), n);
+            let mut seen = vec![false; n];
+            for (input, &out) in term.perm.iter().enumerate() {
+                prop_assert!(out < n, "term {k} input {input} maps out of range");
+                prop_assert!(!seen[out], "term {k} output {out} claimed twice");
+                seen[out] = true;
+            }
+        }
+    }
+
+    /// The decomposition is a pure function of its input.
+    #[test]
+    fn decomposition_is_deterministic(case in tm_strategy()) {
+        let (n, tm) = case;
+        let a = decompose(n, &tm);
+        let b = decompose(n, &tm);
+        prop_assert_eq!(a.terms.len(), b.terms.len());
+        for (x, y) in a.terms.iter().zip(b.terms.iter()) {
+            prop_assert_eq!(x.weight, y.weight);
+            prop_assert_eq!(&x.perm, &y.perm);
+        }
+    }
+}
