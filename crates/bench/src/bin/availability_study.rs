@@ -9,9 +9,11 @@
 //! `--telemetry <path.jsonl>` streams the telemetry plane (metrics
 //! registry, spans, snapshots — see DESIGN.md for the record schema)
 //! from the nominal and stochastic legs; `--progress` reports live
-//! per-job sweep progress on stderr.
+//! per-job sweep progress on stderr; `--topology <spec>` routes every
+//! leg through a declared topology (must be the fault-capable two-level
+//! fat tree, e.g. `fat-tree:radix=16,levels=2,planes=2`).
 
-use osmosis_bench::{print_table, scale_from_args};
+use osmosis_bench::{print_table, scale_from_args, topology_from_args};
 use osmosis_core::experiments::availability::{self, AvailabilityOptions};
 use osmosis_core::Scale;
 use std::path::PathBuf;
@@ -57,6 +59,7 @@ fn main() {
         checkpoint_dir,
         telemetry: telemetry.clone(),
         progress,
+        topology: topology_from_args(),
         ..Default::default()
     };
     let r = match availability::run_with(scale, 0xFA11, &opts) {

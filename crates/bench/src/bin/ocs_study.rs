@@ -18,7 +18,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use osmosis_bench::{print_table, scale_from_args};
+use osmosis_bench::{print_table, scale_from_args, topologies_from_args};
 use osmosis_core::experiments::ocs_study::{run, workload, OcsOptions, OcsStudy, WORKLOADS};
 use osmosis_core::Scale;
 use osmosis_fabric::TopologySpec;
@@ -36,32 +36,6 @@ use osmosis_telemetry::{
 
 /// Wall-clock budget for the whole smoke battery on a loaded runner.
 const SMOKE_BUDGET_S: f64 = 120.0;
-
-/// Repeatable `--topology <spec>` flags, parsed through the spec grammar.
-fn topologies_from_args() -> Vec<TopologySpec> {
-    let args: Vec<String> = std::env::args().collect();
-    let mut specs = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        if args[i] == "--topology" {
-            let Some(text) = args.get(i + 1) else {
-                eprintln!("--topology needs a spec argument");
-                std::process::exit(2);
-            };
-            match text.parse::<TopologySpec>() {
-                Ok(s) => specs.push(s),
-                Err(e) => {
-                    eprintln!("bad --topology {text}: {e}");
-                    std::process::exit(2);
-                }
-            }
-            i += 2;
-        } else {
-            i += 1;
-        }
-    }
-    specs
-}
 
 struct Perf {
     workload: &'static str,

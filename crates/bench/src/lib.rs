@@ -46,6 +46,47 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Parse repeatable `--topology <spec>` flags through the topology spec
+/// grammar (see `osmosis_fabric::TopologySpec`). Exits with status 2 on
+/// a missing or unparseable spec, like every other bad-flag path in the
+/// harness. Shared by the studies that route legs through declared
+/// topologies (`availability_study`, `ocs_study`, `campaign`).
+pub fn topologies_from_args() -> Vec<osmosis_fabric::TopologySpec> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut specs = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--topology" {
+            let Some(text) = args.get(i + 1) else {
+                eprintln!("--topology needs a spec argument");
+                std::process::exit(2);
+            };
+            match text.parse::<osmosis_fabric::TopologySpec>() {
+                Ok(s) => specs.push(s),
+                Err(e) => {
+                    eprintln!("bad --topology {text}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    specs
+}
+
+/// The single-topology form of [`topologies_from_args`]: at most one
+/// `--topology` flag, for studies whose fabric is one declared spec.
+pub fn topology_from_args() -> Option<osmosis_fabric::TopologySpec> {
+    let specs = topologies_from_args();
+    if specs.len() > 1 {
+        eprintln!("this study takes at most one --topology flag");
+        std::process::exit(2);
+    }
+    specs.first().copied()
+}
+
 /// Parse the common `--quick` flag.
 pub fn scale_from_args() -> osmosis_core::Scale {
     if std::env::args().any(|a| a == "--quick") {

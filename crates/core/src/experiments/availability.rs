@@ -30,7 +30,7 @@
 use super::Scale;
 use osmosis_audit::{AuditMode, AuditSet};
 use osmosis_fabric::multistage::{FabricConfig, FatTreeFabric};
-use osmosis_fabric::{EngineConfig, EngineReport};
+use osmosis_fabric::{EngineConfig, EngineReport, TopologyFamily, TopologySpec};
 use osmosis_faults::{FaultInjector, FaultKind, FaultPlan};
 use osmosis_sim::engine::{run_instrumented, TraceEvent, TraceSink};
 use osmosis_sim::json::Value;
@@ -162,6 +162,13 @@ pub struct AvailabilityOptions {
     pub telemetry: Option<PathBuf>,
     /// Report per-job sweep progress live on stderr.
     pub progress: bool,
+    /// Run every leg on this declared topology instead of the default
+    /// paper fabric at the chosen scale. Must expand to the fault-capable
+    /// two-level fat tree (`fat-tree:…,levels=2,planes=2`) — every leg
+    /// here kills and heals wavelength planes. The spec participates in
+    /// the checkpoint key, so checkpoints from one topology never leak
+    /// into a resume on another.
+    pub topology: Option<TopologySpec>,
 }
 
 /// Deliveries bucketed into fixed windows of `window` slots — the
@@ -211,8 +218,46 @@ const LOAD: f64 = 0.6;
 const LINK_DELAY: u64 = 2;
 const WINDOW: u64 = 100;
 
-fn fabric(scale: Scale) -> FatTreeFabric {
-    FatTreeFabric::new(FabricConfig::small(scale.fabric_radix(), LINK_DELAY))
+fn fabric(cfg: &FabricConfig) -> FatTreeFabric {
+    FatTreeFabric::new(*cfg)
+}
+
+/// Resolve the fabric the study runs on: the default paper fabric at
+/// the chosen scale, or a declared `--topology` spec routed through the
+/// same [`FabricConfig`] path. The spec must be the fault-capable
+/// two-level fat tree — the wavelength-plane fault plane has nowhere to
+/// act on other families.
+fn resolve_fabric_config(
+    scale: Scale,
+    topology: Option<&TopologySpec>,
+) -> Result<FabricConfig, SweepError> {
+    let Some(spec) = topology else {
+        return Ok(FabricConfig::small(scale.fabric_radix(), LINK_DELAY));
+    };
+    spec.validate().map_err(|e| SweepError::Io {
+        message: format!("availability topology `{spec}`: {e}"),
+    })?;
+    if !matches!(
+        spec.family,
+        TopologyFamily::FatTree {
+            levels: 2,
+            planes: 2
+        }
+    ) {
+        return Err(SweepError::Io {
+            message: format!(
+                "availability topology `{spec}`: this study needs the fault-capable \
+                 two-level fat tree (fat-tree:…,levels=2,planes=2)"
+            ),
+        });
+    }
+    Ok(FabricConfig {
+        radix: spec.radix,
+        link_delay: spec.link_delay,
+        buffer_cells: spec.buffer_cells(),
+        iterations: spec.iterations,
+        placement: spec.placement,
+    })
 }
 
 fn traffic(hosts: usize, seed: u64) -> BernoulliUniform {
@@ -230,7 +275,7 @@ fn traffic(hosts: usize, seed: u64) -> BernoulliUniform {
 /// reordering by design (the paper's resequencer argument), so those
 /// legs run the order-free battery.
 fn run_leg<T: TraceSink>(
-    scale: Scale,
+    fab_cfg: &FabricConfig,
     seed: u64,
     cfg: &EngineConfig,
     sink: &mut T,
@@ -238,7 +283,7 @@ fn run_leg<T: TraceSink>(
     audit: bool,
     ordered: bool,
 ) -> (EngineReport, u64) {
-    let mut fab = fabric(scale);
+    let mut fab = fabric(fab_cfg);
     let hosts = fab.topology().hosts();
     let mut tr = traffic(hosts, seed);
     let mut driven = Driven::new(&mut fab, &mut tr);
@@ -258,10 +303,18 @@ fn run_leg<T: TraceSink>(
 }
 
 /// Checkpoint key: ties a state file to the exact sweep it belongs to,
-/// so a stale file from another seed or scale is ignored, not resumed.
-fn ckpt_key(tag: u64, scale: Scale, seed: u64) -> u64 {
+/// so a stale file from another seed, scale, or topology is ignored,
+/// not resumed.
+fn ckpt_key(tag: u64, fab_cfg: &FabricConfig, seed: u64) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for v in [tag, scale.fabric_radix() as u64, seed] {
+    for v in [
+        tag,
+        fab_cfg.radix as u64,
+        fab_cfg.link_delay,
+        fab_cfg.buffer_cells as u64,
+        fab_cfg.iterations as u64,
+        seed,
+    ] {
         h ^= v;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
@@ -305,8 +358,9 @@ pub fn run_with(
     seed: u64,
     opts: &AvailabilityOptions,
 ) -> Result<AvailabilityResult, SweepError> {
-    let hosts = fabric(scale).topology().hosts();
-    let planes = fabric(scale).topology().spines();
+    let fab_cfg = resolve_fabric_config(scale, opts.topology.as_ref())?;
+    let hosts = fabric(&fab_cfg).topology().hosts();
+    let planes = fabric(&fab_cfg).topology().spines();
     let cfg = EngineConfig::new(500, scale.measure().min(12_000)).with_seed(seed);
 
     let mut sweep_opts = SweepOptions::seeded(seed).with_backoff_base_ms(0);
@@ -337,15 +391,15 @@ pub fn run_with(
     let ckpt = |tag: u64, name: &str| {
         opts.checkpoint_dir
             .as_ref()
-            .map(|dir| SweepCheckpoint::new(dir.join(name), ckpt_key(tag, scale, seed)))
+            .map(|dir| SweepCheckpoint::new(dir.join(name), ckpt_key(tag, &fab_cfg, seed)))
     };
 
     // Fault-free reference. Each run gets a freshly built fabric so the
     // bit-identical comparison below is over identical starting states.
     let (nominal, mut violations) = match telemetry.as_mut() {
-        Some(sink) => run_leg(scale, seed, &cfg, sink, None, opts.audit, true),
+        Some(sink) => run_leg(&fab_cfg, seed, &cfg, sink, None, opts.audit, true),
         None => run_leg(
-            scale,
+            &fab_cfg,
             seed,
             &cfg,
             &mut osmosis_sim::NullTrace,
@@ -370,7 +424,7 @@ pub fn run_with(
                 plan = plan.permanent(FaultKind::WavelengthLoss { plane }, 0);
             }
             let (report, _) = run_leg(
-                scale,
+                &fab_cfg,
                 seed,
                 &cfg,
                 &mut osmosis_sim::NullTrace,
@@ -409,7 +463,7 @@ pub fn run_with(
         let run_cfg = EngineConfig::new(0, horizon).with_seed(seed);
         let mut windows = DeliveryWindows::new(WINDOW);
         let (_, audit_violations) = run_leg(
-            scale,
+            &fab_cfg,
             seed,
             &run_cfg,
             &mut windows,
@@ -449,9 +503,17 @@ pub fn run_with(
     let plan = FaultPlan::new().stochastic(FaultKind::WavelengthLoss { plane: 0 }, mtbf, mttr);
     let run_cfg = EngineConfig::new(0, slots).with_seed(seed);
     let (r, v) = match telemetry.as_mut() {
-        Some(sink) => run_leg(scale, seed, &run_cfg, sink, Some(plan), opts.audit, false),
+        Some(sink) => run_leg(
+            &fab_cfg,
+            seed,
+            &run_cfg,
+            sink,
+            Some(plan),
+            opts.audit,
+            false,
+        ),
         None => run_leg(
-            scale,
+            &fab_cfg,
             seed,
             &run_cfg,
             &mut osmosis_sim::NullTrace,
@@ -602,6 +664,45 @@ mod tests {
         assert_eq!(stats.summaries, 2);
         assert!(stats.snapshots > 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn declared_topology_routes_through_the_same_fabric_path() {
+        // `fat-tree:radix=8,levels=2,planes=2` expands to exactly the
+        // default Quick-scale FabricConfig, so routing the study through
+        // the declarative spec must change nothing — bit for bit.
+        let default_run = run(Scale::Quick, 41);
+        let routed = run_with(
+            Scale::Quick,
+            41,
+            &AvailabilityOptions {
+                topology: Some(TopologySpec::two_level(8)),
+                ..Default::default()
+            },
+        )
+        .expect("topology-routed run");
+        assert_eq!(
+            default_run.nominal.fingerprint(),
+            routed.nominal.fingerprint(),
+            "equivalent declared topology must not perturb the study"
+        );
+        assert_eq!(default_run.mttr_sweep, routed.mttr_sweep);
+
+        // Families without wavelength planes are rejected up front with
+        // a typed error, not a silent misconfiguration.
+        let err = run_with(
+            Scale::Quick,
+            41,
+            &AvailabilityOptions {
+                topology: Some(TopologySpec::dragonfly(8, 4)),
+                ..Default::default()
+            },
+        )
+        .expect_err("dragonfly has no fault-capable planes");
+        assert!(
+            err.to_string().contains("fault-capable"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 pub mod ablations;
 pub mod availability;
+pub mod campaign;
 pub mod fig1;
 pub mod fig10;
 pub mod fig2;

@@ -1,0 +1,21 @@
+//! A supervisor quarantine ledger written the wrong way: an unordered
+//! container whose iteration order leaks into the campaign fold, raw
+//! wall clock feeding a retry decision, and a panic on the recovery
+//! path that is supposed to degrade gracefully.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Quarantine {
+    pub failed: HashMap<usize, String>,
+}
+
+impl Quarantine {
+    pub fn next_retry_ms(&self) -> u64 {
+        let t = Instant::now();
+        t.elapsed().as_millis() as u64
+    }
+
+    pub fn first_reason(&self) -> &str {
+        self.failed.values().next().unwrap()
+    }
+}

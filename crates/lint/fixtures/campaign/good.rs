@@ -1,0 +1,30 @@
+//! The same quarantine ledger done right: ordered container (the fold
+//! visits shards in index order), seeded backoff that is a pure
+//! function of (key, shard, attempt), graceful `Option` on the recovery
+//! path, and the one genuine wall-clock read — watchdog pacing — behind
+//! a reasoned allow.
+use std::collections::BTreeMap;
+
+pub struct Quarantine {
+    pub failed: BTreeMap<usize, String>,
+}
+
+impl Quarantine {
+    /// Deterministic exponential backoff with per-attempt jitter.
+    pub fn next_retry_ms(&self, key: u64, shard: u64, attempt: u32) -> u64 {
+        let mut h = key ^ shard;
+        h = h.wrapping_mul(0x100_0000_01b3) ^ u64::from(attempt);
+        50u64.saturating_mul(1 << attempt.min(6)) + h % 50
+    }
+
+    pub fn first_reason(&self) -> Option<&str> {
+        self.failed.values().next().map(String::as_str)
+    }
+
+    /// Heartbeat age for the hung-worker watchdog. Pacing only: no
+    /// result, fingerprint, or manifest field ever depends on it.
+    // lint:allow(determinism): wall clock paces the watchdog only; results never depend on it
+    pub fn heartbeat_age_ms(since: std::time::Instant) -> u64 {
+        since.elapsed().as_millis() as u64
+    }
+}

@@ -15,9 +15,12 @@ use crate::lexer::{Tok, TokKind};
 use std::collections::BTreeMap;
 
 /// Crates whose per-slot state feeds engine fingerprints; iteration-order
-/// nondeterminism here leaks straight into a report.
+/// nondeterminism here leaks straight into a report. `campaign` belongs
+/// here too: it folds per-shard results into campaign fingerprints, so
+/// iteration order and wall clock are results-affecting in exactly the
+/// same way.
 pub const MODEL_CRATES: &[&str] = &[
-    "sim", "switch", "sched", "fabric", "faults", "traffic", "ocs",
+    "sim", "switch", "sched", "fabric", "faults", "traffic", "ocs", "campaign",
 ];
 
 /// Crates exempt from the determinism-sources and debug-output rules:

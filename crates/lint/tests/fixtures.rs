@@ -214,6 +214,52 @@ fn ocs_is_scoped_as_a_model_crate() {
 }
 
 #[test]
+fn campaign_is_scoped_as_a_model_crate() {
+    // The campaign crate folds per-shard results into campaign
+    // fingerprints, so iteration order and wall clock are
+    // results-affecting there: the model-only and determinism rules
+    // must fire under its paths on the badly-written quarantine ledger
+    // and stay quiet on the deterministic rewrite (whose one wall-clock
+    // read — watchdog pacing — carries a reasoned allow).
+    let bad = fixture("campaign", "bad.rs");
+    let in_campaign = analyze_one("crates/campaign/src/fixture.rs", &bad);
+    assert_eq!(
+        count(&in_campaign, "hash-order"),
+        2,
+        "HashMap use + field type: {:#?}",
+        in_campaign.diagnostics
+    );
+    assert_eq!(
+        count(&in_campaign, "determinism"),
+        2,
+        "Instant use + call: {:#?}",
+        in_campaign.diagnostics
+    );
+    assert_eq!(
+        count(&in_campaign, "panic-free"),
+        1,
+        "unwrap on the recovery path: {:#?}",
+        in_campaign.diagnostics
+    );
+    let in_bench = analyze_one("crates/bench/src/fixture.rs", &bad);
+    assert_eq!(
+        count(&in_bench, "hash-order"),
+        0,
+        "hash-order is model-crate-scoped: {:#?}",
+        in_bench.diagnostics
+    );
+    let good = analyze_one(
+        "crates/campaign/src/fixture.rs",
+        &fixture("campaign", "good.rs"),
+    );
+    assert!(
+        good.diagnostics.is_empty(),
+        "the deterministic quarantine ledger must be clean: {:#?}",
+        good.diagnostics
+    );
+}
+
+#[test]
 fn null_circuits_impl_is_held_to_the_zero_cost_bar() {
     // NullCircuits joined NULL_PLANE_TYPES with the OCS plane: an
     // allocating hook in its impl must fire, a no-op impl must not.

@@ -850,7 +850,21 @@ fn load_checkpoint<O: SweepState>(
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(restored),
         Err(e) => return Err(checkpoint_io_err("read", &ckpt.path, e)),
     };
-    let doc = Value::parse(&text).map_err(|e| checkpoint_io_err("parse", &ckpt.path, e))?;
+    let doc = match Value::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            // A corrupt state file (a crash mid-write before the atomic
+            // rename, manual truncation, disk trouble) must not brick
+            // the sweep: warn, discard, and recompute from scratch. The
+            // results are bit-identical either way; only the restored
+            // work is lost.
+            eprintln!(
+                "warning: discarding corrupt checkpoint {}: {e}",
+                ckpt.path.display()
+            );
+            return Ok(restored);
+        }
+    };
     let matches = doc.get("version").and_then(Value::as_u64) == Some(1)
         && doc.get("key").and_then(Value::as_u64) == Some(ckpt.key)
         && doc.get("total").and_then(Value::as_usize) == Some(total);
@@ -960,6 +974,166 @@ where
         return Err(e);
     }
     Ok(SweepSummary { outputs, jobs })
+}
+
+/// An append-only JSONL checkpoint: a header line identifying the
+/// producing computation, then one `[index, payload]` line per
+/// completed unit of work. Unlike [`SweepCheckpoint`]'s
+/// whole-document-rewrite format this is O(1) per completion, which is
+/// what a long-running shard worker needs — and a kill mid-append
+/// leaves at worst one torn trailing line, which
+/// [`CheckpointLog::load_and_repair`] detects, truncates away with a
+/// warning, and resumes past. Completed records are never lost.
+#[derive(Debug, Clone)]
+pub struct CheckpointLog {
+    path: PathBuf,
+    key: u64,
+}
+
+/// What [`CheckpointLog::load_and_repair`] recovers: every intact
+/// `(index, payload)` record in file order, plus one human-readable
+/// warning per repair performed.
+pub type RepairedRecords = (Vec<(u64, Value)>, Vec<String>);
+
+impl CheckpointLog {
+    /// A log at `path` identified by `key` (hash the computation's
+    /// parameters into it; a log whose header key disagrees is
+    /// discarded rather than resumed).
+    pub fn new(path: impl Into<PathBuf>, key: u64) -> Self {
+        CheckpointLog {
+            path: path.into(),
+            key,
+        }
+    }
+
+    /// The log-file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn header_line(&self) -> String {
+        let header = Value::Obj(vec![
+            ("version".into(), Value::u64(1)),
+            ("key".into(), Value::u64(self.key)),
+        ]);
+        let mut line = header.encode();
+        line.push('\n');
+        line
+    }
+
+    /// Load every intact `(index, payload)` record, in file order.
+    ///
+    /// Recovery semantics (the kill-mid-write case): a torn or corrupt
+    /// line — and anything after it — is truncated off the file so
+    /// subsequent appends continue from the last intact record; each
+    /// repair is reported in the returned warnings. A missing file is
+    /// an empty log; a file whose header is unreadable or carries the
+    /// wrong key is discarded wholesale (with a warning) and replaced
+    /// by a fresh header on the next [`CheckpointLog::append`].
+    pub fn load_and_repair(&self) -> Result<RepairedRecords, SweepError> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((Vec::new(), Vec::new()))
+            }
+            Err(e) => return Err(checkpoint_io_err("read", &self.path, e)),
+        };
+        let mut warnings = Vec::new();
+        let discard = |warnings: &mut Vec<String>, why: String| {
+            warnings.push(format!(
+                "discarding checkpoint log {}: {why}",
+                self.path.display()
+            ));
+            if let Err(e) = std::fs::remove_file(&self.path) {
+                if e.kind() != std::io::ErrorKind::NotFound {
+                    return Err(checkpoint_io_err("remove", &self.path, e));
+                }
+            }
+            Ok((Vec::new(), std::mem::take(warnings)))
+        };
+        let Some(header_end) = text.find('\n') else {
+            return discard(&mut warnings, "torn header line".into());
+        };
+        match Value::parse(&text[..header_end]) {
+            Ok(h)
+                if h.get("version").and_then(Value::as_u64) == Some(1)
+                    && h.get("key").and_then(Value::as_u64) == Some(self.key) => {}
+            Ok(_) => return discard(&mut warnings, "header key mismatch (stale log)".into()),
+            Err(e) => return discard(&mut warnings, format!("unreadable header: {e}")),
+        }
+        let mut entries = Vec::new();
+        let mut intact_end = header_end + 1;
+        let mut rest = &text[intact_end..];
+        let mut line_no = 2usize;
+        while !rest.is_empty() {
+            let (line, consumed, complete) = match rest.find('\n') {
+                Some(nl) => (&rest[..nl], nl + 1, true),
+                None => (rest, rest.len(), false),
+            };
+            let record = if complete {
+                Value::parse(line).ok().and_then(|v| {
+                    let items = v.items()?;
+                    let idx = items.first().and_then(Value::as_u64)?;
+                    Some((idx, items.get(1)?.clone()))
+                })
+            } else {
+                None
+            };
+            match record {
+                Some(entry) => {
+                    entries.push(entry);
+                    intact_end += consumed;
+                    rest = &rest[consumed..];
+                    line_no += 1;
+                }
+                None => {
+                    // Torn or corrupt: drop this line and everything
+                    // after it. Those units of work simply re-run.
+                    warnings.push(format!(
+                        "checkpoint log {}: discarding torn record at line {line_no} \
+                         ({} byte(s) truncated)",
+                        self.path.display(),
+                        text.len() - intact_end
+                    ));
+                    let file = std::fs::OpenOptions::new()
+                        .write(true)
+                        .open(&self.path)
+                        .map_err(|e| checkpoint_io_err("open for repair", &self.path, e))?;
+                    file.set_len(intact_end as u64)
+                        .map_err(|e| checkpoint_io_err("truncate", &self.path, e))?;
+                    break;
+                }
+            }
+        }
+        Ok((entries, warnings))
+    }
+
+    /// Append one completed record. Creates the file (with its header
+    /// line) on first use. The single `write` of a full line keeps the
+    /// torn-write window to that one syscall.
+    pub fn append(&self, index: u64, payload: &Value) -> Result<(), SweepError> {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| checkpoint_io_err("open", &self.path, e))?;
+        let mut out = String::new();
+        let empty = file
+            .metadata()
+            .map_err(|e| checkpoint_io_err("stat", &self.path, e))?
+            .len()
+            == 0;
+        if empty {
+            out.push_str(&self.header_line());
+        }
+        out.push_str(&Value::Arr(vec![Value::u64(index), payload.clone()]).encode());
+        out.push('\n');
+        file.write_all(out.as_bytes())
+            .map_err(|e| checkpoint_io_err("append", &self.path, e))?;
+        file.flush()
+            .map_err(|e| checkpoint_io_err("flush", &self.path, e))
+    }
 }
 
 /// Generate `count` evenly spaced points in `[lo, hi]` inclusive.
@@ -1212,5 +1386,83 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn linspace_needs_two_points() {
         linspace(0.0, 1.0, 1);
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("osmosis-sweep-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn corrupt_checkpoint_doc_warns_and_recomputes() {
+        let path = tmp_path("corrupt-doc.json");
+        // A kill mid-write of a non-atomic copy, or disk damage: the
+        // file exists but is not JSON. The sweep must run fresh, not
+        // error out.
+        std::fs::write(&path, "{\"version\":1,\"key\":7,\"tot").unwrap();
+        let ckpt = SweepCheckpoint::new(&path, 7);
+        let summary =
+            checkpointed_sweep(vec![1u64, 2, 3], &quiet_opts(), &ckpt, |&x| x * 10).unwrap();
+        assert!(summary.is_complete());
+        assert_eq!(summary.outputs[2], Some(30));
+        // The rewrite replaced the corrupt file with a valid one.
+        let resumed =
+            checkpointed_sweep(vec![1u64, 2, 3], &quiet_opts(), &ckpt, |&x| x * 10).unwrap();
+        assert!(resumed
+            .jobs
+            .iter()
+            .all(|j| j.outcome == JobOutcome::Restored));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_log_round_trips_and_appends() {
+        let path = tmp_path("log-roundtrip.jsonl");
+        std::fs::remove_file(&path).ok();
+        let log = CheckpointLog::new(&path, 0xC0DE);
+        let (entries, warnings) = log.load_and_repair().unwrap();
+        assert!(entries.is_empty() && warnings.is_empty());
+        log.append(4, &Value::str("a")).unwrap();
+        log.append(9, &Value::u64(123)).unwrap();
+        let (entries, warnings) = log.load_and_repair().unwrap();
+        assert!(warnings.is_empty());
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, 4);
+        assert_eq!(entries[1], (9, Value::u64(123)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_log_truncates_torn_trailing_record() {
+        let path = tmp_path("log-torn.jsonl");
+        std::fs::remove_file(&path).ok();
+        let log = CheckpointLog::new(&path, 11);
+        log.append(0, &Value::u64(10)).unwrap();
+        log.append(1, &Value::u64(20)).unwrap();
+        // Simulate a SIGKILL mid-append: chop the last record in half.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 4]).unwrap();
+        let (entries, warnings) = log.load_and_repair().unwrap();
+        assert_eq!(entries, vec![(0, Value::u64(10))]);
+        assert_eq!(warnings.len(), 1, "torn record must be reported");
+        // The repair truncated the file: appending resumes cleanly.
+        log.append(1, &Value::u64(20)).unwrap();
+        let (entries, warnings) = log.load_and_repair().unwrap();
+        assert!(warnings.is_empty());
+        assert_eq!(entries, vec![(0, Value::u64(10)), (1, Value::u64(20))]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_log_discards_stale_key() {
+        let path = tmp_path("log-stale.jsonl");
+        std::fs::remove_file(&path).ok();
+        CheckpointLog::new(&path, 1)
+            .append(0, &Value::u64(1))
+            .unwrap();
+        let (entries, warnings) = CheckpointLog::new(&path, 2).load_and_repair().unwrap();
+        assert!(entries.is_empty());
+        assert_eq!(warnings.len(), 1);
+        assert!(!path.exists(), "stale log must be removed");
+        std::fs::remove_file(&path).ok();
     }
 }

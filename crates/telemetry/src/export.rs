@@ -21,10 +21,24 @@
 //! * `reconfig` — one per actual reconfiguration: the epoch it opened,
 //!   how many circuits changed, and the guard slots paid.
 //!
-//! The stream always starts with a `meta` record, and every run that
-//! opens with `meta` closes with a `summary`.
+//! Campaign streams (the sharded campaign runner of
+//! `osmosis-campaign`) use a second scope with four record types of its
+//! own, keyed by the campaign `key` instead of a `run` index:
+//!
+//! * `campaign` — opens the scope: schema version, campaign key, shard
+//!   and scenario-point counts, label.
+//! * `shard_point` — one completed scenario point: shard, global point
+//!   index, report fingerprint and digest.
+//! * `shard` — one shard's fate: completed / restored / quarantined,
+//!   with its point count, attempts and fold fingerprint.
+//! * `campaign_summary` — closes the scope: completed shards, the
+//!   quarantine list, the campaign fingerprint and the merged registry.
+//!
+//! The stream always starts with a `meta` (or `campaign`) record, and
+//! every scope that opens closes with its `summary`
+//! (`campaign_summary`); the two scopes never nest.
 //! [`validate_jsonl`] enforces that shape; CI runs it over the output
-//! of `telemetry_study --smoke`.
+//! of `telemetry_study --smoke` and `campaign --smoke`.
 
 use crate::registry::MetricsRegistry;
 use crate::spans::{CellSpan, Decomposition};
@@ -181,6 +195,93 @@ pub fn reconfig_record(
     ])
 }
 
+/// Build a `campaign` record: opens a campaign scope.
+pub fn campaign_record(key: u64, label: &str, shards: u64, points: u64) -> Value {
+    obj(vec![
+        ("type", Value::Str("campaign".into())),
+        ("version", Value::u64(SCHEMA_VERSION)),
+        ("key", Value::u64(key)),
+        ("label", Value::Str(label.into())),
+        ("shards", Value::u64(shards)),
+        ("points", Value::u64(points)),
+    ])
+}
+
+/// Build a `shard_point` record: one completed scenario point, carrying
+/// the report digest the campaign summary is folded from. Digest fields
+/// are passed explicitly so a worker can re-emit checkpointed points it
+/// restored without re-simulating them.
+#[allow(clippy::too_many_arguments)]
+pub fn shard_point_record(
+    shard: u64,
+    index: u64,
+    fingerprint: u64,
+    throughput: f64,
+    mean_delay: f64,
+    delivered: u64,
+    dropped: u64,
+) -> Value {
+    obj(vec![
+        ("type", Value::Str("shard_point".into())),
+        ("shard", Value::u64(shard)),
+        ("index", Value::u64(index)),
+        ("fingerprint", Value::u64(fingerprint)),
+        ("throughput", Value::f64(throughput)),
+        ("mean_delay", Value::f64(mean_delay)),
+        ("delivered", Value::u64(delivered)),
+        ("dropped", Value::u64(dropped)),
+    ])
+}
+
+/// Build a `shard` record: one shard's terminal state. `status` is
+/// `"completed"`, `"restored"` or `"quarantined"`; quarantined shards
+/// carry the failure `reason` and a zero fingerprint.
+pub fn shard_record(
+    shard: u64,
+    status: &str,
+    points: u64,
+    attempts: u64,
+    fingerprint: u64,
+    reason: Option<&str>,
+) -> Value {
+    let mut fields = vec![
+        ("type", Value::Str("shard".into())),
+        ("shard", Value::u64(shard)),
+        ("status", Value::Str(status.into())),
+        ("points", Value::u64(points)),
+        ("attempts", Value::u64(attempts)),
+        ("fingerprint", Value::u64(fingerprint)),
+    ];
+    if let Some(reason) = reason {
+        fields.push(("reason", Value::Str(reason.into())));
+    }
+    obj(fields)
+}
+
+/// Build a `campaign_summary` record: closes a campaign scope with the
+/// merged registry and the order-determined campaign fingerprint.
+pub fn campaign_summary_record(
+    key: u64,
+    completed: u64,
+    quarantined: &[usize],
+    points_done: u64,
+    fingerprint: u64,
+    registry: &MetricsRegistry,
+) -> Value {
+    obj(vec![
+        ("type", Value::Str("campaign_summary".into())),
+        ("key", Value::u64(key)),
+        ("completed", Value::u64(completed)),
+        (
+            "quarantined",
+            Value::Arr(quarantined.iter().map(|&s| Value::u64(s as u64)).collect()),
+        ),
+        ("points_done", Value::u64(points_done)),
+        ("fingerprint", Value::u64(fingerprint)),
+        ("registry", registry.to_json()),
+    ])
+}
+
 /// Counts of each record type seen by [`validate_jsonl`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JsonlStats {
@@ -196,6 +297,14 @@ pub struct JsonlStats {
     pub epochs: u64,
     /// `reconfig` records (circuit-switched runs).
     pub reconfigs: u64,
+    /// `campaign` records (one per campaign scope).
+    pub campaigns: u64,
+    /// `shard_point` records.
+    pub shard_points: u64,
+    /// `shard` records.
+    pub shards: u64,
+    /// `campaign_summary` records.
+    pub campaign_summaries: u64,
 }
 
 fn require_u64(v: &Value, line: usize, field: &str) -> Result<u64, String> {
@@ -212,14 +321,15 @@ fn require_f64(v: &Value, line: usize, field: &str) -> Result<f64, String> {
 
 /// Validate a telemetry JSONL document against the record schema.
 ///
-/// Checks that every line parses, that `"type"` is one of the four
-/// record kinds with its required fields, that the stream starts with a
-/// `meta` record, that span segments sum to the span delay, and that
-/// every run closes with a `summary`. Returns the per-type record
-/// counts on success.
+/// Checks that every line parses, that `"type"` is a known record kind
+/// with its required fields, that the stream starts with a `meta` (or
+/// `campaign`) record, that span segments sum to the span delay, and
+/// that every open scope closes with its `summary` /
+/// `campaign_summary`. Returns the per-type record counts on success.
 pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
     let mut stats = JsonlStats::default();
     let mut open_run: Option<u64> = None;
+    let mut open_campaign: Option<u64> = None;
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
         if raw.trim().is_empty() {
@@ -230,7 +340,22 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
             .get("type")
             .and_then(Value::as_str)
             .ok_or_else(|| format!("line {line}: missing `type` field"))?;
-        let run = require_u64(&v, line, "run")?;
+        // Run-scope records carry a `run` index; campaign-scope records
+        // carry the campaign `key` instead. The scopes never nest.
+        let run = match ty {
+            "campaign" | "shard_point" | "shard" | "campaign_summary" => {
+                if open_run.is_some() {
+                    return Err(format!("line {line}: {ty} record inside an open run"));
+                }
+                0
+            }
+            _ => {
+                if open_campaign.is_some() {
+                    return Err(format!("line {line}: {ty} record inside an open campaign"));
+                }
+                require_u64(&v, line, "run")?
+            }
+        };
         match ty {
             "meta" => {
                 if open_run.is_some() {
@@ -349,14 +474,88 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
                 open_run = None;
                 stats.summaries += 1;
             }
+            "campaign" => {
+                if open_campaign.is_some() {
+                    return Err(format!(
+                        "line {line}: campaign while a campaign is still open"
+                    ));
+                }
+                let version = require_u64(&v, line, "version")?;
+                if version != SCHEMA_VERSION {
+                    return Err(format!("line {line}: unsupported schema version {version}"));
+                }
+                v.get("label")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line}: missing `label`"))?;
+                require_u64(&v, line, "shards")?;
+                require_u64(&v, line, "points")?;
+                open_campaign = Some(require_u64(&v, line, "key")?);
+                stats.campaigns += 1;
+            }
+            "shard_point" => {
+                if open_campaign.is_none() {
+                    return Err(format!("line {line}: shard_point outside a campaign"));
+                }
+                for f in ["shard", "index", "fingerprint", "delivered", "dropped"] {
+                    require_u64(&v, line, f)?;
+                }
+                for f in ["throughput", "mean_delay"] {
+                    require_f64(&v, line, f)?;
+                }
+                stats.shard_points += 1;
+            }
+            "shard" => {
+                if open_campaign.is_none() {
+                    return Err(format!("line {line}: shard outside a campaign"));
+                }
+                for f in ["shard", "points", "attempts", "fingerprint"] {
+                    require_u64(&v, line, f)?;
+                }
+                let status = v
+                    .get("status")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line}: missing `status`"))?;
+                if !matches!(status, "completed" | "restored" | "quarantined") {
+                    return Err(format!("line {line}: unknown shard status `{status}`"));
+                }
+                stats.shards += 1;
+            }
+            "campaign_summary" => {
+                let key = require_u64(&v, line, "key")?;
+                if open_campaign != Some(key) {
+                    return Err(format!(
+                        "line {line}: campaign_summary outside its campaign"
+                    ));
+                }
+                for f in ["completed", "points_done", "fingerprint"] {
+                    require_u64(&v, line, f)?;
+                }
+                let quarantined = v
+                    .get("quarantined")
+                    .and_then(Value::items)
+                    .ok_or_else(|| format!("line {line}: missing `quarantined` list"))?;
+                if quarantined.iter().any(|s| s.as_u64().is_none()) {
+                    return Err(format!("line {line}: non-integer quarantined shard id"));
+                }
+                let registry = v
+                    .get("registry")
+                    .ok_or_else(|| format!("line {line}: missing `registry`"))?;
+                MetricsRegistry::from_json(registry)
+                    .ok_or_else(|| format!("line {line}: malformed registry"))?;
+                open_campaign = None;
+                stats.campaign_summaries += 1;
+            }
             other => return Err(format!("line {line}: unknown record type `{other}`")),
         }
     }
-    if stats.metas == 0 {
-        return Err("no meta record found".into());
+    if stats.metas == 0 && stats.campaigns == 0 {
+        return Err("no meta or campaign record found".into());
     }
     if open_run.is_some() {
         return Err("stream ended with an unclosed run (no summary)".into());
+    }
+    if open_campaign.is_some() {
+        return Err("stream ended with an unclosed campaign (no campaign_summary)".into());
     }
     Ok(stats)
 }
@@ -425,9 +624,74 @@ mod tests {
                 spans: 1,
                 summaries: 1,
                 epochs: 1,
-                reconfigs: 1
+                reconfigs: 1,
+                ..JsonlStats::default()
             }
         );
+    }
+
+    fn campaign_stream() -> String {
+        let report = EngineReport::default();
+        let reg = MetricsRegistry::new();
+        [
+            campaign_record(0xCAFE, "unit-campaign", 4, 32).encode(),
+            shard_point_record(1, 9, report.fingerprint(), 0.5, 3.0, 4000, 0).encode(),
+            shard_record(1, "completed", 8, 1, 0xF00D, None).encode(),
+            shard_record(
+                3,
+                "quarantined",
+                0,
+                3,
+                0,
+                Some("worker exited with status 3"),
+            )
+            .encode(),
+            campaign_summary_record(0xCAFE, 3, &[3], 24, 0xBEEF, &reg).encode(),
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn campaign_stream_validates_with_exact_counts() {
+        let stats = validate_jsonl(&campaign_stream()).expect("valid campaign stream");
+        assert_eq!(
+            stats,
+            JsonlStats {
+                campaigns: 1,
+                shard_points: 1,
+                shards: 2,
+                campaign_summaries: 1,
+                ..JsonlStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn campaign_records_are_policed() {
+        let open = campaign_record(1, "c", 2, 4).encode();
+        let close = campaign_summary_record(1, 2, &[], 4, 0, &MetricsRegistry::new()).encode();
+        // Scopes must not nest: a campaign inside an open run, and a
+        // run-scope record inside an open campaign.
+        let meta_line = meta_record(0, "unit", &meta()).encode();
+        let err = validate_jsonl(&format!("{meta_line}\n{open}")).unwrap_err();
+        assert!(err.contains("inside an open run"), "{err}");
+        let err = validate_jsonl(&format!("{open}\n{meta_line}")).unwrap_err();
+        assert!(err.contains("inside an open campaign"), "{err}");
+        // A shard record needs a campaign scope.
+        let loose = shard_record(0, "completed", 1, 1, 0, None).encode();
+        let err = validate_jsonl(&loose).unwrap_err();
+        assert!(err.contains("outside a campaign"), "{err}");
+        // Unknown shard status.
+        let bad = shard_record(0, "lost", 1, 1, 0, None).encode();
+        let err = validate_jsonl(&format!("{open}\n{bad}\n{close}")).unwrap_err();
+        assert!(err.contains("unknown shard status"), "{err}");
+        // Summary key must match the opener.
+        let wrong = campaign_summary_record(2, 2, &[], 4, 0, &MetricsRegistry::new()).encode();
+        let err = validate_jsonl(&format!("{open}\n{wrong}")).unwrap_err();
+        assert!(err.contains("outside its campaign"), "{err}");
+        // Unclosed campaign.
+        let err = validate_jsonl(&open).unwrap_err();
+        assert!(err.contains("unclosed campaign"), "{err}");
     }
 
     #[test]

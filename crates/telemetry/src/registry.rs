@@ -472,6 +472,36 @@ impl MetricsRegistry {
         ])
     }
 
+    /// Merge a serialized registry directly into this one — the
+    /// bounded-memory fold the campaign runner uses: one shard summary
+    /// is parsed, folded entry by entry, and dropped before the next is
+    /// read, so a million-shard campaign never holds two deserialized
+    /// registries at once. Equivalent to
+    /// `self.merge(&MetricsRegistry::from_json(v)?)` (merging is
+    /// commutative, so fold order does not matter); `None` on malformed
+    /// input, in which case `self` may hold a partial merge.
+    pub fn merge_json(&mut self, v: &Value) -> Option<()> {
+        for entry in v.get("counters")?.items()? {
+            let pair = entry.items()?;
+            let id = MetricId::parse(pair.first()?.as_str()?)?;
+            self.inc(id, pair.get(1)?.as_u64()?);
+        }
+        for entry in v.get("gauges")?.items()? {
+            let pair = entry.items()?;
+            let id = MetricId::parse(pair.first()?.as_str()?)?;
+            self.gauge_max(id, pair.get(1)?.as_f64()?);
+        }
+        for entry in v.get("histograms")?.items()? {
+            let pair = entry.items()?;
+            let id = MetricId::parse(pair.first()?.as_str()?)?;
+            self.histograms
+                .entry(id)
+                .or_default()
+                .merge(&LogHistogram::from_json(pair.get(1)?)?);
+        }
+        Some(())
+    }
+
     /// Deserialize a registry from a summary record; `None` on malformed
     /// input. Round-trips [`to_json`](MetricsRegistry::to_json) exactly.
     pub fn from_json(v: &Value) -> Option<Self> {
@@ -612,5 +642,35 @@ mod tests {
             .unwrap();
         assert_eq!(h.count(), 4);
         assert_eq!(h.max(), Some(1 << 40));
+    }
+
+    #[test]
+    fn merge_json_equals_deserialize_then_merge() {
+        let mk = |seed: u64| {
+            let mut reg = MetricsRegistry::new();
+            reg.inc(MetricId::new(Component::Voq, "cells_injected"), 100 + seed);
+            reg.gauge_max(
+                MetricId::new(Component::Engine, "throughput"),
+                0.5 + seed as f64 * 0.1,
+            );
+            for v in [seed + 1, seed * 3 + 2, 1 << 20] {
+                reg.observe(MetricId::new(Component::Egress, "delay"), v);
+            }
+            reg
+        };
+        // Fold three shard registries two ways: deserialize-then-merge
+        // vs the streaming merge_json. Byte-identical serializations.
+        let mut by_merge = MetricsRegistry::new();
+        let mut by_json = MetricsRegistry::new();
+        for seed in [3u64, 7, 11] {
+            let shard = mk(seed);
+            by_merge.merge(&shard);
+            by_json
+                .merge_json(&shard.to_json())
+                .expect("well-formed registry json");
+        }
+        assert_eq!(by_json.to_json().encode(), by_merge.to_json().encode());
+        // Malformed input is rejected.
+        assert!(MetricsRegistry::new().merge_json(&Value::Null).is_none());
     }
 }

@@ -4,6 +4,7 @@
 #![deny(missing_docs)]
 
 pub use osmosis_analysis as analysis;
+pub use osmosis_campaign as campaign;
 pub use osmosis_core as core;
 pub use osmosis_fabric as fabric;
 pub use osmosis_faults as faults;

@@ -148,6 +148,52 @@ fn budget_exceeding_job_is_reported_without_aborting_siblings() {
 }
 
 #[test]
+fn corrupt_checkpoint_is_discarded_and_the_sweep_recomputes_exactly() {
+    // A checkpoint torn mid-write (truncated JSON) must not abort the
+    // sweep: the loader discards it with a warning and every point runs
+    // fresh, bit-identical to a sweep that never had a checkpoint.
+    let loads = [0.2f64, 0.5, 0.8];
+    let path = tmp_ckpt("corrupt");
+    let opts = SweepOptions::seeded(23).with_backoff_base_ms(0);
+    let job = |&l: &f64| run_point(l, (l * 10.0) as u64, 1_500);
+
+    let clean = checkpointed_sweep(
+        loads.to_vec(),
+        &opts,
+        &SweepCheckpoint::new(&path, 0xBAD),
+        job,
+    )
+    .expect("io");
+    assert!(clean.is_complete());
+    let text = std::fs::read_to_string(&path).expect("checkpoint written");
+    std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+
+    let recovered = checkpointed_sweep(
+        loads.to_vec(),
+        &opts,
+        &SweepCheckpoint::new(&path, 0xBAD),
+        job,
+    )
+    .expect("a corrupt checkpoint must not be fatal");
+    assert!(recovered.is_complete());
+    assert!(
+        recovered
+            .jobs
+            .iter()
+            .all(|j| j.outcome == JobOutcome::Completed),
+        "nothing can restore from a discarded checkpoint"
+    );
+    for (r, c) in recovered.outputs.iter().zip(clean.outputs.iter()) {
+        assert_eq!(
+            r.as_ref().expect("recovered").fingerprint(),
+            c.as_ref().expect("clean").fingerprint(),
+            "recomputed sweep must match the original bit for bit"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn stale_checkpoint_from_another_sweep_is_ignored() {
     // A checkpoint keyed to a different sweep (other key) must not leak
     // its points into this one — the sweep starts fresh and overwrites.
