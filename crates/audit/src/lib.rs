@@ -26,6 +26,10 @@
 //! * [`CreditConservation`] — for every credit-flow-controlled link the
 //!   model snapshots, `held + in flight + occupancy == capacity`,
 //!   including across grant loss, retransmission and credit-resync.
+//! * [`FdlConservation`] — for every fiber-delay-line queue a model
+//!   snapshots, `pushed == popped + dropped + resident`: an emulated
+//!   optical buffer accounts every cell it was asked to store, typed
+//!   losses included.
 //! * [`OrderPreservation`] — per (source, destination) flow, egress
 //!   sequence numbers strictly increase.
 //! * [`CapacityLegality`] — no slot grants more cells to an output than
@@ -94,6 +98,22 @@ pub enum ViolationKind {
         /// The unbalanced ledger snapshot.
         ledger: CreditLedger,
     },
+    /// A fiber-delay-line queue's cell-conservation ledger failed to
+    /// balance.
+    FdlLedger {
+        /// The FDL queue (model-defined keying; the multistage fabric
+        /// uses `node_index · radix + input`).
+        queue: usize,
+        /// Cells the queue was asked to store (admission refusals
+        /// included).
+        pushed: u64,
+        /// Cells served to the matching.
+        popped: u64,
+        /// Cells lost (typed: admission, infeasible line, dead line).
+        dropped: u64,
+        /// Cells resident in the delay lines at the snapshot.
+        resident: u64,
+    },
     /// A flow's egress sequence number regressed or repeated.
     OrderRegression {
         /// Flow source.
@@ -158,6 +178,16 @@ impl std::fmt::Display for ViolationKind {
                 f,
                 "credit ledger for node {node} port {port}: held {} + in-flight {} + occupancy {} != capacity {}",
                 ledger.held, ledger.in_flight, ledger.occupancy, ledger.capacity
+            ),
+            ViolationKind::FdlLedger {
+                queue,
+                pushed,
+                popped,
+                dropped,
+                resident,
+            } => write!(
+                f,
+                "fdl ledger for queue {queue}: pushed {pushed} != popped {popped} + dropped {dropped} + resident {resident}"
             ),
             ViolationKind::OrderRegression {
                 src,
@@ -417,6 +447,71 @@ impl Auditor for CreditConservation {
 impl InvariantAuditor for CreditConservation {
     fn name(&self) -> &'static str {
         "credit-conservation"
+    }
+    fn total_violations(&self) -> u64 {
+        self.rec.total
+    }
+    fn violations(&self) -> &[Violation] {
+        &self.rec.stored
+    }
+}
+
+// ---------------------------------------------------------------------
+// FDL cell conservation
+// ---------------------------------------------------------------------
+
+/// Checks every fiber-delay-line ledger snapshot a model reports:
+/// an emulated optical buffer stores cells in recirculating fiber, so
+/// "nothing vanishes" is a physical claim about the delay-line bank —
+/// every cell pushed must be served, typed-lost, or still in fiber:
+/// `pushed == popped + dropped + resident`, every snapshot, every queue.
+/// Electronic buffer planes report no FDL ledgers, so this auditor is
+/// vacuous (and the audited run bit-identical) for them.
+#[derive(Debug, Default)]
+pub struct FdlConservation {
+    rec: Recorder,
+}
+
+impl FdlConservation {
+    /// A fresh FDL-conservation auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Auditor for FdlConservation {
+    fn configure(&mut self, _cfg: &EngineConfig, _ports: usize) {
+        self.rec.reset();
+    }
+
+    fn fdl_ledger(
+        &mut self,
+        slot: u64,
+        queue: usize,
+        pushed: u64,
+        popped: u64,
+        dropped: u64,
+        resident: u64,
+    ) {
+        if pushed != popped + dropped + resident {
+            self.rec.record(
+                slot,
+                self.name(),
+                ViolationKind::FdlLedger {
+                    queue,
+                    pushed,
+                    popped,
+                    dropped,
+                    resident,
+                },
+            );
+        }
+    }
+}
+
+impl InvariantAuditor for FdlConservation {
+    fn name(&self) -> &'static str {
+        "fdl-conservation"
     }
     fn total_violations(&self) -> u64 {
         self.rec.total
@@ -718,12 +813,15 @@ impl AuditSet {
     }
 
     /// The standard battery for order-preserving models: cell
-    /// conservation, credit conservation, order preservation and
-    /// capacity legality.
+    /// conservation, credit conservation, FDL cell conservation, order
+    /// preservation and capacity legality. The FDL auditor only sees
+    /// ledgers from models running an FDL buffer plane; elsewhere it is
+    /// vacuous.
     pub fn standard(mode: AuditMode) -> Self {
         Self::new(mode)
             .with(CellConservation::new())
             .with(CreditConservation::new())
+            .with(FdlConservation::new())
             .with(OrderPreservation::new())
             .with(CapacityLegality::new())
     }
@@ -735,6 +833,7 @@ impl AuditSet {
         Self::new(mode)
             .with(CellConservation::new())
             .with(CreditConservation::new())
+            .with(FdlConservation::new())
             .with(CapacityLegality::new())
     }
 
@@ -879,6 +978,21 @@ impl Auditor for AuditSet {
         self.bark();
     }
 
+    fn fdl_ledger(
+        &mut self,
+        slot: u64,
+        queue: usize,
+        pushed: u64,
+        popped: u64,
+        dropped: u64,
+        resident: u64,
+    ) {
+        for a in &mut self.auditors {
+            a.fdl_ledger(slot, queue, pushed, popped, dropped, resident);
+        }
+        self.bark();
+    }
+
     fn end_run(&mut self, resident_cells: Option<u64>, report: &mut EngineReport) {
         for a in &mut self.auditors {
             a.end_run(resident_cells, report);
@@ -957,6 +1071,49 @@ mod tests {
         let mut r = EngineReport::default();
         a.end_run(Some(0), &mut r);
         assert_eq!(a.total_violations(), 0);
+    }
+
+    #[test]
+    fn fdl_conservation_accepts_closed_and_flags_open_ledgers() {
+        let mut a = FdlConservation::new();
+        a.configure(&cfg(), 4);
+        a.fdl_ledger(5, 2, 10, 6, 1, 3);
+        assert_eq!(a.total_violations(), 0, "10 == 6 + 1 + 3");
+        a.fdl_ledger(6, 2, 10, 6, 1, 2);
+        assert_eq!(a.total_violations(), 1, "a cell vanished from fiber");
+        assert!(matches!(
+            a.violations()[0].kind,
+            ViolationKind::FdlLedger {
+                queue: 2,
+                pushed: 10,
+                ..
+            }
+        ));
+        let text = a.violations()[0].to_string();
+        assert!(text.contains("fdl ledger for queue 2"), "{text}");
+    }
+
+    #[test]
+    fn audit_set_forwards_fdl_ledgers() {
+        let mut set = AuditSet::standard(AuditMode::Accumulate);
+        set.configure(&cfg(), 4);
+        set.fdl_ledger(1, 0, 4, 4, 0, 0);
+        assert_eq!(set.total_violations(), 0);
+        set.fdl_ledger(2, 1, 4, 1, 0, 0);
+        assert_eq!(set.total_violations(), 1);
+        let report = set.report();
+        assert!(report
+            .entries
+            .iter()
+            .any(|e| e.auditor == "fdl-conservation" && e.total == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "fdl ledger for queue 3")]
+    fn fail_fast_barks_on_fdl_imbalance() {
+        let mut set = AuditSet::standard(AuditMode::FailFast);
+        set.configure(&cfg(), 4);
+        set.fdl_ledger(1, 3, 5, 1, 0, 0);
     }
 
     #[test]

@@ -279,9 +279,17 @@ fn main() {
         spec.poison_shards.push(parse_or_die("--poison", &s));
     }
 
+    // Pacing only — none of this reaches a fingerprint. Don't spawn more
+    // workers than cores: oversubscribed workers stretch per-point wall
+    // time until the heartbeat watchdog mistakes contention for a hang.
+    // The widened heartbeat tolerates the slowest full-scale points
+    // (FDL-buffered fabric legs at high burst) on a loaded runner.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let opts = CampaignOptions {
         shards: flag_value(&args, "--shards").map_or(8, |s| parse_or_die("--shards", &s)),
-        workers: flag_value(&args, "--workers").map_or(4, |s| parse_or_die("--workers", &s)),
+        workers: flag_value(&args, "--workers")
+            .map_or(4.min(cores), |s| parse_or_die("--workers", &s)),
+        heartbeat_timeout_ms: 120_000,
         interrupt_after: None,
         progress: args.iter().any(|a| a == "--progress"),
         ..Default::default()

@@ -1,12 +1,21 @@
 //! Regenerates Fig. 2's comparison: buffer placement options around the
 //! optical crossbar.
+//!
+//! Flags:
+//!
+//! * `--quick` — test scale.
+//! * `--topology <spec>` — run the comparison on a declared two-level
+//!   topology instead of the figure's default (the spec's placement and
+//!   buffer-sizing fields are the experiment's own axes and are
+//!   ignored).
 
-use osmosis_bench::{print_table, scale_from_args};
+use osmosis_bench::{print_table, scale_from_args, topology_from_args};
 use osmosis_core::experiments::fig2;
 
 fn main() {
     let scale = scale_from_args();
-    let rows = fig2::run(scale, 0xF162);
+    let spec = topology_from_args().unwrap_or_else(|| fig2::default_topology(scale));
+    let rows = fig2::run_on(&spec, scale, 0xF162);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -21,7 +30,7 @@ fn main() {
         })
         .collect();
     print_table(
-        "Fig. 2: buffer placement options (two-level fat tree)",
+        &format!("Fig. 2: buffer placement options ({spec})"),
         &[
             "placement",
             "OEO/stage",

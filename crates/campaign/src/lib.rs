@@ -39,7 +39,7 @@ pub mod spec;
 
 pub use runner::{run_campaign, CampaignOptions, CampaignReport, QuarantinedShard, WorkerRequest};
 pub use shard::{run_shard, ShardSummary};
-pub use spec::{CampaignSpec, FaultSpec, ScenarioPoint};
+pub use spec::{BufferSpec, CampaignSpec, FaultSpec, ScenarioPoint};
 
 /// Errors of the campaign plane. Worker-side scenario failures are not
 /// here: a worker that cannot produce its summary simply exits nonzero,

@@ -10,9 +10,9 @@
 //! by one line per completed point, and a worker whose log stops
 //! growing is presumed hung and killed.
 
-use crate::spec::{CampaignSpec, FaultSpec, ScenarioPoint};
+use crate::spec::{BufferSpec, CampaignSpec, FaultSpec, ScenarioPoint};
 use crate::{fnv_words, CampaignError};
-use osmosis_fabric::multistage::{FabricConfig, FatTreeFabric};
+use osmosis_fabric::multistage::{BufferTech, FabricConfig, FatTreeFabric, Placement};
 use osmosis_fabric::{CompiledFabric, ExpandedFabric, TopologyFamily, TopologySpec};
 use osmosis_faults::{FaultInjector, FaultKind, FaultPlan};
 use osmosis_sched::Flppr;
@@ -274,12 +274,23 @@ fn run_point(spec: &CampaignSpec, point: &ScenarioPoint) -> Result<PointDigest, 
             Ok(simulate(&mut sw, tr.as_mut(), &cfg, None))
         }
         Some(tspec) if fault_capable(tspec) => {
+            // The buffer axis only binds here: FDL input stages need the
+            // multistage fabric's buffer-plane seam, and the FDL plane
+            // needs the input-only placement (its shortest line is the
+            // one-slot local request/grant loop). Points that pair FDL
+            // with another placement or topology run with their native
+            // electronic buffers, like vacuous fault plans run clean.
+            let buffer_tech = match point.buffer {
+                BufferSpec::Fdl if tspec.placement == Placement::InputOnly => BufferTech::Fdl,
+                _ => BufferTech::Electronic,
+            };
             let fab_cfg = FabricConfig {
                 radix: tspec.radix,
                 link_delay: tspec.link_delay,
                 buffer_cells: tspec.buffer_cells(),
                 iterations: tspec.iterations,
                 placement: tspec.placement,
+                buffer_tech,
             };
             let mut fab = FatTreeFabric::try_new(fab_cfg).map_err(|e| CampaignError::Spec {
                 message: format!("topology `{tspec}`: {e}"),
@@ -485,6 +496,7 @@ mod tests {
             bursts: vec![1.0, 3.0],
             faults: vec![FaultSpec::None, FaultSpec::PlaneLoss { planes: 1 }],
             topologies: vec![None, Some(TopologySpec::two_level(4))],
+            buffers: vec![BufferSpec::Electronic, BufferSpec::Fdl],
             replicas: 1,
             poison_shards: vec![],
         }

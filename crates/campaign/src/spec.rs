@@ -81,8 +81,48 @@ impl FaultSpec {
     }
 }
 
+/// One buffer-technology variant of the campaign's buffer axis.
+///
+/// The axis acts on the fault-capable multistage topology (the two-level
+/// fat tree), whose input stages can be built either way. Points that
+/// pair [`BufferSpec::Fdl`] with a topology that has no buffer-plane
+/// seam (the single-stage switch, compiled expanded fabrics) run with
+/// their native electronic buffers — deterministically, and recorded as
+/// such — mirroring how vacuous fault plans are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferSpec {
+    /// Electronic virtual-output-queue input buffers (the default).
+    Electronic,
+    /// Emulated fiber-delay-line priority queues at each input stage.
+    Fdl,
+}
+
+impl BufferSpec {
+    /// Serialize for `spec.json`.
+    pub fn to_json(&self) -> Value {
+        Value::str(self.label())
+    }
+
+    /// Deserialize; `None` on malformed input.
+    pub fn from_json(v: &Value) -> Option<Self> {
+        match v.as_str()? {
+            "electronic" => Some(BufferSpec::Electronic),
+            "fdl" => Some(BufferSpec::Fdl),
+            _ => None,
+        }
+    }
+
+    /// A short label for manifests and progress lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BufferSpec::Electronic => "electronic",
+            BufferSpec::Fdl => "fdl",
+        }
+    }
+}
+
 /// The campaign: scenario axes plus the engine window they all run
-/// under. The scenario count is the product of the five axis lengths.
+/// under. The scenario count is the product of the six axis lengths.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
     /// Campaign master seed; every point seed derives from it.
@@ -104,6 +144,8 @@ pub struct CampaignSpec {
     /// runs the spec through the fabric compiler (the two-level fat
     /// tree takes the fault-capable multistage path).
     pub topologies: Vec<Option<TopologySpec>>,
+    /// Buffer-technology axis (electronic VOQs vs. FDL queues).
+    pub buffers: Vec<BufferSpec>,
     /// Seed replicas per scenario cell (≥ 1).
     pub replicas: usize,
     /// Shards that must fail deliberately on every attempt — the
@@ -124,6 +166,8 @@ pub struct ScenarioPoint {
     pub fault: FaultSpec,
     /// Topology (`None` ⇒ single-stage switch).
     pub topology: Option<TopologySpec>,
+    /// Buffer technology for the point's input stages.
+    pub buffer: BufferSpec,
     /// Replica number within the scenario cell.
     pub replica: usize,
     /// The engine seed — a pure function of the campaign seed and the
@@ -134,13 +178,17 @@ pub struct ScenarioPoint {
 impl CampaignSpec {
     /// Total scenario points: the axis cross-product size.
     pub fn total_points(&self) -> u64 {
-        (self.loads.len() * self.bursts.len() * self.faults.len() * self.topologies.len()) as u64
+        (self.loads.len()
+            * self.bursts.len()
+            * self.faults.len()
+            * self.topologies.len()
+            * self.buffers.len()) as u64
             * self.replicas as u64
     }
 
     /// Decode global point `index` (mixed radix; the replica varies
-    /// fastest, then topology, fault, burst, load). Returns `None` when
-    /// the index is out of range.
+    /// fastest, then buffer technology, topology, fault, burst, load).
+    /// Returns `None` when the index is out of range.
     pub fn point(&self, index: u64) -> Option<ScenarioPoint> {
         if index >= self.total_points() {
             return None;
@@ -148,6 +196,8 @@ impl CampaignSpec {
         let mut rest = index;
         let r = (rest % self.replicas as u64) as usize;
         rest /= self.replicas as u64;
+        let ui = (rest % self.buffers.len() as u64) as usize;
+        rest /= self.buffers.len() as u64;
         let ti = (rest % self.topologies.len() as u64) as usize;
         rest /= self.topologies.len() as u64;
         let fi = (rest % self.faults.len() as u64) as usize;
@@ -156,7 +206,7 @@ impl CampaignSpec {
         rest /= self.bursts.len() as u64;
         let li = rest as usize;
         let seed = fnv_words([
-            self.seed, li as u64, bi as u64, fi as u64, ti as u64, r as u64,
+            self.seed, li as u64, bi as u64, fi as u64, ti as u64, ui as u64, r as u64,
         ]);
         Some(ScenarioPoint {
             index,
@@ -164,6 +214,7 @@ impl CampaignSpec {
             burst: self.bursts[bi],
             fault: self.faults[fi].clone(),
             topology: self.topologies[ti],
+            buffer: self.buffers[ui],
             replica: r,
             seed,
         })
@@ -184,6 +235,7 @@ impl CampaignSpec {
             || self.bursts.is_empty()
             || self.faults.is_empty()
             || self.topologies.is_empty()
+            || self.buffers.is_empty()
         {
             return fail("every axis needs at least one entry".into());
         }
@@ -219,7 +271,7 @@ impl CampaignSpec {
     /// key below identifies the campaign across processes.
     pub fn to_json(&self) -> Value {
         Value::Obj(vec![
-            ("version".into(), Value::u64(1)),
+            ("version".into(), Value::u64(2)),
             ("seed".into(), Value::u64(self.seed)),
             ("ports".into(), Value::u64(self.ports as u64)),
             ("warmup".into(), Value::u64(self.warmup)),
@@ -248,6 +300,10 @@ impl CampaignSpec {
                         .collect(),
                 ),
             ),
+            (
+                "buffers".into(),
+                Value::Arr(self.buffers.iter().map(BufferSpec::to_json).collect()),
+            ),
             ("replicas".into(), Value::u64(self.replicas as u64)),
             (
                 "poison_shards".into(),
@@ -262,8 +318,12 @@ impl CampaignSpec {
     }
 
     /// Deserialize a `spec.json` document; `None` on malformed input.
+    /// Version-1 documents (pre-dating the buffer axis) decode with a
+    /// single-entry electronic buffer axis, so old campaigns re-key but
+    /// still load.
     pub fn from_json(v: &Value) -> Option<Self> {
-        if v.get("version")?.as_u64()? != 1 {
+        let version = v.get("version")?.as_u64()?;
+        if version != 1 && version != 2 {
             return None;
         }
         let floats = |field: &str| -> Option<Vec<f64>> {
@@ -284,6 +344,15 @@ impl CampaignSpec {
                 other => other.as_str()?.parse::<TopologySpec>().ok().map(Some),
             })
             .collect::<Option<Vec<_>>>()?;
+        let buffers = match v.get("buffers") {
+            None if version == 1 => vec![BufferSpec::Electronic],
+            None => return None,
+            Some(arr) => arr
+                .items()?
+                .iter()
+                .map(BufferSpec::from_json)
+                .collect::<Option<Vec<_>>>()?,
+        };
         let poison_shards = v
             .get("poison_shards")?
             .items()?
@@ -299,6 +368,7 @@ impl CampaignSpec {
             bursts: floats("bursts")?,
             faults,
             topologies,
+            buffers,
             replicas: v.get("replicas")?.as_usize()?,
             poison_shards,
         })
@@ -333,6 +403,7 @@ mod tests {
             bursts: vec![1.0, 4.0],
             faults: vec![FaultSpec::None, FaultSpec::PlaneLoss { planes: 1 }],
             topologies: vec![None, Some(TopologySpec::two_level(8))],
+            buffers: vec![BufferSpec::Electronic, BufferSpec::Fdl],
             replicas: 3,
             poison_shards: vec![],
         }
@@ -354,7 +425,7 @@ mod tests {
     #[test]
     fn point_decode_covers_the_cross_product_uniquely() {
         let s = spec();
-        assert_eq!(s.total_points(), 2 * 2 * 2 * 2 * 3);
+        assert_eq!(s.total_points(), 2 * 2 * 2 * 2 * 2 * 3);
         let mut seeds = std::collections::BTreeSet::new();
         for i in 0..s.total_points() {
             let p = s.point(i).expect("in range");
@@ -367,6 +438,44 @@ mod tests {
         let b = s.point(1).unwrap();
         assert_eq!(a.load.to_bits(), b.load.to_bits());
         assert_ne!(a.replica, b.replica);
+        // The buffer axis sits just above the replicas: stepping past
+        // the replica block flips electronic → FDL, all else equal.
+        let c = s.point(s.replicas as u64).unwrap();
+        assert_eq!(a.buffer, BufferSpec::Electronic);
+        assert_eq!(c.buffer, BufferSpec::Fdl);
+        assert_eq!(a.topology, c.topology);
+        assert_eq!(a.load.to_bits(), c.load.to_bits());
+        assert_eq!(a.replica, c.replica);
+        // Stepping one block further wraps the buffer coordinate and
+        // advances the topology axis instead.
+        let d = s.point((s.replicas * s.buffers.len()) as u64).unwrap();
+        assert_eq!(d.buffer, BufferSpec::Electronic);
+        assert_ne!(a.topology, d.topology);
+    }
+
+    #[test]
+    fn version_one_documents_decode_with_electronic_buffers() {
+        let mut json = spec().to_json();
+        // Rewrite the document as a version-1 spec: no buffer axis.
+        if let Value::Obj(fields) = &mut json {
+            fields.retain(|(k, _)| k != "buffers");
+            for (k, v) in fields.iter_mut() {
+                if k == "version" {
+                    *v = Value::u64(1);
+                }
+            }
+        }
+        let back = CampaignSpec::from_json(&json).expect("legacy decode");
+        assert_eq!(back.buffers, vec![BufferSpec::Electronic]);
+        // A version-2 document without the axis is malformed.
+        if let Value::Obj(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "version" {
+                    *v = Value::u64(2);
+                }
+            }
+        }
+        assert!(CampaignSpec::from_json(&json).is_none());
     }
 
     #[test]

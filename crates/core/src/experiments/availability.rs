@@ -29,7 +29,7 @@
 
 use super::Scale;
 use osmosis_audit::{AuditMode, AuditSet};
-use osmosis_fabric::multistage::{FabricConfig, FatTreeFabric};
+use osmosis_fabric::multistage::{BufferTech, FabricConfig, FatTreeFabric};
 use osmosis_fabric::{EngineConfig, EngineReport, TopologyFamily, TopologySpec};
 use osmosis_faults::{FaultInjector, FaultKind, FaultPlan};
 use osmosis_sim::engine::{run_instrumented, TraceEvent, TraceSink};
@@ -257,6 +257,7 @@ fn resolve_fabric_config(
         buffer_cells: spec.buffer_cells(),
         iterations: spec.iterations,
         placement: spec.placement,
+        buffer_tech: BufferTech::Electronic,
     })
 }
 

@@ -11,15 +11,15 @@
 //! change.
 
 use super::Scale;
-use osmosis_campaign::{CampaignSpec, FaultSpec};
+use osmosis_campaign::{BufferSpec, CampaignSpec, FaultSpec};
 use osmosis_fabric::TopologySpec;
 
 /// The default campaign at the chosen scale.
 ///
 /// Quick: 2 loads × 2 burst levels × 2 fault plans × 2 topologies ×
-/// 2 replicas = 32 points of a few thousand slots each — seconds of
-/// work, sized for tests and the CI smoke gate. Full: 4 × 3 × 3 × 2 × 3
-/// = 216 points at paper-scale windows.
+/// 2 buffer technologies × 2 replicas = 64 points of a few thousand
+/// slots each — seconds of work, sized for tests and the CI smoke gate.
+/// Full: 4 × 3 × 3 × 2 × 2 × 3 = 432 points at paper-scale windows.
 pub fn default_spec(scale: Scale, seed: u64) -> CampaignSpec {
     match scale {
         Scale::Quick => CampaignSpec {
@@ -31,6 +31,7 @@ pub fn default_spec(scale: Scale, seed: u64) -> CampaignSpec {
             bursts: vec![1.0, 4.0],
             faults: vec![FaultSpec::None, FaultSpec::PlaneLoss { planes: 1 }],
             topologies: vec![None, Some(TopologySpec::two_level(8))],
+            buffers: vec![BufferSpec::Electronic, BufferSpec::Fdl],
             replicas: 2,
             poison_shards: vec![],
         },
@@ -50,6 +51,7 @@ pub fn default_spec(scale: Scale, seed: u64) -> CampaignSpec {
                 },
             ],
             topologies: vec![None, Some(TopologySpec::two_level(scale.fabric_radix()))],
+            buffers: vec![BufferSpec::Electronic, BufferSpec::Fdl],
             replicas: 3,
             poison_shards: vec![],
         },
@@ -66,10 +68,10 @@ mod tests {
     fn default_specs_validate_and_cover_the_advertised_points() {
         let quick = default_spec(Scale::Quick, 7);
         quick.validate().expect("quick spec");
-        assert_eq!(quick.total_points(), 32);
+        assert_eq!(quick.total_points(), 64);
         let full = default_spec(Scale::Full, 7);
         full.validate().expect("full spec");
-        assert_eq!(full.total_points(), 216);
+        assert_eq!(full.total_points(), 432);
         // The key is a pure function of the spec: same seed same key,
         // different seed different key.
         assert_eq!(quick.key(), default_spec(Scale::Quick, 7).key());

@@ -5,8 +5,8 @@
 
 use super::Scale;
 use osmosis_fabric::flow_control::required_buffer_cells;
-use osmosis_fabric::multistage::{FabricConfig, FatTreeFabric, Placement};
-use osmosis_fabric::EngineConfig;
+use osmosis_fabric::multistage::{BufferTech, FabricConfig, FatTreeFabric, Placement};
+use osmosis_fabric::{EngineConfig, TopologySpec};
 use osmosis_sim::SeedSequence;
 use osmosis_traffic::BernoulliUniform;
 
@@ -28,10 +28,29 @@ pub struct Fig2Row {
     pub buffer_cells_needed: usize,
 }
 
-/// Run the comparison.
+/// The topology the comparison runs on when none is declared: the §V
+/// two-level leaf–spine at the scale's fabric radix, with the longer
+/// 3-slot cable the figure's request/grant argument is about.
+pub fn default_topology(scale: Scale) -> TopologySpec {
+    TopologySpec {
+        link_delay: 3,
+        ..TopologySpec::two_level(scale.fabric_radix())
+    }
+}
+
+/// Run the comparison on the declared default topology.
 pub fn run(scale: Scale, seed: u64) -> Vec<Fig2Row> {
-    let radix = scale.fabric_radix();
-    let link_delay = 3u64;
+    run_on(&default_topology(scale), scale, seed)
+}
+
+/// Run the comparison on a declared two-level topology spec. The spec
+/// contributes the fabric's shape (radix, cable length, matching
+/// iterations); the placement axis and the per-placement fair buffer
+/// sizing are the experiment's own, so the spec's `placement` and
+/// `buffer` fields are ignored.
+pub fn run_on(spec: &TopologySpec, scale: Scale, seed: u64) -> Vec<Fig2Row> {
+    let radix = spec.radix;
+    let link_delay = spec.link_delay;
     [
         Placement::InputAndOutput,
         Placement::OutputOnly,
@@ -55,8 +74,9 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Fig2Row> {
             radix,
             link_delay,
             buffer_cells,
-            iterations: 3,
+            iterations: spec.iterations,
             placement,
+            buffer_tech: BufferTech::Electronic,
         };
         let run_at = |load: f64| {
             let mut fab = FatTreeFabric::new(cfg);
@@ -116,5 +136,42 @@ mod tests {
                 r.moderate_throughput
             );
         }
+    }
+
+    #[test]
+    fn declared_default_topology_reproduces_the_undeclared_run() {
+        let implicit = run(Scale::Quick, 3);
+        let declared = run_on(&default_topology(Scale::Quick), Scale::Quick, 3);
+        assert_eq!(implicit.len(), declared.len());
+        for (a, b) in implicit.iter().zip(&declared) {
+            assert_eq!(a.placement, b.placement);
+            assert_eq!(a.buffer_cells_needed, b.buffer_cells_needed);
+            assert_eq!(
+                a.light_load_latency.to_bits(),
+                b.light_load_latency.to_bits()
+            );
+            assert_eq!(
+                a.moderate_load_latency.to_bits(),
+                b.moderate_load_latency.to_bits()
+            );
+            assert_eq!(
+                a.moderate_throughput.to_bits(),
+                b.moderate_throughput.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn a_declared_topology_changes_the_fabric_shape() {
+        // A shorter cable shrinks the light-load latency: the declared
+        // spec must actually reach the fabric, not just be parsed.
+        let long = run_on(&default_topology(Scale::Quick), Scale::Quick, 3);
+        let short = run_on(&TopologySpec::two_level(8), Scale::Quick, 3);
+        assert!(
+            short[2].light_load_latency < long[2].light_load_latency,
+            "short {} vs long {}",
+            short[2].light_load_latency,
+            long[2].light_load_latency
+        );
     }
 }

@@ -6,7 +6,7 @@ use super::Scale;
 use osmosis_fabric::flow_control::{
     required_buffer_cells, run_relay_loop, RelayConfig, RelayReport,
 };
-use osmosis_fabric::multistage::{FabricConfig, FatTreeFabric, Placement};
+use osmosis_fabric::multistage::{BufferTech, FabricConfig, FatTreeFabric, Placement};
 use osmosis_fabric::{EngineConfig, EngineReport};
 use osmosis_sim::SeedSequence;
 use osmosis_traffic::Hotspot;
@@ -47,6 +47,7 @@ pub fn run(scale: Scale, seed: u64) -> Fig4Result {
         buffer_cells: fabric_buffer,
         iterations: 3,
         placement: Placement::InputOnly,
+        buffer_tech: BufferTech::Electronic,
     };
     let mut fab = FatTreeFabric::new(cfg);
     let hosts = fab.topology().hosts();

@@ -5,6 +5,7 @@
 pub mod ablations;
 pub mod availability;
 pub mod campaign;
+pub mod fdl_study;
 pub mod fig1;
 pub mod fig10;
 pub mod fig2;

@@ -1,7 +1,7 @@
 //! The fabric-level OSMOSIS system (§V): 64-port switches in a two-level
 //! (three-stage) fat tree → 2048 ports at 12 GByte/s each.
 
-use osmosis_fabric::multistage::{FabricConfig, FatTreeFabric, Placement};
+use osmosis_fabric::multistage::{BufferTech, FabricConfig, FatTreeFabric, Placement};
 use osmosis_fabric::topology::TwoLevelFatTree;
 use osmosis_fabric::{EngineConfig, EngineReport};
 use osmosis_sim::TimeDelta;
@@ -77,6 +77,7 @@ impl OsmosisFabricConfig {
             buffer_cells: (2 * d + 2) as usize,
             iterations: 3,
             placement: Placement::InputOnly,
+            buffer_tech: BufferTech::Electronic,
         })
     }
 

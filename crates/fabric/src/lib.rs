@@ -49,7 +49,7 @@ pub use loadmap::{
     expanded_uniform_load_map, load_map, uniform_load_map, ExpandedLoadMap, LoadMap,
 };
 pub use multilevel::{MultiLevelClos, MultiLevelConfig, MultiLevelFabric};
-pub use multistage::{FabricConfig, FatTreeFabric, Placement};
+pub use multistage::{BufferTech, FabricConfig, FatTreeFabric, Placement};
 pub use spec::{BufferSizing, DragonflyShape, TopologyError, TopologyFamily, TopologySpec};
 
 // The engine types every consumer of this crate needs alongside the

@@ -25,8 +25,10 @@ use crate::expand::{ExpandedFabric, Peer};
 use crate::ids::{EntityId, HostId, SwitchId};
 use crate::spec::{TopologyError, TopologySpec};
 use crate::topology::TwoLevelFatTree;
+use osmosis_fdl::FdlBufferPlane;
 use osmosis_sched::arbiter::{BitSet, RoundRobinArbiter};
-use osmosis_sim::audit::CreditLedger;
+use osmosis_sim::audit::{CreditLedger, DropReason};
+use osmosis_sim::buffer::{BufferLossReason, BufferPlane, BufferStats, ElectronicVoq};
 use osmosis_sim::engine::{EngineConfig, EngineReport, Observer, TraceSink};
 use osmosis_switch::driven::{run_switch, CellSwitch};
 use osmosis_switch::Cell;
@@ -58,6 +60,33 @@ impl Placement {
     }
 }
 
+/// The technology realizing each switch's per-stage input buffers — the
+/// fourth axis the FDL study adds to the Fig. 2 placement argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferTech {
+    /// Electronic virtual output queues (the paper's premise: every
+    /// buffered stage pays an OEO conversion). Lossless by credit flow
+    /// control; the default, proven zero-cost against the pinned
+    /// fingerprints.
+    Electronic,
+    /// Emulated optical fiber-delay-line queues (`osmosis-fdl`): cells
+    /// stay in fiber, recirculating through a Tang-style delay-line
+    /// bank per input. FIFO per input (head-of-line blocking across
+    /// outputs), typed losses under delay-line faults. Supported with
+    /// [`Placement::InputOnly`] only.
+    Fdl,
+}
+
+impl BufferTech {
+    /// Short stable label (campaign axes, bench tables, JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            BufferTech::Electronic => "electronic",
+            BufferTech::Fdl => "fdl",
+        }
+    }
+}
+
 /// Fabric configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct FabricConfig {
@@ -73,11 +102,14 @@ pub struct FabricConfig {
     pub iterations: usize,
     /// Buffer placement (Fig. 2 option).
     pub placement: Placement,
+    /// Input-buffer technology: electronic VOQs (default) or emulated
+    /// optical fiber-delay-line queues.
+    pub buffer_tech: BufferTech,
 }
 
 impl FabricConfig {
     /// A small OSMOSIS-style fabric: radix-8 (32 hosts), 2-slot links,
-    /// buffers sized for the credit RTT, option 3.
+    /// buffers sized for the credit RTT, option 3, electronic buffers.
     pub fn small(radix: usize, link_delay: u64) -> Self {
         FabricConfig {
             radix,
@@ -85,6 +117,7 @@ impl FabricConfig {
             buffer_cells: (2 * link_delay + 2) as usize,
             iterations: 3,
             placement: Placement::InputOnly,
+            buffer_tech: BufferTech::Electronic,
         }
     }
 }
@@ -112,13 +145,13 @@ enum Upstream {
 }
 
 struct SwitchNode {
-    /// Per (input, output) VOQ; each entry carries the slot at which the
-    /// cell becomes schedulable (later than its arrival only under
-    /// placement option 2, where requests cross the long cable to reach
-    /// the scheduler).
-    voq: Vec<VecDeque<(u64, Cell)>>,
-    /// Total occupancy per input port (for the losslessness assertion).
-    input_occupancy: Vec<usize>,
+    /// Per-switch input buffering behind the pluggable plane seam:
+    /// electronic VOQs (the pre-seam semantics, bit-identical) or an
+    /// emulated optical FDL queue per input. Each stored entry carries
+    /// the slot at which the cell becomes schedulable (later than its
+    /// arrival only under placement option 2, where requests cross the
+    /// long cable to reach the scheduler).
+    buffers: Box<dyn BufferPlane<Cell>>,
     /// Option-1 egress buffers.
     egress: Vec<VecDeque<Cell>>,
     /// Send credits per output port (usize::MAX for host sinks).
@@ -135,6 +168,7 @@ impl SwitchNode {
         downstream: Vec<Downstream>,
         upstream: Vec<Upstream>,
         buffer: usize,
+        tech: BufferTech,
     ) -> Self {
         let credits = downstream
             .iter()
@@ -143,9 +177,15 @@ impl SwitchNode {
                 Downstream::Switch(..) => buffer,
             })
             .collect();
+        let buffers: Box<dyn BufferPlane<Cell>> = match tech {
+            BufferTech::Electronic => Box::new(ElectronicVoq::new(ports)),
+            // A balanced bank of `buffer` delay lines per input emulates
+            // a queue of exactly `buffer` cells — the same capacity the
+            // credit loop protects.
+            BufferTech::Fdl => Box::new(FdlBufferPlane::new(ports, buffer)),
+        };
         SwitchNode {
-            voq: (0..ports * ports).map(|_| VecDeque::new()).collect(),
-            input_occupancy: vec![0; ports],
+            buffers,
             egress: (0..ports).map(|_| VecDeque::new()).collect(),
             credits,
             grant_arb: (0..ports).map(|_| RoundRobinArbiter::new(ports)).collect(),
@@ -236,6 +276,16 @@ impl FatTreeFabric {
     /// spec, not recomputed from closed forms — the simulator consumes
     /// exactly the graph the topology compiler produces.
     pub fn try_new(cfg: FabricConfig) -> Result<Self, TopologyError> {
+        // FDL buffering models the paper's option 3 only: the delay-line
+        // bank quantizes schedulability to its shortest (one-slot) line,
+        // which matches the local request/grant cycle of input-only
+        // placement but cannot represent option 2's per-cell control RTT
+        // or option 1's egress stage.
+        if cfg.buffer_tech == BufferTech::Fdl && cfg.placement != Placement::InputOnly {
+            return Err(TopologyError::UnsupportedPlacement {
+                placement: cfg.placement,
+            });
+        }
         let spec = TopologySpec {
             placement: cfg.placement,
             iterations: cfg.iterations,
@@ -278,7 +328,7 @@ impl FatTreeFabric {
                     Peer::Unconnected => panic!("unwired port in a two-level expansion"),
                 }
             }
-            SwitchNode::new(k, downstream, upstream, cfg.buffer_cells)
+            SwitchNode::new(k, downstream, upstream, cfg.buffer_cells, cfg.buffer_tech)
         };
 
         let leaves = (0..leaf_count)
@@ -435,7 +485,7 @@ impl FatTreeFabric {
                         NodeId::Leaf(l) => &self.leaves[l],
                         NodeId::Spine(s) => &self.spines[s],
                     };
-                    (node.upstream[p], node.input_occupancy[p] as u64)
+                    (node.upstream[p], node.buffers.occupancy(p) as u64)
                 };
                 let (held, credits_in_flight) = match upstream {
                     Upstream::Host(h) => (
@@ -475,6 +525,30 @@ impl FatTreeFabric {
         }
     }
 
+    /// Snapshot every FDL queue's cell-conservation ledger for the audit
+    /// plane (`pushed == popped + dropped + resident` per input queue).
+    /// Queue keying is `node_index · radix + input`. Electronic planes
+    /// keep no per-queue ledgers and report nothing here, so audited
+    /// electronic runs stay bit-identical to the pre-seam code.
+    fn report_fdl_ledgers<T: TraceSink>(&mut self, obs: &mut Observer<'_, T>) {
+        let ports = self.cfg.radix;
+        for idx in 0..self.node_ids.len() {
+            let id = self.node_ids[idx];
+            for p in 0..ports {
+                let ledger = {
+                    let node = match id {
+                        NodeId::Leaf(l) => &self.leaves[l],
+                        NodeId::Spine(s) => &self.spines[s],
+                    };
+                    node.buffers.queue_ledger(p)
+                };
+                if let Some((pushed, popped, dropped, resident)) = ledger {
+                    obs.audit_fdl_ledger(idx * ports + p, pushed, popped, dropped, resident);
+                }
+            }
+        }
+    }
+
     /// The link index a cell traverses to reach `dest` — the receiving
     /// endpoint's global index (leaves, then spines, then hosts) — used
     /// as the `FaultView::cell_corrupted` key.
@@ -493,7 +567,7 @@ impl FatTreeFabric {
         let mut n = self.cell_flights.len() + self.retransmit_flights.len();
         n += self.host_queues.iter().map(|q| q.len()).sum::<usize>();
         for node in self.leaves.iter().chain(self.spines.iter()) {
-            n += node.voq.iter().map(|q| q.len()).sum::<usize>();
+            n += node.buffers.total();
             n += node.egress.iter().map(|q| q.len()).sum::<usize>();
         }
         n as u64
@@ -535,6 +609,7 @@ impl CellSwitch for FatTreeFabric {
                 self.cfg.buffer_cells = b;
                 for node in self.leaves.iter_mut().chain(self.spines.iter_mut()) {
                     node.reset_credits(b);
+                    node.buffers.reconfigure(b);
                 }
                 self.host_credits.iter_mut().for_each(|c| *c = b);
             }
@@ -560,11 +635,38 @@ impl CellSwitch for FatTreeFabric {
         // the top of the slot, where the conservation sum is quiescent.
         if obs.audit_attached() {
             self.report_credit_ledgers(obs);
+            if self.cfg.buffer_tech == BufferTech::Fdl {
+                self.report_fdl_ledgers(obs);
+            }
         }
         if faults_on {
             for s in 0..self.spine_ok.len() {
                 self.spine_ok[s] = !obs.fault_plane_down(s);
             }
+            // Delay-line health. The fault plane keys lines globally as
+            // (node_index · radix + input) · lines_per_queue + local; the
+            // plane itself uses the node-local index. A dead line accepts
+            // no new cells (its contents still emerge), so the affected
+            // input runs at reduced guaranteed capacity.
+            if self.cfg.buffer_tech == BufferTech::Fdl {
+                for idx in 0..self.node_ids.len() {
+                    let id = self.node_ids[idx];
+                    let lpq = self.node(id).buffers.lines_per_queue();
+                    for p in 0..ports {
+                        for l in 0..lpq {
+                            let dead = obs.fault_delay_line_dead((idx * ports + p) * lpq + l);
+                            self.node(id).buffers.set_line_dead(p * lpq + l, dead);
+                        }
+                    }
+                }
+            }
+        }
+        // Start-of-slot buffer tick: delay-line emergences become visible
+        // before this slot's arrivals and matching (no-op for electronic
+        // planes).
+        for idx in 0..self.node_ids.len() {
+            let id = self.node_ids[idx];
+            self.node(id).buffers.tick(t);
         }
 
         // --- Cell arrivals from links. The retransmission path drains
@@ -619,17 +721,17 @@ impl CellSwitch for FatTreeFabric {
                     CellDest::SwitchIn(id, port) => {
                         let out = self.route(id, &cell);
                         let node = self.node(id);
-                        node.input_occupancy[port] += 1;
-                        assert!(
-                            node.input_occupancy[port] <= buffer_cells,
-                            "input buffer overflow at {id:?} port {port}: \
-                             credit flow control violated"
-                        );
-                        obs.note_queue_depth(node.input_occupancy[port]);
                         // A cell arriving in slot t is schedulable at t+1
                         // (the local request/grant cycle); option 2 adds a
                         // control RTT on top.
-                        node.voq[port * ports + out].push_back((t + 1 + option2_extra, cell));
+                        node.buffers.push(t, port, out, t + 1 + option2_extra, cell);
+                        let occ = node.buffers.occupancy(port);
+                        assert!(
+                            occ <= buffer_cells,
+                            "input buffer overflow at {id:?} port {port}: \
+                             credit flow control violated"
+                        );
+                        obs.note_queue_depth(occ);
                     }
                 }
             }
@@ -744,8 +846,7 @@ impl CellSwitch for FatTreeFabric {
                             if i_matched {
                                 continue;
                             }
-                            let q = &node.voq[i * ports + o];
-                            if q.front().is_some_and(|&(ready, _)| ready <= t) {
+                            if node.buffers.ready(t, i, o) {
                                 self.requesters.set(i);
                                 have = true;
                             }
@@ -784,13 +885,14 @@ impl CellSwitch for FatTreeFabric {
                         NodeId::Leaf(l) => &mut self.leaves[l],
                         NodeId::Spine(s) => &mut self.spines[s],
                     };
-                    let (_, mut cell) = node.voq[i * ports + o]
-                        .pop_front()
-                        // lint:allow(panic-free): the per-node matching is
-                        // validated against VOQ occupancy before use
+                    let mut cell = node
+                        .buffers
+                        .pop(t, i, o)
+                        // lint:allow(panic-free): the per-node matching
+                        // only grants (i, o) pairs the plane reported
+                        // ready this slot
                         .expect("matched pair without a cell");
                     cell.grant_slot = t;
-                    node.input_occupancy[i] -= 1;
                     let to_egress = self.cfg.placement == Placement::InputAndOutput;
                     if !to_egress {
                         debug_assert!(node.credits[o] >= 1);
@@ -832,6 +934,43 @@ impl CellSwitch for FatTreeFabric {
                 }
             }
         }
+
+        // --- End of slot: each plane commits unserved emerged cells and
+        // new arrivals back into storage (recirculation; no-op for
+        // electronic planes) and surfaces what it could not keep. A lost
+        // cell consumed its upstream credit at admission, so the credit
+        // returns exactly as a served cell's would — subject to the same
+        // credit-drop fault and audit resync.
+        for idx in 0..self.node_ids.len() {
+            let id = self.node_ids[idx];
+            let losses = {
+                let node = self.node(id);
+                node.buffers.settle(t);
+                node.buffers.take_losses()
+            };
+            for loss in losses {
+                let upstream = match id {
+                    NodeId::Leaf(l) => self.leaves[l].upstream[loss.input],
+                    NodeId::Spine(s) => self.spines[s].upstream[loss.input],
+                };
+                let credit_dest = match upstream {
+                    Upstream::Host(h) => CreditDest::Host(h),
+                    Upstream::Switch(up_id, up_port) => CreditDest::SwitchOut(up_id, up_port),
+                };
+                if faults_on && obs.fault_credit_dropped(idx, loss.input) {
+                    self.resync_credit_flights
+                        .push_back((t + d + resync, credit_dest));
+                } else {
+                    self.credit_flights.push_back((t + d, credit_dest));
+                }
+                let reason = match loss.reason {
+                    BufferLossReason::AdmissionFull => DropReason::BufferFull,
+                    BufferLossReason::DeadLine => DropReason::FaultLoss,
+                    BufferLossReason::NoFeasibleLine => DropReason::Other,
+                };
+                obs.cell_dropped_for(idx * ports + loss.input, reason);
+            }
+        }
     }
 
     fn deliver<T: TraceSink>(&mut self, t: u64, obs: &mut Observer<'_, T>) {
@@ -866,6 +1005,24 @@ impl CellSwitch for FatTreeFabric {
 
     fn finish(&mut self, report: &mut EngineReport) {
         report.reordered = self.checker.reordered();
+        // FDL-only buffer-plane extras: electronic runs stay extra-free
+        // so the pinned fingerprints are untouched by the plane seam.
+        if self.cfg.buffer_tech == BufferTech::Fdl {
+            let mut total = BufferStats::default();
+            for node in self.leaves.iter().chain(self.spines.iter()) {
+                let s = node.buffers.stats();
+                total.dropped += s.dropped;
+                total.dropped_admission += s.dropped_admission;
+                total.dropped_dead_line += s.dropped_dead_line;
+                total.recirculations += s.recirculations;
+                total.underflow_stalls += s.underflow_stalls;
+            }
+            report.set_extra("fdl_drops_total", total.dropped as f64);
+            report.set_extra("fdl_drops_admission", total.dropped_admission as f64);
+            report.set_extra("fdl_drops_dead_line", total.dropped_dead_line as f64);
+            report.set_extra("fdl_recirculations", total.recirculations as f64);
+            report.set_extra("fdl_underflow_stalls", total.underflow_stalls as f64);
+        }
     }
 
     fn resident_cells(&self) -> Option<u64> {
@@ -1093,6 +1250,56 @@ mod tests {
             r2.mean_delay,
             r3.mean_delay
         );
+    }
+
+    #[test]
+    fn fdl_buffers_carry_load_losslessly() {
+        // Clean FDL run: the credit loop bounds every input queue at the
+        // plane's guaranteed capacity, so admission never refuses a cell
+        // and the only behavioural difference from electronic VOQs is
+        // head-of-line blocking (one FIFO per input, not per pair) plus
+        // recirculation bookkeeping.
+        let mut cfg = FabricConfig::small(8, 2);
+        cfg.buffer_tech = BufferTech::Fdl;
+        let r = run_fabric(cfg, 0.4, 31);
+        assert_eq!(r.dropped, 0, "clean FDL runs are lossless");
+        assert_eq!(r.reordered, 0);
+        assert!((r.throughput - 0.4).abs() < 0.04, "thr {}", r.throughput);
+        assert_eq!(r.extra("fdl_drops_total"), Some(0.0));
+        assert_eq!(r.extra("fdl_underflow_stalls"), Some(0.0));
+        assert!(
+            r.extra("fdl_recirculations").unwrap() > 0.0,
+            "unserved emerged cells re-enter the delay lines"
+        );
+    }
+
+    #[test]
+    fn fdl_mode_is_deterministic_and_distinct_from_electronic() {
+        let mut cfg = FabricConfig::small(8, 2);
+        cfg.buffer_tech = BufferTech::Fdl;
+        let a = run_fabric(cfg, 0.5, 11);
+        let b = run_fabric(cfg, 0.5, 11);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let e = run_fabric(FabricConfig::small(8, 2), 0.5, 11);
+        assert_ne!(
+            a.fingerprint(),
+            e.fingerprint(),
+            "per-input FIFO semantics differ from per-pair VOQs"
+        );
+    }
+
+    #[test]
+    fn fdl_requires_input_only_placement() {
+        use crate::spec::TopologyError;
+        let mut cfg = FabricConfig::small(8, 2);
+        cfg.buffer_tech = BufferTech::Fdl;
+        cfg.placement = Placement::OutputOnly;
+        assert!(matches!(
+            FatTreeFabric::try_new(cfg),
+            Err(TopologyError::UnsupportedPlacement { .. })
+        ));
+        assert_eq!(BufferTech::Fdl.name(), "fdl");
+        assert_eq!(BufferTech::Electronic.name(), "electronic");
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub struct FaultInjector {
     recv_down: Vec<usize>,
     planes_down: Vec<bool>,
     circuits_stuck: Vec<bool>,
+    dead_lines: Vec<bool>,
     grant_loss_p: f64,
     credit_drop_p: f64,
     link_any_p: f64,
@@ -76,6 +77,7 @@ impl FaultInjector {
             recv_down: Vec::new(),
             planes_down: Vec::new(),
             circuits_stuck: Vec::new(),
+            dead_lines: Vec::new(),
             grant_loss_p: 0.0,
             credit_drop_p: 0.0,
             link_any_p: 0.0,
@@ -123,6 +125,7 @@ impl FaultInjector {
         self.recv_down.iter_mut().for_each(|r| *r = 0);
         self.planes_down.iter_mut().for_each(|p| *p = false);
         self.circuits_stuck.iter_mut().for_each(|c| *c = false);
+        self.dead_lines.iter_mut().for_each(|d| *d = false);
         self.link_p.iter_mut().for_each(|p| *p = 0.0);
         self.grant_loss_p = 0.0;
         self.credit_drop_p = 0.0;
@@ -147,6 +150,10 @@ impl FaultInjector {
                 FaultKind::CircuitStuck { input } => {
                     grow(&mut self.circuits_stuck, input, false);
                     self.circuits_stuck[input] = true;
+                }
+                FaultKind::DelayLineDead { line } => {
+                    grow(&mut self.dead_lines, line, false);
+                    self.dead_lines[line] = true;
                 }
                 FaultKind::GrantLoss { prob } => {
                     self.grant_loss_p = combine(self.grant_loss_p, prob);
@@ -290,6 +297,10 @@ impl FaultView for FaultInjector {
         self.circuits_stuck.get(input).copied().unwrap_or(false)
     }
 
+    fn delay_line_dead(&self, line: usize) -> bool {
+        self.dead_lines.get(line).copied().unwrap_or(false)
+    }
+
     fn grant_lost(&mut self, _input: usize, _output: usize) -> bool {
         if self.grant_loss_p <= 0.0 {
             return false;
@@ -365,6 +376,21 @@ mod tests {
         assert!(!inj.output_blocked(2), "orthogonal to packet-mode faults");
         inj.begin_slot(70);
         assert!(!inj.circuit_stuck(2), "healed at at + repair_after");
+    }
+
+    #[test]
+    fn delay_line_death_tracks_its_schedule() {
+        let plan = FaultPlan::new().one_shot(FaultKind::DelayLineDead { line: 7 }, 30, Some(15));
+        let mut inj = FaultInjector::new(plan);
+        inj.configure(&cfg(1));
+        inj.begin_slot(29);
+        assert!(!inj.delay_line_dead(7));
+        inj.begin_slot(30);
+        assert!(inj.delay_line_dead(7));
+        assert!(!inj.delay_line_dead(6), "other lines unaffected");
+        assert!(!inj.circuit_stuck(7), "orthogonal to circuit faults");
+        inj.begin_slot(45);
+        assert!(!inj.delay_line_dead(7), "healed at at + repair_after");
     }
 
     #[test]

@@ -49,6 +49,17 @@ pub enum FaultKind {
         /// The input whose circuit element is stuck.
         input: usize,
     },
+    /// Fiber delay line `line` goes dark: an FDL-buffered stage can no
+    /// longer schedule cells onto it (cells already propagating in the
+    /// fiber still emerge), so the affected input queue runs at reduced
+    /// guaranteed capacity and may take typed `dead_line` losses. Line
+    /// indexing is model-defined; the multistage fabric uses
+    /// `(node_index · radix + input) · lines_per_queue + local_line`.
+    /// Electronic-buffered models ignore it.
+    DelayLineDead {
+        /// The dead delay line's global index.
+        line: usize,
+    },
     /// Control-channel corruption: each issued grant is lost with
     /// probability `prob`; the adapter re-requests.
     GrantLoss {
@@ -199,7 +210,8 @@ fn validate_kind(kind: &FaultKind) {
         FaultKind::SoaStuckOff { .. }
         | FaultKind::WavelengthLoss { .. }
         | FaultKind::ReceiverDeath { .. }
-        | FaultKind::CircuitStuck { .. } => {}
+        | FaultKind::CircuitStuck { .. }
+        | FaultKind::DelayLineDead { .. } => {}
     }
 }
 

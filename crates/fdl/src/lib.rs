@@ -1,0 +1,838 @@
+//! # osmosis-fdl
+//!
+//! Emulated optical buffering from switches and fiber delay lines.
+//!
+//! The paper's buffer-placement argument (Fig. 2) starts from "optical
+//! buffers don't exist", forcing an OEO conversion wherever a stage must
+//! queue. Tang et al. ("Constructing Sub-exponentially Large Optical
+//! Priority Queues with Switches and Fiber Delay Lines") challenge that
+//! premise constructively: an N×N crossbar feeding back through a bank of
+//! fiber delay lines — each a passive fiber that holds a cell for a fixed
+//! integer number of slots — can *emulate* a priority queue of provable
+//! size, because a deterministic routing policy can always park each
+//! waiting cell on a line whose length matches how long the cell must
+//! keep waiting. Recursing the construction grows the emulated size
+//! sub-exponentially in switch count; this crate implements one recursion
+//! level, which is already super-linear in fiber: `n` delay lines buy a
+//! guaranteed queue of `n` cells on `1 + n(n-1)/2` cell-slots of fiber.
+//!
+//! ## The construction
+//!
+//! ```text
+//!            ┌──────────────────────────────────────┐
+//!  arrivals ─┤                                      ├─ departures
+//!            │            (n+1)×(n+1) switch        │   (min key)
+//!            │                                      │
+//!            └─┬────┬────┬────┬──────────────────┬──┘
+//!              │L=1 │L=1 │L=2 │L=3     …         │L=n-1
+//!              └────┴────┴────┴──────────────────┘
+//!                 n fiber delay lines, lengths max(1, i)
+//! ```
+//!
+//! Every slot the switch (a) departs the minimum-key cell if it is
+//! currently emerging from a line, and (b) re-routes each still-waiting
+//! cell — emerged-but-unserved or newly arrived — onto a delay line. The
+//! policy that makes emulation work is the *rank rule*: a cell whose rank
+//! (position in key order among all stored cells) is `r` may only enter a
+//! line of length `≤ max(1, r)`, so that by the time it can become the
+//! head of the queue it is guaranteed to be emerging every slot. The
+//! balanced profile `1, 1, 2, 3, …, n-1` makes the greedy
+//! shortest-line-first assignment feasible for every rank whenever at
+//! most `n` cells are stored — that is the provable size bound
+//! [`FdlLines::guaranteed_capacity`], and within it the queue is
+//! observation-equivalent to an ideal priority queue with a one-slot
+//! insertion latency (a new arrival becomes servable the next slot, once
+//! it has transited its first line).
+//!
+//! ## Loss and degradation model
+//!
+//! Outside the bound — or when delay lines die
+//! ([`FdlQueue::set_line_dead`]; cells already in a dead fiber still
+//! emerge, but the line accepts no new cells — and the guaranteed
+//! capacity shrinks accordingly) — cells that cannot be scheduled onto
+//! any legal line have nowhere physical to exist and are dropped with a
+//! typed [`BufferLossReason`]. A serve opportunity missed because the
+//! minimum-key cell is still mid-fiber is counted as an underflow stall.
+//! Conservation is auditable at every quiescent point:
+//! `pushed == popped + dropped + resident`.
+//!
+//! [`FdlBufferPlane`] packages one FIFO-mode [`FdlQueue`] per input port
+//! as a [`BufferPlane`], the drop-in replacement for a multistage
+//! fabric's electronic per-stage input buffers.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use osmosis_sim::buffer::{BufferLoss, BufferLossReason, BufferPlane, BufferStats};
+use std::collections::BTreeMap;
+
+/// A cell's key: `(priority, arrival sequence)`. Lower sorts first, so
+/// priority 0 is the most urgent and ties serve in arrival order. FIFO
+/// emulation is the degenerate case where every cell has priority 0.
+pub type FdlKey = (u64, u64);
+
+/// The delay-line bank of one emulated FDL queue: per-line fiber lengths
+/// (in slots) and alive/dead state.
+#[derive(Debug, Clone)]
+pub struct FdlLines {
+    lengths: Vec<u64>,
+    dead: Vec<bool>,
+}
+
+impl FdlLines {
+    /// The balanced Tang profile for `n` lines: lengths
+    /// `1, 1, 2, 3, …, n-1` (line `i` has length `max(1, i)`). The two
+    /// unit lines keep ranks 0 and 1 emerging every slot; the profile's
+    /// guaranteed capacity is exactly `n`.
+    pub fn balanced(n: usize) -> Self {
+        FdlLines {
+            lengths: (0..n).map(|i| i.max(1) as u64).collect(),
+            dead: vec![false; n],
+        }
+    }
+
+    /// A bank with explicit per-line lengths. Returns `None` if any line
+    /// has length zero (a fiber must hold a cell for at least one slot).
+    pub fn from_lengths(lengths: Vec<u64>) -> Option<Self> {
+        if lengths.contains(&0) {
+            return None;
+        }
+        let dead = vec![false; lengths.len()];
+        Some(FdlLines { lengths, dead })
+    }
+
+    /// Number of lines in the bank, dead or alive.
+    pub fn count(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Length in slots of line `line`, if it exists.
+    pub fn length(&self, line: usize) -> Option<u64> {
+        self.lengths.get(line).copied()
+    }
+
+    /// Whether line `line` is dead (out-of-range lines read as dead).
+    pub fn is_dead(&self, line: usize) -> bool {
+        self.dead.get(line).copied().unwrap_or(true)
+    }
+
+    /// Mark line `line` dead or alive. Out-of-range indices are ignored.
+    pub fn set_dead(&mut self, line: usize, dead: bool) {
+        if let Some(d) = self.dead.get_mut(line) {
+            *d = dead;
+        }
+    }
+
+    /// Number of currently alive lines.
+    pub fn alive(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// Total cell-slots of alive fiber — the physical storage the bank
+    /// pays for. For the balanced profile this is `1 + n(n-1)/2`,
+    /// super-linear in the `n` cells it guarantees.
+    pub fn fiber_capacity(&self) -> u64 {
+        self.lengths
+            .iter()
+            .zip(&self.dead)
+            .filter(|&(_, &d)| !d)
+            .map(|(&l, _)| l)
+            .sum()
+    }
+
+    /// The provable emulation bound over the currently alive lines: the
+    /// largest `B` such that, with alive lengths sorted ascending,
+    /// `sorted[k] <= max(1, k)` for every `k < B`. Up to `B` stored
+    /// cells, the rank rule can always re-park every waiting cell, so
+    /// the queue emulates an ideal priority queue losslessly; beyond it,
+    /// admission refuses arrivals.
+    pub fn guaranteed_capacity(&self) -> usize {
+        let mut alive: Vec<u64> = self
+            .lengths
+            .iter()
+            .zip(&self.dead)
+            .filter(|&(_, &d)| !d)
+            .map(|(&l, _)| l)
+            .collect();
+        alive.sort_unstable();
+        Self::bound(&alive)
+    }
+
+    /// The emulation bound the bank would have with every line alive —
+    /// the design capacity losses are attributed against: an admission
+    /// refusal below this bound can only be the fault plane's doing.
+    pub fn nominal_capacity(&self) -> usize {
+        let mut all: Vec<u64> = self.lengths.clone();
+        all.sort_unstable();
+        Self::bound(&all)
+    }
+
+    fn bound(sorted: &[u64]) -> usize {
+        let mut b = 0usize;
+        while b < sorted.len() && sorted[b] <= b.max(1) as u64 {
+            b += 1;
+        }
+        b
+    }
+}
+
+/// One cell an [`FdlQueue`] could not keep.
+#[derive(Debug, Clone)]
+pub struct FdlLoss<T> {
+    /// The cell's priority.
+    pub priority: u64,
+    /// The cell's arrival sequence number within this queue.
+    pub seq: u64,
+    /// Why it was lost.
+    pub reason: BufferLossReason,
+    /// The cell payload.
+    pub payload: T,
+}
+
+/// Where a stored cell currently is in the emulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Arrived this slot; enters a delay line at settle.
+    Pending,
+    /// In a fiber, emerging at `emerge`.
+    InFiber {
+        /// The slot this cell exits its line.
+        emerge: u64,
+    },
+    /// Emerged this slot; servable now, re-parked at settle if unserved.
+    Present,
+}
+
+/// One emulated (switch, fiber-delay-line) priority queue.
+///
+/// # Per-slot protocol
+///
+/// ```text
+/// tick(slot)    — fibers deliver: cells whose line ends now turn Present
+/// push(…)*      — this slot's arrivals (admission-checked immediately)
+/// peek()/pop()* — serve the minimum settled key, if it is Present
+/// settle(slot)  — re-park Present leftovers and Pending arrivals onto
+///                 legal lines; infeasible cells become typed losses
+/// ```
+///
+/// Within [`FdlLines::guaranteed_capacity`] and with all lines alive, the
+/// queue never drops and never stalls: it behaves exactly like a bounded
+/// priority queue whose arrivals become servable one slot after entry.
+#[derive(Debug, Clone)]
+pub struct FdlQueue<T> {
+    lines: FdlLines,
+    capacity: usize,
+    entries: BTreeMap<FdlKey, (State, T)>,
+    next_seq: u64,
+    stats: BufferStats,
+    losses: Vec<FdlLoss<T>>,
+}
+
+impl<T> FdlQueue<T> {
+    /// A queue over the given delay-line bank.
+    pub fn new(lines: FdlLines) -> Self {
+        let capacity = lines.guaranteed_capacity();
+        FdlQueue {
+            lines,
+            capacity,
+            entries: BTreeMap::new(),
+            next_seq: 0,
+            stats: BufferStats::default(),
+            losses: Vec::new(),
+        }
+    }
+
+    /// The delay-line bank.
+    pub fn lines(&self) -> &FdlLines {
+        &self.lines
+    }
+
+    /// Current guaranteed capacity (shrinks when lines die).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cells currently stored (in fiber, emerged, or pending).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no cells are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Start slot `slot`: cells whose fiber ends now become Present. If
+    /// the minimum settled key is still mid-fiber (possible only after
+    /// line deaths force long placements), this serve opportunity is
+    /// lost — counted as an underflow stall.
+    pub fn tick(&mut self, slot: u64) {
+        for (state, _) in self.entries.values_mut() {
+            if let State::InFiber { emerge } = *state {
+                if emerge <= slot {
+                    *state = State::Present;
+                }
+            }
+        }
+        if let Some((state, _)) = self
+            .entries
+            .values()
+            .find(|(s, _)| !matches!(s, State::Pending))
+        {
+            if matches!(state, State::InFiber { .. }) {
+                self.stats.underflow_stalls += 1;
+            }
+        }
+    }
+
+    /// Offer a cell with `priority`. Admission succeeds while the queue
+    /// holds fewer than [`capacity`](FdlQueue::capacity) cells; a refused
+    /// cell is recorded as a typed loss and `false` is returned:
+    /// [`BufferLossReason::DeadLine`] when the refusal only exists
+    /// because dead lines shrank the capacity below its nominal bound,
+    /// [`BufferLossReason::AdmissionFull`] when even a healthy bank
+    /// would have refused. Admitted cells become servable after settle,
+    /// one slot later.
+    pub fn push(&mut self, priority: u64, payload: T) -> bool {
+        self.stats.pushed += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.entries.len() >= self.capacity {
+            let reason = if self.entries.len() < self.lines.nominal_capacity() {
+                BufferLossReason::DeadLine
+            } else {
+                BufferLossReason::AdmissionFull
+            };
+            self.stats.dropped += 1;
+            match reason {
+                BufferLossReason::DeadLine => self.stats.dropped_dead_line += 1,
+                _ => self.stats.dropped_admission += 1,
+            }
+            self.losses.push(FdlLoss {
+                priority,
+                seq,
+                reason,
+                payload,
+            });
+            return false;
+        }
+        self.entries
+            .insert((priority, seq), (State::Pending, payload));
+        true
+    }
+
+    /// The cell the queue can serve this slot: the minimum settled key,
+    /// if it is currently emerging from a line. `None` when the queue is
+    /// empty, holds only this slot's arrivals, or the minimum settled
+    /// cell is still mid-fiber (underflow).
+    pub fn peek(&self) -> Option<(FdlKey, &T)> {
+        for (key, (state, payload)) in &self.entries {
+            match state {
+                State::Pending => continue,
+                State::Present => return Some((*key, payload)),
+                State::InFiber { .. } => return None,
+            }
+        }
+        None
+    }
+
+    /// Serve the cell [`peek`](FdlQueue::peek) offers.
+    pub fn pop(&mut self) -> Option<(FdlKey, T)> {
+        let key = self.peek().map(|(k, _)| k)?;
+        let (_, payload) = self.entries.remove(&key)?;
+        self.stats.popped += 1;
+        Some((key, payload))
+    }
+
+    /// End slot `slot`: route every Present leftover and Pending arrival
+    /// onto a delay line. Ranks are frozen at entry (position in key
+    /// order among all stored cells); cells are considered in key order
+    /// and greedily take the shortest unused alive line, legal when its
+    /// length is `≤ max(1, rank)`. A cell with no legal line is dropped:
+    /// [`BufferLossReason::DeadLine`] when a dead line would have been
+    /// legal, [`BufferLossReason::NoFeasibleLine`] otherwise.
+    pub fn settle(&mut self, slot: u64) {
+        let mut to_place: Vec<(FdlKey, usize, bool)> = Vec::new();
+        for (rank, (key, (state, _))) in self.entries.iter().enumerate() {
+            match state {
+                State::Present => to_place.push((*key, rank, true)),
+                State::Pending => to_place.push((*key, rank, false)),
+                State::InFiber { .. } => {}
+            }
+        }
+        if to_place.is_empty() {
+            return;
+        }
+        let mut order: Vec<(u64, usize)> = self
+            .lines
+            .lengths
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.lines.is_dead(i))
+            .map(|(i, &l)| (l, i))
+            .collect();
+        order.sort_unstable();
+        let mut cursor = 0usize;
+        for (key, rank, was_present) in to_place {
+            let cap = rank.max(1) as u64;
+            if order.get(cursor).is_some_and(|&(len, _)| len <= cap) {
+                let (len, _) = order[cursor];
+                cursor += 1;
+                if was_present {
+                    self.stats.recirculations += 1;
+                }
+                if let Some((state, _)) = self.entries.get_mut(&key) {
+                    *state = State::InFiber { emerge: slot + len };
+                }
+            } else {
+                let dead_legal = self
+                    .lines
+                    .lengths
+                    .iter()
+                    .zip(&self.lines.dead)
+                    .any(|(&l, &d)| d && l <= cap);
+                let reason = if dead_legal {
+                    BufferLossReason::DeadLine
+                } else {
+                    BufferLossReason::NoFeasibleLine
+                };
+                if let Some((_, payload)) = self.entries.remove(&key) {
+                    self.stats.dropped += 1;
+                    match reason {
+                        BufferLossReason::DeadLine => self.stats.dropped_dead_line += 1,
+                        _ => self.stats.dropped_infeasible += 1,
+                    }
+                    self.losses.push(FdlLoss {
+                        priority: key.0,
+                        seq: key.1,
+                        reason,
+                        payload,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Mark a line dead or alive; the guaranteed capacity is recomputed
+    /// over the surviving lines. Cells already in a dead fiber still
+    /// emerge — the fiber is passive — but the line takes no new cells.
+    pub fn set_line_dead(&mut self, line: usize, dead: bool) {
+        self.lines.set_dead(line, dead);
+        self.capacity = self.lines.guaranteed_capacity();
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Drain the losses recorded since the last call.
+    pub fn take_losses(&mut self) -> Vec<FdlLoss<T>> {
+        std::mem::take(&mut self.losses)
+    }
+
+    /// The conservation ledger `(pushed, popped, dropped, resident)`;
+    /// `pushed == popped + dropped + resident` holds at every quiescent
+    /// point (outside the push→settle window of a slot).
+    pub fn ledger(&self) -> (u64, u64, u64, u64) {
+        (
+            self.stats.pushed,
+            self.stats.popped,
+            self.stats.dropped,
+            self.entries.len() as u64,
+        )
+    }
+}
+
+/// A bank of FIFO-mode [`FdlQueue`]s — one per input port — packaged as
+/// the [`BufferPlane`] a multistage fabric can swap in for its
+/// electronic VOQs.
+///
+/// Each input's arrivals share one physical delay-line queue in arrival
+/// order (priority 0), with the destination output carried in the
+/// payload: the head cell blocks the inputs behind it until its output
+/// is served (head-of-line blocking — the physical price of buffering
+/// in fiber instead of per-output electronic queues). The `ready`
+/// request latency passed by the model is subsumed by the FDL's own
+/// one-slot insertion latency: an arrival in slot `t` first emerges at
+/// `t + 1`, which matches an input-buffered fabric's `t + 1` grant
+/// eligibility exactly.
+#[derive(Debug, Clone)]
+pub struct FdlBufferPlane<C> {
+    ports: usize,
+    lines_per_queue: usize,
+    queues: Vec<FdlQueue<(usize, C)>>,
+}
+
+impl<C> FdlBufferPlane<C> {
+    /// A plane for a `ports`-port switch, each input buffered by a
+    /// balanced bank of `lines_per_queue` delay lines (guaranteed
+    /// capacity `lines_per_queue` cells per input).
+    pub fn new(ports: usize, lines_per_queue: usize) -> Self {
+        FdlBufferPlane {
+            ports,
+            lines_per_queue,
+            queues: (0..ports)
+                .map(|_| FdlQueue::new(FdlLines::balanced(lines_per_queue)))
+                .collect(),
+        }
+    }
+
+    /// The queue buffering `input`, if it exists.
+    pub fn queue(&self, input: usize) -> Option<&FdlQueue<(usize, C)>> {
+        self.queues.get(input)
+    }
+}
+
+impl<C> BufferPlane<C> for FdlBufferPlane<C> {
+    fn tick(&mut self, slot: u64) {
+        for q in &mut self.queues {
+            q.tick(slot);
+        }
+    }
+
+    fn push(&mut self, _slot: u64, input: usize, output: usize, _ready: u64, cell: C) {
+        if let Some(q) = self.queues.get_mut(input) {
+            q.push(0, (output, cell));
+        }
+    }
+
+    fn ready(&self, _slot: u64, input: usize, output: usize) -> bool {
+        self.queues
+            .get(input)
+            .and_then(|q| q.peek())
+            .is_some_and(|(_, &(o, _))| o == output)
+    }
+
+    fn pop(&mut self, slot: u64, input: usize, output: usize) -> Option<C> {
+        if !self.ready(slot, input, output) {
+            return None;
+        }
+        let (_, (_, cell)) = self.queues.get_mut(input)?.pop()?;
+        Some(cell)
+    }
+
+    fn settle(&mut self, slot: u64) {
+        for q in &mut self.queues {
+            q.settle(slot);
+        }
+    }
+
+    fn occupancy(&self, input: usize) -> usize {
+        self.queues.get(input).map_or(0, |q| q.len())
+    }
+
+    fn total(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    fn take_losses(&mut self) -> Vec<BufferLoss<C>> {
+        let mut out = Vec::new();
+        for (input, q) in self.queues.iter_mut().enumerate() {
+            for loss in q.take_losses() {
+                let (output, cell) = loss.payload;
+                out.push(BufferLoss {
+                    input,
+                    output,
+                    reason: loss.reason,
+                    cell,
+                });
+            }
+        }
+        out
+    }
+
+    fn stats(&self) -> BufferStats {
+        let mut total = BufferStats::default();
+        for q in &self.queues {
+            let s = q.stats();
+            total.pushed += s.pushed;
+            total.popped += s.popped;
+            total.dropped += s.dropped;
+            total.dropped_admission += s.dropped_admission;
+            total.dropped_infeasible += s.dropped_infeasible;
+            total.dropped_dead_line += s.dropped_dead_line;
+            total.recirculations += s.recirculations;
+            total.underflow_stalls += s.underflow_stalls;
+        }
+        total
+    }
+
+    fn reconfigure(&mut self, capacity: usize) {
+        self.lines_per_queue = capacity;
+        self.queues = (0..self.ports)
+            .map(|_| FdlQueue::new(FdlLines::balanced(capacity)))
+            .collect();
+    }
+
+    fn set_line_dead(&mut self, line: usize, dead: bool) {
+        if self.lines_per_queue == 0 {
+            return;
+        }
+        let input = line / self.lines_per_queue;
+        let local = line % self.lines_per_queue;
+        if let Some(q) = self.queues.get_mut(input) {
+            q.set_line_dead(local, dead);
+        }
+    }
+
+    fn lines_per_queue(&self) -> usize {
+        self.lines_per_queue
+    }
+
+    fn queue_ledger(&self, input: usize) -> Option<(u64, u64, u64, u64)> {
+        self.queues.get(input).map(|q| q.ledger())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive one full slot: tick, pushes, then up to one serve, then
+    /// settle. Returns the served payload if any.
+    fn slot_cycle<T: Clone>(
+        q: &mut FdlQueue<T>,
+        slot: u64,
+        pushes: &[(u64, T)],
+        serve: bool,
+    ) -> Option<T> {
+        q.tick(slot);
+        for (prio, payload) in pushes {
+            q.push(*prio, payload.clone());
+        }
+        let served = if serve { q.pop().map(|(_, p)| p) } else { None };
+        q.settle(slot);
+        served
+    }
+
+    #[test]
+    fn balanced_profile_bound_and_fiber_cost() {
+        for n in 1..=12usize {
+            let lines = FdlLines::balanced(n);
+            assert_eq!(lines.count(), n);
+            assert_eq!(lines.guaranteed_capacity(), n, "B = n for balanced({n})");
+            let expect_fiber = 1 + (n as u64) * (n as u64 - 1) / 2;
+            if n >= 1 {
+                assert_eq!(lines.fiber_capacity(), expect_fiber.max(n.min(1) as u64));
+            }
+        }
+        assert_eq!(FdlLines::balanced(4).length(0), Some(1));
+        assert_eq!(FdlLines::balanced(4).length(1), Some(1));
+        assert_eq!(FdlLines::balanced(4).length(3), Some(3));
+        assert!(FdlLines::from_lengths(vec![1, 0]).is_none());
+    }
+
+    #[test]
+    fn fifo_emulation_is_lossless_within_bound() {
+        let n = 6;
+        let mut q: FdlQueue<u32> = FdlQueue::new(FdlLines::balanced(n));
+        // Fill to the bound in slot 0; serve one per slot thereafter.
+        let pushes: Vec<(u64, u32)> = (0..n as u32).map(|i| (0, i)).collect();
+        assert!(
+            slot_cycle(&mut q, 0, &pushes, true).is_none(),
+            "arrivals not servable same slot"
+        );
+        let mut served = Vec::new();
+        for slot in 1..=n as u64 {
+            if let Some(c) = slot_cycle(&mut q, slot, &[], true) {
+                served.push(c);
+            }
+        }
+        assert_eq!(served, (0..n as u32).collect::<Vec<_>>(), "FIFO order");
+        let s = q.stats();
+        assert_eq!(s.dropped, 0, "no drops within the bound");
+        assert_eq!(s.underflow_stalls, 0, "no stalls with all lines alive");
+        assert!(s.recirculations > 0, "waiting cells recirculated");
+        assert!(q.is_empty());
+        let (pushed, popped, dropped, resident) = q.ledger();
+        assert_eq!(pushed, popped + dropped + resident);
+    }
+
+    #[test]
+    fn priority_mode_serves_min_key_first() {
+        let mut q: FdlQueue<&'static str> = FdlQueue::new(FdlLines::balanced(5));
+        slot_cycle(&mut q, 0, &[(3, "low"), (1, "high"), (2, "mid")], false);
+        assert_eq!(slot_cycle(&mut q, 1, &[(0, "urgent")], true), Some("high"));
+        // "urgent" entered in slot 1, so it overtakes only from slot 2 on.
+        assert_eq!(slot_cycle(&mut q, 2, &[], true), Some("urgent"));
+        assert_eq!(slot_cycle(&mut q, 3, &[], true), Some("mid"));
+        assert_eq!(slot_cycle(&mut q, 4, &[], true), Some("low"));
+        assert_eq!(q.stats().dropped, 0);
+        assert_eq!(q.stats().underflow_stalls, 0);
+    }
+
+    #[test]
+    fn admission_beyond_bound_is_a_typed_loss() {
+        let n = 3;
+        let mut q: FdlQueue<u32> = FdlQueue::new(FdlLines::balanced(n));
+        q.tick(0);
+        for i in 0..(n as u32 + 2) {
+            q.push(0, i);
+        }
+        q.settle(0);
+        let losses = q.take_losses();
+        assert_eq!(losses.len(), 2);
+        assert!(losses
+            .iter()
+            .all(|l| l.reason == BufferLossReason::AdmissionFull));
+        assert_eq!(q.len(), n);
+        assert_eq!(q.stats().dropped_admission, 2);
+        let (pushed, popped, dropped, resident) = q.ledger();
+        assert_eq!(pushed, popped + dropped + resident);
+    }
+
+    #[test]
+    fn dead_line_shrinks_capacity_and_attributes_losses() {
+        let n = 4;
+        let mut q: FdlQueue<u32> = FdlQueue::new(FdlLines::balanced(n));
+        // Kill both unit-length lines: no legal line for rank 0/1 remains,
+        // so the guaranteed capacity collapses to zero.
+        q.set_line_dead(0, true);
+        q.set_line_dead(1, true);
+        assert_eq!(q.capacity(), 0);
+        // Kill only one unit line: capacity 1, and a second resident cell
+        // would need the dead line — its settle loss is attributed DeadLine.
+        let mut q2: FdlQueue<u32> = FdlQueue::new(FdlLines::balanced(n));
+        q2.tick(0);
+        q2.push(0, 1);
+        q2.push(0, 2);
+        q2.settle(0);
+        q2.set_line_dead(1, true);
+        assert_eq!(q2.capacity(), 1);
+        // Slot 1: both emerge; serve one; the survivor (rank 0 after the
+        // serve... rank frozen at settle) recirculates on line 0.
+        q2.tick(1);
+        let served = q2.pop();
+        assert!(served.is_some());
+        q2.settle(1);
+        assert_eq!(
+            q2.stats().dropped,
+            0,
+            "rank-0 survivor still legal on line 0"
+        );
+        // Heal and confirm capacity returns.
+        q2.set_line_dead(1, false);
+        assert_eq!(q2.capacity(), n);
+    }
+
+    #[test]
+    fn admission_refusal_below_nominal_capacity_is_typed_dead_line() {
+        let n = 4;
+        let mut q: FdlQueue<u32> = FdlQueue::new(FdlLines::balanced(n));
+        // One dead unit line: capacity 1 against a nominal bound of 4.
+        q.set_line_dead(1, true);
+        q.tick(0);
+        assert!(q.push(0, 1));
+        // The second arrival is refused purely because of the dead line —
+        // a healthy bank would have held it — so the loss is DeadLine.
+        assert!(!q.push(0, 2));
+        let losses = q.take_losses();
+        assert_eq!(losses.len(), 1);
+        assert_eq!(losses[0].reason, BufferLossReason::DeadLine);
+        assert_eq!(q.stats().dropped_dead_line, 1);
+        assert_eq!(q.stats().dropped_admission, 0);
+        // Beyond the nominal bound the refusal is plain AdmissionFull,
+        // dead lines or not.
+        let mut full: FdlQueue<u32> = FdlQueue::new(FdlLines::balanced(2));
+        full.tick(0);
+        assert!(full.push(0, 1));
+        assert!(full.push(0, 2));
+        assert!(!full.push(0, 3));
+        assert_eq!(
+            full.take_losses()[0].reason,
+            BufferLossReason::AdmissionFull
+        );
+    }
+
+    #[test]
+    fn dead_line_forces_typed_dead_line_drop() {
+        // Two cells resident with both unit lines dead at settle time:
+        // the rank-1 cell has no legal alive line (cap 1, shortest alive
+        // is 2) while a dead unit line exists => DeadLine.
+        let mut q: FdlQueue<u32> = FdlQueue::new(FdlLines::balanced(4));
+        q.tick(0);
+        q.push(0, 1);
+        q.push(0, 2);
+        q.settle(0);
+        q.set_line_dead(0, true);
+        q.set_line_dead(1, true);
+        q.tick(1);
+        q.settle(1); // both emerged, neither served, nowhere legal to go
+        let losses = q.take_losses();
+        assert_eq!(losses.len(), 2);
+        assert!(losses
+            .iter()
+            .all(|l| l.reason == BufferLossReason::DeadLine));
+        assert!(q.is_empty());
+        let (pushed, popped, dropped, resident) = q.ledger();
+        assert_eq!(pushed, popped + dropped + resident);
+    }
+
+    #[test]
+    fn plane_gates_on_head_output_and_keeps_ledgers() {
+        let mut plane: FdlBufferPlane<u32> = FdlBufferPlane::new(2, 4);
+        plane.tick(0);
+        plane.push(0, 0, 1, 1, 100); // input 0 -> output 1
+        plane.push(0, 0, 0, 1, 101); // input 0 -> output 0, behind it
+        plane.settle(0);
+        plane.tick(1);
+        assert!(plane.ready(1, 0, 1));
+        assert!(
+            !plane.ready(1, 0, 0),
+            "head-of-line: output 0 blocked behind the output-1 head"
+        );
+        assert_eq!(plane.pop(1, 0, 0), None);
+        assert_eq!(plane.pop(1, 0, 1), Some(100));
+        plane.settle(1);
+        plane.tick(2);
+        assert!(plane.ready(2, 0, 0));
+        assert_eq!(plane.pop(2, 0, 0), Some(101));
+        plane.settle(2);
+        assert_eq!(plane.total(), 0);
+        assert_eq!(plane.queue_ledger(0), Some((2, 2, 0, 0)));
+        assert_eq!(plane.lines_per_queue(), 4);
+        assert!(plane.take_losses().is_empty());
+    }
+
+    #[test]
+    fn plane_reconfigure_and_global_line_index() {
+        let mut plane: FdlBufferPlane<u8> = FdlBufferPlane::new(2, 3);
+        plane.reconfigure(5);
+        assert_eq!(plane.lines_per_queue(), 5);
+        // Global line 7 = input 1, local line 2.
+        plane.set_line_dead(7, true);
+        let q1 = plane.queue(1);
+        assert!(q1.is_some_and(|q| q.lines().is_dead(2)));
+        assert!(plane.queue(0).is_some_and(|q| q.capacity() == 5));
+        assert!(plane.queue(1).is_some_and(|q| q.capacity() < 5));
+    }
+
+    #[test]
+    fn rank_rule_limits_capacity_of_sparse_profiles() {
+        // Ranks 0 and 1 both demand unit-length lines, so a profile with
+        // a single unit line guarantees only one cell no matter how much
+        // extra fiber it carries.
+        let lines = FdlLines::from_lengths(vec![1, 2, 3]);
+        let Some(lines) = lines else {
+            unreachable!("lengths are nonzero")
+        };
+        assert_eq!(lines.guaranteed_capacity(), 1);
+        let mut q: FdlQueue<u32> = FdlQueue::new(lines);
+        slot_cycle(&mut q, 0, &[(0, 7), (0, 8)], false);
+        let losses = q.take_losses();
+        assert_eq!(losses.len(), 1, "second cell refused at admission");
+        assert_eq!(losses[0].reason, BufferLossReason::AdmissionFull);
+        // The admitted cell cycles on the unit line with no stalls: the
+        // greedy rank rule never parks a cell longer than its service
+        // horizon, so the stall counter stays a pure degradation guard.
+        for slot in 1..5 {
+            q.tick(slot);
+            assert_eq!(q.peek().map(|(_, &p)| p), Some(7));
+            q.settle(slot);
+        }
+        assert_eq!(q.stats().underflow_stalls, 0);
+        q.tick(5);
+        assert_eq!(q.pop().map(|(_, p)| p), Some(7));
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: the three contracts an FDL queue implementation is most
+// tempted to break (analyzed as crates/fdl): hash-ordered line state,
+// wall-clock emergence stamps, and unwrap on the overflow path.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct BadLines {
+    emerge: HashMap<usize, u64>,
+}
+
+impl BadLines {
+    pub fn settle(&mut self, line: usize, len: u64) {
+        let now = Instant::now().elapsed().as_nanos() as u64;
+        self.emerge.insert(line, now.checked_add(len).unwrap());
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: ordered state, slot-clock time, typed overflow handling.
+use std::collections::BTreeMap;
+
+pub struct GoodLines {
+    emerge: BTreeMap<usize, u64>,
+}
+
+impl GoodLines {
+    pub fn settle(&mut self, line: usize, slot: u64, len: u64) -> bool {
+        match slot.checked_add(len) {
+            Some(at) => {
+                self.emerge.insert(line, at);
+                true
+            }
+            None => false,
+        }
+    }
+}

@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 /// iteration order and wall clock are results-affecting in exactly the
 /// same way.
 pub const MODEL_CRATES: &[&str] = &[
-    "sim", "switch", "sched", "fabric", "faults", "traffic", "ocs", "campaign",
+    "sim", "switch", "sched", "fabric", "faults", "traffic", "ocs", "campaign", "fdl",
 ];
 
 /// Crates exempt from the determinism-sources and debug-output rules:

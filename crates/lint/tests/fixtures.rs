@@ -260,6 +260,47 @@ fn campaign_is_scoped_as_a_model_crate() {
 }
 
 #[test]
+fn fdl_is_scoped_as_a_model_crate() {
+    // The delay-line crate sits inside every FDL-buffered fabric's slot
+    // loop, so its state feeds engine fingerprints directly: hash-ordered
+    // line maps, wall-clock emergence stamps and unwrap-on-overflow must
+    // all fire under its paths and stay quiet under a harness path.
+    let bad = fixture("fdl", "bad.rs");
+    let in_fdl = analyze_one("crates/fdl/src/fixture.rs", &bad);
+    assert_eq!(
+        count(&in_fdl, "hash-order"),
+        2,
+        "HashMap use + field type: {:#?}",
+        in_fdl.diagnostics
+    );
+    assert_eq!(
+        count(&in_fdl, "determinism"),
+        2,
+        "Instant use + call: {:#?}",
+        in_fdl.diagnostics
+    );
+    assert_eq!(
+        count(&in_fdl, "panic-free"),
+        1,
+        "unwrap on the overflow path: {:#?}",
+        in_fdl.diagnostics
+    );
+    let in_bench = analyze_one("crates/bench/src/fixture.rs", &bad);
+    assert_eq!(
+        count(&in_bench, "hash-order"),
+        0,
+        "hash-order is model-crate-scoped: {:#?}",
+        in_bench.diagnostics
+    );
+    let good = analyze_one("crates/fdl/src/fixture.rs", &fixture("fdl", "good.rs"));
+    assert!(
+        good.diagnostics.is_empty(),
+        "the slot-clocked delay-line bank must be clean: {:#?}",
+        good.diagnostics
+    );
+}
+
+#[test]
 fn null_circuits_impl_is_held_to_the_zero_cost_bar() {
     // NullCircuits joined NULL_PLANE_TYPES with the OCS plane: an
     // allocating hook in its impl must fire, a no-op impl must not.

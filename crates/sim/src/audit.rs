@@ -125,6 +125,22 @@ pub trait Auditor {
     /// One link's credit ledger snapshot (see [`CreditLedger`]).
     fn credit_link(&mut self, _slot: u64, _node: usize, _port: usize, _ledger: CreditLedger) {}
 
+    /// One FDL queue's cell-conservation ledger snapshot, reported by an
+    /// FDL-buffered model at a quiescent point each audited slot. The
+    /// invariant is `pushed == popped + dropped + resident`: every cell
+    /// ever admitted into the delay-line bank is either served, lost with
+    /// a typed reason, or still circulating in fiber.
+    fn fdl_ledger(
+        &mut self,
+        _slot: u64,
+        _queue: usize,
+        _pushed: u64,
+        _popped: u64,
+        _dropped: u64,
+        _resident: u64,
+    ) {
+    }
+
     /// The run ended. `resident_cells` is the model's count of cells
     /// still queued or in flight (when it can report one), which closes
     /// the global conservation ledger:
@@ -159,6 +175,7 @@ mod tests {
         a.cell_dropped(0, 1, DropReason::Rejected);
         a.cell_retransmitted(0, 1);
         a.output_capacity(0, 2, 1);
+        a.fdl_ledger(0, 1, 3, 1, 0, 2);
         a.credit_link(
             0,
             0,

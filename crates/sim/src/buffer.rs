@@ -1,0 +1,296 @@
+//! The engine-side buffer-plane abstraction.
+//!
+//! The paper's buffer-placement argument (Fig. 2) takes as given that
+//! per-stage buffers are *electronic*: optical buffers "don't exist", so
+//! every stage pays an OEO conversion to queue cells. Tang et al.'s
+//! fiber-delay-line (FDL) priority-queue construction challenges that
+//! premise constructively, and this module defines the seam that lets a
+//! multistage model swap its per-stage input buffering between the two
+//! technologies without touching the scheduler, flow control, or any of
+//! the observation planes:
+//!
+//! * [`BufferPlane`] — the object-safe per-switch buffering interface: a
+//!   bank of per-(input, output) queues with explicit per-slot phases
+//!   (`tick` → arrivals `push` → matching `ready`/`pop` → `settle`).
+//! * [`ElectronicVoq`] — the reference implementation, byte-for-byte the
+//!   VOQ semantics every input-buffered model in the workspace used
+//!   before the seam existed. It never loses a cell and its `tick` /
+//!   `settle` phases are no-ops, so a model running on it is
+//!   bit-identical to the pre-seam code (pinned by
+//!   `tests/fingerprint_pins.rs`).
+//! * [`BufferLoss`] / [`BufferLossReason`] — typed loss accounting for
+//!   implementations (the emulated FDL queue in `osmosis-fdl`) that can
+//!   fail to schedule a cell onto any legal delay line.
+//!
+//! The concrete optical implementation lives in the `osmosis-fdl` crate;
+//! this module only defines the interface so the simulation kernel stays
+//! dependency-free, exactly as `fault`/`audit`/`circuit` do for their
+//! planes.
+
+use std::collections::VecDeque;
+
+/// Why a buffer plane lost a cell it was asked to store.
+///
+/// [`ElectronicVoq`] never loses cells (credit flow control upstream of
+/// it guarantees space); these reasons exist for emulated optical
+/// buffers, where storage is a bank of fixed-length delay lines and a
+/// cell that cannot be scheduled onto any legal line has nowhere
+/// physical to exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferLossReason {
+    /// The arrival was refused because the queue already holds its
+    /// guaranteed capacity (the provable emulation bound).
+    AdmissionFull,
+    /// A stored cell emerged from its delay line, was not served, and no
+    /// alive delay line of legal length could accept it this slot.
+    NoFeasibleLine,
+    /// As [`NoFeasibleLine`](BufferLossReason::NoFeasibleLine), but a
+    /// currently *dead* line would have been legal — the loss is
+    /// attributable to the delay-line fault.
+    DeadLine,
+}
+
+impl BufferLossReason {
+    /// Short stable label (telemetry record field, report extras).
+    pub fn name(self) -> &'static str {
+        match self {
+            BufferLossReason::AdmissionFull => "admission_full",
+            BufferLossReason::NoFeasibleLine => "no_feasible_line",
+            BufferLossReason::DeadLine => "dead_line",
+        }
+    }
+}
+
+/// One cell a buffer plane could not keep, surfaced by
+/// [`BufferPlane::take_losses`] after each `settle` so the owning model
+/// can drop it through its accounting (and return flow-control credit
+/// upstream — the cell *was* admitted into the stage).
+#[derive(Debug, Clone)]
+pub struct BufferLoss<C> {
+    /// Input port of the queue that lost the cell.
+    pub input: usize,
+    /// Output port the cell was routed toward.
+    pub output: usize,
+    /// Why it was lost.
+    pub reason: BufferLossReason,
+    /// The cell itself, for attribution (source, flow) at the drop site.
+    pub cell: C,
+}
+
+/// Cumulative counters a buffer plane maintains across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Cells accepted into the plane.
+    pub pushed: u64,
+    /// Cells handed to the matching (served).
+    pub popped: u64,
+    /// Cells lost, all reasons combined.
+    pub dropped: u64,
+    /// Cells lost at admission ([`BufferLossReason::AdmissionFull`]).
+    pub dropped_admission: u64,
+    /// Cells lost to infeasible placement
+    /// ([`BufferLossReason::NoFeasibleLine`]).
+    pub dropped_infeasible: u64,
+    /// Cells lost to dead delay lines ([`BufferLossReason::DeadLine`]).
+    pub dropped_dead_line: u64,
+    /// Emerged-but-unserved cells re-entered into a delay line
+    /// (always 0 for electronic buffering).
+    pub recirculations: u64,
+    /// Slots in which the next cell due for service was still in fiber
+    /// (always 0 for electronic buffering).
+    pub underflow_stalls: u64,
+}
+
+/// A bank of per-switch input buffers, pluggable under an input-buffered
+/// model — electronic VOQs or an emulated optical FDL queue.
+///
+/// # Per-slot protocol
+///
+/// The owning model drives one full cycle per slot, in order:
+///
+/// 1. [`tick`](BufferPlane::tick) — delay-line emergences become visible
+///    (no-op for electronic buffers);
+/// 2. [`push`](BufferPlane::push) — this slot's link arrivals enter;
+/// 3. [`ready`](BufferPlane::ready) / [`pop`](BufferPlane::pop) — the
+///    matching queries and executes against the visible cells;
+/// 4. [`settle`](BufferPlane::settle) — unserved emerged cells and new
+///    arrivals are committed to storage (recirculated into delay lines);
+///    infeasible cells become losses;
+/// 5. [`take_losses`](BufferPlane::take_losses) — the model collects and
+///    accounts this slot's losses.
+///
+/// Implementations must be deterministic: no wall-clock, no ambient
+/// randomness, iteration in index order only.
+pub trait BufferPlane<C> {
+    /// Start slot `slot`: make delay-line emergences visible. Electronic
+    /// buffers do nothing.
+    fn tick(&mut self, _slot: u64) {}
+
+    /// A cell routed to `output` arrives at `input` in slot `slot`,
+    /// becoming schedulable at `ready` (the model's request/grant
+    /// latency; electronic buffers honour it exactly, delay lines
+    /// quantize it up to their shortest line).
+    fn push(&mut self, slot: u64, input: usize, output: usize, ready: u64, cell: C);
+
+    /// Whether `(input, output)` can offer a cell to the matching in
+    /// slot `slot`.
+    fn ready(&self, slot: u64, input: usize, output: usize) -> bool;
+
+    /// Remove and return the cell `(input, output)` offered this slot.
+    /// Returns `None` when [`ready`](BufferPlane::ready) was false.
+    fn pop(&mut self, slot: u64, input: usize, output: usize) -> Option<C>;
+
+    /// End slot `slot`: commit unserved emerged cells and new arrivals
+    /// back into storage. Electronic buffers do nothing.
+    fn settle(&mut self, _slot: u64) {}
+
+    /// Cells currently stored at `input` (the occupancy the credit loop
+    /// protects).
+    fn occupancy(&self, input: usize) -> usize;
+
+    /// Cells currently stored across all inputs.
+    fn total(&self) -> usize;
+
+    /// Drain the losses recorded since the last call (empty for
+    /// electronic buffers).
+    fn take_losses(&mut self) -> Vec<BufferLoss<C>> {
+        Vec::new()
+    }
+
+    /// Cumulative counters for reporting and conservation auditing.
+    fn stats(&self) -> BufferStats;
+
+    /// Re-arm the plane for a different per-input capacity (engine-level
+    /// buffer override, pre-run only). Electronic buffers are unbounded
+    /// here — the credit loop enforces capacity — so the default is a
+    /// no-op.
+    fn reconfigure(&mut self, _capacity: usize) {}
+
+    /// Mark delay line `line` (plane-local index:
+    /// `input * lines_per_queue() + local`) dead or alive. Dead lines
+    /// accept no new cells; cells already in the fiber still emerge.
+    /// No-op for electronic buffers.
+    fn set_line_dead(&mut self, _line: usize, _dead: bool) {}
+
+    /// Delay lines per input queue (0 for electronic buffers — the
+    /// model uses this to decide whether delay-line faults apply).
+    fn lines_per_queue(&self) -> usize {
+        0
+    }
+
+    /// Per-input cell-conservation ledger
+    /// `(pushed, popped, dropped, resident)` for audit reporting, or
+    /// `None` when the plane does not keep per-queue ledgers (electronic
+    /// buffers — their conservation is covered by the credit ledger).
+    fn queue_ledger(&self, _input: usize) -> Option<(u64, u64, u64, u64)> {
+        None
+    }
+}
+
+/// The electronic reference implementation: per-(input, output) virtual
+/// output queues holding `(ready_slot, cell)` in arrival order, exactly
+/// the structure the multistage fabric used before the buffer plane
+/// existed. Never loses a cell; `tick`/`settle` are no-ops.
+#[derive(Debug, Clone)]
+pub struct ElectronicVoq<C> {
+    ports: usize,
+    queues: Vec<VecDeque<(u64, C)>>,
+    input_occupancy: Vec<usize>,
+    pushed: u64,
+    popped: u64,
+}
+
+impl<C> ElectronicVoq<C> {
+    /// A VOQ bank for a `ports`-port switch.
+    pub fn new(ports: usize) -> Self {
+        ElectronicVoq {
+            ports,
+            queues: (0..ports * ports).map(|_| VecDeque::new()).collect(),
+            input_occupancy: vec![0; ports],
+            pushed: 0,
+            popped: 0,
+        }
+    }
+}
+
+impl<C> BufferPlane<C> for ElectronicVoq<C> {
+    fn push(&mut self, _slot: u64, input: usize, output: usize, ready: u64, cell: C) {
+        self.input_occupancy[input] += 1;
+        self.pushed += 1;
+        self.queues[input * self.ports + output].push_back((ready, cell));
+    }
+
+    fn ready(&self, slot: u64, input: usize, output: usize) -> bool {
+        self.queues[input * self.ports + output]
+            .front()
+            .is_some_and(|&(ready, _)| ready <= slot)
+    }
+
+    fn pop(&mut self, _slot: u64, input: usize, output: usize) -> Option<C> {
+        let (_, cell) = self.queues[input * self.ports + output].pop_front()?;
+        self.input_occupancy[input] -= 1;
+        self.popped += 1;
+        Some(cell)
+    }
+
+    fn occupancy(&self, input: usize) -> usize {
+        self.input_occupancy[input]
+    }
+
+    fn total(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    fn stats(&self) -> BufferStats {
+        BufferStats {
+            pushed: self.pushed,
+            popped: self.popped,
+            ..BufferStats::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn electronic_voq_is_fifo_per_pair_and_gates_on_ready() {
+        let mut v: ElectronicVoq<u32> = ElectronicVoq::new(2);
+        v.tick(0);
+        v.push(0, 0, 1, 1, 10);
+        v.push(0, 0, 1, 1, 11);
+        v.push(0, 1, 0, 2, 20);
+        v.settle(0);
+        assert!(!v.ready(0, 0, 1), "not schedulable before its ready slot");
+        assert!(v.ready(1, 0, 1));
+        assert!(!v.ready(1, 1, 0), "ready slot 2 not reached");
+        assert!(v.ready(2, 1, 0));
+        assert_eq!(v.occupancy(0), 2);
+        assert_eq!(v.total(), 3);
+        assert_eq!(v.pop(1, 0, 1), Some(10), "FIFO within the pair");
+        assert_eq!(v.pop(1, 0, 1), Some(11));
+        assert_eq!(v.pop(1, 0, 1), None);
+        assert_eq!(v.occupancy(0), 0);
+        assert!(v.take_losses().is_empty(), "electronic buffers never lose");
+        let s = v.stats();
+        assert_eq!((s.pushed, s.popped, s.dropped), (3, 2, 0));
+        assert_eq!(s.recirculations, 0);
+    }
+
+    #[test]
+    fn loss_reason_names_are_stable() {
+        assert_eq!(BufferLossReason::AdmissionFull.name(), "admission_full");
+        assert_eq!(BufferLossReason::NoFeasibleLine.name(), "no_feasible_line");
+        assert_eq!(BufferLossReason::DeadLine.name(), "dead_line");
+    }
+
+    #[test]
+    fn plane_is_object_safe() {
+        let mut plane: Box<dyn BufferPlane<u8>> = Box::new(ElectronicVoq::new(1));
+        plane.push(0, 0, 0, 1, 7);
+        assert_eq!(plane.lines_per_queue(), 0);
+        assert_eq!(plane.queue_ledger(0), None);
+        assert_eq!(plane.pop(1, 0, 0), Some(7));
+    }
+}

@@ -754,6 +754,17 @@ impl<'a, T: TraceSink> Observer<'a, T> {
         }
     }
 
+    /// Fault query: is fiber delay line `line` dead this slot? An
+    /// FDL-buffered model masks the line out of its placement policy and
+    /// runs the affected queue at reduced guaranteed capacity.
+    #[inline]
+    pub fn fault_delay_line_dead(&self, line: usize) -> bool {
+        match &self.faults {
+            Some(f) => f.delay_line_dead(line),
+            None => false,
+        }
+    }
+
     /// Whether a circuit plane (an OCS plan) is attached to this run.
     /// Circuit-switched models gate all their circuit logic on this so
     /// plan-free runs pay one branch per phase at most.
@@ -832,6 +843,22 @@ impl<'a, T: TraceSink> Observer<'a, T> {
     pub fn audit_credit_link(&mut self, node: usize, port: usize, ledger: CreditLedger) {
         if let Some(a) = self.audit.as_mut() {
             a.credit_link(self.slot, node, port, ledger);
+        }
+    }
+
+    /// Report one FDL queue's cell-conservation ledger snapshot to an
+    /// attached auditor (`pushed == popped + dropped + resident`).
+    #[inline]
+    pub fn audit_fdl_ledger(
+        &mut self,
+        queue: usize,
+        pushed: u64,
+        popped: u64,
+        dropped: u64,
+        resident: u64,
+    ) {
+        if let Some(a) = self.audit.as_mut() {
+            a.fdl_ledger(self.slot, queue, pushed, popped, dropped, resident);
         }
     }
 

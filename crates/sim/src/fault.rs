@@ -100,6 +100,15 @@ pub trait FaultView {
         false
     }
 
+    /// Fiber delay line `line` is dead: it accepts no new cells (cells
+    /// already in the fiber still emerge), so an FDL-buffered stage runs
+    /// at reduced guaranteed capacity. Line indexing is model-defined —
+    /// the multistage fabric uses
+    /// `(node_index * radix + input) * lines_per_queue + local_line`.
+    fn delay_line_dead(&self, _line: usize) -> bool {
+        false
+    }
+
     /// Post-run hook: surface injector counters (faults injected/healed,
     /// repair times, lost control messages) as report extras so they
     /// land in the fingerprint.
@@ -127,5 +136,6 @@ mod tests {
         assert!(!f.credit_dropped(2, 3));
         assert!(!f.cell_corrupted(usize::MAX));
         assert!(!f.circuit_stuck(0));
+        assert!(!f.delay_line_dead(0));
     }
 }

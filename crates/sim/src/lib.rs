@@ -21,6 +21,7 @@
 #![deny(missing_docs)]
 
 pub mod audit;
+pub mod buffer;
 pub mod circuit;
 pub mod engine;
 pub mod events;
@@ -32,6 +33,7 @@ pub mod sweep;
 pub mod time;
 
 pub use audit::{Auditor, CreditLedger, DropReason, NoAudit};
+pub use buffer::{BufferLoss, BufferLossReason, BufferPlane, BufferStats, ElectronicVoq};
 pub use circuit::{CircuitView, NullCircuits};
 pub use engine::{
     Convergence, CountingTrace, EngineConfig, EngineReport, NullTrace, Observer, RingTrace,

@@ -195,6 +195,52 @@ pub fn reconfig_record(
     ])
 }
 
+/// Build an `fdl_occupancy` record (FDL-buffered runs): one sampled
+/// delay-line queue occupancy snapshot against its guaranteed capacity.
+pub fn fdl_occupancy_record(
+    run: u64,
+    slot: u64,
+    queue: u64,
+    occupancy: u64,
+    capacity: u64,
+) -> Value {
+    obj(vec![
+        ("type", Value::Str("fdl_occupancy".into())),
+        ("run", Value::u64(run)),
+        ("slot", Value::u64(slot)),
+        ("queue", Value::u64(queue)),
+        ("occupancy", Value::u64(occupancy)),
+        ("capacity", Value::u64(capacity)),
+    ])
+}
+
+/// Build an `fdl_drop` record (FDL-buffered runs): one typed delay-line
+/// loss. `reason` is a [`BufferLossReason`] name: `admission_full`,
+/// `no_feasible_line` or `dead_line`.
+///
+/// [`BufferLossReason`]: https://docs.rs/osmosis-sim
+pub fn fdl_drop_record(run: u64, slot: u64, queue: u64, reason: &str) -> Value {
+    obj(vec![
+        ("type", Value::Str("fdl_drop".into())),
+        ("run", Value::u64(run)),
+        ("slot", Value::u64(slot)),
+        ("queue", Value::u64(queue)),
+        ("reason", Value::Str(reason.into())),
+    ])
+}
+
+/// Build an `fdl_recirculation` record (FDL-buffered runs): emerged-but-
+/// unserved cells re-entered into delay lines at `queue` this slot.
+pub fn fdl_recirculation_record(run: u64, slot: u64, queue: u64, count: u64) -> Value {
+    obj(vec![
+        ("type", Value::Str("fdl_recirculation".into())),
+        ("run", Value::u64(run)),
+        ("slot", Value::u64(slot)),
+        ("queue", Value::u64(queue)),
+        ("count", Value::u64(count)),
+    ])
+}
+
 /// Build a `campaign` record: opens a campaign scope.
 pub fn campaign_record(key: u64, label: &str, shards: u64, points: u64) -> Value {
     obj(vec![
@@ -297,6 +343,12 @@ pub struct JsonlStats {
     pub epochs: u64,
     /// `reconfig` records (circuit-switched runs).
     pub reconfigs: u64,
+    /// `fdl_occupancy` records (FDL-buffered runs).
+    pub fdl_occupancies: u64,
+    /// `fdl_drop` records (FDL-buffered runs).
+    pub fdl_drops: u64,
+    /// `fdl_recirculation` records (FDL-buffered runs).
+    pub fdl_recirculations: u64,
     /// `campaign` records (one per campaign scope).
     pub campaigns: u64,
     /// `shard_point` records.
@@ -440,6 +492,40 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
                     require_u64(&v, line, f)?;
                 }
                 stats.reconfigs += 1;
+            }
+            "fdl_occupancy" => {
+                if open_run != Some(run) {
+                    return Err(format!("line {line}: fdl_occupancy outside its run"));
+                }
+                for f in ["slot", "queue", "occupancy", "capacity"] {
+                    require_u64(&v, line, f)?;
+                }
+                stats.fdl_occupancies += 1;
+            }
+            "fdl_drop" => {
+                if open_run != Some(run) {
+                    return Err(format!("line {line}: fdl_drop outside its run"));
+                }
+                for f in ["slot", "queue"] {
+                    require_u64(&v, line, f)?;
+                }
+                let reason = v
+                    .get("reason")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line}: missing `reason`"))?;
+                if !matches!(reason, "admission_full" | "no_feasible_line" | "dead_line") {
+                    return Err(format!("line {line}: unknown fdl_drop reason `{reason}`"));
+                }
+                stats.fdl_drops += 1;
+            }
+            "fdl_recirculation" => {
+                if open_run != Some(run) {
+                    return Err(format!("line {line}: fdl_recirculation outside its run"));
+                }
+                for f in ["slot", "queue", "count"] {
+                    require_u64(&v, line, f)?;
+                }
+                stats.fdl_recirculations += 1;
             }
             "summary" => {
                 if open_run != Some(run) {
@@ -608,6 +694,9 @@ mod tests {
             span_record(0, &span).encode(),
             epoch_record(0, 0, 0, true, 1, 60, 0.94).encode(),
             reconfig_record(0, 0, 0, 16, 1).encode(),
+            fdl_occupancy_record(0, 410, 5, 3, 8).encode(),
+            fdl_drop_record(0, 411, 5, "dead_line").encode(),
+            fdl_recirculation_record(0, 412, 5, 2).encode(),
             summary_record(0, &report, &reg, &dec).encode(),
         ]
         .join("\n")
@@ -625,6 +714,9 @@ mod tests {
                 summaries: 1,
                 epochs: 1,
                 reconfigs: 1,
+                fdl_occupancies: 1,
+                fdl_drops: 1,
+                fdl_recirculations: 1,
                 ..JsonlStats::default()
             }
         );
@@ -713,6 +805,30 @@ mod tests {
             .replace("\"changed_circuits\":4,", "");
         let err = validate_jsonl(&format!("{meta_line}\n{bad}")).unwrap_err();
         assert!(err.contains("changed_circuits"), "{err}");
+    }
+
+    #[test]
+    fn fdl_records_are_policed() {
+        let meta_line = meta_record(0, "unit", &meta()).encode();
+        // Any FDL record outside a run is rejected.
+        for loose in [
+            fdl_occupancy_record(1, 0, 0, 0, 8).encode(),
+            fdl_drop_record(1, 0, 0, "admission_full").encode(),
+            fdl_recirculation_record(1, 0, 0, 1).encode(),
+        ] {
+            let err = validate_jsonl(&format!("{meta_line}\n{loose}")).unwrap_err();
+            assert!(err.contains("outside its run"), "{err}");
+        }
+        // Occupancy missing its capacity field.
+        let bad = fdl_occupancy_record(0, 0, 0, 2, 8)
+            .encode()
+            .replace("\"capacity\":8", "\"cap\":8");
+        let err = validate_jsonl(&format!("{meta_line}\n{bad}")).unwrap_err();
+        assert!(err.contains("capacity"), "{err}");
+        // Drop reasons come from the typed loss enum only.
+        let bad = fdl_drop_record(0, 0, 0, "cosmic_ray").encode();
+        let err = validate_jsonl(&format!("{meta_line}\n{bad}")).unwrap_err();
+        assert!(err.contains("unknown fdl_drop reason"), "{err}");
     }
 
     #[test]

@@ -40,8 +40,9 @@ pub mod registry;
 pub mod spans;
 
 pub use export::{
-    campaign_record, campaign_summary_record, epoch_record, reconfig_record, shard_point_record,
-    shard_record, validate_jsonl, JsonlStats, SCHEMA_VERSION,
+    campaign_record, campaign_summary_record, epoch_record, fdl_drop_record, fdl_occupancy_record,
+    fdl_recirculation_record, reconfig_record, shard_point_record, shard_record, validate_jsonl,
+    JsonlStats, SCHEMA_VERSION,
 };
 pub use registry::{Component, LogHistogram, MetricId, MetricsRegistry, LOG_BUCKETS};
 pub use spans::{CellSpan, Decomposition, SpanConfig, SpanPlane, SEGMENTS};

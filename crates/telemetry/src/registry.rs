@@ -29,6 +29,8 @@ pub enum Component {
     Engine,
     /// The optical circuit-switched plane (epoch scheduler, circuits).
     Ocs,
+    /// The optical fiber-delay-line buffering plane.
+    Fdl,
 }
 
 impl Component {
@@ -42,6 +44,7 @@ impl Component {
             Component::LinkFc => "link_fc",
             Component::Engine => "engine",
             Component::Ocs => "ocs",
+            Component::Fdl => "fdl",
         }
     }
 
@@ -55,6 +58,7 @@ impl Component {
             "link_fc" => Component::LinkFc,
             "engine" => Component::Engine,
             "ocs" => Component::Ocs,
+            "fdl" => Component::Fdl,
             _ => return None,
         })
     }

@@ -8,6 +8,7 @@ pub use osmosis_campaign as campaign;
 pub use osmosis_core as core;
 pub use osmosis_fabric as fabric;
 pub use osmosis_faults as faults;
+pub use osmosis_fdl as fdl;
 pub use osmosis_fec as fec;
 pub use osmosis_ocs as ocs;
 pub use osmosis_phy as phy;

@@ -11,7 +11,8 @@
 //! `OSMOSIS_CAMPAIGN_WORKER_*` variables set.
 
 use osmosis::campaign::{
-    run_campaign, run_shard, CampaignError, CampaignOptions, CampaignSpec, FaultSpec, WorkerRequest,
+    run_campaign, run_shard, BufferSpec, CampaignError, CampaignOptions, CampaignSpec, FaultSpec,
+    WorkerRequest,
 };
 use osmosis::fabric::TopologySpec;
 use osmosis::telemetry::validate_jsonl;
@@ -84,6 +85,7 @@ fn quick_spec() -> CampaignSpec {
         bursts: vec![1.0, 3.0],
         faults: vec![FaultSpec::None, FaultSpec::PlaneLoss { planes: 1 }],
         topologies: vec![None, Some(TopologySpec::two_level(4))],
+        buffers: vec![BufferSpec::Electronic, BufferSpec::Fdl],
         replicas: 1,
         poison_shards: vec![2],
     }

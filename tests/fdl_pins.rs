@@ -1,0 +1,116 @@
+//! Pinned fingerprints for the FDL-buffered multistage fabric.
+//!
+//! Same-seed runs of the fat tree with emulated fiber-delay-line input
+//! buffers must be bit-exactly reproducible — clean, and under a
+//! permanent dead-delay-line fault plan. The literals were captured
+//! when the optical buffering plane landed (PR 9); any change that
+//! perturbs one must consciously update the pin and say why in the
+//! commit message.
+//!
+//! The electronic pin here is the same `multistage` literal pinned in
+//! `fingerprint_pins.rs`: re-asserting it next to the FDL pins makes
+//! the zero-cost claim local — flipping `buffer_tech` is the ONLY
+//! thing that separates the first two captures.
+
+use osmosis::fabric::multistage::{BufferTech, FabricConfig, FatTreeFabric};
+use osmosis::faults::{FaultInjector, FaultKind, FaultPlan};
+use osmosis::sim::{EngineConfig, SeedSequence};
+use osmosis::traffic::BernoulliUniform;
+
+const SEED: u64 = 1234;
+const RADIX: usize = 8;
+const LINK_DELAY: u64 = 2;
+
+fn cfg() -> EngineConfig {
+    EngineConfig::new(300, 3_000)
+}
+
+fn fabric(tech: BufferTech) -> FatTreeFabric {
+    FatTreeFabric::new(FabricConfig {
+        buffer_tech: tech,
+        ..FabricConfig::small(RADIX, LINK_DELAY)
+    })
+}
+
+fn uniform(n: usize, load: f64) -> BernoulliUniform {
+    BernoulliUniform::new(n, load, &SeedSequence::new(SEED))
+}
+
+/// Kill the short half of leaf 0's delay lines from slot 0 — the same
+/// shape `fdl_study`'s `DelayLinesDead` plan uses. Line indices follow
+/// the global formula `(node·radix + input)·lines_per_queue + local`
+/// with node 0, where `lines_per_queue == buffer_cells`.
+fn dead_line_plan(lines_per_queue: usize) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for input in 0..RADIX {
+        for local in 0..lines_per_queue / 2 {
+            let line = input * lines_per_queue + local;
+            plan = plan.permanent(FaultKind::DelayLineDead { line }, 0);
+        }
+    }
+    plan
+}
+
+fn capture(tech: BufferTech) -> u64 {
+    let mut fab = fabric(tech);
+    let hosts = fab.topology().hosts();
+    fab.run(&mut uniform(hosts, 0.5), &cfg()).fingerprint()
+}
+
+fn capture_faulted() -> u64 {
+    let mut fab = fabric(BufferTech::Fdl);
+    let hosts = fab.topology().hosts();
+    let lines_per_queue = FabricConfig::small(RADIX, LINK_DELAY).buffer_cells;
+    let mut inj = FaultInjector::new(dead_line_plan(lines_per_queue));
+    fab.run_faulted(&mut uniform(hosts, 0.5), &cfg(), &mut inj)
+        .fingerprint()
+}
+
+/// Radix-8 fat tree, 2-slot links, seed 1234, 300 + 3000 slots, 50%
+/// uniform Bernoulli load.
+const ELECTRONIC_PIN: u64 = 0x7cdd_391d_75c3_0074;
+const FDL_PIN: u64 = 0x06ed_5ef1_a1c8_5de3;
+const FDL_FAULTED_PIN: u64 = 0xe85e_0082_de6e_3aa9;
+
+#[test]
+fn electronic_default_still_matches_the_multistage_pin() {
+    // The buffer-plane seam is zero-cost: the electronic fabric built
+    // through the `buffer_tech` field reproduces the pre-seam pin.
+    assert_eq!(
+        capture(BufferTech::Electronic),
+        ELECTRONIC_PIN,
+        "electronic multistage fingerprint drifted"
+    );
+}
+
+#[test]
+fn fdl_fingerprint_matches_pin() {
+    assert_eq!(
+        capture(BufferTech::Fdl),
+        FDL_PIN,
+        "FDL-buffered multistage fingerprint drifted"
+    );
+}
+
+#[test]
+fn fdl_faulted_fingerprint_matches_pin() {
+    assert_eq!(
+        capture_faulted(),
+        FDL_FAULTED_PIN,
+        "faulted FDL multistage fingerprint drifted"
+    );
+}
+
+#[test]
+fn fdl_same_seed_runs_are_bit_identical() {
+    assert_eq!(capture(BufferTech::Fdl), capture(BufferTech::Fdl));
+    assert_eq!(capture_faulted(), capture_faulted());
+}
+
+#[test]
+fn the_technologies_and_faults_actually_separate() {
+    // The FDL pin proves nothing if it coincides with the electronic
+    // run, and the faulted pin proves nothing if dead lines are inert.
+    assert_ne!(FDL_PIN, ELECTRONIC_PIN);
+    assert_ne!(FDL_FAULTED_PIN, FDL_PIN);
+}

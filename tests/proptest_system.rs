@@ -3,7 +3,7 @@
 //! arbitrary loads, seeds and topologies; the statistics kernels match
 //! naive references.
 
-use osmosis::fabric::multistage::{FabricConfig, FatTreeFabric, Placement};
+use osmosis::fabric::multistage::{BufferTech, FabricConfig, FatTreeFabric, Placement};
 use osmosis::sched::Flppr;
 use osmosis::sim::stats::{Histogram, Welford};
 use osmosis::sim::SeedSequence;
@@ -51,6 +51,7 @@ proptest! {
             buffer_cells: 8,
             iterations: 2,
             placement,
+            buffer_tech: BufferTech::Electronic,
         };
         let mut fab = FatTreeFabric::new(cfg);
         let hosts = fab.topology().hosts();
