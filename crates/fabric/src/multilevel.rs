@@ -212,6 +212,10 @@ pub struct MultiLevelFabric {
     next_id: u64,
     requesters: BitSet,
     grants_to_input: Vec<BitSet>,
+    /// Per-switch matching scratch, cleared for every (level, switch).
+    in_matched: Vec<bool>,
+    out_matched: Vec<bool>,
+    matched: Vec<(usize, usize)>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -297,6 +301,9 @@ impl MultiLevelFabric {
             next_id: 0,
             requesters: BitSet::new(ports),
             grants_to_input: (0..ports).map(|_| BitSet::new(ports)).collect(),
+            in_matched: vec![false; ports],
+            out_matched: vec![false; ports],
+            matched: Vec::new(),
         }
     }
 
@@ -476,24 +483,24 @@ impl CellSwitch for MultiLevelFabric {
         // Matchings, level by level.
         for level in 0..t.levels {
             for sw in 0..t.switches_per_level() {
-                let mut matched: Vec<(usize, usize)> = Vec::new();
+                self.matched.clear();
                 {
                     let node = &mut self.nodes[level as usize][sw];
-                    let mut in_matched = vec![false; ports];
-                    let mut out_matched = vec![false; ports];
+                    self.in_matched.fill(false);
+                    self.out_matched.fill(false);
                     for _ in 0..self.cfg.iterations {
                         for g in self.grants_to_input.iter_mut() {
                             g.clear_all();
                         }
                         let mut any = false;
-                        for (o, &o_matched) in out_matched.iter().enumerate() {
-                            if o_matched || node.credits[o] == 0 {
+                        for o in 0..ports {
+                            if self.out_matched[o] || node.credits[o] == 0 {
                                 continue;
                             }
                             self.requesters.clear_all();
                             let mut have = false;
-                            for (i, &i_matched) in in_matched.iter().enumerate() {
-                                if !i_matched && !node.voq[i * ports + o].is_empty() {
+                            for i in 0..ports {
+                                if !self.in_matched[i] && !node.voq[i * ports + o].is_empty() {
                                     self.requesters.set(i);
                                     have = true;
                                 }
@@ -509,22 +516,23 @@ impl CellSwitch for MultiLevelFabric {
                         if !any {
                             break;
                         }
-                        for (i, i_matched) in in_matched.iter_mut().enumerate() {
-                            if *i_matched || self.grants_to_input[i].is_empty() {
+                        for i in 0..ports {
+                            if self.in_matched[i] || self.grants_to_input[i].is_empty() {
                                 continue;
                             }
                             if let Some(o) = node.accept_arb[i].arbitrate(&self.grants_to_input[i])
                             {
-                                *i_matched = true;
-                                out_matched[o] = true;
+                                self.in_matched[i] = true;
+                                self.out_matched[o] = true;
                                 node.grant_arb[o].advance_past(i);
                                 node.accept_arb[i].advance_past(o);
-                                matched.push((i, o));
+                                self.matched.push((i, o));
                             }
                         }
                     }
                 }
-                for (i, o) in matched {
+                for k in 0..self.matched.len() {
+                    let (i, o) = self.matched[k];
                     let cell = {
                         let node = &mut self.nodes[level as usize][sw];
                         let mut cell = node.voq[i * ports + o]

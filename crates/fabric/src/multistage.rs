@@ -243,6 +243,11 @@ pub struct FatTreeFabric {
     node_ids: Vec<NodeId>,
     requesters: BitSet,
     grants_to_input: Vec<BitSet>,
+    /// Per-node matching scratch, sized to the widest node and cleared
+    /// for every (node, slot) pass.
+    in_matched: Vec<bool>,
+    out_matched: Vec<bool>,
+    matched_pairs: Vec<(usize, usize)>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -363,6 +368,9 @@ impl FatTreeFabric {
             node_ids,
             requesters: BitSet::new(k),
             grants_to_input: (0..k).map(|_| BitSet::new(k)).collect(),
+            in_matched: vec![false; k],
+            out_matched: vec![false; k],
+            matched_pairs: Vec::with_capacity(k),
         })
     }
 
@@ -809,22 +817,22 @@ impl CellSwitch for FatTreeFabric {
             }
 
             // Matching (iterative RR grant/accept) on the node.
-            let mut matched_pairs: Vec<(usize, usize)> = Vec::new();
+            self.matched_pairs.clear();
             {
                 let needs_credit_at_match = self.cfg.placement != Placement::InputAndOutput;
                 let node = match id {
                     NodeId::Leaf(l) => &mut self.leaves[l],
                     NodeId::Spine(s) => &mut self.spines[s],
                 };
-                let mut in_matched = vec![false; ports];
-                let mut out_matched = vec![false; ports];
+                self.in_matched.fill(false);
+                self.out_matched.fill(false);
                 for _ in 0..self.cfg.iterations {
                     for g in self.grants_to_input.iter_mut() {
                         g.clear_all();
                     }
                     let mut any = false;
-                    for (o, &o_matched) in out_matched.iter().enumerate() {
-                        if o_matched {
+                    for o in 0..ports {
+                        if self.out_matched[o] {
                             continue;
                         }
                         // Leaf uplinks toward a dead spine are masked out
@@ -842,8 +850,8 @@ impl CellSwitch for FatTreeFabric {
                         }
                         self.requesters.clear_all();
                         let mut have = false;
-                        for (i, &i_matched) in in_matched.iter().enumerate() {
-                            if i_matched {
+                        for i in 0..ports {
+                            if self.in_matched[i] {
                                 continue;
                             }
                             if node.buffers.ready(t, i, o) {
@@ -862,16 +870,16 @@ impl CellSwitch for FatTreeFabric {
                     if !any {
                         break;
                     }
-                    for (i, i_matched) in in_matched.iter_mut().enumerate() {
-                        if *i_matched || self.grants_to_input[i].is_empty() {
+                    for i in 0..ports {
+                        if self.in_matched[i] || self.grants_to_input[i].is_empty() {
                             continue;
                         }
                         if let Some(o) = node.accept_arb[i].arbitrate(&self.grants_to_input[i]) {
-                            *i_matched = true;
-                            out_matched[o] = true;
+                            self.in_matched[i] = true;
+                            self.out_matched[o] = true;
                             node.grant_arb[o].advance_past(i);
                             node.accept_arb[i].advance_past(o);
-                            matched_pairs.push((i, o));
+                            self.matched_pairs.push((i, o));
                         }
                     }
                 }
@@ -879,7 +887,8 @@ impl CellSwitch for FatTreeFabric {
 
             // Execute the matching: move cells out of the input buffers,
             // return credits upstream.
-            for &(i, o) in &matched_pairs {
+            for m in 0..self.matched_pairs.len() {
+                let (i, o) = self.matched_pairs[m];
                 let (cell, upstream, to_egress, dest) = {
                     let node = match id {
                         NodeId::Leaf(l) => &mut self.leaves[l],

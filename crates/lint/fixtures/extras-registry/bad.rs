@@ -1,0 +1,10 @@
+//! Fixture switch-side extras: analyzed as `crates/switch/src/xbar.rs`.
+//! Re-sets `shared_key` (already owned by crates/sim — cross-crate
+//! collision) and registers `orphan_key` that no test asserts.
+
+impl Xbar {
+    fn finish(&self, report: &mut EngineReport) {
+        report.set_extra("shared_key", self.shadowing as f64);
+        report.set_extra("orphan_key", self.untested as f64);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture engine-side extras: analyzed as `crates/sim/src/engine.rs`.
+//! Sets two keys; `tests/extras.rs` (the shared test fixture) asserts
+//! both, so this file alone is clean.
+
+impl Engine {
+    fn finish(&self, report: &mut EngineReport) {
+        report.set_extra("asserted_key", self.measured as f64);
+        report.set_extra("shared_key", self.shared as f64);
+    }
+}

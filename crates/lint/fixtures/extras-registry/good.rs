@@ -1,0 +1,8 @@
+//! Fixture switch-side extras: analyzed as `crates/switch/src/xbar.rs`.
+//! Registers its own unique key, asserted by `tests/extras.rs`.
+
+impl Xbar {
+    fn finish(&self, report: &mut EngineReport) {
+        report.set_extra("switch_key", self.violations as f64);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture assertion side: analyzed as `tests/extras.rs`. Mentions every
+// registered key except `orphan_key` (the bad fixture's unasserted one).
+
+#[test]
+fn extras_hold() {
+    let r = run();
+    assert!(r.extra("asserted_key").is_some());
+    assert!(r.extra("shared_key").is_some());
+    assert!(r.extra("switch_key").is_some());
+}

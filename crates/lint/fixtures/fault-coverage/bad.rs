@@ -1,0 +1,13 @@
+// Fixture test file: analyzed as `tests/replay.rs`. Exercises two of
+// the three FaultKind variants — `ReceiverDeath` has no test, so its
+// injection/replay contract is unproven.
+
+#[test]
+fn replays_soa_outage() {
+    inject(FaultKind::SoaStuckOff { output: 1 });
+}
+
+#[test]
+fn replays_plane_loss() {
+    inject(FaultKind::WavelengthLoss { plane: 0 });
+}

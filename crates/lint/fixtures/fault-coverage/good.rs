@@ -1,0 +1,17 @@
+// Fixture test file: analyzed as `tests/replay.rs`. Every FaultKind
+// variant is exercised, so the rule stays quiet.
+
+#[test]
+fn replays_soa_outage() {
+    inject(FaultKind::SoaStuckOff { output: 1 });
+}
+
+#[test]
+fn replays_plane_loss() {
+    inject(FaultKind::WavelengthLoss { plane: 0 });
+}
+
+#[test]
+fn replays_receiver_failover() {
+    inject(FaultKind::ReceiverDeath { output: 3 });
+}

@@ -1,0 +1,11 @@
+//! Fixture fault plan: analyzed as `crates/faults/src/plan.rs`.
+
+/// What breaks in the fixture fabric.
+pub enum FaultKind {
+    /// An SOA gate sticks off.
+    SoaStuckOff { output: usize },
+    /// A wavelength plane goes dark.
+    WavelengthLoss { plane: usize },
+    /// A burst-mode receiver dies.
+    ReceiverDeath { output: usize },
+}

@@ -1,0 +1,24 @@
+//! Fixture hot path: analyzed as `crates/switch/src/xbar.rs`. The
+//! per-slot fns allocate four ways — scratch vec, iterator collect,
+//! boxed scratch, and a formatted label.
+
+pub struct Xbar {
+    n: usize,
+}
+
+impl Xbar {
+    fn arbitrate(&mut self, slot: u64) {
+        let mut matched = vec![false; self.n];
+        let requesters: Vec<usize> = (0..self.n).filter(|&i| self.ready(i)).collect();
+        for i in requesters {
+            matched[i] = true;
+        }
+        let scratch = Box::new([0u64; 4]);
+        self.apply(&matched, &scratch, slot);
+    }
+
+    fn tick(&mut self, slot: u64) {
+        let label = format!("slot-{slot}");
+        self.trace(&label);
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture hot path: analyzed as `crates/switch/src/xbar.rs`. Scratch
+//! state lives on the struct and is cleared per slot — the per-slot fns
+//! never touch the allocator.
+
+pub struct Xbar {
+    n: usize,
+    /// Per-slot matching scratch, cleared at slot start.
+    matched: Vec<bool>,
+    requesters: Vec<usize>,
+}
+
+impl Xbar {
+    fn arbitrate(&mut self, slot: u64) {
+        self.matched.fill(false);
+        self.requesters.clear();
+        for i in 0..self.n {
+            if self.ready(i) {
+                self.requesters.push(i);
+            }
+        }
+        for k in 0..self.requesters.len() {
+            self.matched[self.requesters[k]] = true;
+        }
+        self.apply(slot);
+    }
+
+    fn tick(&mut self, slot: u64) {
+        self.trace_slot(slot);
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture exporter: analyzed as `crates/telemetry/src/export.rs`.
+//! The emit side writes "meta" and "cell"; the validator knows "meta"
+//! and a "ghost" type nothing emits — one drift finding per direction.
+
+pub fn write_meta(w: &mut Writer) {
+    w.record(&[("type", Value::Str("meta".into()))]);
+}
+
+pub fn write_cell(w: &mut Writer) {
+    w.record(&[("type", Value::Str("cell".into()))]);
+}
+
+pub fn validate_jsonl(text: &str) -> Result<(), String> {
+    for line in text.lines() {
+        let ty = parse_type(line)?;
+        match ty {
+            "meta" => require_version(line)?,
+            "ghost" => {}
+            other => return Err(format!("unknown type {other}")),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! Fixture exporter: analyzed as `crates/telemetry/src/export.rs`.
+//! Emit side and validator agree on exactly {"meta", "cell"}.
+
+pub fn write_meta(w: &mut Writer) {
+    w.record(&[("type", Value::Str("meta".into()))]);
+}
+
+pub fn write_cell(w: &mut Writer) {
+    w.record(&[("type", Value::Str("cell".into()))]);
+}
+
+pub fn validate_jsonl(text: &str) -> Result<(), String> {
+    for line in text.lines() {
+        let ty = parse_type(line)?;
+        match ty {
+            "meta" => require_version(line)?,
+            "cell" => require_slot(line)?,
+            other => return Err(format!("unknown type {other}")),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Fixture rogue model: analyzed as `crates/phy/src/model.rs`. The phy
+//! crate is not in MODEL_CRATES, yet this impl feeds engine
+//! fingerprints through `SlottedModel` — the determinism rules would
+//! never cover it.
+
+pub struct PhyModel {
+    slots: u64,
+}
+
+impl SlottedModel for PhyModel {
+    fn arbitrate(&mut self, slot: u64) {
+        self.slots = slot;
+    }
+}

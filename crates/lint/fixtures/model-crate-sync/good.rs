@@ -1,0 +1,13 @@
+//! Fixture analysis helper: analyzed as `crates/phy/src/model.rs`. No
+//! fingerprint-feeding trait impls — a support crate may stay outside
+//! MODEL_CRATES.
+
+pub struct PhyCurve {
+    points: Vec<(f64, f64)>,
+}
+
+impl PhyCurve {
+    pub fn sample(&self, x: f64) -> f64 {
+        interpolate(&self.points, x)
+    }
+}

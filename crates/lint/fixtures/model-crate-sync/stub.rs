@@ -1,0 +1,5 @@
+//! Fixture model-crate stub: analyzed once per synthetic
+//! `crates/<model>/src/lib.rs` so the member-list check sees every
+//! `MODEL_CRATES` entry present.
+
+pub struct Stub;

@@ -43,6 +43,98 @@ pub struct Tok {
     pub col: u32,
 }
 
+impl Tok {
+    /// Decoded contents of a string/char literal: strips the `b`/`r`/`br`
+    /// prefix, hash guards, and quotes, and resolves simple escapes in
+    /// cooked literals. The contract-graph rules compare literal
+    /// *contents* (record type names, report-extra keys, CLI flags), so
+    /// `r#"--smoke"#` and `"--smoke"` must decode identically. Returns
+    /// `None` for non-`Str` tokens.
+    pub fn str_content(&self) -> Option<String> {
+        if self.kind != TokKind::Str {
+            return None;
+        }
+        let mut s = self.text.as_str();
+        if let Some(rest) = s.strip_prefix('b') {
+            s = rest;
+        }
+        let raw = s.starts_with('r');
+        if raw {
+            s = &s[1..];
+        }
+        let hashes = s.len() - s.trim_start_matches('#').len();
+        s = &s[hashes..];
+        let quote = s.chars().next()?;
+        if quote != '"' && quote != '\'' {
+            return None;
+        }
+        s = &s[1..];
+        // Trailing guard: closing quote plus the hash run — tolerate an
+        // unterminated literal (lexer runs to EOF) by stripping what is
+        // there.
+        let tail: String = std::iter::once(quote)
+            .chain(std::iter::repeat_n('#', hashes))
+            .collect();
+        if let Some(body) = s.strip_suffix(tail.as_str()) {
+            s = body;
+        }
+        if raw {
+            return Some(s.to_string());
+        }
+        // Cooked literal: resolve the escapes that matter for content
+        // comparison; unknown escapes pass through verbatim.
+        let mut out = String::with_capacity(s.len());
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('0') => out.push('\0'),
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('\'') => out.push('\''),
+                Some('x') => {
+                    let hex: String = chars.by_ref().take(2).collect();
+                    match u8::from_str_radix(&hex, 16) {
+                        Ok(b) => out.push(b as char),
+                        Err(_) => {
+                            out.push('x');
+                            out.push_str(&hex);
+                        }
+                    }
+                }
+                Some('u') => {
+                    // \u{XXXX}: consume the brace group.
+                    let mut body = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        if c != '{' {
+                            body.push(c);
+                        }
+                    }
+                    match u32::from_str_radix(&body, 16).ok().and_then(char::from_u32) {
+                        Some(ch) => out.push(ch),
+                        None => out.push_str(&body),
+                    }
+                }
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        }
+        Some(out)
+    }
+}
+
 /// One comment, kept out of the token stream so rules never see it, but
 /// available to the suppression parser.
 #[derive(Debug, Clone)]
@@ -472,5 +564,101 @@ mod tests {
         let l = lex("a\n  bb");
         assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
         assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+
+    /// Braces, quotes, and comment markers inside raw strings must stay
+    /// inside the `Str` token — the item tree brace-matches the token
+    /// stream, so a leaked `{` would corrupt every span after it.
+    #[test]
+    fn raw_string_contents_cannot_unbalance_braces() {
+        let cases = [
+            "fn f() { let x = r\"} { \\\"; }",
+            "fn f() { let x = r#\"} \" fn bogus() { \"#; }",
+            "fn f() { let x = r##\"a \"# b } {\"##; }",
+            "fn f() { let x = br#\"{ // } /* } \"#; }",
+        ];
+        for src in cases {
+            let l = lex(src);
+            let opens = l.tokens.iter().filter(|t| t.text == "{").count();
+            let closes = l.tokens.iter().filter(|t| t.text == "}").count();
+            assert_eq!(opens, 1, "{src}: exactly the fn body opens");
+            assert_eq!(closes, 1, "{src}: exactly the fn body closes");
+            assert!(
+                !l.tokens.iter().any(|t| t.text == "bogus"),
+                "{src}: string contents leaked into the ident stream"
+            );
+        }
+    }
+
+    /// Same guarantee for nested block comments: brace/quote soup inside
+    /// `/* /* … */ */` must never surface as tokens.
+    #[test]
+    fn nested_block_comment_contents_cannot_unbalance_braces() {
+        let cases = [
+            "fn f() {} /* } { \" /* } \" */ } */ fn g() {}",
+            "/* /* /* deep */ */ \"}{\" */ fn g() {}",
+            "fn f() { /* unterminated body comment } */ }",
+        ];
+        for src in cases {
+            let l = lex(src);
+            let opens = l.tokens.iter().filter(|t| t.text == "{").count();
+            let closes = l.tokens.iter().filter(|t| t.text == "}").count();
+            assert_eq!(opens, closes, "{src}: token-stream braces must balance");
+        }
+    }
+
+    /// A raw string whose body contains a shorter hash-guard than its
+    /// delimiter must not terminate early — `"#` inside an `r##…##`
+    /// literal is content, not a close.
+    #[test]
+    fn raw_string_partial_hash_guards_do_not_terminate() {
+        let l = lex("let a = r##\"x \"# y\"##; done");
+        let strs: Vec<&Tok> = l.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].str_content().unwrap(), "x \"# y");
+        assert!(l.tokens.iter().any(|t| t.text == "done"));
+    }
+
+    #[test]
+    fn str_content_decodes_every_literal_form() {
+        let cases: &[(&str, &str)] = &[
+            ("\"plain\"", "plain"),
+            ("r\"raw\"", "raw"),
+            ("r#\"raw hash\"#", "raw hash"),
+            ("r##\"--smoke\"##", "--smoke"),
+            ("b\"bytes\"", "bytes"),
+            ("br#\"braw\"#", "braw"),
+            ("\"esc\\n\\t\\\"q\\\"\"", "esc\n\t\"q\""),
+            ("\"hex\\x41\"", "hexA"),
+            ("\"uni\\u{2192}\"", "uni\u{2192}"),
+            ("'c'", "c"),
+            ("'\\n'", "\n"),
+            ("b'z'", "z"),
+        ];
+        for (src, want) in cases {
+            let l = lex(&format!("let x = {src};"));
+            let tok = l
+                .tokens
+                .iter()
+                .find(|t| t.kind == TokKind::Str)
+                .unwrap_or_else(|| panic!("{src}: no Str token"));
+            assert_eq!(tok.str_content().as_deref(), Some(*want), "{src}");
+        }
+        // Non-string tokens decode to None.
+        let l = lex("ident");
+        assert_eq!(l.tokens[0].str_content(), None);
+    }
+
+    /// The lexer is forgiving about unterminated literals (they run to
+    /// EOF); `str_content` must not panic or mangle them.
+    #[test]
+    fn unterminated_literals_decode_without_panicking() {
+        for src in ["\"open", "r#\"open", "r##\"open\"#", "'x"] {
+            let l = lex(src);
+            let tok = l.tokens.iter().find(|t| t.kind == TokKind::Str);
+            if let Some(t) = tok {
+                let _ = t.str_content();
+            }
+        }
     }
 }

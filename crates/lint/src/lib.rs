@@ -16,13 +16,18 @@
 //! See [`rules::RULES`] for the rule set and DESIGN.md "Static
 //! invariants" for each rule's rationale.
 
+pub mod artifacts;
 pub mod context;
+pub mod contracts;
 pub mod diag;
+pub mod itemtree;
 pub mod lexer;
 pub mod rules;
 pub mod suppress;
 
+use artifacts::Artifacts;
 use context::SourceFile;
+use contracts::ContractGraph;
 use diag::LintReport;
 use std::path::Path;
 
@@ -30,36 +35,88 @@ use std::path::Path;
 /// and return the report. IO failures surface as `Err`; lint findings
 /// are data, not errors.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<LintReport> {
+    Ok(analyze_files(load_workspace(root)?))
+}
+
+/// Deep analysis of a checkout: the token-level pass plus the contract
+/// graph built from the code and the non-code artifacts under `root`.
+pub fn analyze_workspace_deep(root: &Path) -> std::io::Result<(LintReport, ContractGraph)> {
+    let arts = Artifacts::load(root);
+    Ok(analyze_files_deep(load_workspace(root)?, &arts))
+}
+
+fn load_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
     let raw = context::walk_workspace(root)?;
-    let files: Vec<SourceFile> = raw
+    Ok(raw
         .iter()
         .map(|(rel, text)| SourceFile::new(rel, text))
-        .collect();
-    Ok(analyze_files(files))
+        .collect())
 }
 
 /// Analyze an in-memory set of files — the workspace pass and the
 /// fixture tests share this path.
 pub fn analyze_files(files: Vec<SourceFile>) -> LintReport {
+    analyze(files, None).0
+}
+
+/// Deep analysis of an in-memory workspace: shallow findings, contract
+/// findings, and the graph. Suppressions apply to deep findings exactly
+/// as to shallow ones (artifact-anchored findings have no source line to
+/// carry an allow, so they always gate).
+pub fn analyze_files_deep(files: Vec<SourceFile>, arts: &Artifacts) -> (LintReport, ContractGraph) {
+    let (report, graph) = analyze(files, Some(arts));
+    (report, graph.unwrap_or_default())
+}
+
+fn analyze(
+    files: Vec<SourceFile>,
+    deep: Option<&Artifacts>,
+) -> (LintReport, Option<ContractGraph>) {
     let idx = rules::build_index(&files);
     let known = rules::known_rule_ids();
+    let checked = match deep {
+        Some(_) => rules::known_rule_ids(),
+        None => rules::shallow_rule_ids(),
+    };
+    let (mut deep_findings, graph) = match deep {
+        Some(arts) => {
+            let (d, g) = contracts::check_workspace(&files, arts);
+            (d, Some(g))
+        }
+        None => (Vec::new(), None),
+    };
     let mut report = LintReport {
         files_scanned: files.len(),
         ..LintReport::default()
     };
     for f in &files {
-        let findings = rules::check_file(f, &idx);
+        let mut findings = rules::check_file(f, &idx);
+        // Deep findings anchored to this file join its shallow findings
+        // before suppressions so a lint:allow covers both alike.
+        let mut i = 0;
+        while i < deep_findings.len() {
+            if deep_findings[i].file == f.rel_path {
+                findings.push(deep_findings.remove(i));
+            } else {
+                i += 1;
+            }
+        }
         let (sups, mut sup_errors) = suppress::parse_suppressions(f);
-        let (mut kept, mut suppressed) = suppress::apply_suppressions(f, sups, findings, &known);
+        let (mut kept, mut suppressed) =
+            suppress::apply_suppressions(f, sups, findings, &known, &checked);
         report.diagnostics.append(&mut kept);
         report.diagnostics.append(&mut sup_errors);
         report.suppressed.append(&mut suppressed);
     }
+    // Remaining deep findings are anchored to non-.rs artifacts
+    // (Cargo.toml, ci.yml, a BENCH_*.json name) — nothing can suppress
+    // them, they gate directly.
+    report.diagnostics.append(&mut deep_findings);
     // Deterministic output order: path, then position, then rule.
     report
         .diagnostics
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
-    report
+    (report, graph)
 }
 
 /// Analyze a single (path, source) pair — convenience for fixture tests.

@@ -47,6 +47,9 @@ pub struct RuleInfo {
     pub severity: Severity,
     /// One-line summary of the contract the rule guards.
     pub summary: &'static str,
+    /// Contract-graph rule: runs only under `--deep` (see
+    /// [`crate::contracts`]).
+    pub deep: bool,
 }
 
 /// Every rule the engine knows, including the `suppression` meta-rule.
@@ -55,57 +58,109 @@ pub const RULES: &[RuleInfo] = &[
         id: "hash-order",
         severity: Severity::Error,
         summary: "no HashMap/HashSet in model crates — iteration order would leak into fingerprints",
+        deep: false,
     },
     RuleInfo {
         id: "panic-free",
         severity: Severity::Error,
         summary: "no unwrap/expect/panic!/todo! in library code outside #[cfg(test)]",
+        deep: false,
     },
     RuleInfo {
         id: "determinism",
         severity: Severity::Error,
         summary: "no wall-clock or entropy sources (Instant::now, SystemTime, thread_rng, std::env) in fingerprint-feeding crates",
+        deep: false,
     },
     RuleInfo {
         id: "forbid-unsafe",
         severity: Severity::Error,
         summary: "every crate root must carry #![forbid(unsafe_code)]",
+        deep: false,
     },
     RuleInfo {
         id: "zero-cost-plane",
         severity: Severity::Error,
         summary: "no allocation in NullTelemetry/NullTrace/NoAudit/NullFaults impls — the disabled planes must stay free",
+        deep: false,
     },
     RuleInfo {
         id: "float-eq",
         severity: Severity::Error,
         summary: "no == / != against float literals outside tests",
+        deep: false,
     },
     RuleInfo {
         id: "cross-crate-unwrap",
         severity: Severity::Error,
         summary: "Result-returning pub fns must not be .unwrap()ed from other library crates",
+        deep: false,
     },
     RuleInfo {
         id: "no-debug-output",
         severity: Severity::Error,
         summary: "no dbg!/println!/print! in library crates (binaries exempt)",
+        deep: false,
     },
     RuleInfo {
         id: "typed-ids",
         severity: Severity::Error,
         summary: "fabric pub fns must take typed entity ids (PortId/SwitchId/…), not raw usize port/switch indices",
+        deep: false,
     },
     RuleInfo {
         id: "suppression",
         severity: Severity::Error,
         summary: "lint:allow comments must parse, name a known rule, carry a reason, and actually suppress something",
+        deep: false,
+    },
+    RuleInfo {
+        id: "fault-coverage",
+        severity: Severity::Error,
+        summary: "every FaultKind variant must be exercised by at least one test file",
+        deep: true,
+    },
+    RuleInfo {
+        id: "jsonl-schema-sync",
+        severity: Severity::Error,
+        summary: "telemetry record types emitted and validate_jsonl match arms must be the same set",
+        deep: true,
+    },
+    RuleInfo {
+        id: "extras-registry",
+        severity: Severity::Error,
+        summary: "set_extra keys must be workspace-unique and asserted by some test",
+        deep: true,
+    },
+    RuleInfo {
+        id: "bench-gate",
+        severity: Severity::Error,
+        summary: "--smoke bench bins must be ci.yml gates; committed BENCH_*.json must map to live bins",
+        deep: true,
+    },
+    RuleInfo {
+        id: "model-crate-sync",
+        severity: Severity::Error,
+        summary: "MODEL_CRATES must match the workspace: members exist, fingerprint-trait implementors are listed, DESIGN.md inventory is complete",
+        deep: true,
+    },
+    RuleInfo {
+        id: "hot-loop-alloc",
+        severity: Severity::Error,
+        summary: "no allocation inside fn arbitrate / fn tick bodies in model crates (ROADMAP item 1 precondition)",
+        deep: true,
     },
 ];
 
 /// The ids of all rules, for suppression validation.
 pub fn known_rule_ids() -> Vec<&'static str> {
     RULES.iter().map(|r| r.id).collect()
+}
+
+/// The ids of the token-level rules that run in every pass (the deep
+/// contract-graph rules run only under `--deep`).
+pub fn shallow_rule_ids() -> Vec<&'static str> {
+    RULES.iter().filter(|r| !r.deep).map(|r| r.id).collect()
 }
 
 /// Workspace-level index for the cross-file rule: map from function name

@@ -137,11 +137,18 @@ fn next_code_line(file: &SourceFile, line: u32) -> u32 {
 
 /// Partition findings into (kept, suppressed) and flag unused or
 /// unknown-rule suppressions as fresh diagnostics.
+///
+/// `known_rules` is every rule id the engine has (unknown names are
+/// always errors); `checked_rules` is the subset that actually ran this
+/// pass. A suppression that silenced nothing is "unused" only when every
+/// rule it names was checked — a `lint:allow(hot-loop-alloc)` must not
+/// be flagged stale by a shallow run that never executed the deep rules.
 pub fn apply_suppressions(
     file: &SourceFile,
     mut sups: Vec<Suppression>,
     findings: Vec<Diagnostic>,
     known_rules: &[&str],
+    checked_rules: &[&str],
 ) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
     let mut kept = Vec::new();
     let mut suppressed = Vec::new();
@@ -175,7 +182,8 @@ pub fn apply_suppressions(
                 });
             }
         }
-        if !s.used {
+        let fully_checked = s.rules.iter().all(|r| checked_rules.contains(&r.as_str()));
+        if !s.used && fully_checked {
             kept.push(Diagnostic {
                 rule: "suppression",
                 severity: Severity::Error,
@@ -240,8 +248,24 @@ mod tests {
     fn unused_suppression_is_flagged() {
         let f = file("// lint:allow(panic-free): stale\nlet x = 1;\n");
         let (sups, _) = parse_suppressions(&f);
-        let (kept, supd) = apply_suppressions(&f, sups, Vec::new(), &["panic-free"]);
+        let (kept, supd) =
+            apply_suppressions(&f, sups, Vec::new(), &["panic-free"], &["panic-free"]);
         assert!(supd.is_empty());
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].message.contains("unused suppression"));
+    }
+
+    #[test]
+    fn unchecked_rule_suppression_is_not_flagged_unused() {
+        // A deep-rule allow must survive a shallow pass that never ran
+        // the deep rules — but the same allow is stale under a deep run.
+        let f = file("// lint:allow(hot-loop-alloc): scratch hoisted\nlet x = 1;\n");
+        let known = ["panic-free", "hot-loop-alloc"];
+        let (sups, _) = parse_suppressions(&f);
+        let (kept, _) = apply_suppressions(&f, sups, Vec::new(), &known, &["panic-free"]);
+        assert!(kept.is_empty(), "{kept:#?}");
+        let (sups, _) = parse_suppressions(&f);
+        let (kept, _) = apply_suppressions(&f, sups, Vec::new(), &known, &known);
         assert_eq!(kept.len(), 1);
         assert!(kept[0].message.contains("unused suppression"));
     }
@@ -250,7 +274,7 @@ mod tests {
     fn unknown_rule_is_flagged() {
         let f = file("// lint:allow(no-such-rule): whatever\nlet x = 1;\n");
         let (sups, _) = parse_suppressions(&f);
-        let (kept, _) = apply_suppressions(&f, sups, Vec::new(), &["panic-free"]);
+        let (kept, _) = apply_suppressions(&f, sups, Vec::new(), &["panic-free"], &["panic-free"]);
         assert!(kept.iter().any(|d| d.message.contains("unknown rule")));
     }
 
@@ -268,7 +292,7 @@ mod tests {
             message: "m".into(),
             snippet: String::new(),
         };
-        let (kept, supd) = apply_suppressions(&f, sups, vec![d], &["panic-free"]);
+        let (kept, supd) = apply_suppressions(&f, sups, vec![d], &["panic-free"], &["panic-free"]);
         assert!(kept.is_empty());
         assert_eq!(supd.len(), 1);
     }

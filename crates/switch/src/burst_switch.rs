@@ -44,6 +44,9 @@ pub struct BurstSwitch {
     next_id: u64,
     requesters: BitSet,
     grants_to_input: Vec<BitSet>,
+    /// Per-boundary matching scratch, cleared at each burst boundary.
+    in_matched: Vec<bool>,
+    out_matched: Vec<bool>,
 }
 
 impl BurstSwitch {
@@ -66,6 +69,8 @@ impl BurstSwitch {
             next_id: 0,
             requesters: BitSet::new(n),
             grants_to_input: (0..n).map(|_| BitSet::new(n)).collect(),
+            in_matched: vec![false; n],
+            out_matched: vec![false; n],
         }
     }
 
@@ -108,21 +113,24 @@ impl CellSwitch for BurstSwitch {
         // point of container switching).
         if t.is_multiple_of(self.burst) {
             let iterations = (n.max(2) as f64).log2().ceil() as usize;
-            let mut in_matched = vec![false; n];
-            let mut out_matched = vec![false; n];
+            self.in_matched.fill(false);
+            self.out_matched.fill(false);
             for _ in 0..iterations {
                 for g in self.grants_to_input.iter_mut() {
                     g.clear_all();
                 }
                 let mut any = false;
-                for (o, &o_matched) in out_matched.iter().enumerate() {
-                    if o_matched || self.out_busy[o] > 0 {
+                for o in 0..n {
+                    if self.out_matched[o] || self.out_busy[o] > 0 {
                         continue;
                     }
                     self.requesters.clear_all();
                     let mut have = false;
-                    for (i, &i_matched) in in_matched.iter().enumerate() {
-                        if !i_matched && self.in_busy[i] == 0 && self.container_eligible(i, o, t) {
+                    for i in 0..n {
+                        if !self.in_matched[i]
+                            && self.in_busy[i] == 0
+                            && self.container_eligible(i, o, t)
+                        {
                             self.requesters.set(i);
                             have = true;
                         }
@@ -138,13 +146,16 @@ impl CellSwitch for BurstSwitch {
                 if !any {
                     break;
                 }
-                for (i, i_matched) in in_matched.iter_mut().enumerate() {
-                    if *i_matched || self.in_busy[i] > 0 || self.grants_to_input[i].is_empty() {
+                for i in 0..n {
+                    if self.in_matched[i]
+                        || self.in_busy[i] > 0
+                        || self.grants_to_input[i].is_empty()
+                    {
                         continue;
                     }
                     if let Some(o) = self.accept_arb[i].arbitrate(&self.grants_to_input[i]) {
-                        *i_matched = true;
-                        out_matched[o] = true;
+                        self.in_matched[i] = true;
+                        self.out_matched[o] = true;
                         self.grant_arb[o].advance_past(i);
                         self.accept_arb[i].advance_past(o);
                         // Launch the container: up to `burst` cells leave

@@ -37,6 +37,8 @@ pub struct CioqSwitch {
     busy_slots: u64,
     /// Per-output "work existed at slot start" flags for the audit.
     pending_for: Vec<bool>,
+    /// Per-phase "input already granted" scratch, cleared each phase.
+    in_used: Vec<bool>,
     requesters: BitSet,
     grants_to_input: Vec<BitSet>,
 }
@@ -59,6 +61,7 @@ impl CioqSwitch {
             violations: 0,
             busy_slots: 0,
             pending_for: vec![false; n],
+            in_used: vec![false; n],
             requesters: BitSet::new(n),
             grants_to_input: (0..n).map(|_| BitSet::new(n)).collect(),
         }
@@ -98,15 +101,15 @@ impl CellSwitch for CioqSwitch {
             for g in self.grants_to_input.iter_mut() {
                 g.clear_all();
             }
-            let mut in_used = vec![false; n];
+            self.in_used.fill(false);
             for o in 0..n {
                 if self.egress[o].len() >= self.egress_cap {
                     continue; // limited output buffer: backpressure
                 }
                 self.requesters.clear_all();
                 let mut have = false;
-                for (i, &used) in in_used.iter().enumerate() {
-                    if !used && !self.voq[i * n + o].is_empty() {
+                for i in 0..n {
+                    if !self.in_used[i] && !self.voq[i * n + o].is_empty() {
                         self.requesters.set(i);
                         have = true;
                     }
@@ -118,7 +121,7 @@ impl CellSwitch for CioqSwitch {
                     self.grants_to_input[i].set(o);
                 }
             }
-            for (i, used) in in_used.iter_mut().enumerate() {
+            for i in 0..n {
                 if self.grants_to_input[i].is_empty() {
                     continue;
                 }
@@ -133,7 +136,7 @@ impl CellSwitch for CioqSwitch {
                         .expect("accepted grant with an empty VOQ");
                     cell.grant_slot = slot;
                     obs.cell_granted(i, o, cell.inject_slot);
-                    *used = true;
+                    self.in_used[i] = true;
                     self.egress[o].push_back(cell);
                 }
             }

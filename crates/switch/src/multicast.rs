@@ -45,7 +45,11 @@ pub struct MulticastSwitch {
     n: usize,
     queues: Vec<VecDeque<McCell>>,
     out_arb: Vec<RoundRobinArbiter>,
-    tx_count: Vec<u64>, // scratch: transmissions per head cell
+    tx_count: Vec<u64>,                 // scratch: transmissions per head cell
+    requesters_per_output: Vec<BitSet>, // scratch, cleared each tick
+    served: Vec<Vec<usize>>,            // scratch, cleared each tick
+    /// Cells whose fanout completed in the last `tick`, until the next.
+    completions: Vec<McCell>,
 }
 
 impl MulticastSwitch {
@@ -57,6 +61,9 @@ impl MulticastSwitch {
             queues: (0..n).map(|_| VecDeque::new()).collect(),
             out_arb: (0..n).map(|_| RoundRobinArbiter::new(n)).collect(),
             tx_count: vec![0; n],
+            requesters_per_output: (0..n).map(|_| BitSet::new(n)).collect(),
+            served: (0..n).map(|_| Vec::new()).collect(),
+            completions: Vec::new(),
         }
     }
 
@@ -83,15 +90,20 @@ impl MulticastSwitch {
 
     /// One slot: every free output claims one input whose head cell still
     /// owes it a copy; heads transmit to all claiming outputs at once.
-    /// Returns (copies delivered, completions as (cell, slot)).
-    pub fn tick(&mut self, _slot: u64) -> (u64, Vec<McCell>) {
+    /// Returns copies delivered; cells that completed their fanout are in
+    /// `self.completions` until the next tick. All working storage is
+    /// persistent scratch — the per-slot path does not allocate.
+    pub fn tick(&mut self, _slot: u64) -> u64 {
         let n = self.n;
+        self.completions.clear();
         // Which inputs want which outputs (head cells only).
-        let mut requesters_per_output: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for req in self.requesters_per_output.iter_mut() {
+            req.clear_all();
+        }
         let mut any = false;
         for (i, q) in self.queues.iter().enumerate() {
             if let Some(head) = q.front() {
-                for (o, req) in requesters_per_output.iter_mut().enumerate() {
+                for (o, req) in self.requesters_per_output.iter_mut().enumerate() {
                     if head.residue[o] {
                         req.set(i);
                         any = true;
@@ -100,26 +112,27 @@ impl MulticastSwitch {
             }
         }
         if !any {
-            return (0, Vec::new());
+            return 0;
         }
         // Each output picks one input round-robin. Many outputs may pick
         // the same input — that is the broadcast advantage.
         let mut copies = 0u64;
         self.tx_count.fill(0);
-        let mut served: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (o, req) in requesters_per_output.iter().enumerate() {
+        for s in self.served.iter_mut() {
+            s.clear();
+        }
+        for (o, req) in self.requesters_per_output.iter().enumerate() {
             if req.is_empty() {
                 continue;
             }
             if let Some(i) = self.out_arb[o].arbitrate(req) {
                 self.out_arb[o].advance_past(i);
-                served[i].push(o);
+                self.served[i].push(o);
                 copies += 1;
             }
         }
-        let mut completions = Vec::new();
-        for (i, outs) in served.iter().enumerate() {
-            if outs.is_empty() {
+        for i in 0..n {
+            if self.served[i].is_empty() {
                 continue;
             }
             let head = self.queues[i]
@@ -127,17 +140,17 @@ impl MulticastSwitch {
                 // lint:allow(panic-free): `served` only lists inputs whose
                 // head cell won at least one output this slot
                 .expect("served input with an empty queue");
-            for &o in outs {
+            for &o in &self.served[i] {
                 head.residue[o] = false;
             }
             self.tx_count[i] += 1;
             if head.residue.iter().all(|&r| !r) {
                 if let Some(done) = self.queues[i].pop_front() {
-                    completions.push(done);
+                    self.completions.push(done);
                 }
             }
         }
-        (copies, completions)
+        copies
     }
 }
 
@@ -184,9 +197,9 @@ impl SlottedModel for MulticastWorkload {
     }
 
     fn arbitrate<T: TraceSink>(&mut self, slot: u64, obs: &mut Observer<'_, T>) {
-        let (c, done) = self.sw.tick(slot);
+        let c = self.sw.tick(slot);
         self.copies += c;
-        for cell in done {
+        for cell in &self.sw.completions {
             obs.cell_delivered(cell.src, cell.inject_slot);
         }
         self.total_tx += self.sw.tx_count.iter().sum::<u64>();
@@ -246,10 +259,10 @@ mod tests {
         // serves the full fanout in a single transmission.
         let mut sw = MulticastSwitch::new(8);
         sw.inject(0, &[0, 1, 2, 3, 4, 5, 6, 7], 0);
-        let (copies, done) = sw.tick(1);
+        let copies = sw.tick(1);
         assert_eq!(copies, 8);
-        assert_eq!(done.len(), 1);
-        assert_eq!(done[0].fanout, 8);
+        assert_eq!(sw.completions.len(), 1);
+        assert_eq!(sw.completions[0].fanout, 8);
     }
 
     #[test]
@@ -261,7 +274,8 @@ mod tests {
         sw.inject(1, &[2, 3], 0);
         let mut done = 0;
         for t in 1..6 {
-            done += sw.tick(t).1.len();
+            sw.tick(t);
+            done += sw.completions.len();
         }
         assert_eq!(done, 2, "both complete via fanout splitting");
     }
